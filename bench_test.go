@@ -1,0 +1,297 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (see DESIGN.md's experiment index), plus the ablation benches for the
+// design choices called out there. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure rows that need minutes of wall clock use the medium-size
+// instances; cmd/spptables regenerates the complete tables.
+package spp_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bfunc"
+	"repro/internal/core"
+	"repro/internal/fprm"
+	"repro/internal/harness"
+	"repro/internal/pcube"
+	"repro/internal/ptrie"
+	"repro/internal/sp"
+)
+
+func cfg() harness.Config {
+	c := harness.DefaultConfig()
+	c.PerOutput = 30 * time.Second
+	c.NaiveBudget = 30 * time.Second
+	return c
+}
+
+// BenchmarkTable1 regenerates Table 1 rows (SP vs SPP minimization, all
+// outputs summed). One sub-benchmark per representative function; the
+// first iteration reports the row via b.Log.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range []string{"adr4", "life", "dist", "mlp4", "m3", "newtpla2"} {
+		b.Run(name, func(b *testing.B) {
+			m := bench.MustLoad(name)
+			var r harness.FuncResult
+			for i := 0; i < b.N; i++ {
+				r = harness.MinimizeFunc(m, cfg())
+			}
+			b.ReportMetric(float64(r.SPLiterals), "SP-literals")
+			b.ReportMetric(float64(r.SPPLiterals), "SPP-literals")
+			b.ReportMetric(float64(r.EPPP), "EPPPs")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 rows: EPPP construction with the
+// naive [5] baseline vs partition-trie Algorithm 2.
+func BenchmarkTable2(b *testing.B) {
+	cases := []harness.OutputCase{
+		{Func: "max128", Output: 20}, {Func: "m3", Output: 3},
+		{Func: "m4", Output: 0}, {Func: "risc", Output: 2},
+		{Func: "max512", Output: 5}, {Func: "ex5", Output: 50},
+	}
+	for _, c := range cases {
+		f := bench.MustLoad(c.Func).Output(c.Output)
+		b.Run(c.String()+"/naive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildEPPPNaive(f, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.String()+"/alg2", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildEPPP(f, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 rows: the SPP_0 heuristic vs the
+// exact algorithm, per output summed.
+func BenchmarkTable3(b *testing.B) {
+	for _, name := range []string{"dist", "mlp4", "m4", "f51m"} {
+		m := bench.MustLoad(name)
+		b.Run(name+"/SPP0", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for o := 0; o < m.NOutputs(); o++ {
+					if _, err := core.Heuristic(m.Output(o), 0, core.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(name+"/exact", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for o := 0; o < m.NOutputs(); o++ {
+					if _, err := core.MinimizeExact(m.Output(o), core.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3 and BenchmarkFig4 sample the SPP_k sweep of the paper's
+// figures: literal counts (fig 3) come out as reported metrics, CPU time
+// (fig 4) as the benchmark time itself, one sub-benchmark per k.
+func BenchmarkFig3Fig4(b *testing.B) {
+	for _, name := range []string{"dist", "f51m"} {
+		m := bench.MustLoad(name)
+		for k := 0; k <= 4; k++ {
+			b.Run(fmt.Sprintf("%s/k=%d", name, k), func(b *testing.B) {
+				lits := 0
+				for i := 0; i < b.N; i++ {
+					lits = 0
+					for o := 0; o < m.NOutputs(); o++ {
+						res, err := core.Heuristic(m.Output(o), k, core.Options{})
+						if err != nil {
+							b.Fatal(err)
+						}
+						lits += res.Form.Literals()
+					}
+				}
+				b.ReportMetric(float64(lits), "SPP_k-literals")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationGrouping compares the paper's partition trie with a
+// flat hash map as the structure-grouping data structure (DESIGN.md
+// ablation 1): same algorithm, same outputs, different index.
+func BenchmarkAblationGrouping(b *testing.B) {
+	for _, c := range []harness.OutputCase{
+		{Func: "m3", Output: 3}, {Func: "adr4", Output: 0}, {Func: "max512", Output: 5},
+	} {
+		f := bench.MustLoad(c.Func).Output(c.Output)
+		b.Run(c.String()+"/trie", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildEPPP(f, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.String()+"/hashmap", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildEPPPHashGrouped(f, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUnion compares Algorithm 1's symbolic union against
+// recomputing the CEX from the merged point sets (DESIGN.md ablation 2).
+func BenchmarkAblationUnion(b *testing.B) {
+	// A same-structure pair of degree-4 pseudocubes in B^12.
+	n := 12
+	a := pcube.FromPoint(n, 0x5A5)
+	for _, alpha := range []uint64{0x003, 0x00C, 0x030, 0x0C0} {
+		a = pcube.Union(a, a.Transform(alpha))
+	}
+	d := a.Transform(0x700)
+	b.Run("algorithm1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pcube.Union(a, d) == nil {
+				b.Fatal("union failed")
+			}
+		}
+	})
+	b.Run("from-points", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pts := append(a.Points(), d.Points()...)
+			if _, ok := pcube.FromPoints(n, pts); !ok {
+				b.Fatal("not a pseudocube")
+			}
+		}
+	})
+}
+
+// BenchmarkPartitionTrieInsert measures raw trie insertion throughput.
+func BenchmarkPartitionTrieInsert(b *testing.B) {
+	f := bench.MustLoad("m4").Output(0)
+	set, err := core.BuildEPPP(f, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := ptrie.New(f.N())
+		for _, c := range set.Candidates {
+			tr.Insert(c)
+		}
+	}
+	b.ReportMetric(float64(len(set.Candidates)), "CEXs")
+}
+
+// BenchmarkSPBaseline measures the two-level pipeline on its own.
+func BenchmarkSPBaseline(b *testing.B) {
+	for _, name := range []string{"adr4", "life", "dist"} {
+		m := bench.MustLoad(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for o := 0; o < m.NOutputs(); o++ {
+					sp.Minimize(m.Output(o), sp.Options{})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHarnessTable2Report exercises the full Table 2 harness path
+// (including formatting) on the two fastest rows; it keeps the
+// cmd/spptables plumbing itself under benchmark coverage.
+func BenchmarkHarnessTable2Report(b *testing.B) {
+	cases := []harness.OutputCase{{Func: "max128", Output: 20}, {Func: "risc", Output: 2}}
+	for i := 0; i < b.N; i++ {
+		harness.Table2(io.Discard, cases, cfg())
+	}
+}
+
+// BenchmarkExtensionFPRM runs the §5 extension comparison: best
+// fixed-polarity Reed-Muller forms next to SP and SPP (see
+// harness.CompareForms for the reported literal counts).
+func BenchmarkExtensionFPRM(b *testing.B) {
+	for _, name := range []string{"adr4", "life", "mlp4"} {
+		m := bench.MustLoad(name)
+		b.Run(name, func(b *testing.B) {
+			lits := 0
+			for i := 0; i < b.N; i++ {
+				lits = 0
+				for o := 0; o < m.NOutputs(); o++ {
+					lits += fprm.Minimize(m.Output(o)).Literals
+				}
+			}
+			b.ReportMetric(float64(lits), "FPRM-literals")
+		})
+	}
+}
+
+// BenchmarkAblationSPEngine compares the two SP engines: exact
+// Quine-McCluskey+cover vs the ESPRESSO-style heuristic loop.
+func BenchmarkAblationSPEngine(b *testing.B) {
+	for _, name := range []string{"adr4", "dist"} {
+		m := bench.MustLoad(name)
+		for _, eng := range []struct {
+			label  string
+			method sp.Method
+		}{{"qm", sp.MethodQM}, {"espresso", sp.MethodEspresso}} {
+			b.Run(name+"/"+eng.label, func(b *testing.B) {
+				lits := 0
+				for i := 0; i < b.N; i++ {
+					lits = 0
+					for o := 0; o < m.NOutputs(); o++ {
+						lits += sp.Minimize(m.Output(o), sp.Options{Method: eng.method}).Form.Literals()
+					}
+				}
+				b.ReportMetric(float64(lits), "SP-literals")
+			})
+		}
+	}
+}
+
+// BenchmarkExtensionSharedOutputs measures joint multi-output
+// minimization with a shared pseudoproduct pool against stacked
+// per-output minimization.
+func BenchmarkExtensionSharedOutputs(b *testing.B) {
+	m := bench.MustLoad("adr4")
+	multi := bfunc.NewMulti("adr4", m.Inputs, m.Outputs)
+	b.Run("shared", func(b *testing.B) {
+		var res *core.MultiResult
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = core.MinimizeMulti(multi, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.SharedLiterals), "shared-literals")
+		b.ReportMetric(float64(res.SeparateLiterals()), "stacked-literals")
+	})
+	b.Run("separate", func(b *testing.B) {
+		lits := 0
+		for i := 0; i < b.N; i++ {
+			lits = 0
+			for o := 0; o < multi.NOutputs(); o++ {
+				res, err := core.MinimizeExact(multi.Output(o), core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lits += res.Form.Literals()
+			}
+		}
+		b.ReportMetric(float64(lits), "separate-literals")
+	})
+}

@@ -1,0 +1,196 @@
+// Command sppverify checks functional equivalence between Boolean
+// specifications, output by output:
+//
+//	sppverify a.pla b.pla              # two PLA designs
+//	sppverify -n 4 -expr 'x1·(x0⊕x̄2)' -against a.pla -output 0
+//	sppverify -verilog m.v -against a.pla      # gate-level netlist vs PLA
+//	sppverify -blif m.blif -against a.pla
+//
+// Two incompletely specified outputs are compatible when neither
+// asserts ON where the other asserts OFF; don't-care points match
+// anything. The exit status is 0 when everything matches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/bdd"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 0, "input count for -expr")
+		expr    = flag.String("expr", "", "SPP expression to check instead of a first PLA")
+		against = flag.String("against", "", "PLA file to check -expr against")
+		output  = flag.Int("output", 0, "output index for -expr checks")
+		verilog = flag.String("verilog", "", "structural Verilog netlist to check against -against")
+		blif    = flag.String("blif", "", "BLIF netlist to check against -against")
+	)
+	flag.Parse()
+
+	switch {
+	case *verilog != "" || *blif != "":
+		if *against == "" {
+			fail("sppverify: netlist checks need -against")
+		}
+		ckt := loadNetlist(*verilog, *blif)
+		d := loadPLA(*against)
+		if ckt.Inputs != d.Inputs() {
+			fail("sppverify: netlist has %d inputs, design %d", ckt.Inputs, d.Inputs())
+		}
+		outs := ckt.Outputs()
+		if len(outs) != d.NOutputs() {
+			fail("sppverify: netlist has %d outputs, design %d", len(outs), d.NOutputs())
+		}
+		if checkNetlist(ckt, d, outs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("equivalent: netlist matches %s on all specified points\n", *against)
+
+	case *expr != "":
+		if *n <= 0 || *against == "" {
+			fail("sppverify: -expr needs -n and -against")
+		}
+		form, err := spp.ParseForm(*n, *expr)
+		if err != nil {
+			fail("sppverify: %v", err)
+		}
+		d := loadPLA(*against)
+		if d.Inputs() != *n {
+			fail("sppverify: expression over B^%d, design has %d inputs", *n, d.Inputs())
+		}
+		if *output < 0 || *output >= d.NOutputs() {
+			fail("sppverify: output %d out of range", *output)
+		}
+		f := d.Output(*output)
+		if err := form.Verify(f); err != nil {
+			fail("NOT EQUIVALENT: %v", err)
+		}
+		fmt.Printf("equivalent: expression matches %s output %d on all care points\n",
+			*against, *output)
+
+	case flag.NArg() == 2:
+		a := loadPLA(flag.Arg(0))
+		b := loadPLA(flag.Arg(1))
+		if a.Inputs() != b.Inputs() || a.NOutputs() != b.NOutputs() {
+			fail("sppverify: shape mismatch: %d/%d vs %d/%d inputs/outputs",
+				a.Inputs(), a.NOutputs(), b.Inputs(), b.NOutputs())
+		}
+		bad := 0
+		for o := 0; o < a.NOutputs(); o++ {
+			if p, ok := firstConflict(a.Output(o), b.Output(o), a.Inputs()); !ok {
+				fmt.Printf("output %d: CONFLICT at input %0*b\n", o, a.Inputs(), p)
+				bad++
+			} else {
+				fmt.Printf("output %d: compatible\n", o)
+			}
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// firstConflict finds a point where one function asserts ON and the
+// other asserts OFF (don't-cares match anything).
+func firstConflict(f, g *spp.Function, n int) (uint64, bool) {
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		if f.IsSpecified(p) && g.IsSpecified(p) && f.IsOn(p) != g.IsOn(p) {
+			return p, false
+		}
+	}
+	return 0, true
+}
+
+// checkNetlist compares the circuit against the design. When every
+// output is completely specified the comparison is symbolic — each
+// output's BDD must be the identical node as the specification's — so
+// no 2^n enumeration happens; designs with don't-cares fall back to
+// pointwise checking of the specified points.
+func checkNetlist(ckt *sim.Circuit, d *spp.Design, outs []string) int {
+	bad := 0
+	allSpecified := true
+	for o := 0; o < d.NOutputs(); o++ {
+		if d.Output(o).HasDC() {
+			allSpecified = false
+			break
+		}
+	}
+	if allSpecified {
+		m := bdd.New(ckt.Inputs)
+		nodes, err := ckt.ToBDD(m)
+		if err != nil {
+			fail("sppverify: symbolic simulation: %v", err)
+		}
+		for o := range outs {
+			spec := d.Output(o).BDD(m)
+			if nodes[o] != spec {
+				fmt.Printf("output %d (%s): NOT EQUIVALENT (symbolic check)\n", o, outs[o])
+				bad++
+			}
+		}
+		return bad
+	}
+	for p := uint64(0); p < 1<<uint(ckt.Inputs); p++ {
+		vals := ckt.Eval(p)
+		for o := range outs {
+			f := d.Output(o)
+			if f.IsSpecified(p) && vals[o] != f.IsOn(p) {
+				fmt.Printf("output %d (%s): MISMATCH at input %0*b\n", o, outs[o], ckt.Inputs, p)
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+func loadNetlist(verilogPath, blifPath string) *sim.Circuit {
+	var (
+		ckt *sim.Circuit
+		err error
+	)
+	switch {
+	case verilogPath != "":
+		var f *os.File
+		if f, err = os.Open(verilogPath); err == nil {
+			defer f.Close()
+			ckt, err = sim.ReadVerilog(f)
+		}
+	default:
+		var f *os.File
+		if f, err = os.Open(blifPath); err == nil {
+			defer f.Close()
+			ckt, err = sim.ReadBLIF(f)
+		}
+	}
+	if err != nil {
+		fail("sppverify: %v", err)
+	}
+	return ckt
+}
+
+func loadPLA(path string) *spp.Design {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("sppverify: %v", err)
+	}
+	defer f.Close()
+	d, err := spp.ParsePLA(f, path)
+	if err != nil {
+		fail("sppverify: %v", err)
+	}
+	return d
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

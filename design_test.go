@@ -1,0 +1,194 @@
+package spp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func adderDesign(t *testing.T) *spp.Design {
+	t.Helper()
+	// A 2+2-bit adder as a PLA (16 minterms, 3 outputs), exercising the
+	// full Design path.
+	var sb strings.Builder
+	sb.WriteString(".i 4\n.o 3\n")
+	for a := uint64(0); a < 4; a++ {
+		for b := uint64(0); b < 4; b++ {
+			sum := a + b
+			in := []byte{'0', '0', '0', '0'}
+			if a&2 != 0 {
+				in[0] = '1'
+			}
+			if a&1 != 0 {
+				in[1] = '1'
+			}
+			if b&2 != 0 {
+				in[2] = '1'
+			}
+			if b&1 != 0 {
+				in[3] = '1'
+			}
+			out := []byte{'0', '0', '0'}
+			if sum&4 != 0 {
+				out[0] = '1'
+			}
+			if sum&2 != 0 {
+				out[1] = '1'
+			}
+			if sum&1 != 0 {
+				out[2] = '1'
+			}
+			sb.Write(in)
+			sb.WriteByte(' ')
+			sb.Write(out)
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString(".e\n")
+	d, err := spp.ParsePLA(strings.NewReader(sb.String()), "add2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMinimizeDesign(t *testing.T) {
+	d := adderDesign(t)
+	r := spp.MinimizeDesign(d, -1, &spp.Options{ExactCover: true})
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.NOutputs() != 3 {
+		t.Fatalf("NOutputs = %d", r.NOutputs())
+	}
+	for o := 0; o < 3; o++ {
+		res := r.Output(o)
+		if res == nil {
+			t.Fatalf("output %d missing", o)
+		}
+		if err := res.Form.Verify(d.Output(o)); err != nil {
+			t.Fatalf("output %d: %v", o, err)
+		}
+	}
+	// The LSB of a 2-bit adder is x1⊕x3: 2 literals. The SPP total must
+	// beat the SP total (2-bit adder is already XOR-shaped).
+	if lsb := r.Output(2); lsb.Form.Literals() != 2 {
+		t.Fatalf("adder LSB = %v, want a single 2-literal EXOR", lsb.Form)
+	}
+	spTotal := 0
+	for o := 0; o < 3; o++ {
+		spTotal += spp.MinimizeSP(d.Output(o), nil).Literals
+	}
+	if r.TotalLiterals() >= spTotal {
+		t.Fatalf("SPP total %d not better than SP total %d", r.TotalLiterals(), spTotal)
+	}
+	if r.TotalTerms() <= 0 {
+		t.Fatal("TotalTerms not positive")
+	}
+}
+
+func TestMinimizeDesignHeuristicMode(t *testing.T) {
+	d := adderDesign(t)
+	r := spp.MinimizeDesign(d, 0, nil) // SPP_0
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 3; o++ {
+		if err := r.Output(o).Form.Verify(d.Output(o)); err != nil {
+			t.Fatalf("output %d: %v", o, err)
+		}
+	}
+}
+
+func TestMinimizeDesignBudgetErrorsPerOutput(t *testing.T) {
+	d := adderDesign(t)
+	r := spp.MinimizeDesign(d, -1, &spp.Options{MaxCandidates: 2})
+	if r.Err() == nil {
+		t.Fatal("expected budget errors")
+	}
+	// Exports skip failed outputs but still produce a valid file.
+	var buf bytes.Buffer
+	if err := r.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "module add2") {
+		t.Fatalf("verilog:\n%s", buf.String())
+	}
+}
+
+func TestDesignNetlistExports(t *testing.T) {
+	d := adderDesign(t)
+	r := spp.MinimizeDesign(d, -1, nil)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var v, b bytes.Buffer
+	if err := r.WriteVerilog(&v); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteBLIF(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"module add2", "assign y0", "assign y1", "assign y2", "endmodule"} {
+		if !strings.Contains(v.String(), want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v.String())
+		}
+	}
+	for _, want := range []string{".model add2", ".inputs x0 x1 x2 x3", ".outputs y0 y1 y2", ".end"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("blif missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestMinimizeRMFacade(t *testing.T) {
+	d := adderDesign(t)
+	// The adder LSB is x1⊕x3: its best FPRM form is two 1-literal terms.
+	rm := spp.MinimizeRM(d.Output(2))
+	if rm.Literals != 2 || rm.NumTerms != 2 || !rm.Exhaustive {
+		t.Fatalf("RM adder LSB: %+v", rm)
+	}
+	for p := uint64(0); p < 16; p++ {
+		if rm.Eval(p) != d.Output(2).IsOn(p) {
+			t.Fatalf("RM eval wrong at %04b", p)
+		}
+	}
+	if rm.Expr == "" {
+		t.Fatal("empty RM expression")
+	}
+}
+
+func TestMinimizeSharedFacade(t *testing.T) {
+	d := adderDesign(t)
+	shared, err := spp.MinimizeShared(d, &spp.Options{ExactCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if shared.SharedLiterals() > shared.SeparateLiterals() {
+		t.Fatalf("shared %d > separate %d", shared.SharedLiterals(), shared.SeparateLiterals())
+	}
+	if shared.NumTerms() <= 0 {
+		t.Fatal("no terms in shared pool")
+	}
+	// Budget errors surface.
+	if _, err := spp.MinimizeShared(d, &spp.Options{MaxCandidates: 2}); err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestSimplifyFacade(t *testing.T) {
+	f := spp.New(2, []uint64{2, 3}) // x0
+	form, err := spp.ParseForm(2, "x0 + x0·x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := form.Simplify(f)
+	if s.NumTerms() != 1 {
+		t.Fatalf("Simplify kept %d terms", s.NumTerms())
+	}
+}

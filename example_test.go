@@ -1,0 +1,70 @@
+package spp_test
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro"
+)
+
+// The headline behaviour: EXOR-shaped functions collapse from
+// exponentially many products to a single pseudoproduct.
+func ExampleMinimize() {
+	parity := spp.FromPredicate(4, func(p uint64) bool {
+		return bits.OnesCount64(p)%2 == 1
+	})
+	res, err := spp.Minimize(parity, &spp.Options{ExactCover: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Form)
+	fmt.Println(res.Form.Literals(), "literals vs", spp.MinimizeSP(parity, nil).Literals, "as SP")
+	// Output:
+	// (x0⊕x1⊕x2⊕x3)
+	// 4 literals vs 32 as SP
+}
+
+// SPP_k interpolates between speed (k=0) and the exact form (k=n−1).
+func ExampleMinimizeK() {
+	f := spp.New(3, []uint64{0b110, 0b011}) // x0·x1·x̄2 + x̄0·x1·x2
+	res, err := spp.MinimizeK(f, 0, &spp.Options{ExactCover: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Form)
+	// Output:
+	// x1·(x0⊕x2)
+}
+
+// Textual forms round-trip through the parser.
+func ExampleParseForm() {
+	form, err := spp.ParseForm(4, "x1*(x0^!x2) + !x0*x2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(form)
+	// Output:
+	// x1·(x0⊕x̄2) + x̄0·x2
+}
+
+// PLA designs minimize output by output.
+func ExampleParsePLA() {
+	src := `.i 2
+.o 1
+01 1
+10 1
+.e
+`
+	d, err := spp.ParsePLA(strings.NewReader(src), "xor2")
+	if err != nil {
+		panic(err)
+	}
+	res, err := spp.Minimize(d.Output(0), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Form)
+	// Output:
+	// (x0⊕x1)
+}

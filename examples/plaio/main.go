@@ -1,0 +1,70 @@
+// Plaio: parse an Espresso-format PLA with don't-cares, minimize each
+// output as an SPP form, and show how don't-cares shrink the result
+// (DC points may be covered or not, whichever costs fewer literals).
+//
+//	go run ./examples/plaio
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+// A 7-segment-style decoder fragment: 4-bit BCD input, 3 outputs, with
+// inputs 10-15 declared don't-care (type fd PLA, '-' outputs).
+const source = `# bcd segment fragment
+.i 4
+.o 3
+.type fd
+0000 101
+0001 001
+0010 110
+0011 011
+0100 010
+0101 111
+0110 100
+0111 001
+1000 111
+1001 011
+1010 ---
+1011 ---
+1100 ---
+1101 ---
+1110 ---
+1111 ---
+.e
+`
+
+func main() {
+	design, err := spp.ParsePLA(strings.NewReader(source), "bcdseg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d inputs, %d outputs (inputs 10-15 are don't-care)\n\n",
+		design.Name(), design.Inputs(), design.NOutputs())
+
+	for o := 0; o < design.NOutputs(); o++ {
+		f := design.Output(o)
+		res, err := spp.Minimize(f, &spp.Options{ExactCover: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Form.Verify(f); err != nil {
+			log.Fatal(err)
+		}
+		sp := spp.MinimizeSP(f, &spp.Options{ExactCover: true})
+		fmt.Printf("out %d: SP %2d literals (%s)\n", o, sp.Literals, sp.Expr)
+		fmt.Printf("       SPP %2d literals: %v\n", res.Form.Literals(), res.Form)
+
+		// Don't-cares are free: the SPP network may disagree with the
+		// spec only on the DC points 10-15.
+		for p := uint64(0); p < 10; p++ {
+			if res.Form.Eval(p) != f.IsOn(p) {
+				log.Fatalf("output %d wrong on care point %d", o, p)
+			}
+		}
+	}
+}

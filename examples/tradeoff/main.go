@@ -1,0 +1,83 @@
+// Tradeoff: sweep the SPP_k heuristic parameter on the dist benchmark
+// (|a−b| of two 4-bit values), reproducing the shape of the paper's
+// Figures 3 and 4: literals decrease monotonically with k while CPU
+// time grows sharply, so small k already buys most of the win.
+//
+//	go run ./examples/tradeoff [maxK]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"repro"
+)
+
+const n = 8
+
+func outputs() []*spp.Function {
+	field := func(p uint64, lo int) uint64 {
+		var v uint64
+		for i := 0; i < 4; i++ {
+			v = v<<1 | p>>uint(n-1-lo-i)&1
+		}
+		return v
+	}
+	dist := func(p uint64) uint64 {
+		a, b := field(p, 0), field(p, 4)
+		if a < b {
+			return 1<<4 | (b - a)
+		}
+		return a - b
+	}
+	outs := make([]*spp.Function, 5)
+	for o := range outs {
+		bit := uint(4 - o)
+		outs[o] = spp.FromPredicate(n, func(p uint64) bool {
+			return dist(p)>>bit&1 == 1
+		})
+	}
+	return outs
+}
+
+func main() {
+	maxK := n - 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 0 || v >= n {
+			log.Fatalf("usage: tradeoff [maxK in 0..%d]", n-1)
+		}
+		maxK = v
+	}
+
+	outs := outputs()
+	spL := 0
+	spT := time.Duration(0)
+	for _, f := range outs {
+		t0 := time.Now()
+		spL += spp.MinimizeSP(f, nil).Literals
+		spT += time.Since(t0)
+	}
+	fmt.Printf("dist (8 inputs, 5 outputs): SP reference %d literals in %v\n\n", spL, spT.Round(time.Millisecond))
+	fmt.Println("  k   #L(SPP_k)   time        (SP line stays flat; paper fig. 3/4)")
+	for k := 0; k <= maxK; k++ {
+		lits := 0
+		elapsed := time.Duration(0)
+		for _, f := range outs {
+			res, err := spp.MinimizeK(f, k, &spp.Options{MaxDuration: 5 * time.Minute})
+			if err != nil {
+				log.Fatalf("k=%d: %v", k, err)
+			}
+			if err := res.Form.Verify(f); err != nil {
+				log.Fatalf("k=%d: %v", k, err)
+			}
+			lits += res.Form.Literals()
+			elapsed += res.BuildTime + res.CoverTime
+		}
+		fmt.Printf("  %d   %6d      %v\n", k, lits, elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("\nSPP_%d is the exact SPP form (k = n−1 descends to single points).\n", n-1)
+}

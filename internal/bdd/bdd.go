@@ -1,0 +1,251 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) with an ITE-based apply, hash-consed unique table and
+// operation cache. The fixed variable order is x0 < x1 < … < x_{n-1}
+// (the bitvec packing order).
+//
+// In this repository BDDs are the third, independent representation of
+// Boolean functions — next to explicit minterm sets (bfunc) and
+// minimized forms — and serve as the symbolic equivalence oracle:
+// canonical ROBDDs make equality a pointer comparison, so verification
+// does not require enumerating B^n.
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+	"repro/internal/pcube"
+)
+
+// Node is a BDD node reference (an index into the manager). The
+// constants are valid in every manager.
+type Node int32
+
+// Const0 and Const1 are the terminal nodes.
+const (
+	Const0 Node = 0
+	Const1 Node = 1
+)
+
+type nodeData struct {
+	level  int32 // variable index; terminals use level = nvars
+	lo, hi Node
+}
+
+type triple struct {
+	level  int32
+	lo, hi Node
+}
+
+type iteKey struct{ f, g, h Node }
+
+// Manager owns the node store for one variable order.
+type Manager struct {
+	nvars  int
+	nodes  []nodeData
+	unique map[triple]Node
+	cache  map[iteKey]Node
+}
+
+// New creates a manager for n variables.
+func New(n int) *Manager {
+	if n < 1 || n > bitvec.MaxVars {
+		panic(fmt.Sprintf("bdd: invalid variable count %d", n))
+	}
+	m := &Manager{
+		nvars:  n,
+		unique: map[triple]Node{},
+		cache:  map[iteKey]Node{},
+	}
+	// Terminals live at level nvars.
+	m.nodes = append(m.nodes,
+		nodeData{level: int32(n)}, // Const0
+		nodeData{level: int32(n)}, // Const1
+	)
+	return m
+}
+
+// NumVars returns the manager's variable count.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Size returns the number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// mk returns the canonical node for (level, lo, hi).
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := triple{level, lo, hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
+	m.unique[key] = n
+	return n
+}
+
+// Var returns the BDD of the single variable x_i.
+func (m *Manager) Var(i int) Node {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable x%d out of range", i))
+	}
+	return m.mk(int32(i), Const0, Const1)
+}
+
+// Ite computes if-then-else(f, g, h), the universal connective.
+func (m *Manager) Ite(f, g, h Node) Node {
+	switch {
+	case f == Const1:
+		return g
+	case f == Const0:
+		return h
+	case g == Const1 && h == Const0:
+		return f
+	case g == h:
+		return g
+	}
+	key := iteKey{f, g, h}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	top := m.nodes[f].level
+	if l := m.nodes[g].level; l < top {
+		top = l
+	}
+	if l := m.nodes[h].level; l < top {
+		top = l
+	}
+	f0, f1 := m.cofactor(f, top)
+	g0, g1 := m.cofactor(g, top)
+	h0, h1 := m.cofactor(h, top)
+	r := m.mk(top, m.Ite(f0, g0, h0), m.Ite(f1, g1, h1))
+	m.cache[key] = r
+	return r
+}
+
+func (m *Manager) cofactor(n Node, level int32) (lo, hi Node) {
+	d := m.nodes[n]
+	if d.level != level {
+		return n, n
+	}
+	return d.lo, d.hi
+}
+
+// Not returns ¬a.
+func (m *Manager) Not(a Node) Node { return m.Ite(a, Const0, Const1) }
+
+// And returns a ∧ b.
+func (m *Manager) And(a, b Node) Node { return m.Ite(a, b, Const0) }
+
+// Or returns a ∨ b.
+func (m *Manager) Or(a, b Node) Node { return m.Ite(a, Const1, b) }
+
+// Xor returns a ⊕ b.
+func (m *Manager) Xor(a, b Node) Node { return m.Ite(a, m.Not(b), b) }
+
+// Eval computes the function value on a packed point.
+func (m *Manager) Eval(n Node, p uint64) bool {
+	for n != Const0 && n != Const1 {
+		d := m.nodes[n]
+		if bitvec.Bit(p, m.nvars, int(d.level)) == 1 {
+			n = d.hi
+		} else {
+			n = d.lo
+		}
+	}
+	return n == Const1
+}
+
+// SatCount returns the number of satisfying assignments over all
+// 2^nvars points.
+func (m *Manager) SatCount(n Node) uint64 {
+	memo := map[Node]uint64{}
+	var count func(n Node) uint64 // over variables below n's level
+	count = func(n Node) uint64 {
+		if n == Const0 {
+			return 0
+		}
+		if n == Const1 {
+			return 1
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		d := m.nodes[n]
+		lo := count(d.lo) << uint(m.nodes[d.lo].level-d.level-1)
+		hi := count(d.hi) << uint(m.nodes[d.hi].level-d.level-1)
+		c := lo + hi
+		memo[n] = c
+		return c
+	}
+	root := m.nodes[n].level
+	return count(n) << uint(root)
+}
+
+// FromFunc builds the BDD of a completely specified function from its
+// ON-set, one minterm at a time (adequate for the explicit-minterm
+// representations used throughout this repository).
+func (m *Manager) FromFunc(f *bfunc.Func) Node {
+	if f.N() != m.nvars {
+		panic("bdd: variable count mismatch")
+	}
+	if len(f.DC()) > 0 {
+		panic("bdd: FromFunc requires a completely specified function")
+	}
+	acc := Const0
+	for _, p := range f.On() {
+		term := Const1
+		// Build the minterm bottom-up (highest variable first) so each
+		// mk call is O(1) at the correct level.
+		for i := m.nvars - 1; i >= 0; i-- {
+			if bitvec.Bit(p, m.nvars, i) == 1 {
+				term = m.mk(int32(i), Const0, term)
+			} else {
+				term = m.mk(int32(i), term, Const0)
+			}
+		}
+		acc = m.Or(acc, term)
+	}
+	return acc
+}
+
+// FromFactor builds the BDD of one EXOR factor.
+func (m *Manager) FromFactor(f pcube.Factor) Node {
+	acc := Const0
+	if f.Comp == 1 {
+		acc = Const1
+	}
+	for _, v := range bitvec.Vars(f.Vars, m.nvars) {
+		acc = m.Xor(acc, m.Var(v))
+	}
+	return acc
+}
+
+// FromCEX builds the BDD of a pseudoproduct (AND of its factors).
+func (m *Manager) FromCEX(c *pcube.CEX) Node {
+	acc := Const1
+	for _, f := range c.Factors {
+		acc = m.And(acc, m.FromFactor(f))
+	}
+	return acc
+}
+
+// NodeCount returns the number of internal nodes reachable from n (the
+// size of that function's diagram, excluding terminals).
+func (m *Manager) NodeCount(n Node) int {
+	seen := map[Node]bool{}
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n == Const0 || n == Const1 || seen[n] {
+			return
+		}
+		seen[n] = true
+		walk(m.nodes[n].lo)
+		walk(m.nodes[n].hi)
+	}
+	walk(n)
+	return len(seen)
+}

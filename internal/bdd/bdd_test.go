@@ -1,0 +1,178 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/pcube"
+)
+
+func randomFunc(rng *rand.Rand, n int) *bfunc.Func {
+	var on []uint64
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		if rng.Intn(2) == 0 {
+			on = append(on, p)
+		}
+	}
+	return bfunc.New(n, on)
+}
+
+func TestFromFuncPointwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		fn := randomFunc(rng, n)
+		m := New(n)
+		node := m.FromFunc(fn)
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if m.Eval(node, p) != fn.IsOn(p) {
+				return false
+			}
+		}
+		return m.SatCount(node) == uint64(fn.OnCount())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	// Equal functions get the identical node, independent of how they
+	// were built.
+	n := 4
+	m := New(n)
+	// x0 ⊕ x1 built two ways.
+	a := m.Xor(m.Var(0), m.Var(1))
+	b := m.Or(m.And(m.Var(0), m.Not(m.Var(1))), m.And(m.Not(m.Var(0)), m.Var(1)))
+	if a != b {
+		t.Fatal("canonicity violated: equal functions, different nodes")
+	}
+	// Double negation.
+	if m.Not(m.Not(a)) != a {
+		t.Fatal("double negation not identity")
+	}
+	// Constants.
+	if m.And(a, Const0) != Const0 || m.Or(a, Const1) != Const1 {
+		t.Fatal("constant absorption broken")
+	}
+	if m.Xor(a, a) != Const0 {
+		t.Fatal("a ⊕ a must be 0")
+	}
+}
+
+func TestOpsAgreeWithBfunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 4
+		fa := randomFunc(rng, n)
+		fb := randomFunc(rng, n)
+		m := New(n)
+		a, b := m.FromFunc(fa), m.FromFunc(fb)
+		checks := []struct {
+			bddNode Node
+			fn      *bfunc.Func
+		}{
+			{m.And(a, b), fa.And(fb)},
+			{m.Or(a, b), fa.Or(fb)},
+			{m.Xor(a, b), fa.Xor(fb)},
+			{m.Not(a), fa.Not()},
+		}
+		for ci, c := range checks {
+			for p := uint64(0); p < 1<<uint(n); p++ {
+				if m.Eval(c.bddNode, p) != c.fn.IsOn(p) {
+					t.Fatalf("op %d disagrees with bfunc at %b", ci, p)
+				}
+			}
+		}
+	}
+}
+
+func TestFromCEXMatchesPseudocube(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(5)
+		c := pcube.FromPoint(n, rng.Uint64()&bitvec.SpaceMask(n))
+		for c.Degree() < rng.Intn(n+1) {
+			nc := bitvec.SpaceMask(n) &^ c.Canon
+			var alpha uint64
+			for alpha == 0 {
+				alpha = rng.Uint64() & nc
+			}
+			c = pcube.Union(c, c.Transform(alpha))
+		}
+		m := New(n)
+		node := m.FromCEX(c)
+		if m.SatCount(node) != 1<<uint(c.Degree()) {
+			t.Fatalf("SatCount = %d, want 2^%d", m.SatCount(node), c.Degree())
+		}
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if m.Eval(node, p) != c.Contains(p) {
+				t.Fatalf("FromCEX disagrees at %b", p)
+			}
+		}
+	}
+}
+
+// TestSymbolicEquivalenceOfMinimizedForms verifies minimizer output
+// without enumeration: BDD(source) must be the identical node as
+// OR of BDD(term) over the minimized form.
+func TestSymbolicEquivalenceOfMinimizedForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(2)
+		fn := randomFunc(rng, n)
+		res, err := core.MinimizeExact(fn, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(n)
+		want := m.FromFunc(fn)
+		got := Const0
+		for _, term := range res.Form.Terms {
+			got = m.Or(got, m.FromCEX(term))
+		}
+		if got != want {
+			t.Fatalf("minimized form not symbolically equivalent to source")
+		}
+	}
+}
+
+func TestParityBDDSize(t *testing.T) {
+	// Parity has the classic linear-size BDD: 2 internal nodes per
+	// variable (minus shared terminals).
+	n := 10
+	m := New(n)
+	acc := Const0
+	for i := 0; i < n; i++ {
+		acc = m.Xor(acc, m.Var(i))
+	}
+	if m.SatCount(acc) != 1<<uint(n-1) {
+		t.Fatalf("parity SatCount wrong")
+	}
+	// Parity's diagram has exactly 2 internal nodes per level except
+	// the root level (1): 2n−1 nodes.
+	if got := m.NodeCount(acc); got != 2*n-1 {
+		t.Fatalf("parity BDD has %d reachable nodes, want %d", got, 2*n-1)
+	}
+}
+
+func TestVarRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3).Var(3)
+}
+
+func TestSatCountFullAndEmpty(t *testing.T) {
+	m := New(6)
+	if m.SatCount(Const1) != 64 || m.SatCount(Const0) != 0 {
+		t.Fatalf("terminal SatCounts wrong: %d %d",
+			m.SatCount(Const1), m.SatCount(Const0))
+	}
+}

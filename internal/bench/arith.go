@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+)
+
+// field extracts the unsigned integer in variables [lo, lo+width) of
+// point p over B^n, with the variable of smallest index as the most
+// significant bit (matching the display order of PLA files).
+func field(p uint64, n, lo, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		v = v<<1 | bitvec.Bit(p, n, lo+i)
+	}
+	return v
+}
+
+// outputsOf builds one bfunc per output of a word-valued circuit: out
+// returns a value whose bit (width-1-j) becomes output j (most
+// significant output first, like the sum of an adder listed carry
+// first).
+func outputsOf(n, width int, out func(p uint64) uint64) []*bfunc.Func {
+	fns := make([]*bfunc.Func, width)
+	for j := 0; j < width; j++ {
+		bit := uint(width - 1 - j)
+		fns[j] = bfunc.FromPredicate(n, func(p uint64) bool {
+			return out(p)>>bit&1 == 1
+		})
+	}
+	return fns
+}
+
+func buildAdder(name string, w int) *bfunc.Multi {
+	n := 2 * w
+	return bfunc.NewMulti(name, n, outputsOf(n, w+1, func(p uint64) uint64 {
+		return field(p, n, 0, w) + field(p, n, w, w)
+	}))
+}
+
+// buildCS8 reconstructs an 8-input carry-save-style adder slice: the
+// four ripple sum bits and the four internal carries of a 4+4-bit
+// addition, exposed as separate outputs (the paper uses single outputs
+// cs8(1) and cs8(2) in Table 2).
+func buildCS8() *bfunc.Multi {
+	const n = 8
+	return bfunc.NewMulti("cs8", n, outputsOf(n, 8, func(p uint64) uint64 {
+		a, b := field(p, n, 0, 4), field(p, n, 4, 4)
+		var carry, sums, carries uint64
+		for i := 0; i < 4; i++ { // i = bit position from LSB
+			ai, bi := a>>uint(i)&1, b>>uint(i)&1
+			s := ai ^ bi ^ carry
+			carry = ai&bi | ai&carry | bi&carry
+			sums |= s << uint(i)
+			carries |= carry << uint(i)
+		}
+		return sums<<4 | carries
+	}))
+}
+
+// buildLife implements Conway's game-of-life next-state rule over a 3×3
+// neighbourhood: 9 inputs (x4 is the centre cell), 1 output.
+func buildLife() *bfunc.Multi {
+	const n = 9
+	f := bfunc.FromPredicate(n, func(p uint64) bool {
+		alive := bitvec.Bit(p, n, 4) == 1
+		count := 0
+		for i := 0; i < n; i++ {
+			if i != 4 && bitvec.Bit(p, n, i) == 1 {
+				count++
+			}
+		}
+		return count == 3 || (alive && count == 2)
+	})
+	return bfunc.NewMulti("life", n, []*bfunc.Func{f})
+}
+
+func buildMlp4() *bfunc.Multi {
+	const n = 8
+	return bfunc.NewMulti("mlp4", n, outputsOf(n, 8, func(p uint64) uint64 {
+		return field(p, n, 0, 4) * field(p, n, 4, 4)
+	}))
+}
+
+// buildRoot computes the integer square root of the 8-bit input: four
+// value bits plus the parity of the remainder as the historical fifth
+// output.
+func buildRoot() *bfunc.Multi {
+	const n = 8
+	return bfunc.NewMulti("root", n, outputsOf(n, 5, func(p uint64) uint64 {
+		x := field(p, n, 0, 8)
+		s := uint64(0)
+		for (s+1)*(s+1) <= x {
+			s++
+		}
+		return s<<1 | (x-s*s)&1
+	}))
+}
+
+// buildDist computes the distance |a−b| between two 4-bit values, plus
+// the comparison bit a<b as the leading output.
+func buildDist() *bfunc.Multi {
+	const n = 8
+	return bfunc.NewMulti("dist", n, outputsOf(n, 5, func(p uint64) uint64 {
+		a, b := field(p, n, 0, 4), field(p, n, 4, 4)
+		if a < b {
+			return 1<<4 | (b - a)
+		}
+		return a - b
+	}))
+}
+
+// buildF51m is an arithmetic reconstruction with f51m's historical 8/8
+// dimensions: the 5-bit sum a+b and the 3-bit difference (a−b) mod 8.
+func buildF51m() *bfunc.Multi {
+	const n = 8
+	return bfunc.NewMulti("f51m", n, outputsOf(n, 8, func(p uint64) uint64 {
+		a, b := field(p, n, 0, 4), field(p, n, 4, 4)
+		return (a+b)<<3 | (a-b)&7
+	}))
+}
+
+func init() {
+	register(Info{Name: "adr4", Inputs: 8, Outputs: 5, Tier: 1,
+		Desc:  "4+4-bit adder (8in/5out), the paper's flagship SPP win (340→72 literals)",
+		build: func() *bfunc.Multi { return buildAdder("adr4", 4) }})
+	register(Info{Name: "radd", Inputs: 8, Outputs: 5, Tier: 1,
+		Desc:  "4+4-bit adder, historically identical results to adr4",
+		build: func() *bfunc.Multi { return buildAdder("radd", 4) }})
+	register(Info{Name: "add6", Inputs: 12, Outputs: 7, Tier: 1,
+		Desc:  "6+6-bit adder (12in/7out), Table 3 heuristic-only row",
+		build: func() *bfunc.Multi { return buildAdder("add6", 6) }})
+	register(Info{Name: "cs8", Inputs: 8, Outputs: 8, Tier: 1,
+		Desc:  "carry-save adder slice: ripple sums and internal carries",
+		build: buildCS8})
+	register(Info{Name: "life", Inputs: 9, Outputs: 1, Tier: 1,
+		Desc:  "Conway's life next-state rule (9in/1out)",
+		build: buildLife})
+	register(Info{Name: "mlp4", Inputs: 8, Outputs: 8, Tier: 1,
+		Desc:  "4×4-bit multiplier (8in/8out)",
+		build: buildMlp4})
+	register(Info{Name: "root", Inputs: 8, Outputs: 5, Tier: 1,
+		Desc:  "integer square root of an 8-bit value (8in/5out)",
+		build: buildRoot})
+	register(Info{Name: "dist", Inputs: 8, Outputs: 5, Tier: 1,
+		Desc:  "|a−b| of two 4-bit values plus compare bit (8in/5out)",
+		build: buildDist})
+	register(Info{Name: "f51m", Inputs: 8, Outputs: 8, Tier: 1,
+		Desc:  "sum and modular difference of two 4-bit values (8in/8out)",
+		build: buildF51m})
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestRegistryDimensions(t *testing.T) {
+	for _, name := range Names() {
+		info, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		m, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Inputs != info.Inputs || m.NOutputs() != info.Outputs {
+			t.Errorf("%s: got %d/%d, registered %d/%d",
+				name, m.Inputs, m.NOutputs(), info.Inputs, info.Outputs)
+		}
+		if info.Tier != 1 && info.Tier != 2 {
+			t.Errorf("%s: bad tier %d", name, info.Tier)
+		}
+		if info.Desc == "" {
+			t.Errorf("%s: missing description", name)
+		}
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	for _, name := range []string{"adr4", "addm4", "newtpla2", "dist"} {
+		a := MustLoad(name)
+		b := MustLoad(name)
+		for o := 0; o < a.NOutputs(); o++ {
+			if !a.Output(o).Equal(b.Output(o)) {
+				t.Errorf("%s output %d not deterministic", name, o)
+			}
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("nope"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("expected unknown-benchmark error, got %v", err)
+	}
+}
+
+func TestAdr4IsAnAdder(t *testing.T) {
+	m := MustLoad("adr4")
+	n := m.Inputs
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		a := field(p, n, 0, 4)
+		b := field(p, n, 4, 4)
+		sum := a + b
+		for o := 0; o < 5; o++ {
+			want := sum>>uint(4-o)&1 == 1
+			if m.Output(o).IsOn(p) != want {
+				t.Fatalf("adr4 output %d wrong at a=%d b=%d", o, a, b)
+			}
+		}
+	}
+	// adr4 and radd must be the same function.
+	r := MustLoad("radd")
+	for o := 0; o < 5; o++ {
+		if !m.Output(o).Equal(r.Output(o)) {
+			t.Fatalf("radd output %d differs from adr4", o)
+		}
+	}
+}
+
+func TestLifeRule(t *testing.T) {
+	m := MustLoad("life")
+	f := m.Output(0)
+	// Dead cell with exactly 3 neighbours is born: neighbours are all
+	// vars but x4.
+	p := bitvec.MaskOf(9, 0, 1, 2)
+	if !f.IsOn(p) {
+		t.Error("dead cell with 3 neighbours must live")
+	}
+	// Alive with 2 neighbours survives.
+	p = bitvec.MaskOf(9, 4, 0, 8)
+	if !f.IsOn(p) {
+		t.Error("alive cell with 2 neighbours must survive")
+	}
+	// Alive with 4 neighbours dies.
+	p = bitvec.MaskOf(9, 4, 0, 1, 2, 3)
+	if f.IsOn(p) {
+		t.Error("alive cell with 4 neighbours must die")
+	}
+	// Dead with 2 neighbours stays dead.
+	p = bitvec.MaskOf(9, 0, 1)
+	if f.IsOn(p) {
+		t.Error("dead cell with 2 neighbours must stay dead")
+	}
+}
+
+func TestMlp4Multiplies(t *testing.T) {
+	m := MustLoad("mlp4")
+	n := m.Inputs
+	for _, c := range []struct{ a, b uint64 }{{3, 5}, {15, 15}, {0, 7}, {9, 11}} {
+		p := c.a<<4 | c.b
+		prod := c.a * c.b
+		for o := 0; o < 8; o++ {
+			want := prod>>uint(7-o)&1 == 1
+			if m.Output(o).IsOn(p) != want {
+				t.Fatalf("mlp4 output %d wrong at %d*%d", o, c.a, c.b)
+			}
+		}
+	}
+	_ = n
+}
+
+func TestRootValues(t *testing.T) {
+	m := MustLoad("root")
+	for _, c := range []struct{ x, s uint64 }{{0, 0}, {1, 1}, {4, 2}, {15, 3}, {16, 4}, {255, 15}} {
+		for o := 0; o < 4; o++ {
+			want := c.s>>uint(3-o)&1 == 1
+			if m.Output(o).IsOn(c.x) != want {
+				t.Fatalf("root output %d wrong at x=%d (sqrt=%d)", o, c.x, c.s)
+			}
+		}
+	}
+}
+
+func TestDistValues(t *testing.T) {
+	m := MustLoad("dist")
+	// a=3 (0011), b=9 (1001): |a−b| = 6, a<b = 1.
+	p := uint64(3)<<4 | 9
+	if !m.Output(0).IsOn(p) {
+		t.Error("dist compare bit wrong")
+	}
+	for o, want := range []bool{false, true, true, false} { // 6 = 0110
+		if m.Output(1+o).IsOn(p) != want {
+			t.Errorf("dist magnitude bit %d wrong", o)
+		}
+	}
+}
+
+func TestCS8InternalCarries(t *testing.T) {
+	m := MustLoad("cs8")
+	// a=15, b=1: ripple sums 0000, carries 1111.
+	p := uint64(15)<<4 | 1
+	for o := 0; o < 4; o++ {
+		if m.Output(o).IsOn(p) {
+			t.Errorf("cs8 sum bit %d should be 0 for 15+1", o)
+		}
+	}
+	for o := 4; o < 8; o++ {
+		if !m.Output(o).IsOn(p) {
+			t.Errorf("cs8 carry bit %d should be 1 for 15+1", o)
+		}
+	}
+}
+
+func TestSyntheticDensityReasonable(t *testing.T) {
+	// Synthetic outputs should be neither empty nor near-constant; the
+	// minimizers need real work.
+	for _, name := range []string{"addm4", "m4", "max512", "p1", "prom2"} {
+		m := MustLoad(name)
+		for o := 0; o < m.NOutputs(); o++ {
+			f := m.Output(o)
+			total := 1 << uint(f.N())
+			if f.OnCount() == 0 {
+				t.Errorf("%s(%d): empty output", name, o)
+			}
+			if f.OnCount() > total*95/100 {
+				t.Errorf("%s(%d): near-constant output (%d/%d)", name, o, f.OnCount(), total)
+			}
+		}
+	}
+}
+
+func TestNewtpla2IsSparseCubeUnion(t *testing.T) {
+	m := MustLoad("newtpla2")
+	for o := 0; o < m.NOutputs(); o++ {
+		f := m.Output(o)
+		if c := f.OnCount(); c == 0 || c > 150 {
+			t.Errorf("newtpla2(%d): %d minterms, want a sparse cube union", o, c)
+		}
+	}
+}

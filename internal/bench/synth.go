@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+)
+
+// xorshift is a tiny deterministic PRNG (Marsaglia xorshift64*), used so
+// that the tier-2 synthetic benchmarks are reproducible across runs and
+// Go versions (math/rand's stream is not guaranteed stable).
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &xorshift{s: seed}
+}
+
+func (r *xorshift) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value in [0, n).
+func (r *xorshift) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// affineTerm generates the point set of a random pseudocube of the
+// given degree: a random RREF basis plus a random offset.
+func affineTerm(r *xorshift, n, degree int) []uint64 {
+	basis := bitvec.NewBasis(n)
+	for basis.Dim() < degree {
+		v := r.next() & bitvec.SpaceMask(n)
+		if v != 0 {
+			basis.Insert(v)
+		}
+	}
+	off := r.next() & bitvec.SpaceMask(n)
+	pts := basis.Span()
+	for i := range pts {
+		pts[i] ^= off
+	}
+	return pts
+}
+
+// cubeTerm generates the point set of a random cube binding n/2+{0,1}
+// variables (a fixed count, so no term can swamp the ON-set the way an
+// unconstrained random mask occasionally would).
+func cubeTerm(r *xorshift, n int) []uint64 {
+	bound := n/2 + r.intn(2)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	var care uint64
+	for _, v := range perm[:bound] {
+		care |= bitvec.VarMask(n, v)
+	}
+	val := r.next() & care
+	free := bitvec.SpaceMask(n) &^ care
+	var pts []uint64
+	sub := uint64(0)
+	for {
+		pts = append(pts, val|sub)
+		sub = (sub - free) & free
+		if sub == 0 {
+			break
+		}
+	}
+	return pts
+}
+
+// synthOutput builds one output as a union of `terms` random terms, a
+// mix of pseudocubes (xor-rich structure the SPP minimizer can exploit)
+// and cubes. affinePct is the percentage of terms drawn as pseudocubes
+// rather than plain cubes.
+func synthOutput(r *xorshift, n, terms, affinePct int) *bfunc.Func {
+	var on []uint64
+	for t := 0; t < terms; t++ {
+		// Terms cover 1/8 or 1/16 of the space (1/16 or 1/32 for wide
+		// inputs) so the union lands near the ~25-35% ON density of the
+		// paper's benchmarks; denser functions make EPPP generation
+		// blow up for every algorithm, matching the paper's starred
+		// (did-not-terminate) rows.
+		degree := n - 3 - r.intn(2)
+		if n >= 10 {
+			degree = n - 4 - r.intn(2)
+		}
+		if degree < 1 {
+			degree = 1
+		}
+		if r.intn(100) < affinePct {
+			on = append(on, affineTerm(r, n, degree)...)
+		} else {
+			on = append(on, cubeTerm(r, n)...)
+		}
+	}
+	return bfunc.New(n, on)
+}
+
+// synthetic registers a tier-2 benchmark generated as term unions with
+// the default 70% pseudocube / 30% cube term mix.
+func synthetic(name string, n, outs int, seed uint64, terms int, desc string) {
+	syntheticMix(name, n, outs, seed, terms, 70, desc)
+}
+
+// syntheticMix registers a tier-2 benchmark with an explicit pseudocube
+// percentage. Control-logic-like names (amd) use a cube-only mix: their
+// historical PLAs are sparse control tables, and an affine-rich mix at
+// 14 inputs makes even the paper's heuristic blow up, which is not the
+// shape Table 3 reports for them.
+func syntheticMix(name string, n, outs int, seed uint64, terms, affinePct int, desc string) {
+	register(Info{Name: name, Inputs: n, Outputs: outs, Tier: 2, Desc: desc,
+		build: func() *bfunc.Multi {
+			fns := make([]*bfunc.Func, outs)
+			for o := 0; o < outs; o++ {
+				r := newXorshift(seed + uint64(o)*0x9E3779B97F4A7C15)
+				fns[o] = synthOutput(r, n, terms, affinePct)
+			}
+			return bfunc.NewMulti(name, n, fns)
+		}})
+}
+
+func init() {
+	// Historical Espresso-suite dimensions; logic content synthesized
+	// (DESIGN.md §4). Seeds are arbitrary fixed constants.
+	synthetic("addm4", 9, 8, 0xadd4, 4, "synthetic, addm4's 9in/8out dimensions")
+	synthetic("m3", 8, 16, 0x33, 3, "synthetic, m3's 8in/16out dimensions")
+	synthetic("m4", 8, 16, 0x44, 3, "synthetic, m4's 8in/16out dimensions")
+	synthetic("max128", 7, 24, 0x128, 3, "synthetic, max128's 7in/24out dimensions")
+	synthetic("max512", 9, 6, 0x512, 3, "synthetic, max512's 9in/6out dimensions")
+	synthetic("max1024", 10, 6, 0x1024, 3, "synthetic, max1024's 10in/6out dimensions")
+	synthetic("ex5", 8, 63, 0xe5, 3, "synthetic, ex5's 8in/63out dimensions")
+	synthetic("exps", 8, 38, 0xe75, 3, "synthetic, exps's 8in/38out dimensions")
+	synthetic("p1", 8, 18, 0x91, 3, "synthetic, p1's 8in/18out dimensions")
+	synthetic("prom1", 9, 40, 0x9701, 3, "synthetic ROM, prom1's 9in/40out dimensions")
+	synthetic("prom2", 9, 21, 0x9702, 4, "synthetic ROM, prom2's 9in/21out dimensions")
+	synthetic("newcond", 11, 2, 0xc0d, 3, "synthetic, newcond's 11in/2out dimensions")
+	synthetic("test1", 8, 10, 0x7e57, 3, "synthetic, test1's 8in/10out dimensions")
+	synthetic("lin.rom", 7, 36, 0x117, 3, "synthetic ROM, lin.rom's 7in/36out dimensions")
+	synthetic("risc", 8, 31, 0x815c, 3, "synthetic, risc's 8in/31out dimensions")
+	syntheticMix("amd", 14, 24, 0xa3d, 16, 0, "synthetic control PLA, amd's 14in/24out dimensions")
+	synthetic("alu", 12, 8, 0xa1f, 4, "synthetic, an ALU-sized 12in/8out function")
+
+	// newtpla2: a few cubes with pairwise different care masks — no two
+	// share a structure, so no union saves literals and SPP ≈ SP,
+	// reproducing the historical worst case (paper Table 1: 74 literals
+	// both ways, ~5 literals per product). Scattered single minterms
+	// would NOT reproduce it: any two points of B^n pair into a
+	// degree-1 pseudocube with fewer literals than the two minterm
+	// products.
+	syntheticMix("newtpla2", 10, 4, 0x2714, 4, 0,
+		"mask-disjoint cubes: the SPP = SP worst case of Table 1")
+}

@@ -1,0 +1,204 @@
+// Package bfunc represents single- and multi-output Boolean functions as
+// explicit minterm sets, with ON/DC (don't care) semantics matching the
+// Espresso PLA conventions used by the DAC'01 SPP paper's benchmarks.
+//
+// Points are packed uint64 values using the bitvec convention (x_0 most
+// significant). A Func is immutable after construction; all accessors
+// return shared slices that must not be modified by callers.
+package bfunc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// Func is a single-output incompletely specified Boolean function over
+// B^n: an ON-set and an optional DC-set (disjoint from ON). Points not
+// in either set are OFF.
+type Func struct {
+	n  int
+	on []uint64 // sorted, unique
+	dc []uint64 // sorted, unique, disjoint from on
+}
+
+// New builds a function from its ON-set minterms (duplicates allowed).
+func New(n int, on []uint64) *Func {
+	return NewDC(n, on, nil)
+}
+
+// NewDC builds a function from ON and DC minterm sets. DC points that
+// also appear in ON are treated as ON.
+func NewDC(n int, on, dc []uint64) *Func {
+	if n < 1 || n > bitvec.MaxVars {
+		panic(fmt.Sprintf("bfunc: invalid variable count %d", n))
+	}
+	f := &Func{n: n, on: dedupSorted(n, on)}
+	if len(dc) > 0 {
+		d := dedupSorted(n, dc)
+		// Remove ON points from DC.
+		kept := d[:0]
+		for _, p := range d {
+			if !f.IsOn(p) {
+				kept = append(kept, p)
+			}
+		}
+		f.dc = kept
+	}
+	return f
+}
+
+// FromTruthTable builds a completely specified function from a table of
+// 2^n booleans indexed by packed point value.
+func FromTruthTable(n int, tt []bool) *Func {
+	if len(tt) != 1<<uint(n) {
+		panic(fmt.Sprintf("bfunc: truth table length %d != 2^%d", len(tt), n))
+	}
+	var on []uint64
+	for p, v := range tt {
+		if v {
+			on = append(on, uint64(p))
+		}
+	}
+	return New(n, on)
+}
+
+// FromPredicate builds a completely specified function by evaluating
+// pred on every point of B^n. Intended for benchmark construction; n
+// should be modest (≤ ~22).
+func FromPredicate(n int, pred func(p uint64) bool) *Func {
+	var on []uint64
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		if pred(p) {
+			on = append(on, p)
+		}
+	}
+	return New(n, on)
+}
+
+func dedupSorted(n int, pts []uint64) []uint64 {
+	if len(pts) == 0 {
+		return nil
+	}
+	mask := bitvec.SpaceMask(n)
+	out := make([]uint64, len(pts))
+	copy(out, pts)
+	for i, p := range out {
+		if p&^mask != 0 {
+			panic(fmt.Sprintf("bfunc: point %x outside B^%d", p, n))
+		}
+		out[i] = p
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// N returns the number of input variables.
+func (f *Func) N() int { return f.n }
+
+// On returns the sorted ON-set (shared; do not modify).
+func (f *Func) On() []uint64 { return f.on }
+
+// DC returns the sorted DC-set (shared; do not modify).
+func (f *Func) DC() []uint64 { return f.dc }
+
+// Care returns ON ∪ DC as a fresh sorted slice: the set over which
+// implicants and pseudoproducts may lie.
+func (f *Func) Care() []uint64 {
+	if len(f.dc) == 0 {
+		return append([]uint64(nil), f.on...)
+	}
+	out := make([]uint64, 0, len(f.on)+len(f.dc))
+	i, j := 0, 0
+	for i < len(f.on) && j < len(f.dc) {
+		if f.on[i] < f.dc[j] {
+			out = append(out, f.on[i])
+			i++
+		} else {
+			out = append(out, f.dc[j])
+			j++
+		}
+	}
+	out = append(out, f.on[i:]...)
+	out = append(out, f.dc[j:]...)
+	return out
+}
+
+// OnCount returns |ON|.
+func (f *Func) OnCount() int { return len(f.on) }
+
+// IsOn reports whether p is in the ON-set.
+func (f *Func) IsOn(p uint64) bool { return member(f.on, p) }
+
+// IsDC reports whether p is in the DC-set.
+func (f *Func) IsDC(p uint64) bool { return member(f.dc, p) }
+
+// IsCare reports whether p is ON or DC.
+func (f *Func) IsCare(p uint64) bool { return f.IsOn(p) || f.IsDC(p) }
+
+func member(s []uint64, p uint64) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	return i < len(s) && s[i] == p
+}
+
+// IsConstantOne reports whether every point of B^n is ON or DC and at
+// least one point is ON.
+func (f *Func) IsConstantOne() bool {
+	return len(f.on) > 0 && len(f.on)+len(f.dc) == 1<<uint(f.n)
+}
+
+// Equal reports whether g has the same n, ON and DC sets.
+func (f *Func) Equal(g *Func) bool {
+	if f.n != g.n || len(f.on) != len(g.on) || len(f.dc) != len(g.dc) {
+		return false
+	}
+	for i := range f.on {
+		if f.on[i] != g.on[i] {
+			return false
+		}
+	}
+	for i := range f.dc {
+		if f.dc[i] != g.dc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the function.
+func (f *Func) String() string {
+	return fmt.Sprintf("bfunc(n=%d, |on|=%d, |dc|=%d)", f.n, len(f.on), len(f.dc))
+}
+
+// Multi is a multi-output Boolean function: a shared input space and one
+// Func per output. The DAC'01 paper minimizes each output separately;
+// Multi is the container the harness iterates over.
+type Multi struct {
+	Name    string
+	Inputs  int
+	Outputs []*Func
+}
+
+// NewMulti builds a multi-output function, checking input consistency.
+func NewMulti(name string, inputs int, outputs []*Func) *Multi {
+	for i, o := range outputs {
+		if o.N() != inputs {
+			panic(fmt.Sprintf("bfunc: output %d has %d inputs, want %d", i, o.N(), inputs))
+		}
+	}
+	return &Multi{Name: name, Inputs: inputs, Outputs: outputs}
+}
+
+// NOutputs returns the number of outputs.
+func (m *Multi) NOutputs() int { return len(m.Outputs) }
+
+// Output returns output i.
+func (m *Multi) Output(i int) *Func { return m.Outputs[i] }

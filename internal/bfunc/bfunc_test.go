@@ -1,0 +1,146 @@
+package bfunc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDedup(t *testing.T) {
+	f := New(4, []uint64{3, 1, 3, 7, 1})
+	if f.OnCount() != 3 {
+		t.Fatalf("OnCount = %d, want 3", f.OnCount())
+	}
+	on := f.On()
+	if !sort.SliceIsSorted(on, func(i, j int) bool { return on[i] < on[j] }) {
+		t.Fatalf("ON not sorted: %v", on)
+	}
+}
+
+func TestNewDCDisjoint(t *testing.T) {
+	f := NewDC(4, []uint64{1, 2}, []uint64{2, 3, 3})
+	if !f.IsOn(2) {
+		t.Fatalf("2 should be ON")
+	}
+	if f.IsDC(2) {
+		t.Fatalf("2 should not be DC (it is ON)")
+	}
+	if !f.IsDC(3) {
+		t.Fatalf("3 should be DC")
+	}
+	care := f.Care()
+	want := []uint64{1, 2, 3}
+	if len(care) != len(want) {
+		t.Fatalf("Care = %v", care)
+	}
+	for i := range want {
+		if care[i] != want[i] {
+			t.Fatalf("Care = %v, want %v", care, want)
+		}
+	}
+}
+
+func TestFromTruthTable(t *testing.T) {
+	tt := []bool{false, true, true, false} // XOR of two vars
+	f := FromTruthTable(2, tt)
+	if f.OnCount() != 2 || !f.IsOn(1) || !f.IsOn(2) {
+		t.Fatalf("truth table parse wrong: %v", f.On())
+	}
+}
+
+func TestFromPredicate(t *testing.T) {
+	f := FromPredicate(3, func(p uint64) bool { return p%2 == 0 })
+	if f.OnCount() != 4 {
+		t.Fatalf("OnCount = %d", f.OnCount())
+	}
+}
+
+func TestIsConstantOne(t *testing.T) {
+	if !New(2, []uint64{0, 1, 2, 3}).IsConstantOne() {
+		t.Fatal("full ON should be constant one")
+	}
+	if !NewDC(2, []uint64{0}, []uint64{1, 2, 3}).IsConstantOne() {
+		t.Fatal("ON+DC covering space should be constant one")
+	}
+	if New(2, []uint64{0, 1}).IsConstantOne() {
+		t.Fatal("partial function is not constant one")
+	}
+	if NewDC(2, nil, []uint64{0, 1, 2, 3}).IsConstantOne() {
+		t.Fatal("all-DC function has empty ON")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewDC(3, []uint64{1, 2}, []uint64{4})
+	b := NewDC(3, []uint64{2, 1}, []uint64{4})
+	c := NewDC(3, []uint64{1, 2}, nil)
+	if !a.Equal(b) {
+		t.Fatal("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Fatal("a should differ from c")
+	}
+}
+
+func TestCareMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		var on, dc []uint64
+		for i := 0; i < 20; i++ {
+			on = append(on, uint64(rng.Intn(64)))
+			dc = append(dc, uint64(rng.Intn(64)))
+		}
+		fn := NewDC(n, on, dc)
+		care := fn.Care()
+		if !sort.SliceIsSorted(care, func(i, j int) bool { return care[i] < care[j] }) {
+			return false
+		}
+		for i := 1; i < len(care); i++ {
+			if care[i] == care[i-1] {
+				return false
+			}
+		}
+		for _, p := range care {
+			if !fn.IsCare(p) {
+				return false
+			}
+		}
+		for p := uint64(0); p < 64; p++ {
+			if fn.IsCare(p) {
+				found := false
+				for _, c := range care {
+					if c == p {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range point")
+		}
+	}()
+	New(2, []uint64{4})
+}
+
+func TestMultiChecksInputs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched inputs")
+		}
+	}()
+	NewMulti("bad", 3, []*Func{New(2, nil)})
+}

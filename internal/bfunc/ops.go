@@ -1,0 +1,187 @@
+package bfunc
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// This file provides the function algebra used by tooling around the
+// minimizers: pointwise combinators, Shannon cofactors, and structural
+// predicates. Combinators require completely specified operands (no DC
+// set) because pointwise semantics of don't-cares are ambiguous; the
+// minimizers themselves handle DC via the care-set discipline instead.
+
+func requireSpecified(op string, fs ...*Func) {
+	for _, f := range fs {
+		if len(f.dc) > 0 {
+			panic(fmt.Sprintf("bfunc: %s requires completely specified operands", op))
+		}
+	}
+}
+
+func requireSameSpace(op string, f, g *Func) {
+	if f.n != g.n {
+		panic(fmt.Sprintf("bfunc: %s operands over B^%d and B^%d", op, f.n, g.n))
+	}
+}
+
+// Not returns the pointwise complement of a completely specified f.
+func (f *Func) Not() *Func {
+	requireSpecified("Not", f)
+	var on []uint64
+	for p := uint64(0); p < 1<<uint(f.n); p++ {
+		if !f.IsOn(p) {
+			on = append(on, p)
+		}
+	}
+	return New(f.n, on)
+}
+
+// And returns f ∧ g (both completely specified, same space).
+func (f *Func) And(g *Func) *Func {
+	requireSpecified("And", f, g)
+	requireSameSpace("And", f, g)
+	var on []uint64
+	i, j := 0, 0
+	for i < len(f.on) && j < len(g.on) {
+		switch {
+		case f.on[i] < g.on[j]:
+			i++
+		case f.on[i] > g.on[j]:
+			j++
+		default:
+			on = append(on, f.on[i])
+			i++
+			j++
+		}
+	}
+	return New(f.n, on)
+}
+
+// Or returns f ∨ g.
+func (f *Func) Or(g *Func) *Func {
+	requireSpecified("Or", f, g)
+	requireSameSpace("Or", f, g)
+	on := make([]uint64, 0, len(f.on)+len(g.on))
+	on = append(on, f.on...)
+	on = append(on, g.on...)
+	return New(f.n, on)
+}
+
+// Xor returns f ⊕ g.
+func (f *Func) Xor(g *Func) *Func {
+	requireSpecified("Xor", f, g)
+	requireSameSpace("Xor", f, g)
+	var on []uint64
+	i, j := 0, 0
+	for i < len(f.on) || j < len(g.on) {
+		switch {
+		case j >= len(g.on) || (i < len(f.on) && f.on[i] < g.on[j]):
+			on = append(on, f.on[i])
+			i++
+		case i >= len(f.on) || g.on[j] < f.on[i]:
+			on = append(on, g.on[j])
+			j++
+		default: // equal: cancels
+			i++
+			j++
+		}
+	}
+	return New(f.n, on)
+}
+
+// Cofactor returns the Shannon cofactor f|_{x_i = v}: a function over
+// the same B^n whose value is independent of x_i. Points are kept in
+// the full space (x_i forced to v in every retained minterm) so
+// cofactors compose with the other operations without reindexing. DC
+// points restrict along with ON points.
+func (f *Func) Cofactor(i int, v uint64) *Func {
+	if i < 0 || i >= f.n {
+		panic(fmt.Sprintf("bfunc: cofactor variable x%d out of range", i))
+	}
+	mask := bitvec.VarMask(f.n, i)
+	keepOrMove := func(pts []uint64) []uint64 {
+		var out []uint64
+		for _, p := range pts {
+			if bitvec.Bit(p, f.n, i) == v&1 {
+				out = append(out, p)
+				out = append(out, p^mask)
+			}
+		}
+		return out
+	}
+	return NewDC(f.n, keepOrMove(f.on), keepOrMove(f.dc))
+}
+
+// DependsOn reports whether the completely specified f depends on x_i:
+// whether the two cofactors differ.
+func (f *Func) DependsOn(i int) bool {
+	requireSpecified("DependsOn", f)
+	mask := bitvec.VarMask(f.n, i)
+	for _, p := range f.on {
+		if !f.IsOn(p ^ mask) {
+			return true
+		}
+	}
+	return false
+}
+
+// Support returns the variables the completely specified f depends on.
+func (f *Func) Support() []int {
+	var vars []int
+	for i := 0; i < f.n; i++ {
+		if f.DependsOn(i) {
+			vars = append(vars, i)
+		}
+	}
+	return vars
+}
+
+// SymmetricIn reports whether the completely specified f is invariant
+// under swapping x_i and x_j.
+func (f *Func) SymmetricIn(i, j int) bool {
+	requireSpecified("SymmetricIn", f)
+	mi, mj := bitvec.VarMask(f.n, i), bitvec.VarMask(f.n, j)
+	for _, p := range f.on {
+		bi, bj := p&mi != 0, p&mj != 0
+		if bi != bj {
+			swapped := p ^ mi ^ mj
+			if !f.IsOn(swapped) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsParityLike reports whether f equals an affine function of its
+// inputs (a single EXOR factor, possibly complemented): the class on
+// which SPP forms maximally beat SP forms. It returns the factor's
+// variable mask and complement when true.
+func (f *Func) IsParityLike() (vars uint64, comp bool, ok bool) {
+	requireSpecified("IsParityLike", f)
+	total := uint64(1) << uint(f.n)
+	if len(f.on) == 0 || uint64(len(f.on)) != total/2 {
+		return 0, false, false
+	}
+	// Candidate linear part: x_i participates iff flipping it at the
+	// witness point changes membership.
+	for i := 0; i < f.n; i++ {
+		m := bitvec.VarMask(f.n, i)
+		if !f.IsOn(f.on[0] ^ m) {
+			vars |= m
+		}
+	}
+	comp = bitvec.Parity(f.on[0]&vars) == 0
+	for p := uint64(0); p < total; p++ {
+		val := bitvec.Parity(p&vars) == 1
+		if comp {
+			val = !val
+		}
+		if val != f.IsOn(p) {
+			return 0, false, false
+		}
+	}
+	return vars, comp, true
+}

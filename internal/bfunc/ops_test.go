@@ -1,0 +1,201 @@
+package bfunc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func randomSpecified(rng *rand.Rand, n int) *Func {
+	var on []uint64
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		if rng.Intn(2) == 0 {
+			on = append(on, p)
+		}
+	}
+	return New(n, on)
+}
+
+func TestPointwiseOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		a := randomSpecified(rng, n)
+		b := randomSpecified(rng, n)
+		not := a.Not()
+		and := a.And(b)
+		or := a.Or(b)
+		xor := a.Xor(b)
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			av, bv := a.IsOn(p), b.IsOn(p)
+			if not.IsOn(p) != !av {
+				return false
+			}
+			if and.IsOn(p) != (av && bv) {
+				return false
+			}
+			if or.IsOn(p) != (av || bv) {
+				return false
+			}
+			if xor.IsOn(p) != (av != bv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorganLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 4
+		a := randomSpecified(rng, n)
+		b := randomSpecified(rng, n)
+		lhs := a.And(b).Not()
+		rhs := a.Not().Or(b.Not())
+		if !lhs.Equal(rhs) {
+			t.Fatal("De Morgan violated")
+		}
+	}
+}
+
+func TestOpsRejectDC(t *testing.T) {
+	f := NewDC(3, []uint64{1}, []uint64{2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on DC operand")
+		}
+	}()
+	f.Not()
+}
+
+func TestOpsRejectMismatchedSpaces(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on space mismatch")
+		}
+	}()
+	New(3, nil).And(New(4, nil))
+}
+
+func TestCofactorShannon(t *testing.T) {
+	// Shannon expansion: f = x_i·f|1 ∨ x̄_i·f|0, verified pointwise.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 4
+		f := randomSpecified(rng, n)
+		i := rng.Intn(n)
+		c0 := f.Cofactor(i, 0)
+		c1 := f.Cofactor(i, 1)
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			var want bool
+			if bitvec.Bit(p, n, i) == 1 {
+				want = c1.IsOn(p)
+			} else {
+				want = c0.IsOn(p)
+			}
+			if f.IsOn(p) != want {
+				t.Fatalf("Shannon expansion broken at %b (var %d)", p, i)
+			}
+			// Cofactors are independent of x_i.
+			m := bitvec.VarMask(n, i)
+			if c0.IsOn(p) != c0.IsOn(p^m) || c1.IsOn(p) != c1.IsOn(p^m) {
+				t.Fatalf("cofactor depends on restricted variable")
+			}
+		}
+	}
+}
+
+func TestCofactorKeepsDC(t *testing.T) {
+	f := NewDC(3, []uint64{0b100}, []uint64{0b101})
+	c := f.Cofactor(0, 1)
+	if !c.IsOn(0b100) || !c.IsOn(0b000) {
+		t.Fatal("cofactor ON set wrong")
+	}
+	if !c.IsDC(0b101) || !c.IsDC(0b001) {
+		t.Fatal("cofactor DC set wrong")
+	}
+}
+
+func TestDependsOnSupport(t *testing.T) {
+	// f = x0 ⊕ x2 over B^4.
+	f := FromPredicate(4, func(p uint64) bool {
+		return (bitvec.Bit(p, 4, 0) ^ bitvec.Bit(p, 4, 2)) == 1
+	})
+	sup := f.Support()
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 2 {
+		t.Fatalf("Support = %v", sup)
+	}
+	if f.DependsOn(1) || f.DependsOn(3) {
+		t.Fatal("false dependency")
+	}
+	if !f.DependsOn(0) || !f.DependsOn(2) {
+		t.Fatal("missing dependency")
+	}
+}
+
+func TestSymmetricIn(t *testing.T) {
+	// Majority of 3 is totally symmetric.
+	maj := FromPredicate(3, func(p uint64) bool {
+		c := 0
+		for i := 0; i < 3; i++ {
+			c += int(bitvec.Bit(p, 3, i))
+		}
+		return c >= 2
+	})
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if !maj.SymmetricIn(i, j) {
+				t.Fatalf("majority not symmetric in %d,%d", i, j)
+			}
+		}
+	}
+	// f = x0·x̄1 is not symmetric in (0,1).
+	f := FromPredicate(2, func(p uint64) bool {
+		return bitvec.Bit(p, 2, 0) == 1 && bitvec.Bit(p, 2, 1) == 0
+	})
+	if f.SymmetricIn(0, 1) {
+		t.Fatal("asymmetric function reported symmetric")
+	}
+}
+
+func TestIsParityLike(t *testing.T) {
+	// x0 ⊕ x2 ⊕ x3 complemented and not.
+	for _, comp := range []bool{false, true} {
+		f := FromPredicate(4, func(p uint64) bool {
+			v := bitvec.Parity(p&bitvec.MaskOf(4, 0, 2, 3)) == 1
+			if comp {
+				v = !v
+			}
+			return v
+		})
+		vars, gotComp, ok := f.IsParityLike()
+		if !ok {
+			t.Fatalf("parity not recognized (comp=%v)", comp)
+		}
+		if vars != bitvec.MaskOf(4, 0, 2, 3) || gotComp != comp {
+			t.Fatalf("vars=%04b comp=%v, want x0,x2,x3 comp=%v", vars, gotComp, comp)
+		}
+	}
+	// Majority is not parity-like.
+	maj := FromPredicate(3, func(p uint64) bool {
+		c := 0
+		for i := 0; i < 3; i++ {
+			c += int(bitvec.Bit(p, 3, i))
+		}
+		return c >= 2
+	})
+	if _, _, ok := maj.IsParityLike(); ok {
+		t.Fatal("majority misclassified as parity")
+	}
+	// AND has the wrong ON count.
+	and := FromPredicate(2, func(p uint64) bool { return p == 3 })
+	if _, _, ok := and.IsParityLike(); ok {
+		t.Fatal("AND misclassified as parity")
+	}
+}

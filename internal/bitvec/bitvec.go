@@ -1,0 +1,266 @@
+// Package bitvec provides the GF(2) substrate used throughout the SPP
+// minimizer: parity and popcount helpers on variable masks, Gaussian
+// elimination and reduced row echelon form over uint64 row vectors, and
+// the "normal vector" predicates of Luccio–Pagli canonical matrices.
+//
+// A point of the Boolean space B^n is packed into a uint64 with variable
+// x_0 stored in the MOST significant of the n used bits: bit (n-1-i)
+// holds x_i. This matches the paper's convention that rows of a
+// canonical matrix, "interpreted as binary numbers", are sorted
+// increasingly with column c_0 leftmost. All code converts through
+// Bit/SetBit so the packing is defined in exactly one place.
+package bitvec
+
+import (
+	"math/bits"
+)
+
+// MaxVars is the largest number of Boolean variables supported by the
+// uint64 packing. Practical minimization instances use n ≤ 20.
+const MaxVars = 64
+
+// Bit reports the value of variable x_i in point p of B^n.
+func Bit(p uint64, n, i int) uint64 {
+	return (p >> uint(n-1-i)) & 1
+}
+
+// SetBit returns p with variable x_i set to v (0 or 1) in B^n.
+func SetBit(p uint64, n, i int, v uint64) uint64 {
+	mask := uint64(1) << uint(n-1-i)
+	if v&1 == 1 {
+		return p | mask
+	}
+	return p &^ mask
+}
+
+// VarMask returns the mask with only variable x_i set in B^n.
+func VarMask(n, i int) uint64 {
+	return 1 << uint(n-1-i)
+}
+
+// SpaceMask returns the mask covering all n variables.
+func SpaceMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// Parity returns the XOR of all bits of v (0 or 1).
+func Parity(v uint64) uint64 {
+	return uint64(bits.OnesCount64(v) & 1)
+}
+
+// OnesCount returns the number of set bits of v.
+func OnesCount(v uint64) int {
+	return bits.OnesCount64(v)
+}
+
+// LowestVar returns the index of the set variable with the smallest
+// variable index in mask (i.e. the most significant set bit under the
+// packing), or -1 if mask is zero.
+func LowestVar(mask uint64, n int) int {
+	if mask == 0 {
+		return -1
+	}
+	return n - bits.Len64(mask)
+}
+
+// Vars lists the variable indices set in mask, in increasing order.
+func Vars(mask uint64, n int) []int {
+	vs := make([]int, 0, bits.OnesCount64(mask))
+	for i := 0; i < n; i++ {
+		if Bit(mask, n, i) == 1 {
+			vs = append(vs, i)
+		}
+	}
+	return vs
+}
+
+// MaskOf builds a mask from a list of variable indices.
+func MaskOf(n int, vars ...int) uint64 {
+	var m uint64
+	for _, v := range vars {
+		m |= VarMask(n, v)
+	}
+	return m
+}
+
+// Basis is a reduced basis of a linear subspace of GF(2)^n: rows in
+// reduced row echelon form with strictly decreasing leading bits under
+// the packing (i.e. strictly increasing pivot variable indices). The
+// zero-length basis represents the trivial subspace {0}.
+type Basis struct {
+	n    int
+	rows []uint64 // RREF rows, pivot variable index increasing
+	piv  []int    // pivot variable index of each row
+}
+
+// NewBasis returns an empty basis over B^n.
+func NewBasis(n int) *Basis {
+	return &Basis{n: n}
+}
+
+// N returns the dimension of the ambient space.
+func (b *Basis) N() int { return b.n }
+
+// Dim returns the dimension of the spanned subspace.
+func (b *Basis) Dim() int { return len(b.rows) }
+
+// Rows returns the RREF rows (shared slice; callers must not modify).
+func (b *Basis) Rows() []uint64 { return b.rows }
+
+// Pivots returns the pivot variable indices, increasing (shared slice).
+func (b *Basis) Pivots() []int { return b.piv }
+
+// PivotMask returns the mask of pivot (canonical) variables.
+func (b *Basis) PivotMask() uint64 {
+	var m uint64
+	for _, p := range b.piv {
+		m |= VarMask(b.n, p)
+	}
+	return m
+}
+
+// Reduce returns v reduced against the basis: every pivot variable of
+// the basis is eliminated from v. The result is zero iff v ∈ span(b).
+func (b *Basis) Reduce(v uint64) uint64 {
+	for i, r := range b.rows {
+		if Bit(v, b.n, b.piv[i]) == 1 {
+			v ^= r
+		}
+	}
+	return v
+}
+
+// Contains reports whether v lies in the spanned subspace.
+func (b *Basis) Contains(v uint64) bool { return b.Reduce(v) == 0 }
+
+// Insert adds v to the basis if it is independent of the current rows,
+// maintaining RREF, and reports whether the dimension grew.
+func (b *Basis) Insert(v uint64) bool {
+	v = b.Reduce(v)
+	if v == 0 {
+		return false
+	}
+	// Pivot of v: its lowest-index (leftmost) variable.
+	pv := b.n - bits.Len64(v) // bits.Len64(v)-1 is bit position; var = n-1-pos
+	// Back-substitute v into existing rows so RREF is maintained.
+	for i, r := range b.rows {
+		if Bit(r, b.n, pv) == 1 {
+			b.rows[i] = r ^ v
+		}
+	}
+	// Insert keeping pivot order increasing.
+	at := len(b.rows)
+	for i, p := range b.piv {
+		if pv < p {
+			at = i
+			break
+		}
+	}
+	b.rows = append(b.rows, 0)
+	copy(b.rows[at+1:], b.rows[at:])
+	b.rows[at] = v
+	b.piv = append(b.piv, 0)
+	copy(b.piv[at+1:], b.piv[at:])
+	b.piv[at] = pv
+	return true
+}
+
+// Clone returns an independent copy of the basis.
+func (b *Basis) Clone() *Basis {
+	nb := &Basis{n: b.n}
+	nb.rows = append([]uint64(nil), b.rows...)
+	nb.piv = append([]int(nil), b.piv...)
+	return nb
+}
+
+// Span enumerates all 2^dim elements of the spanned subspace, in an
+// order where element i is the XOR of the rows selected by the bits of
+// i. The caller owns the returned slice.
+func (b *Basis) Span() []uint64 {
+	out := make([]uint64, 1, 1<<uint(len(b.rows)))
+	out[0] = 0
+	for _, r := range b.rows {
+		for _, v := range out[:len(out):len(out)] {
+			out = append(out, v^r)
+		}
+	}
+	return out
+}
+
+// BasisOf builds the RREF basis of the span of the given vectors.
+func BasisOf(n int, vecs []uint64) *Basis {
+	b := NewBasis(n)
+	for _, v := range vecs {
+		b.Insert(v)
+	}
+	return b
+}
+
+// Rank returns the GF(2) rank of the given vectors over B^n.
+func Rank(n int, vecs []uint64) int {
+	return BasisOf(n, vecs).Dim()
+}
+
+// IsNormal reports whether the column vector u (given as u[0..len-1],
+// values 0/1) is normal in the Luccio–Pagli sense: len(u) = 2^m and
+// either m = 0, or u = v v' where v is normal and v' is v or its
+// elementwise complement.
+func IsNormal(u []uint64) bool {
+	l := len(u)
+	if l == 0 || l&(l-1) != 0 {
+		return false
+	}
+	for _, x := range u {
+		if x > 1 {
+			return false
+		}
+	}
+	for l > 1 {
+		half := l / 2
+		eq, ne := true, true
+		for i := 0; i < half; i++ {
+			if u[i] == u[half+i] {
+				ne = false
+			} else {
+				eq = false
+			}
+		}
+		if !eq && !ne {
+			return false
+		}
+		l = half
+	}
+	return true
+}
+
+// IsKCanonical reports whether the normal vector u of length 2^m is
+// k-canonical: u = v_0 … v_{2^{m-k}-1} with v_i = 0…0 for even i and
+// 1…1 for odd i, each block of length 2^k.
+func IsKCanonical(u []uint64, k int) bool {
+	l := len(u)
+	if l == 0 || l&(l-1) != 0 {
+		return false
+	}
+	block := 1 << uint(k)
+	if block > l {
+		return false
+	}
+	for i, x := range u {
+		want := uint64((i / block) & 1)
+		if x != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Log2 returns m for v = 2^m, or -1 if v is not a power of two.
+func Log2(v int) int {
+	if v <= 0 || v&(v-1) != 0 {
+		return -1
+	}
+	return bits.TrailingZeros(uint(v))
+}

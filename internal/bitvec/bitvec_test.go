@@ -1,0 +1,281 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBitRoundTrip(t *testing.T) {
+	n := 11
+	p := uint64(0)
+	for i := 0; i < n; i++ {
+		p = SetBit(p, n, i, uint64(i%2))
+	}
+	for i := 0; i < n; i++ {
+		if got := Bit(p, n, i); got != uint64(i%2) {
+			t.Fatalf("Bit(%d) = %d, want %d", i, got, i%2)
+		}
+	}
+	// Clearing works too.
+	p = SetBit(p, n, 1, 0)
+	if Bit(p, n, 1) != 0 {
+		t.Fatalf("SetBit clear failed")
+	}
+}
+
+func TestPackingConvention(t *testing.T) {
+	// x_0 is the most significant of the n bits: point with only x_0
+	// set must be the largest single-variable point.
+	n := 6
+	if VarMask(n, 0) != 1<<5 {
+		t.Fatalf("VarMask(6,0) = %b", VarMask(n, 0))
+	}
+	if VarMask(n, 5) != 1 {
+		t.Fatalf("VarMask(6,5) = %b", VarMask(n, 5))
+	}
+}
+
+func TestVarsMaskOf(t *testing.T) {
+	n := 9
+	m := MaskOf(n, 0, 3, 8)
+	vs := Vars(m, n)
+	if len(vs) != 3 || vs[0] != 0 || vs[1] != 3 || vs[2] != 8 {
+		t.Fatalf("Vars = %v", vs)
+	}
+	if LowestVar(m, n) != 0 {
+		t.Fatalf("LowestVar = %d", LowestVar(m, n))
+	}
+	if LowestVar(MaskOf(n, 4, 7), n) != 4 {
+		t.Fatalf("LowestVar = %d", LowestVar(MaskOf(n, 4, 7), n))
+	}
+	if LowestVar(0, n) != -1 {
+		t.Fatalf("LowestVar(0) = %d", LowestVar(0, n))
+	}
+}
+
+func TestParity(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want uint64
+	}{{0, 0}, {1, 1}, {3, 0}, {7, 1}, {0xFF, 0}, {0x8000000000000001, 0}}
+	for _, c := range cases {
+		if got := Parity(c.v); got != c.want {
+			t.Errorf("Parity(%x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSpaceMask(t *testing.T) {
+	if SpaceMask(3) != 7 {
+		t.Fatalf("SpaceMask(3) = %d", SpaceMask(3))
+	}
+	if SpaceMask(64) != ^uint64(0) {
+		t.Fatalf("SpaceMask(64) wrong")
+	}
+}
+
+func TestBasisInsertRankSpan(t *testing.T) {
+	n := 8
+	b := NewBasis(n)
+	v1 := MaskOf(n, 0, 3, 5)
+	v2 := MaskOf(n, 2, 3)
+	v3 := v1 ^ v2 // dependent
+	if !b.Insert(v1) || !b.Insert(v2) {
+		t.Fatalf("independent insert failed")
+	}
+	if b.Insert(v3) {
+		t.Fatalf("dependent insert grew basis")
+	}
+	if b.Dim() != 2 {
+		t.Fatalf("Dim = %d", b.Dim())
+	}
+	span := b.Span()
+	if len(span) != 4 {
+		t.Fatalf("Span size = %d", len(span))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range span {
+		seen[s] = true
+		if !b.Contains(s) {
+			t.Fatalf("span elem %x not contained", s)
+		}
+	}
+	for _, want := range []uint64{0, v1, v2, v3} {
+		if !seen[want] {
+			t.Fatalf("span missing %x", want)
+		}
+	}
+}
+
+func TestBasisRREFInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 16
+	for trial := 0; trial < 200; trial++ {
+		b := NewBasis(n)
+		for j := 0; j < 10; j++ {
+			b.Insert(rng.Uint64() & SpaceMask(n))
+		}
+		// RREF: pivots strictly increasing, each pivot variable appears
+		// in exactly one row.
+		piv := b.Pivots()
+		for i := 1; i < len(piv); i++ {
+			if piv[i] <= piv[i-1] {
+				t.Fatalf("pivots not increasing: %v", piv)
+			}
+		}
+		for i, r := range b.Rows() {
+			for j, p := range piv {
+				want := uint64(0)
+				if i == j {
+					want = 1
+				}
+				if Bit(r, n, p) != want {
+					t.Fatalf("row %d has pivot bit %d = %d, want %d", i, p, Bit(r, n, p), want)
+				}
+			}
+			if LowestVar(r, n) != piv[i] {
+				t.Fatalf("row %d leading var %d != pivot %d", i, LowestVar(r, n), piv[i])
+			}
+		}
+	}
+}
+
+func TestBasisReduceMembership(t *testing.T) {
+	// Property: Reduce(v)==0 iff v is a XOR-combination of inserted rows.
+	n := 12
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vecs := make([]uint64, 5)
+		for i := range vecs {
+			vecs[i] = rng.Uint64() & SpaceMask(n)
+		}
+		b := BasisOf(n, vecs)
+		// Random combination must be contained.
+		var comb uint64
+		for _, v := range vecs {
+			if rng.Intn(2) == 1 {
+				comb ^= v
+			}
+		}
+		if !b.Contains(comb) {
+			return false
+		}
+		// Membership count must be exactly 2^dim over the whole space.
+		count := 0
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if b.Contains(p) {
+				count++
+			}
+		}
+		return count == 1<<uint(b.Dim())
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasisClone(t *testing.T) {
+	n := 6
+	b := BasisOf(n, []uint64{MaskOf(n, 0), MaskOf(n, 3)})
+	c := b.Clone()
+	c.Insert(MaskOf(n, 5))
+	if b.Dim() != 2 || c.Dim() != 3 {
+		t.Fatalf("clone not independent: %d %d", b.Dim(), c.Dim())
+	}
+}
+
+func TestIsNormal(t *testing.T) {
+	cases := []struct {
+		u    []uint64
+		want bool
+	}{
+		{[]uint64{0}, true},
+		{[]uint64{1}, true},
+		{[]uint64{0, 1}, true},
+		{[]uint64{1, 1}, true},
+		{[]uint64{0, 1, 1, 0}, true},
+		{[]uint64{0, 1, 0, 1}, true},
+		{[]uint64{0, 0, 1, 1}, true},
+		{[]uint64{0, 1, 1, 1}, false},
+		{[]uint64{0, 0, 0}, false}, // not power of two
+		{[]uint64{0, 2}, false},    // non-boolean entry
+		{[]uint64{}, false},        // empty
+		{[]uint64{1, 0, 0, 1, 0, 1, 1, 0}, true},
+		{[]uint64{1, 0, 0, 1, 0, 1, 0, 1}, false},
+	}
+	for i, c := range cases {
+		if got := IsNormal(c.u); got != c.want {
+			t.Errorf("case %d: IsNormal(%v) = %v, want %v", i, c.u, got, c.want)
+		}
+	}
+}
+
+func TestIsNormalMatchesPaperFigure1(t *testing.T) {
+	// All six columns of the paper's Figure 1 matrix are normal.
+	cols := [][]uint64{
+		{0, 0, 0, 0, 1, 1, 1, 1}, // c0
+		{1, 1, 1, 1, 1, 1, 1, 1}, // c1
+		{0, 0, 1, 1, 0, 0, 1, 1}, // c2
+		{1, 1, 0, 0, 0, 0, 1, 1}, // c3
+		{0, 1, 0, 1, 0, 1, 0, 1}, // c4
+		{1, 0, 1, 0, 0, 1, 0, 1}, // c5
+	}
+	for i, c := range cols {
+		if !IsNormal(c) {
+			t.Errorf("figure-1 column c%d not recognized as normal", i)
+		}
+	}
+	// Canonical columns: c0 is 2-canonical, c2 is 1-canonical, c4 is
+	// 0-canonical (paper, Section 2).
+	if !IsKCanonical(cols[0], 2) {
+		t.Errorf("c0 not 2-canonical")
+	}
+	if !IsKCanonical(cols[2], 1) {
+		t.Errorf("c2 not 1-canonical")
+	}
+	if !IsKCanonical(cols[4], 0) {
+		t.Errorf("c4 not 0-canonical")
+	}
+	if IsKCanonical(cols[3], 1) || IsKCanonical(cols[1], 0) {
+		t.Errorf("non-canonical column misclassified")
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if Log2(1) != 0 || Log2(2) != 1 || Log2(8) != 3 {
+		t.Fatalf("Log2 powers wrong")
+	}
+	for _, v := range []int{0, -4, 3, 6, 12} {
+		if Log2(v) != -1 {
+			t.Fatalf("Log2(%d) should be -1", v)
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	n := 8
+	if Rank(n, []uint64{0}) != 0 {
+		t.Fatalf("rank of zero vector")
+	}
+	vs := []uint64{MaskOf(n, 0, 1), MaskOf(n, 1, 2), MaskOf(n, 0, 2)}
+	if Rank(n, vs) != 2 {
+		t.Fatalf("Rank = %d, want 2", Rank(n, vs))
+	}
+}
+
+func BenchmarkBasisInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	vecs := make([]uint64, 64)
+	for i := range vecs {
+		vecs[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs := NewBasis(64)
+		for _, v := range vecs {
+			bs.Insert(v)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package core implements the DAC'01 paper's primary contribution: SPP
+// (Sum of Pseudoproducts) minimization of Boolean functions. It provides
+//
+//   - construction of the extended prime pseudoproduct (EPPP) set with
+//     the partition-trie exact method (Algorithm 2),
+//   - the quadratic pairwise baseline of Luccio–Pagli [5] for the
+//     Table 2 comparison,
+//   - the incremental heuristic producing SPP_k forms (Algorithm 3),
+//   - the final set-covering selection, and
+//   - SPP forms with evaluation/verification against the source function.
+//
+// All algorithms operate on single-output functions; multi-output
+// benchmarks are minimized one output at a time, as in the paper.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bfunc"
+	"repro/internal/pcube"
+)
+
+// CostKind selects the covering cost function. The paper minimizes the
+// number of literals; the number of factors is mentioned as the
+// alternative cost.
+type CostKind int
+
+const (
+	// CostLiterals counts literals in the CEX (paper default, #L).
+	CostLiterals CostKind = iota
+	// CostFactors counts EXOR factors.
+	CostFactors
+)
+
+func (k CostKind) of(c *pcube.CEX) int {
+	switch k {
+	case CostFactors:
+		return len(c.Factors)
+	default:
+		return c.Literals()
+	}
+}
+
+// ErrBudget is returned when a limit in Options is exceeded before the
+// computation finishes, mirroring the paper's "did not terminate after
+// 2 days" stars.
+var ErrBudget = errors.New("core: budget exhausted")
+
+// Options configure minimization.
+type Options struct {
+	// Cost selects the covering objective. Default CostLiterals.
+	Cost CostKind
+
+	// MaxCandidates caps the total number of distinct pseudoproducts
+	// generated during EPPP construction; 0 means DefaultMaxCandidates.
+	MaxCandidates int
+
+	// MaxDuration caps wall-clock time for EPPP construction; 0 means
+	// no time limit.
+	MaxDuration time.Duration
+
+	// CoverExact selects branch-and-bound covering (within
+	// CoverMaxNodes) instead of the greedy heuristic. The paper used
+	// covering heuristics for Table 1, so greedy is the default.
+	CoverExact bool
+
+	// CoverMaxNodes bounds the exact covering search (0 = solver
+	// default).
+	CoverMaxNodes int64
+}
+
+// DefaultMaxCandidates bounds EPPP generation when Options.MaxCandidates
+// is zero. The paper handles up to ~300k prime pseudoproducts plus
+// intermediate levels; 4M keeps memory modest while covering that scale.
+const DefaultMaxCandidates = 4_000_000
+
+func (o Options) maxCandidates() int {
+	if o.MaxCandidates == 0 {
+		return DefaultMaxCandidates
+	}
+	return o.MaxCandidates
+}
+
+// budget tracks generation limits during EPPP construction.
+type budget struct {
+	remaining int
+	deadline  time.Time
+	checkEach int
+	sinceLast int
+}
+
+func newBudget(o Options) *budget {
+	b := &budget{remaining: o.maxCandidates(), checkEach: 1024}
+	if o.MaxDuration > 0 {
+		b.deadline = time.Now().Add(o.MaxDuration)
+	}
+	return b
+}
+
+// spend consumes n generation credits and reports whether the budget
+// still holds. The deadline is polled every checkEach credits to keep
+// time.Now out of the hot loop.
+func (b *budget) spend(n int) bool {
+	b.remaining -= n
+	if b.remaining < 0 {
+		return false
+	}
+	if !b.deadline.IsZero() {
+		b.sinceLast += n
+		if b.sinceLast >= b.checkEach {
+			b.sinceLast = 0
+			return !b.expired()
+		}
+	}
+	return true
+}
+
+// expired reports whether the wall-clock deadline has passed.
+func (b *budget) expired() bool {
+	return !b.deadline.IsZero() && time.Now().After(b.deadline)
+}
+
+// Form is an SPP form: a sum (OR) of pseudoproducts.
+type Form struct {
+	N     int
+	Terms []*pcube.CEX
+}
+
+// Literals returns the total number of literals (#L).
+func (f Form) Literals() int {
+	total := 0
+	for _, t := range f.Terms {
+		total += t.Literals()
+	}
+	return total
+}
+
+// NumTerms returns the number of pseudoproducts (#PP).
+func (f Form) NumTerms() int { return len(f.Terms) }
+
+// Eval reports the form's value on point p.
+func (f Form) Eval(p uint64) bool {
+	for _, t := range f.Terms {
+		if t.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Verify checks that the form realizes fn: every ON point evaluates to
+// 1, every OFF point to 0 (DC points are unconstrained). It walks all
+// 2^n points, so it is meant for tests and the examples.
+func (f Form) Verify(fn *bfunc.Func) error {
+	if f.N != fn.N() {
+		return fmt.Errorf("core: form over B^%d, function over B^%d", f.N, fn.N())
+	}
+	for p := uint64(0); p < 1<<uint(f.N); p++ {
+		got := f.Eval(p)
+		switch {
+		case fn.IsOn(p) && !got:
+			return fmt.Errorf("core: ON point %0*b not covered", f.N, p)
+		case !fn.IsCare(p) && got:
+			return fmt.Errorf("core: OFF point %0*b wrongly covered", f.N, p)
+		}
+	}
+	return nil
+}
+
+// String renders the form as a sum of CEX expressions.
+func (f Form) String() string {
+	if len(f.Terms) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(f.Terms))
+	for i, t := range f.Terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/pcube"
+)
+
+func randomFunc(rng *rand.Rand, n int, density float64, withDC bool) *bfunc.Func {
+	var on, dc []uint64
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		r := rng.Float64()
+		switch {
+		case r < density:
+			on = append(on, p)
+		case withDC && r < density+0.1:
+			dc = append(dc, p)
+		}
+	}
+	return bfunc.NewDC(n, on, dc)
+}
+
+func TestExactMinimizeVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(3)
+		f := randomFunc(rng, n, 0.4, trial%2 == 0)
+		res, err := MinimizeExact(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Form.Verify(f); err != nil {
+			t.Fatalf("trial %d: %v\nform: %v", trial, err, res.Form)
+		}
+	}
+}
+
+func TestAllBuildersAgreeOnEPPP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keyset := func(set *EPPPSet) map[string]bool {
+		m := map[string]bool{}
+		for _, c := range set.Candidates {
+			m[c.Key()] = true
+		}
+		return m
+	}
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(2)
+		f := randomFunc(rng, n, 0.45, trial%3 == 0)
+		trie, err := BuildEPPP(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := BuildEPPPNaive(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash, err := BuildEPPPHashGrouped(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kt, kn, kh := keyset(trie), keyset(naive), keyset(hash)
+		if len(kt) != len(trie.Candidates) {
+			t.Fatalf("trie candidates contain duplicates")
+		}
+		if len(kt) != len(kn) || len(kt) != len(kh) {
+			t.Fatalf("EPPP sizes differ: trie=%d naive=%d hash=%d", len(kt), len(kn), len(kh))
+		}
+		for k := range kt {
+			if !kn[k] || !kh[k] {
+				t.Fatalf("EPPP sets differ in membership")
+			}
+		}
+		// The trie algorithm performs no structure comparisons; the
+		// naive baseline performs the full quadratic count.
+		if trie.Stats.Comparisons != 0 {
+			t.Fatalf("Algorithm 2 performed %d comparisons, want 0", trie.Stats.Comparisons)
+		}
+		if len(naive.Candidates) > 1 && naive.Stats.Comparisons == 0 {
+			t.Fatalf("naive baseline reported no comparisons")
+		}
+		// Minimum-comparison property: every union the trie algorithm
+		// performs is between same-structure pseudoproducts, so its
+		// union count never exceeds the naive comparison count.
+		if trie.Stats.Unions != naive.Stats.Unions {
+			t.Fatalf("union counts differ: trie=%d naive=%d", trie.Stats.Unions, naive.Stats.Unions)
+		}
+	}
+}
+
+// allPseudoproducts enumerates every pseudocube contained in the care
+// set of f by brute force over subset sizes 2^m. Exponential; n ≤ 4.
+func allPseudoproducts(f *bfunc.Func) []*pcube.CEX {
+	n := f.N()
+	care := f.Care()
+	var out []*pcube.CEX
+	// Degree 0.
+	for _, p := range care {
+		out = append(out, pcube.FromPoint(n, p))
+	}
+	// Higher degrees: enumerate combinations of care points of size 2^m
+	// via recursive selection, keeping affine ones.
+	var rec func(start int, chosen []uint64, size int)
+	rec = func(start int, chosen []uint64, size int) {
+		if len(chosen) == size {
+			if c, ok := pcube.FromPoints(n, chosen); ok {
+				out = append(out, c)
+			}
+			return
+		}
+		for i := start; i < len(care); i++ {
+			if len(care)-i < size-len(chosen) {
+				break
+			}
+			rec(i+1, append(chosen, care[i]), size)
+		}
+	}
+	for m := 1; 1<<uint(m) <= len(care); m++ {
+		rec(0, nil, 1<<uint(m))
+	}
+	return out
+}
+
+func TestEPPPContainsAllPrimePseudoproducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 3
+		f := randomFunc(rng, n, 0.5, false)
+		if f.OnCount() == 0 {
+			continue
+		}
+		all := allPseudoproducts(f)
+		// Prime pseudoproducts: maximal under containment.
+		var primes []*pcube.CEX
+		for i, c := range all {
+			maximal := true
+			for j, d := range all {
+				if i != j && d.Degree() > c.Degree() && d.Covers(c) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				primes = append(primes, c)
+			}
+		}
+		set, err := BuildEPPP(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		have := map[string]bool{}
+		for _, c := range set.Candidates {
+			have[c.Key()] = true
+		}
+		for _, p := range primes {
+			if !have[p.Key()] {
+				t.Fatalf("prime pseudoproduct %v missing from EPPP set", p)
+			}
+		}
+	}
+}
+
+func TestDiscardRulePreservesOptimality(t *testing.T) {
+	// The minimal literal cover over the EPPP candidates must equal the
+	// minimal cover over ALL pseudoproducts of F (Definition 3's point).
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		n := 3
+		f := randomFunc(rng, n, 0.5, trial%2 == 0)
+		if f.OnCount() == 0 {
+			continue
+		}
+		opts := Options{CoverExact: true, CoverMaxNodes: 10_000_000}
+		res, err := MinimizeExact(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CoverOptimal {
+			t.Fatal("exact cover did not finish")
+		}
+		allSet := &EPPPSet{N: n, Candidates: allPseudoproducts(f)}
+		form, _, optimal, err := SelectCover(f, allSet, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !optimal {
+			t.Fatal("reference cover did not finish")
+		}
+		if res.Form.Literals() != form.Literals() {
+			t.Fatalf("EPPP restriction lost optimality: %d vs %d literals",
+				res.Form.Literals(), form.Literals())
+		}
+	}
+}
+
+func TestParityFunctionCollapsesToOneFactor(t *testing.T) {
+	// Odd parity of n variables is a single pseudocube: one EXOR factor
+	// with n literals. SP needs 2^{n-1} minterm products (n·2^{n-1}
+	// literals) — the extreme case of the paper's SPP advantage.
+	n := 4
+	f := bfunc.FromPredicate(n, func(p uint64) bool {
+		c := 0
+		for i := 0; i < n; i++ {
+			c += int(p >> uint(i) & 1)
+		}
+		return c%2 == 1
+	})
+	res, err := MinimizeExact(f, Options{CoverExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Form.Literals(); got != n {
+		t.Fatalf("parity SPP literals = %d, want %d (%v)", got, n, res.Form)
+	}
+	if res.Form.NumTerms() != 1 {
+		t.Fatalf("parity SPP terms = %d, want 1", res.Form.NumTerms())
+	}
+	if err := res.Form.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeuristicPaperExample(t *testing.T) {
+	// Paper §3.4: prime implicants x1·x2·x̄4 and x̄1·x2·x4 combine in the
+	// ascendant phase into x2·(x1⊕x4). Relabel to B^3 (x0,x1,x2):
+	// f = x0·x1·x̄2 + x̄0·x1·x2 = minterms {110, 011}.
+	f := bfunc.New(3, []uint64{0b110, 0b011})
+	res, err := Heuristic(f, 0, Options{CoverExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Form.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Form.Literals(); got != 3 {
+		t.Fatalf("SPP_0 literals = %d, want 3 (x1·(x0⊕x2))", got)
+	}
+	if res.Form.NumTerms() != 1 {
+		t.Fatalf("SPP_0 = %v, want a single pseudoproduct", res.Form)
+	}
+}
+
+func TestHeuristicFullDescentMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(2)
+		f := randomFunc(rng, n, 0.4, false)
+		if f.OnCount() == 0 {
+			continue
+		}
+		opts := Options{CoverExact: true, CoverMaxNodes: 10_000_000}
+		exact, err := MinimizeExact(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Heuristic(f, n-1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Form.Literals() != full.Form.Literals() {
+			t.Fatalf("SPP_{n-1} literals %d != exact %d",
+				full.Form.Literals(), exact.Form.Literals())
+		}
+	}
+}
+
+func TestHeuristicMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 4
+		f := randomFunc(rng, n, 0.45, false)
+		if f.OnCount() == 0 {
+			continue
+		}
+		opts := Options{CoverExact: true, CoverMaxNodes: 10_000_000}
+		prev := -1
+		for k := 0; k < n; k++ {
+			res, err := Heuristic(f, k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Form.Verify(f); err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			l := res.Form.Literals()
+			if prev >= 0 && l > prev {
+				t.Fatalf("literals increased from %d to %d at k=%d", prev, l, k)
+			}
+			prev = l
+		}
+	}
+}
+
+func TestHeuristicNeverWorseThanSPOnLiterals(t *testing.T) {
+	// SPP_k candidates include every SP prime implicant, so with exact
+	// covering the SPP_k literal count is at most the minimal SP count.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 4
+		f := randomFunc(rng, n, 0.5, false)
+		if f.OnCount() == 0 {
+			continue
+		}
+		res, err := Heuristic(f, 0, Options{CoverExact: true, CoverMaxNodes: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spOnly := &EPPPSet{N: n}
+		// Covering with the heuristic's own candidate pool restricted
+		// to plain cubes reproduces an SP bound.
+		for _, c := range allPseudoproducts(f) {
+			isCube := true
+			for _, fac := range c.Factors {
+				if fac.Literals() != 1 {
+					isCube = false
+					break
+				}
+			}
+			if isCube {
+				spOnly.Candidates = append(spOnly.Candidates, c)
+			}
+		}
+		spForm, _, _, err := SelectCover(f, spOnly, Options{CoverExact: true, CoverMaxNodes: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Form.Literals() > spForm.Literals() {
+			t.Fatalf("SPP_0 %d literals worse than SP %d", res.Form.Literals(), spForm.Literals())
+		}
+	}
+}
+
+func TestBudgetErrors(t *testing.T) {
+	f := randomFunc(rand.New(rand.NewSource(8)), 5, 0.5, false)
+	if _, err := BuildEPPP(f, Options{MaxCandidates: 10}); err != ErrBudget {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	if _, err := BuildEPPPNaive(f, Options{MaxCandidates: 10}); err != ErrBudget {
+		t.Fatalf("naive: expected ErrBudget, got %v", err)
+	}
+	if _, err := Heuristic(f, 3, Options{MaxCandidates: 5}); err != ErrBudget {
+		t.Fatalf("heuristic: expected ErrBudget, got %v", err)
+	}
+}
+
+func TestHeuristicKRange(t *testing.T) {
+	f := bfunc.New(3, []uint64{1})
+	if _, err := Heuristic(f, -1, Options{}); err == nil {
+		t.Fatal("negative k must error")
+	}
+	if _, err := Heuristic(f, 3, Options{}); err == nil {
+		t.Fatal("k = n must error")
+	}
+}
+
+func TestDegenerateFunctions(t *testing.T) {
+	// Empty ON-set → empty form.
+	empty := bfunc.New(3, nil)
+	res, err := MinimizeExact(empty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Form.NumTerms() != 0 || res.Form.Literals() != 0 {
+		t.Fatalf("empty function form = %v", res.Form)
+	}
+
+	// Constant one → single empty pseudoproduct, 0 literals.
+	one := bfunc.FromPredicate(3, func(uint64) bool { return true })
+	res, err = MinimizeExact(one, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Form.NumTerms() != 1 || res.Form.Literals() != 0 {
+		t.Fatalf("constant-one form = %v", res.Form)
+	}
+	if err := res.Form.Verify(one); err != nil {
+		t.Fatal(err)
+	}
+	hres, err := Heuristic(one, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Form.Literals() != 0 {
+		t.Fatalf("heuristic constant-one form = %v", hres.Form)
+	}
+
+	// Single minterm.
+	single := bfunc.New(3, []uint64{5})
+	res, err = MinimizeExact(single, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Form.Literals() != 3 || res.Form.NumTerms() != 1 {
+		t.Fatalf("single minterm form = %v", res.Form)
+	}
+}
+
+func TestNaiveMinimizeAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		f := randomFunc(rng, 3, 0.5, false)
+		opts := Options{CoverExact: true, CoverMaxNodes: 1_000_000}
+		a, err := MinimizeExact(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MinimizeNaive(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Form.Literals() != b.Form.Literals() {
+			t.Fatalf("naive pipeline literals %d != exact %d",
+				b.Form.Literals(), a.Form.Literals())
+		}
+	}
+}
+
+func TestCostFactorsObjective(t *testing.T) {
+	// With factor-count cost, parity of 4 vars still wins with a single
+	// one-factor term.
+	n := 4
+	f := bfunc.FromPredicate(n, func(p uint64) bool {
+		c := 0
+		for i := 0; i < n; i++ {
+			c += int(p >> uint(i) & 1)
+		}
+		return c%2 == 1
+	})
+	res, err := MinimizeExact(f, Options{Cost: CostFactors, CoverExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Form.Terms) != 1 || len(res.Form.Terms[0].Factors) != 1 {
+		t.Fatalf("factor-cost parity form = %v", res.Form)
+	}
+}
+
+func TestFormString(t *testing.T) {
+	f := Form{N: 3}
+	if f.String() != "0" {
+		t.Fatalf("empty form renders %q", f.String())
+	}
+	f.Terms = append(f.Terms, pcube.FromPoint(3, 0b101))
+	s := f.String()
+	if s == "" || s == "0" {
+		t.Fatalf("form renders %q", s)
+	}
+}
+
+func TestLevelSizesDecomposition(t *testing.T) {
+	// Sanity on the stats: level 0 size equals |care|, and the sum of
+	// level sizes equals Candidates.
+	f := bfunc.New(3, []uint64{0, 1, 2, 3, 6})
+	set, err := BuildEPPP(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Stats.LevelSizes[0] != 5 {
+		t.Fatalf("level 0 = %d, want 5", set.Stats.LevelSizes[0])
+	}
+	sum := 0
+	for _, s := range set.Stats.LevelSizes {
+		sum += s
+	}
+	if sum != set.Stats.Candidates {
+		t.Fatalf("sum(levels)=%d != candidates=%d", sum, set.Stats.Candidates)
+	}
+	if len(set.Stats.Groups) != len(set.Stats.LevelSizes) {
+		t.Fatalf("groups/levels length mismatch")
+	}
+}
+
+func sortedLiterals(cands []*pcube.CEX) []int {
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.Literals()
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestCandidatesAreWithinCare(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := randomFunc(rng, 4, 0.4, true)
+	set, err := BuildEPPP(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range set.Candidates {
+		for _, p := range c.Points() {
+			if !f.IsCare(p) {
+				t.Fatalf("candidate %v leaves the care set at %04b", c, p)
+			}
+		}
+	}
+	_ = sortedLiterals(set.Candidates)
+}

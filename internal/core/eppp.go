@@ -1,0 +1,188 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bfunc"
+	"repro/internal/pcube"
+	"repro/internal/ptrie"
+)
+
+// BuildStats records the work performed during EPPP construction; the
+// paper's Table 2 compares this phase across the two algorithms, and the
+// comparison counter makes the speedup machine-independent.
+type BuildStats struct {
+	// Candidates is the number of distinct pseudoproducts generated
+	// across all degrees (the size of the search space materialized).
+	Candidates int
+	// EPPP is the number of retained extended prime pseudoproducts.
+	EPPP int
+	// Unions is the number of Algorithm-1 union operations performed.
+	Unions int64
+	// Comparisons is the number of structure comparisons performed.
+	// Algorithm 2 performs none (grouping makes every considered pair
+	// unify); the naive baseline performs |X|(|X|−1)/2 per step.
+	Comparisons int64
+	// LevelSizes[k] is the number of distinct pseudoproducts of degree
+	// k that were generated.
+	LevelSizes []int
+	// Groups[k] is the number of structure groups at degree k (the
+	// paper's partition X^i = X^i_1 ∪ … ∪ X^i_k).
+	Groups []int
+	// BuildTime is the wall-clock duration of the construction.
+	BuildTime time.Duration
+}
+
+// EPPPSet is the output of EPPP construction: the covering candidates
+// (Definition 3 superset) for the final selection step.
+type EPPPSet struct {
+	N          int
+	Candidates []*pcube.CEX
+	Stats      BuildStats
+}
+
+// BuildEPPP constructs the extended prime pseudoproduct set of f with
+// the paper's Algorithm 2 (steps 1 and 2): degree-0 pseudoproducts (the
+// care minterms) are inserted in a partition trie; at each step all
+// leaves sharing a parent — exactly the same-structure pseudoproducts —
+// are pairwise unified into the next trie, and a pseudoproduct is
+// discarded when some union result costs no more than it does.
+//
+// It returns ErrBudget if Options limits are exceeded, like the paper's
+// two-day timeout stars.
+func BuildEPPP(f *bfunc.Func, opts Options) (*EPPPSet, error) {
+	start := time.Now()
+	n := f.N()
+	b := newBudget(opts)
+	stats := BuildStats{}
+
+	cur := ptrie.New(n)
+	for _, p := range f.Care() {
+		cur.Insert(pcube.FromPoint(n, p))
+	}
+	if !b.spend(cur.Len()) {
+		return nil, ErrBudget
+	}
+
+	var candidates []*pcube.CEX
+	for level := 0; cur.Len() > 0; level++ {
+		stats.LevelSizes = append(stats.LevelSizes, cur.Len())
+		stats.Groups = append(stats.Groups, cur.NumGroups())
+		next := ptrie.New(n)
+		overBudget := false
+		cur.Groups(func(entries []*ptrie.Entry) bool {
+			for i := 0; i < len(entries); i++ {
+				for j := i + 1; j < len(entries); j++ {
+					u := pcube.Union(entries[i].CEX, entries[j].CEX)
+					stats.Unions++
+					h := opts.Cost.of(u)
+					if h <= opts.Cost.of(entries[i].CEX) {
+						entries[i].Mark = true
+					}
+					if h <= opts.Cost.of(entries[j].CEX) {
+						entries[j].Mark = true
+					}
+					if _, fresh := next.Insert(u); fresh {
+						if !b.spend(1) {
+							overBudget = true
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+		if overBudget {
+			return nil, ErrBudget
+		}
+		// Retain the unmarked pseudoproducts of this level.
+		cur.Entries(func(e *ptrie.Entry) bool {
+			if !e.Mark {
+				candidates = append(candidates, e.CEX)
+			}
+			return true
+		})
+		stats.Candidates += cur.Len()
+		cur = next
+	}
+	stats.EPPP = len(candidates)
+	stats.BuildTime = time.Since(start)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: stats}, nil
+}
+
+// BuildEPPPHashGrouped is the ablation variant of Algorithm 2 that
+// replaces the partition trie with a flat hash map keyed on the
+// structure (DESIGN.md ablation 1). The algorithmic behaviour — group by
+// structure, unify within groups — is identical, so the resulting EPPP
+// set matches BuildEPPP exactly; only the grouping data structure
+// differs.
+func BuildEPPPHashGrouped(f *bfunc.Func, opts Options) (*EPPPSet, error) {
+	start := time.Now()
+	n := f.N()
+	b := newBudget(opts)
+	stats := BuildStats{}
+
+	type entry struct {
+		cex  *pcube.CEX
+		mark bool
+	}
+	cur := map[string][]*entry{}
+	curLen := 0
+	seen := map[string]bool{}
+	for _, p := range f.Care() {
+		c := pcube.FromPoint(n, p)
+		if !seen[c.Key()] {
+			seen[c.Key()] = true
+			cur[c.StructureKey()] = append(cur[c.StructureKey()], &entry{cex: c})
+			curLen++
+		}
+	}
+	if !b.spend(curLen) {
+		return nil, ErrBudget
+	}
+
+	var candidates []*pcube.CEX
+	for level := 0; curLen > 0; level++ {
+		stats.LevelSizes = append(stats.LevelSizes, curLen)
+		stats.Groups = append(stats.Groups, len(cur))
+		next := map[string][]*entry{}
+		nextSeen := map[string]bool{}
+		nextLen := 0
+		for _, group := range cur {
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					u := pcube.Union(group[i].cex, group[j].cex)
+					stats.Unions++
+					h := opts.Cost.of(u)
+					if h <= opts.Cost.of(group[i].cex) {
+						group[i].mark = true
+					}
+					if h <= opts.Cost.of(group[j].cex) {
+						group[j].mark = true
+					}
+					k := u.Key()
+					if !nextSeen[k] {
+						nextSeen[k] = true
+						next[u.StructureKey()] = append(next[u.StructureKey()], &entry{cex: u})
+						nextLen++
+						if !b.spend(1) {
+							return nil, ErrBudget
+						}
+					}
+				}
+			}
+		}
+		for _, group := range cur {
+			for _, e := range group {
+				if !e.mark {
+					candidates = append(candidates, e.cex)
+				}
+			}
+		}
+		stats.Candidates += curLen
+		cur, curLen = next, nextLen
+	}
+	stats.EPPP = len(candidates)
+	stats.BuildTime = time.Since(start)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: stats}, nil
+}

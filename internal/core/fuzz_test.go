@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzParseForm checks the SPP expression parser never panics and that
+// accepted expressions round-trip through String and re-parse to an
+// equivalent form.
+func FuzzParseForm(f *testing.F) {
+	f.Add(4, "x1·(x0⊕x̄2) + x̄0·x2")
+	f.Add(4, "x1*(x0^!x2) + !x0*x2")
+	f.Add(3, "0")
+	f.Add(3, "1")
+	f.Add(5, "(x0⊕x1⊕x2⊕x3⊕x4)")
+	f.Add(2, "x0·x̄0")
+	f.Add(6, "x0 | x1 & x2")
+	f.Fuzz(func(t *testing.T, n int, src string) {
+		if n < 1 || n > 16 {
+			return
+		}
+		form, err := ParseForm(n, src)
+		if err != nil {
+			return
+		}
+		rendered := form.String()
+		again, err := ParseForm(n, rendered)
+		if err != nil {
+			t.Fatalf("rendered form %q failed to re-parse: %v", rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("render not stable: %q -> %q", rendered, again.String())
+		}
+		for p := uint64(0); p < 1<<uint(n) && p < 256; p++ {
+			if form.Eval(p) != again.Eval(p) {
+				t.Fatalf("round trip changed semantics at %b", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bfunc"
+	"repro/internal/cover"
+	"repro/internal/pcube"
+)
+
+// Result is a minimized SPP form together with the work statistics of
+// both phases.
+type Result struct {
+	Form  Form
+	Build BuildStats
+	// CoverTime is the wall-clock duration of the covering phase.
+	CoverTime time.Duration
+	// CoverOptimal reports whether the covering solution was proven
+	// minimum (exact solver within budget). When false the literal
+	// count is an upper bound — exactly the caveat the paper states for
+	// its Table 1.
+	CoverOptimal bool
+}
+
+// Literals returns the cost of the selected form (#L).
+func (r *Result) Literals() int { return r.Form.Literals() }
+
+// SelectCover solves the covering problem of Algorithm 2 step 3: choose
+// pseudoproducts from the candidate set covering every ON minterm of f
+// at minimum total cost.
+func SelectCover(f *bfunc.Func, set *EPPPSet, opts Options) (Form, time.Duration, bool, error) {
+	start := time.Now()
+	n := f.N()
+	if f.OnCount() == 0 {
+		return Form{N: n}, time.Since(start), true, nil
+	}
+	if f.IsConstantOne() {
+		// The whole space is a pseudocube with the empty CEX.
+		one := &pcube.CEX{N: n, Canon: allMask(n)}
+		return Form{N: n, Terms: []*pcube.CEX{one}}, time.Since(start), true, nil
+	}
+
+	on := f.On()
+	rowOf := make(map[uint64]int, len(on))
+	for i, p := range on {
+		rowOf[p] = i
+	}
+	in := &cover.Instance{NRows: len(on)}
+	var cols []*pcube.CEX
+	for _, c := range set.Candidates {
+		var rows []int
+		for _, p := range c.Points() {
+			if r, ok := rowOf[p]; ok {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == 0 {
+			continue // covers only don't-cares
+		}
+		sort.Ints(rows)
+		in.Cols = append(in.Cols, cover.Column{Cost: opts.Cost.of(c), Rows: rows})
+		cols = append(cols, c)
+	}
+	if err := in.Validate(); err != nil {
+		return Form{}, 0, false, fmt.Errorf("core: candidate set does not cover ON-set: %v", err)
+	}
+	var res cover.Result
+	if opts.CoverExact {
+		res = cover.Exact(in, cover.ExactOptions{MaxNodes: opts.CoverMaxNodes})
+	} else {
+		res = cover.Greedy(in)
+	}
+	form := Form{N: n}
+	for _, j := range res.Picked {
+		form.Terms = append(form.Terms, cols[j])
+	}
+	return form, time.Since(start), res.Optimal, nil
+}
+
+func allMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// MinimizeExact runs the full exact SPP minimization (Algorithm 2):
+// EPPP construction with partition tries followed by covering. The
+// resulting literal count is the paper's SPP #L (an upper bound when the
+// covering phase is heuristic or budget-limited).
+func MinimizeExact(f *bfunc.Func, opts Options) (*Result, error) {
+	set, err := BuildEPPP(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	form, coverTime, optimal, err := SelectCover(f, set, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Form: form, Build: set.Stats, CoverTime: coverTime, CoverOptimal: optimal}, nil
+}
+
+// MinimizeNaive runs the baseline pipeline: EPPP construction with the
+// pairwise algorithm of [5], then the same covering step. Produces the
+// same forms as MinimizeExact, much more slowly (Table 2).
+func MinimizeNaive(f *bfunc.Func, opts Options) (*Result, error) {
+	set, err := BuildEPPPNaive(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	form, coverTime, optimal, err := SelectCover(f, set, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Form: form, Build: set.Stats, CoverTime: coverTime, CoverOptimal: optimal}, nil
+}

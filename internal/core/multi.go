@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bfunc"
+	"repro/internal/cover"
+	"repro/internal/pcube"
+)
+
+// MultiResult is a jointly minimized multi-output SPP network: a shared
+// pool of pseudoproducts and, per output, the terms driving it. Sharing
+// is the natural PLA-style extension of the paper's per-output protocol:
+// the OR plane fans a pseudoproduct out to any output it is valid for at
+// no extra literal cost, so shared terms are paid once.
+type MultiResult struct {
+	N int
+	// Terms is the shared pseudoproduct pool.
+	Terms []*pcube.CEX
+	// Drives[o] lists indices into Terms selected for output o.
+	Drives [][]int
+	// SharedLiterals is the joint cost: each term's literals counted
+	// once regardless of fanout.
+	SharedLiterals int
+	// Build and CoverTime aggregate the phase statistics.
+	Build     BuildStats
+	CoverTime time.Duration
+}
+
+// Form materializes output o as a standalone SPP form.
+func (r *MultiResult) Form(o int) Form {
+	f := Form{N: r.N}
+	for _, t := range r.Drives[o] {
+		f.Terms = append(f.Terms, r.Terms[t])
+	}
+	return f
+}
+
+// SeparateLiterals sums the per-output literal counts without sharing
+// (what stacking the single-output results would cost).
+func (r *MultiResult) SeparateLiterals() int {
+	total := 0
+	for o := range r.Drives {
+		for _, t := range r.Drives[o] {
+			total += r.Terms[t].Literals()
+		}
+	}
+	return total
+}
+
+// MinimizeMulti jointly minimizes the outputs of m with shared
+// pseudoproducts: the candidate pool is the union of the per-output
+// EPPP sets; the covering instance has one row per (output, ON minterm)
+// and one column per candidate, covering the rows of every output the
+// candidate is a pseudoproduct of (its points within that output's care
+// set). Column costs are literal counts paid once — the covering solver
+// does the sharing automatically.
+func MinimizeMulti(m *bfunc.Multi, opts Options) (*MultiResult, error) {
+	n := m.Inputs
+	res := &MultiResult{N: n, Drives: make([][]int, m.NOutputs())}
+
+	// Per-output EPPP sets, dedup'd into a shared pool.
+	pool := map[string]*pcube.CEX{}
+	var keys []string
+	for o := 0; o < m.NOutputs(); o++ {
+		set, err := BuildEPPP(m.Output(o), opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: output %d: %w", o, err)
+		}
+		res.Build.Candidates += set.Stats.Candidates
+		res.Build.Unions += set.Stats.Unions
+		res.Build.BuildTime += set.Stats.BuildTime
+		for _, c := range set.Candidates {
+			k := c.Key()
+			if _, ok := pool[k]; !ok {
+				pool[k] = c
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys) // deterministic column order
+	res.Build.EPPP = len(keys)
+
+	// Rows: (output, ON minterm).
+	start := time.Now()
+	rowOf := map[[2]uint64]int{}
+	nRows := 0
+	for o := 0; o < m.NOutputs(); o++ {
+		for _, p := range m.Output(o).On() {
+			rowOf[[2]uint64{uint64(o), p}] = nRows
+			nRows++
+		}
+	}
+	if nRows == 0 {
+		return res, nil
+	}
+
+	in := &cover.Instance{NRows: nRows}
+	var cols []*pcube.CEX
+	for _, k := range keys {
+		c := pool[k]
+		pts := c.Points()
+		var rows []int
+		for o := 0; o < m.NOutputs(); o++ {
+			f := m.Output(o)
+			valid := true
+			for _, p := range pts {
+				if !f.IsCare(p) {
+					valid = false
+					break
+				}
+			}
+			if !valid {
+				continue
+			}
+			for _, p := range pts {
+				if r, ok := rowOf[[2]uint64{uint64(o), p}]; ok {
+					rows = append(rows, r)
+				}
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sort.Ints(rows)
+		cost := opts.Cost.of(c)
+		if cost == 0 {
+			cost = 1 // constant-one candidate on a non-constant instance
+		}
+		in.Cols = append(in.Cols, cover.Column{Cost: cost, Rows: rows})
+		cols = append(cols, c)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("core: joint candidate pool does not cover: %v", err)
+	}
+	var cres cover.Result
+	if opts.CoverExact {
+		cres = cover.Exact(in, cover.ExactOptions{MaxNodes: opts.CoverMaxNodes})
+	} else {
+		cres = cover.Greedy(in)
+	}
+	res.CoverTime = time.Since(start)
+
+	// Materialize: each picked term drives every output where it is
+	// valid and needed (attach wherever valid — DC coverage is free and
+	// OFF violations are impossible within the care set; to keep the
+	// per-output forms lean, attach only where the term covers at least
+	// one of that output's ON minterms).
+	for _, j := range cres.Picked {
+		c := cols[j]
+		ti := len(res.Terms)
+		res.Terms = append(res.Terms, c)
+		res.SharedLiterals += c.Literals()
+		pts := c.Points()
+		for o := 0; o < m.NOutputs(); o++ {
+			f := m.Output(o)
+			valid, useful := true, false
+			for _, p := range pts {
+				if !f.IsCare(p) {
+					valid = false
+					break
+				}
+				if f.IsOn(p) {
+					useful = true
+				}
+			}
+			if valid && useful {
+				res.Drives[o] = append(res.Drives[o], ti)
+			}
+		}
+	}
+	return res, nil
+}

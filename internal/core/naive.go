@@ -1,0 +1,88 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bfunc"
+	"repro/internal/pcube"
+)
+
+// BuildEPPPNaive constructs the EPPP set with the original
+// Quine–McCluskey-like algorithm of Luccio–Pagli [5], which the paper's
+// Table 2 uses as the baseline: at every step, each pair of
+// pseudoproducts generated in the previous step is compared — the
+// structure test is paid |X^i|(|X^i|−1)/2 times — and the pairs that
+// match are unified. The retained (extended prime) pseudoproducts are
+// identical to BuildEPPP's; only the work differs.
+func BuildEPPPNaive(f *bfunc.Func, opts Options) (*EPPPSet, error) {
+	start := time.Now()
+	n := f.N()
+	b := newBudget(opts)
+	stats := BuildStats{}
+
+	type entry struct {
+		cex  *pcube.CEX
+		mark bool
+	}
+	var cur []*entry
+	seen := map[string]bool{}
+	for _, p := range f.Care() {
+		c := pcube.FromPoint(n, p)
+		if !seen[c.Key()] {
+			seen[c.Key()] = true
+			cur = append(cur, &entry{cex: c})
+		}
+	}
+	if !b.spend(len(cur)) {
+		return nil, ErrBudget
+	}
+
+	var candidates []*pcube.CEX
+	for level := 0; len(cur) > 0; level++ {
+		stats.LevelSizes = append(stats.LevelSizes, len(cur))
+		var next []*entry
+		nextSeen := map[string]bool{}
+		for i := 0; i < len(cur); i++ {
+			for j := i + 1; j < len(cur); j++ {
+				// The baseline pays a comparison for every pair; most
+				// fail the structure test.
+				stats.Comparisons++
+				if !cur[i].cex.SameStructure(cur[j].cex) {
+					continue
+				}
+				u := pcube.Union(cur[i].cex, cur[j].cex)
+				stats.Unions++
+				h := opts.Cost.of(u)
+				if h <= opts.Cost.of(cur[i].cex) {
+					cur[i].mark = true
+				}
+				if h <= opts.Cost.of(cur[j].cex) {
+					cur[j].mark = true
+				}
+				k := u.Key()
+				if !nextSeen[k] {
+					nextSeen[k] = true
+					next = append(next, &entry{cex: u})
+					if !b.spend(1) {
+						return nil, ErrBudget
+					}
+				}
+			}
+			// The quadratic pair loop dominates; check the clock even
+			// when no unions fire so oversized levels still time out.
+			if b.expired() {
+				return nil, ErrBudget
+			}
+		}
+		for _, e := range cur {
+			if !e.mark {
+				candidates = append(candidates, e.cex)
+			}
+		}
+		stats.Candidates += len(cur)
+		cur = next
+	}
+	stats.EPPP = len(candidates)
+	stats.BuildTime = time.Since(start)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: stats}, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/bitvec"
+	"repro/internal/pcube"
+)
+
+// ParseForm parses the textual SPP syntax produced by Form.String back
+// into a Form over B^n, re-canonicalizing every pseudoproduct. Both the
+// unicode rendering and an ASCII equivalent are accepted:
+//
+//	x1·(x0⊕x̄2) + x̄0·x2        (unicode: · ⊕ x̄)
+//	x1*(x0^!x2) + !x0*x2       (ascii:   * ^ !)
+//
+// "0" denotes the empty form and "1" the constant-one form. Factors may
+// be written in any order and non-canonically (e.g. (x0⊕x1)·(x0⊕x̄1) is
+// rejected as inconsistent, (x0⊕x1)·x1 canonicalizes to x1·x0... to the
+// canonical x0-before-x1 CEX). Parsing is the inverse of String up to
+// canonicalization.
+func ParseForm(n int, src string) (Form, error) {
+	p := &formParser{n: n, src: src}
+	form, err := p.parse()
+	if err != nil {
+		return Form{}, fmt.Errorf("core: parse %q: %v", src, err)
+	}
+	return form, nil
+}
+
+type formParser struct {
+	n   int
+	src string
+	pos int
+}
+
+func (p *formParser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// lookingAt consumes tok if the input continues with it.
+func (p *formParser) lookingAt(toks ...string) bool {
+	p.ws()
+	for _, tok := range toks {
+		if strings.HasPrefix(p.src[p.pos:], tok) {
+			p.pos += len(tok)
+			return true
+		}
+	}
+	return false
+}
+
+func (p *formParser) parse() (Form, error) {
+	form := Form{N: p.n}
+	if p.lookingAt("0") {
+		p.ws()
+		if p.pos != len(p.src) {
+			return form, fmt.Errorf("trailing input after 0")
+		}
+		return form, nil
+	}
+	for {
+		term, err := p.term()
+		if err != nil {
+			return form, err
+		}
+		form.Terms = append(form.Terms, term)
+		if !p.lookingAt("+", "|") {
+			break
+		}
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return form, fmt.Errorf("unexpected input at offset %d", p.pos)
+	}
+	return form, nil
+}
+
+func (p *formParser) term() (*pcube.CEX, error) {
+	if p.lookingAt("1") {
+		return &pcube.CEX{N: p.n, Canon: bitvec.SpaceMask(p.n)}, nil
+	}
+	var factors []pcube.Factor
+	for {
+		f, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		factors = append(factors, f)
+		if !p.lookingAt("·", "*", "&") {
+			break
+		}
+	}
+	cex, ok := pcube.FromFactors(p.n, factors)
+	if !ok {
+		return nil, fmt.Errorf("inconsistent pseudoproduct (constant 0)")
+	}
+	return cex, nil
+}
+
+func (p *formParser) factor() (pcube.Factor, error) {
+	parens := p.lookingAt("(")
+	var f pcube.Factor
+	for {
+		v, comp, err := p.literal()
+		if err != nil {
+			return f, err
+		}
+		f.Vars ^= bitvec.VarMask(p.n, v)
+		f.Comp ^= comp
+		if !p.lookingAt("⊕", "^") {
+			break
+		}
+	}
+	if parens && !p.lookingAt(")") {
+		return f, fmt.Errorf("missing ) at offset %d", p.pos)
+	}
+	if f.Vars == 0 {
+		return f, fmt.Errorf("empty EXOR factor")
+	}
+	return f, nil
+}
+
+func (p *formParser) literal() (int, uint8, error) {
+	p.ws()
+	comp := uint8(0)
+	if p.lookingAt("!", "~") {
+		comp = 1
+	}
+	if !p.lookingAt("x") {
+		return 0, 0, fmt.Errorf("expected variable at offset %d", p.pos)
+	}
+	// Combining macron (x̄) marks complement in the unicode rendering.
+	if strings.HasPrefix(p.src[p.pos:], "̄") {
+		comp ^= 1
+		p.pos += len("̄")
+	}
+	start := p.pos
+	for p.pos < len(p.src) && unicode.IsDigit(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, 0, fmt.Errorf("expected variable index at offset %d", p.pos)
+	}
+	var idx int
+	fmt.Sscanf(p.src[start:p.pos], "%d", &idx)
+	if idx < 0 || idx >= p.n {
+		return 0, 0, fmt.Errorf("variable x%d out of range for B^%d", idx, p.n)
+	}
+	return idx, comp, nil
+}

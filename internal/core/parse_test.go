@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+	"repro/internal/pcube"
+)
+
+func TestFromFactorsCanonicalizes(t *testing.T) {
+	n := 6
+	// Figure-1 CEX given as redundant, shuffled, non-canonical factors:
+	// x1 · (x0⊕x2⊕x3) · (x0⊕x4⊕x5) · (x2⊕x3⊕x4⊕x5)   (last = xor of
+	// factors 2 and 3, redundant).
+	fs := []pcube.Factor{
+		{Vars: bitvec.MaskOf(n, 2, 3, 4, 5), Comp: 1}, // redundant combo
+		{Vars: bitvec.MaskOf(n, 0, 4, 5), Comp: 0},
+		{Vars: bitvec.MaskOf(n, 1), Comp: 0},
+		{Vars: bitvec.MaskOf(n, 0, 2, 3), Comp: 0},
+	}
+	c, ok := pcube.FromFactors(n, fs)
+	if !ok {
+		t.Fatal("FromFactors rejected a satisfiable product")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "x1·(x0⊕x2⊕x3)·(x0⊕x4⊕x5)" {
+		t.Fatalf("canonicalized to %q", c.String())
+	}
+}
+
+func TestFromFactorsRedundantComplementMatters(t *testing.T) {
+	n := 6
+	// Same as above but the redundant factor has the WRONG complement:
+	// the product is constant 0.
+	fs := []pcube.Factor{
+		{Vars: bitvec.MaskOf(n, 1), Comp: 0},
+		{Vars: bitvec.MaskOf(n, 0, 2, 3), Comp: 0},
+		{Vars: bitvec.MaskOf(n, 0, 4, 5), Comp: 0},
+		{Vars: bitvec.MaskOf(n, 2, 3, 4, 5), Comp: 0}, // inconsistent
+	}
+	if _, ok := pcube.FromFactors(n, fs); ok {
+		t.Fatal("inconsistent product accepted")
+	}
+	// x0 · x̄0 is the smallest inconsistent product.
+	bad := []pcube.Factor{
+		{Vars: bitvec.MaskOf(n, 0), Comp: 0},
+		{Vars: bitvec.MaskOf(n, 0), Comp: 1},
+	}
+	if _, ok := pcube.FromFactors(n, bad); ok {
+		t.Fatal("x0·x̄0 accepted")
+	}
+}
+
+func TestFromFactorsMatchesFromPoints(t *testing.T) {
+	// Random satisfiable factor systems: FromFactors must equal the CEX
+	// recomputed from the solution points.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(5)
+		var fs []pcube.Factor
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			var vars uint64
+			for vars == 0 {
+				vars = rng.Uint64() & bitvec.SpaceMask(n)
+			}
+			fs = append(fs, pcube.Factor{Vars: vars, Comp: uint8(rng.Intn(2))})
+		}
+		c, ok := pcube.FromFactors(n, fs)
+		if !ok {
+			continue // inconsistent draw
+		}
+		if err := c.Verify(); err != nil {
+			t.Fatalf("invalid CEX: %v", err)
+		}
+		// The point set must satisfy every original factor, and the CEX
+		// must be canonical.
+		pts := c.Points()
+		for _, p := range pts {
+			for _, f := range fs {
+				if f.Eval(p) != 1 {
+					t.Fatalf("solution point violates input factor")
+				}
+			}
+		}
+		c2, ok := pcube.FromPoints(n, pts)
+		if !ok || !c.Equal(c2) {
+			t.Fatalf("not canonical:\n got %v\n want %v", c, c2)
+		}
+		// Completeness: count solutions over the whole space.
+		count := 0
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			all := true
+			for _, f := range fs {
+				if f.Eval(p) != 1 {
+					all = false
+					break
+				}
+			}
+			if all {
+				count++
+			}
+		}
+		if count != 1<<uint(c.Degree()) {
+			t.Fatalf("solution count %d != 2^%d", count, c.Degree())
+		}
+	}
+}
+
+func TestParseFormRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(3)
+		var on []uint64
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if rng.Intn(3) == 0 {
+				on = append(on, p)
+			}
+		}
+		f := bfunc.New(n, on)
+		res, err := MinimizeExact(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseForm(n, res.Form.String())
+		if err != nil {
+			t.Fatalf("round trip parse: %v", err)
+		}
+		if parsed.String() != res.Form.String() {
+			t.Fatalf("round trip mismatch:\n in  %s\n out %s", res.Form, parsed)
+		}
+	}
+}
+
+func TestParseFormASCII(t *testing.T) {
+	form, err := ParseForm(4, "x1*(x0^!x2) + !x0*x2 | x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(form.Terms) != 3 {
+		t.Fatalf("terms = %d", len(form.Terms))
+	}
+	// Evaluate against the obvious definition.
+	for p := uint64(0); p < 16; p++ {
+		x := func(i int) bool { return bitvec.Bit(p, 4, i) == 1 }
+		want := (x(1) && (x(0) != !x(2))) || (!x(0) && x(2)) || x(3)
+		if form.Eval(p) != want {
+			t.Fatalf("ascii parse wrong at %04b", p)
+		}
+	}
+}
+
+func TestParseFormConstants(t *testing.T) {
+	zero, err := ParseForm(3, "0")
+	if err != nil || zero.NumTerms() != 0 {
+		t.Fatalf("zero: %v %v", zero, err)
+	}
+	one, err := ParseForm(3, "1")
+	if err != nil || one.NumTerms() != 1 || one.Literals() != 0 {
+		t.Fatalf("one: %v %v", one, err)
+	}
+	if !one.Eval(5) {
+		t.Fatal("constant one evaluates to 0")
+	}
+}
+
+func TestParseFormErrors(t *testing.T) {
+	cases := []string{
+		"",       // nothing
+		"x9",     // out of range for n=4
+		"x0·x̄0", // inconsistent product
+		"x0 +",   // dangling +
+		"(x0⊕x1", // missing paren
+		"y0",     // not a variable
+		"x0 x1",  // missing operator
+		"x0·()",  // empty factor
+		"0 x1",   // trailing after 0
+	}
+	for _, src := range cases {
+		if _, err := ParseForm(4, src); err == nil {
+			t.Errorf("ParseForm(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseNonCanonicalInput(t *testing.T) {
+	// (x1⊕x0)·x1 written badly: canonicalizes to x̄0... solve: x1⊕x0=1
+	// and x1=1 → x0=0, x1=1 → CEX = x̄0·x1.
+	form, err := ParseForm(3, "(x1⊕x0)·x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if form.String() != "x̄0·x1" {
+		t.Fatalf("canonicalized to %q", form.String())
+	}
+}

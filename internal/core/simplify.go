@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bfunc"
+)
+
+// Simplify returns an equivalent form with redundant pseudoproducts
+// removed: a term is dropped (most expensive first) when every ON point
+// of fn it covers is covered by the remaining terms. Useful for forms
+// that did not come out of a minimizer — hand-written or parsed — and
+// as a final polish after heuristic covering. The result evaluates
+// identically to f on fn's care points.
+func (f Form) Simplify(fn *bfunc.Func) Form {
+	if len(f.Terms) <= 1 {
+		return f
+	}
+	// ON points each term is responsible for.
+	on := fn.On()
+	coverCount := make(map[uint64]int, len(on))
+	covers := make([][]uint64, len(f.Terms))
+	for i, t := range f.Terms {
+		for _, p := range on {
+			if t.Contains(p) {
+				covers[i] = append(covers[i], p)
+				coverCount[p]++
+			}
+		}
+	}
+	order := make([]int, len(f.Terms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return f.Terms[order[a]].Literals() > f.Terms[order[b]].Literals()
+	})
+	alive := make([]bool, len(f.Terms))
+	for i := range alive {
+		alive[i] = true
+	}
+	for _, i := range order {
+		redundant := true
+		for _, p := range covers[i] {
+			if coverCount[p] == 1 {
+				redundant = false
+				break
+			}
+		}
+		if redundant {
+			alive[i] = false
+			for _, p := range covers[i] {
+				coverCount[p]--
+			}
+		}
+	}
+	out := Form{N: f.N}
+	for i, t := range f.Terms {
+		if alive[i] {
+			out.Terms = append(out.Terms, t)
+		}
+	}
+	return out
+}

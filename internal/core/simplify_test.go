@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/pcube"
+)
+
+func TestSimplifyDropsRedundantTerms(t *testing.T) {
+	// f = x0 over B^2 written redundantly as x0 + x0·x1.
+	n := 2
+	fn := bfunc.New(n, []uint64{0b10, 0b11})
+	form, err := ParseForm(n, "x0 + x0·x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := form.Simplify(fn)
+	if s.NumTerms() != 1 || s.String() != "x0" {
+		t.Fatalf("Simplify = %q", s.String())
+	}
+	if err := s.Verify(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyKeepsIrredundantForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		n := 4
+		var on []uint64
+		for p := uint64(0); p < 16; p++ {
+			if rng.Intn(3) == 0 {
+				on = append(on, p)
+			}
+		}
+		fn := bfunc.New(n, on)
+		res, err := MinimizeExact(fn, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Form.Simplify(fn)
+		if s.NumTerms() != res.Form.NumTerms() {
+			t.Fatalf("minimizer output lost terms in Simplify: %d -> %d",
+				res.Form.NumTerms(), s.NumTerms())
+		}
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		n := 4
+		var on []uint64
+		for p := uint64(0); p < 16; p++ {
+			if rng.Intn(2) == 0 {
+				on = append(on, p)
+			}
+		}
+		fn := bfunc.New(n, on)
+		// An intentionally bloated form: the minimal one plus every
+		// single ON minterm as a degree-0 term.
+		res, err := MinimizeExact(fn, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bloated := Form{N: n, Terms: append([]*pcube.CEX(nil), res.Form.Terms...)}
+		for _, p := range on {
+			bloated.Terms = append(bloated.Terms, pcube.FromPoint(n, p))
+		}
+		s := bloated.Simplify(fn)
+		if err := s.Verify(fn); err != nil {
+			t.Fatal(err)
+		}
+		// Greedy elimination is not guaranteed minimal, but it must
+		// actually shrink a grossly redundant form, and the result must
+		// itself be irredundant (a second pass changes nothing).
+		if len(on) > 0 && res.Form.NumTerms() < len(bloated.Terms) &&
+			s.NumTerms() >= len(bloated.Terms) {
+			t.Fatalf("Simplify dropped nothing from a redundant form (%d terms)",
+				len(bloated.Terms))
+		}
+		if again := s.Simplify(fn); again.NumTerms() != s.NumTerms() {
+			t.Fatalf("Simplify not idempotent: %d -> %d", s.NumTerms(), again.NumTerms())
+		}
+	}
+}
+
+func TestSimplifyTrivialForms(t *testing.T) {
+	fn := bfunc.New(3, []uint64{1})
+	empty := Form{N: 3}
+	if got := empty.Simplify(fn); got.NumTerms() != 0 {
+		t.Fatal("empty form changed")
+	}
+	single := Form{N: 3, Terms: []*pcube.CEX{pcube.FromPoint(3, 1)}}
+	if got := single.Simplify(fn); got.NumTerms() != 1 {
+		t.Fatal("single-term form changed")
+	}
+}

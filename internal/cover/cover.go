@@ -1,0 +1,197 @@
+// Package cover solves the weighted unate set-covering problems at the
+// heart of both SP and SPP minimization (paper §1): given rows X (the
+// ON-set minterms), columns Y (prime implicants or extended prime
+// pseudoproducts) and a column cost (literal count), select a minimum
+// cost subset of Y covering X.
+//
+// Two solvers are provided: a greedy heuristic with redundancy
+// elimination (the paper reports using covering heuristics for Table 1,
+// making its #L figures upper bounds), and an exact branch-and-bound
+// with classical essential/dominance reductions and an
+// independent-rows lower bound, budgeted by a node limit.
+package cover
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Instance is a covering problem. Rows are indexed 0..NRows-1; column j
+// covers the rows listed in Cols[j].Rows (sorted, unique) at cost
+// Cols[j].Cost (> 0).
+type Instance struct {
+	NRows int
+	Cols  []Column
+}
+
+// Column is one selectable set.
+type Column struct {
+	Cost int
+	Rows []int
+}
+
+// Result is a covering solution.
+type Result struct {
+	Picked  []int // indices into Instance.Cols, sorted
+	Cost    int
+	Optimal bool  // true if proven minimum
+	Nodes   int64 // branch-and-bound nodes explored (exact solver)
+}
+
+// Validate checks structural sanity of the instance and that a cover
+// exists (every row covered by at least one column).
+func (in *Instance) Validate() error {
+	seen := make([]bool, in.NRows)
+	for j, c := range in.Cols {
+		if c.Cost <= 0 {
+			return fmt.Errorf("cover: column %d has non-positive cost %d", j, c.Cost)
+		}
+		prev := -1
+		for _, r := range c.Rows {
+			if r < 0 || r >= in.NRows {
+				return fmt.Errorf("cover: column %d covers invalid row %d", j, r)
+			}
+			if r <= prev {
+				return fmt.Errorf("cover: column %d rows not sorted/unique", j)
+			}
+			prev = r
+			seen[r] = true
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			return fmt.Errorf("cover: row %d is uncoverable", r)
+		}
+	}
+	return nil
+}
+
+// bitset over rows.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+func (b bitset) clone() bitset  { c := make(bitset, len(b)); copy(c, b); return c }
+
+func (b bitset) orWith(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// countNew returns |o \ b|: rows of o not already set in b.
+func (b bitset) countNew(o bitset) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(o[i] &^ b[i])
+	}
+	return n
+}
+
+func (b bitset) containsAll(o bitset) bool {
+	for i := range b {
+		if o[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (in *Instance) colBitsets() []bitset {
+	bs := make([]bitset, len(in.Cols))
+	for j, c := range in.Cols {
+		b := newBitset(in.NRows)
+		for _, r := range c.Rows {
+			b.set(r)
+		}
+		bs[j] = b
+	}
+	return bs
+}
+
+// Greedy computes a cover with the classic cost-effectiveness greedy
+// (pick the column minimizing cost per newly covered row), followed by
+// reverse redundancy elimination (drop any picked column whose rows are
+// covered by the others). The result is always a valid cover; Optimal
+// is false unless the cover is trivially a single column of minimum
+// cost covering everything.
+func Greedy(in *Instance) Result {
+	if in.NRows == 0 {
+		return Result{Optimal: true}
+	}
+	bs := in.colBitsets()
+	covered := newBitset(in.NRows)
+	var picked []int
+	remaining := in.NRows
+	for remaining > 0 {
+		best, bestNew := -1, 0
+		var bestRatio float64
+		for j := range in.Cols {
+			nw := covered.countNew(bs[j])
+			if nw == 0 {
+				continue
+			}
+			ratio := float64(in.Cols[j].Cost) / float64(nw)
+			if best == -1 || ratio < bestRatio ||
+				(ratio == bestRatio && nw > bestNew) {
+				best, bestNew, bestRatio = j, nw, ratio
+			}
+		}
+		if best == -1 {
+			panic("cover: uncoverable row in Greedy (call Validate first)")
+		}
+		picked = append(picked, best)
+		covered.orWith(bs[best])
+		remaining -= bestNew
+	}
+	picked = eliminateRedundant(in, bs, picked)
+	sort.Ints(picked)
+	cost := 0
+	for _, j := range picked {
+		cost += in.Cols[j].Cost
+	}
+	return Result{Picked: picked, Cost: cost}
+}
+
+// eliminateRedundant drops picked columns (most expensive first) whose
+// rows remain covered by the rest.
+func eliminateRedundant(in *Instance, bs []bitset, picked []int) []int {
+	order := append([]int(nil), picked...)
+	sort.Slice(order, func(a, b int) bool {
+		return in.Cols[order[a]].Cost > in.Cols[order[b]].Cost
+	})
+	alive := map[int]bool{}
+	for _, j := range picked {
+		alive[j] = true
+	}
+	for _, j := range order {
+		// Coverage without j.
+		without := newBitset(in.NRows)
+		for k := range alive {
+			if k != j && alive[k] {
+				without.orWith(bs[k])
+			}
+		}
+		if without.containsAll(bs[j]) {
+			alive[j] = false
+		}
+	}
+	out := picked[:0]
+	for _, j := range picked {
+		if alive[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package cover
+
+import (
+	"sort"
+)
+
+// ExactOptions configures the branch-and-bound solver.
+type ExactOptions struct {
+	// MaxNodes bounds the search; 0 means DefaultMaxNodes. When the
+	// budget is exhausted the best cover found so far is returned with
+	// Optimal=false (it is still a valid cover because the search is
+	// seeded with the greedy solution).
+	MaxNodes int64
+}
+
+// DefaultMaxNodes is the node budget used when ExactOptions.MaxNodes is 0.
+const DefaultMaxNodes = 2_000_000
+
+// Exact solves the covering problem by branch and bound after the
+// classical essential-column and row/column-dominance reductions, with
+// an independent-rows lower bound. It is seeded with the greedy cover,
+// so even on budget exhaustion the result is valid.
+func Exact(in *Instance, opts ExactOptions) Result {
+	if in.NRows == 0 {
+		return Result{Optimal: true}
+	}
+	budget := opts.MaxNodes
+	if budget == 0 {
+		budget = DefaultMaxNodes
+	}
+	red := reduceInstance(in)
+	picked := append([]int(nil), red.forced...)
+	cost := red.cost
+	if red.residual.NRows == 0 {
+		sort.Ints(picked)
+		return Result{Picked: picked, Cost: cost, Optimal: true}
+	}
+	seed := Greedy(red.residual)
+	s := &solver{
+		in:      red.residual,
+		bs:      red.residual.colBitsets(),
+		best:    append([]int(nil), seed.Picked...),
+		bestUB:  seed.Cost,
+		budget:  budget,
+		rowCols: rowToCols(red.residual),
+	}
+	covered := newBitset(red.residual.NRows)
+	s.search(covered, nil, 0)
+	for _, j := range s.best {
+		picked = append(picked, red.colMap[j])
+	}
+	sort.Ints(picked)
+	return Result{
+		Picked:  picked,
+		Cost:    cost + s.bestUB,
+		Optimal: s.nodes < s.budget,
+		Nodes:   s.nodes,
+	}
+}
+
+func rowToCols(in *Instance) [][]int {
+	rc := make([][]int, in.NRows)
+	for j, c := range in.Cols {
+		for _, r := range c.Rows {
+			rc[r] = append(rc[r], j)
+		}
+	}
+	return rc
+}
+
+type solver struct {
+	in      *Instance
+	bs      []bitset
+	rowCols [][]int
+	best    []int
+	bestUB  int
+	nodes   int64
+	budget  int64
+}
+
+// lowerBound computes a simple independent-rows bound: greedily pick
+// uncovered rows no two of which share a column, summing for each the
+// cheapest column covering it.
+func (s *solver) lowerBound(covered bitset) int {
+	usedCols := map[int]bool{}
+	lb := 0
+	for r := 0; r < s.in.NRows; r++ {
+		if covered.get(r) {
+			continue
+		}
+		independent := true
+		minCost := -1
+		for _, j := range s.rowCols[r] {
+			if usedCols[j] {
+				independent = false
+				break
+			}
+			if minCost == -1 || s.in.Cols[j].Cost < minCost {
+				minCost = s.in.Cols[j].Cost
+			}
+		}
+		if independent && minCost > 0 {
+			lb += minCost
+			for _, j := range s.rowCols[r] {
+				usedCols[j] = true
+			}
+		}
+	}
+	return lb
+}
+
+func (s *solver) search(covered bitset, picked []int, cost int) {
+	s.nodes++
+	if s.nodes >= s.budget {
+		return
+	}
+	if cost >= s.bestUB {
+		return
+	}
+	// Find the uncovered row with the fewest candidate columns.
+	branchRow := -1
+	branchDeg := int(^uint(0) >> 1)
+	for r := 0; r < s.in.NRows; r++ {
+		if covered.get(r) {
+			continue
+		}
+		deg := 0
+		for _, j := range s.rowCols[r] {
+			if covered.countNew(s.bs[j]) > 0 {
+				deg++
+			}
+		}
+		if deg < branchDeg {
+			branchDeg, branchRow = deg, r
+		}
+		if deg <= 1 {
+			break
+		}
+	}
+	if branchRow == -1 {
+		// Full cover found.
+		if cost < s.bestUB {
+			s.bestUB = cost
+			s.best = append(s.best[:0], picked...)
+		}
+		return
+	}
+	if cost+s.lowerBound(covered) >= s.bestUB {
+		return
+	}
+	// Branch on the columns covering branchRow, cheapest-per-new first.
+	cands := make([]int, 0, len(s.rowCols[branchRow]))
+	cands = append(cands, s.rowCols[branchRow]...)
+	sort.Slice(cands, func(a, b int) bool {
+		na := covered.countNew(s.bs[cands[a]])
+		nb := covered.countNew(s.bs[cands[b]])
+		ca, cb := s.in.Cols[cands[a]].Cost, s.in.Cols[cands[b]].Cost
+		return ca*nb < cb*na // cost/new ascending without division
+	})
+	for _, j := range cands {
+		nc := covered.clone()
+		nc.orWith(s.bs[j])
+		s.search(nc, append(picked, j), cost+s.in.Cols[j].Cost)
+		if s.nodes >= s.budget {
+			return
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package cover
+
+import (
+	"sort"
+)
+
+// reduction is the outcome of the classical covering-table
+// preprocessing: essential columns are forced, dominated rows and
+// columns are removed, and the residual instance is handed to search.
+type reduction struct {
+	forced   []int // original column indices that must be in any optimum
+	cost     int   // their total cost
+	residual *Instance
+	colMap   []int // residual column -> original column index
+}
+
+// reduceInstance applies essential-column, row-dominance and
+// column-dominance rules to a fixpoint. The reductions are the
+// standard ones from two-level minimization (McCluskey): they preserve
+// at least one optimal solution.
+func reduceInstance(in *Instance) reduction {
+	type col struct {
+		orig int
+		cost int
+		rows map[int]bool
+	}
+	cols := make([]*col, 0, len(in.Cols))
+	for j, c := range in.Cols {
+		rows := make(map[int]bool, len(c.Rows))
+		for _, r := range c.Rows {
+			rows[r] = true
+		}
+		cols = append(cols, &col{orig: j, cost: c.Cost, rows: rows})
+	}
+	activeRows := map[int]bool{}
+	for r := 0; r < in.NRows; r++ {
+		activeRows[r] = true
+	}
+	red := reduction{}
+
+	removeCoveredRows := func(c *col) {
+		for r := range c.rows {
+			delete(activeRows, r)
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		// Essential columns: a row covered by exactly one column forces
+		// that column.
+		for r := range activeRows {
+			var last *col
+			count := 0
+			for _, c := range cols {
+				if c.rows[r] {
+					count++
+					last = c
+				}
+			}
+			if count == 1 {
+				red.forced = append(red.forced, last.orig)
+				red.cost += last.cost
+				removeCoveredRows(last)
+				// Drop the column itself.
+				for i, c := range cols {
+					if c == last {
+						cols = append(cols[:i], cols[i+1:]...)
+						break
+					}
+				}
+				changed = true
+				break // row sets changed; restart scans
+			}
+		}
+		if changed {
+			continue
+		}
+
+		// Prune columns to active rows; drop empty ones.
+		kept := cols[:0]
+		for _, c := range cols {
+			for r := range c.rows {
+				if !activeRows[r] {
+					delete(c.rows, r)
+				}
+			}
+			if len(c.rows) > 0 {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) != len(cols) {
+			cols = kept
+			changed = true
+			continue
+		}
+
+		// Row dominance: if cols(r) ⊆ cols(s), any cover of r covers s;
+		// drop s.
+		rowCols := map[int][]int{}
+		for ci, c := range cols {
+			for r := range c.rows {
+				rowCols[r] = append(rowCols[r], ci)
+			}
+		}
+		rows := make([]int, 0, len(activeRows))
+		for r := range activeRows {
+			rows = append(rows, r)
+		}
+		sort.Ints(rows)
+	rowLoop:
+		for _, r := range rows {
+			for _, s := range rows {
+				if r == s || !activeRows[r] || !activeRows[s] {
+					continue
+				}
+				if subsetInts(rowCols[r], rowCols[s]) && (len(rowCols[r]) < len(rowCols[s]) || r < s) {
+					delete(activeRows, s)
+					changed = true
+					continue rowLoop
+				}
+			}
+		}
+		if changed {
+			continue
+		}
+
+		// Column dominance: drop j when rows(k) ⊇ rows(j) with
+		// cost(k) ≤ cost(j) (ties keep the earlier original index).
+	colLoop:
+		for i := 0; i < len(cols); i++ {
+			for k := 0; k < len(cols); k++ {
+				if i == k {
+					continue
+				}
+				a, b := cols[i], cols[k]
+				if b.cost <= a.cost && subsetRows(a.rows, b.rows) {
+					if len(a.rows) == len(b.rows) && a.cost == b.cost && a.orig < b.orig {
+						continue // symmetric tie: keep the earlier one
+					}
+					cols = append(cols[:i], cols[i+1:]...)
+					changed = true
+					break colLoop
+				}
+			}
+		}
+	}
+
+	// Build the residual instance over the surviving rows/columns.
+	rowIdx := map[int]int{}
+	rows := make([]int, 0, len(activeRows))
+	for r := range activeRows {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	for i, r := range rows {
+		rowIdx[r] = i
+	}
+	red.residual = &Instance{NRows: len(rows)}
+	for _, c := range cols {
+		var rr []int
+		for r := range c.rows {
+			rr = append(rr, rowIdx[r])
+		}
+		sort.Ints(rr)
+		red.residual.Cols = append(red.residual.Cols, Column{Cost: c.cost, Rows: rr})
+		red.colMap = append(red.colMap, c.orig)
+	}
+	sort.Ints(red.forced)
+	return red
+}
+
+// subsetInts reports a ⊆ b for the (unordered) column-index lists.
+func subsetInts(a, b []int) bool {
+	set := make(map[int]bool, len(b))
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetRows(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for r := range a {
+		if !b[r] {
+			return false
+		}
+	}
+	return true
+}

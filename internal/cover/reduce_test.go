@@ -1,0 +1,103 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceEssentialColumns(t *testing.T) {
+	// Row 0 is covered only by column 0: it must be forced.
+	in := &Instance{
+		NRows: 3,
+		Cols: []Column{
+			{Cost: 5, Rows: []int{0, 1}},
+			{Cost: 1, Rows: []int{1, 2}},
+			{Cost: 1, Rows: []int{2}},
+		},
+	}
+	red := reduceInstance(in)
+	// The fixpoint cascades: forcing column 0 leaves only row 2, where
+	// dominance plus essentiality force one of the unit columns too —
+	// the whole instance solves by reduction alone.
+	if len(red.forced) != 2 || red.forced[0] != 0 || red.cost != 6 || red.residual.NRows != 0 {
+		t.Fatalf("forced = %v cost = %d residual rows = %d", red.forced, red.cost, red.residual.NRows)
+	}
+	res := Exact(in, ExactOptions{})
+	if res.Cost != 6 || !res.Optimal {
+		t.Fatalf("exact = %+v, want cost 6", res)
+	}
+}
+
+func TestReduceColumnDominance(t *testing.T) {
+	// Column 1 is dominated by column 0 (superset rows, cheaper).
+	in := &Instance{
+		NRows: 2,
+		Cols: []Column{
+			{Cost: 1, Rows: []int{0, 1}},
+			{Cost: 2, Rows: []int{0}},
+			{Cost: 2, Rows: []int{1}},
+		},
+	}
+	red := reduceInstance(in)
+	// After dominance the single column is essential: nothing residual.
+	if red.residual.NRows != 0 || len(red.forced) != 1 || red.forced[0] != 0 {
+		t.Fatalf("reduction = %+v", red)
+	}
+}
+
+func TestReduceRowDominance(t *testing.T) {
+	// cols(row0) = {0} ⊂ cols(row1) = {0,1}: row 1 drops, column 0
+	// becomes essential, column 1 empties.
+	in := &Instance{
+		NRows: 2,
+		Cols: []Column{
+			{Cost: 3, Rows: []int{0, 1}},
+			{Cost: 1, Rows: []int{1}},
+		},
+	}
+	red := reduceInstance(in)
+	if len(red.forced) != 1 || red.forced[0] != 0 || red.residual.NRows != 0 {
+		t.Fatalf("reduction = %+v", red)
+	}
+	res := Exact(in, ExactOptions{})
+	if res.Cost != 3 || !res.Optimal {
+		t.Fatalf("exact = %+v", res)
+	}
+}
+
+func TestReducePreservesOptimum(t *testing.T) {
+	// Dedicated check that reductions alone never change the optimum
+	// (Exact vs brute force on instances engineered to trigger all
+	// three rules).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 1+rng.Intn(7), 1+rng.Intn(5), 3)
+		// Duplicate a column at higher cost (column dominance) and add
+		// a singleton row cover (essential after dominance).
+		if len(in.Cols) > 0 {
+			dup := in.Cols[0]
+			in.Cols = append(in.Cols, Column{Cost: dup.Cost + 1, Rows: dup.Rows})
+		}
+		res := Exact(in, ExactOptions{})
+		return res.Optimal && res.Cost == bruteForce(in) && isCover(in, res.Picked)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSymmetricTieKeepsOne(t *testing.T) {
+	// Two identical columns: exactly one must survive the tie-break.
+	in := &Instance{
+		NRows: 1,
+		Cols: []Column{
+			{Cost: 2, Rows: []int{0}},
+			{Cost: 2, Rows: []int{0}},
+		},
+	}
+	res := Exact(in, ExactOptions{})
+	if res.Cost != 2 || len(res.Picked) != 1 || !res.Optimal {
+		t.Fatalf("exact = %+v", res)
+	}
+}

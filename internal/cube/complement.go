@@ -1,0 +1,112 @@
+package cube
+
+import (
+	"repro/internal/bitvec"
+)
+
+// Intersects reports whether two cubes share a point: their bound
+// variables must agree wherever both bind.
+func Intersects(a, b Cube) bool {
+	return (a.Val^b.Val)&a.Care&b.Care == 0
+}
+
+// CofactorLiteral restricts the cube to the half-space x_i = v and
+// reports whether the restriction is non-empty. The variable is removed
+// from the result's bound set (standard cofactor convention).
+func (c Cube) CofactorLiteral(n, i int, v uint64) (Cube, bool) {
+	m := bitvec.VarMask(n, i)
+	if c.Care&m != 0 {
+		bound := uint64(0)
+		if c.Val&m != 0 {
+			bound = 1
+		}
+		if bound != v&1 {
+			return Cube{}, false
+		}
+	}
+	return Cube{Care: c.Care &^ m, Val: c.Val &^ m}, true
+}
+
+// Complement computes a cover of the complement of the given cover over
+// B^n by the classical Shannon/unate recursion: pick the most frequent
+// bound variable, complement both cofactors, and reattach the literals.
+// The result is a valid (not necessarily minimal) cover of ¬cover.
+func Complement(n int, cover []Cube) []Cube {
+	// Terminal cases.
+	for _, c := range cover {
+		if c.Care == 0 {
+			return nil // tautology: empty complement
+		}
+	}
+	if len(cover) == 0 {
+		return []Cube{{}} // complement of 0 is the universe
+	}
+	if len(cover) == 1 {
+		return complementOne(n, cover[0])
+	}
+	v := splitVar(n, cover)
+	m := bitvec.VarMask(n, v)
+
+	var lo, hi []Cube
+	for _, c := range cover {
+		if cc, ok := c.CofactorLiteral(n, v, 0); ok {
+			lo = append(lo, cc)
+		}
+		if cc, ok := c.CofactorLiteral(n, v, 1); ok {
+			hi = append(hi, cc)
+		}
+	}
+	out := make([]Cube, 0, len(lo)+len(hi))
+	for _, c := range Complement(n, lo) {
+		out = append(out, Cube{Care: c.Care | m, Val: c.Val &^ m})
+	}
+	for _, c := range Complement(n, hi) {
+		out = append(out, Cube{Care: c.Care | m, Val: c.Val | m})
+	}
+	return out
+}
+
+// complementOne expands ¬(l_1·l_2·…·l_k) as the disjoint cover
+// ¬l_1 + l_1¬l_2 + l_1l_2¬l_3 + ….
+func complementOne(n int, c Cube) []Cube {
+	var out []Cube
+	var prefixCare, prefixVal uint64
+	for _, v := range bitvec.Vars(c.Care, n) {
+		m := bitvec.VarMask(n, v)
+		out = append(out, Cube{
+			Care: prefixCare | m,
+			Val:  prefixVal | (^c.Val & m),
+		})
+		prefixCare |= m
+		prefixVal |= c.Val & m
+	}
+	return out
+}
+
+// splitVar picks the most frequently bound variable of the cover (the
+// classical binate/most-active selection keeps the recursion shallow).
+func splitVar(n int, cover []Cube) int {
+	counts := make([]int, n)
+	for _, c := range cover {
+		for _, v := range bitvec.Vars(c.Care, n) {
+			counts[v]++
+		}
+	}
+	best, bestCount := 0, -1
+	for v, ct := range counts {
+		if ct > bestCount {
+			best, bestCount = v, ct
+		}
+	}
+	return best
+}
+
+// CoverContains reports whether the cover contains point p.
+func CoverContains(cover []Cube, p uint64) bool {
+	for _, c := range cover {
+		if c.Contains(p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func randomCover(rng *rand.Rand, n, count int) []Cube {
+	var cover []Cube
+	for i := 0; i < count; i++ {
+		care := rng.Uint64() & bitvec.SpaceMask(n)
+		val := rng.Uint64() & care
+		cover = append(cover, New(care, val))
+	}
+	return cover
+}
+
+func TestComplementPointwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		cover := randomCover(rng, n, rng.Intn(6))
+		comp := Complement(n, cover)
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if CoverContains(cover, p) == CoverContains(comp, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplementTerminals(t *testing.T) {
+	n := 4
+	// Empty cover → universe.
+	comp := Complement(n, nil)
+	if len(comp) != 1 || comp[0].Care != 0 {
+		t.Fatalf("complement of empty = %v", comp)
+	}
+	// Tautology → empty.
+	if got := Complement(n, []Cube{{}}); len(got) != 0 {
+		t.Fatalf("complement of universe = %v", got)
+	}
+	// Single cube x0·x̄2: complement is x̄0 + x0·x2.
+	c := New(bitvec.MaskOf(n, 0, 2), bitvec.MaskOf(n, 0))
+	comp = Complement(n, []Cube{c})
+	if len(comp) != 2 {
+		t.Fatalf("single-cube complement = %v", comp)
+	}
+	for p := uint64(0); p < 16; p++ {
+		if c.Contains(p) == CoverContains(comp, p) {
+			t.Fatalf("single-cube complement wrong at %04b", p)
+		}
+	}
+}
+
+func TestComplementOneIsDisjoint(t *testing.T) {
+	n := 6
+	c := New(bitvec.MaskOf(n, 0, 2, 5), bitvec.MaskOf(n, 2))
+	comp := complementOne(n, c)
+	if len(comp) != 3 {
+		t.Fatalf("len = %d, want one cube per literal", len(comp))
+	}
+	for i := range comp {
+		for j := i + 1; j < len(comp); j++ {
+			if Intersects(comp[i], comp[j]) {
+				t.Fatalf("complementOne cubes %d,%d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	n := 4
+	a := New(bitvec.MaskOf(n, 0), bitvec.MaskOf(n, 0)) // x0
+	b := New(bitvec.MaskOf(n, 0), 0)                   // x̄0
+	c := New(bitvec.MaskOf(n, 1), bitvec.MaskOf(n, 1)) // x1
+	if Intersects(a, b) {
+		t.Fatal("x0 and x̄0 intersect")
+	}
+	if !Intersects(a, c) || !Intersects(b, c) {
+		t.Fatal("orthogonal cubes must intersect")
+	}
+	if !Intersects(a, Cube{}) {
+		t.Fatal("universe intersects everything")
+	}
+}
+
+func TestIntersectsMatchesPointSets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		cover := randomCover(rng, n, 2)
+		a, b := cover[0], cover[1]
+		shared := false
+		for p := uint64(0); p < 16; p++ {
+			if a.Contains(p) && b.Contains(p) {
+				shared = true
+				break
+			}
+		}
+		return Intersects(a, b) == shared
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCofactorLiteral(t *testing.T) {
+	n := 4
+	c := New(bitvec.MaskOf(n, 0, 1), bitvec.MaskOf(n, 0)) // x0·x̄1
+	if _, ok := c.CofactorLiteral(n, 0, 0); ok {
+		t.Fatal("conflicting cofactor must be empty")
+	}
+	cc, ok := c.CofactorLiteral(n, 0, 1)
+	if !ok || cc.Care != bitvec.MaskOf(n, 1) || cc.Val != 0 {
+		t.Fatalf("cofactor = %v", cc)
+	}
+	// Unbound variable: unchanged except nothing to drop.
+	cc, ok = c.CofactorLiteral(n, 3, 1)
+	if !ok || cc.Care != c.Care {
+		t.Fatalf("free-var cofactor = %v", cc)
+	}
+}

@@ -1,0 +1,141 @@
+// Package cube implements classical cubes (products of literals), the
+// two-level building block that SPP forms generalize. A cube is the
+// special pseudocube whose non-canonical columns are constant (paper §2).
+package cube
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitvec"
+)
+
+// Cube is a product of literals over B^n: the variables in Care are
+// bound, with values given by the corresponding bits of Val (Val ⊆
+// Care). The empty cube (Care == 0) is the constant-1 product covering
+// all of B^n.
+type Cube struct {
+	Care uint64
+	Val  uint64
+}
+
+// New builds a cube and normalizes Val to the Care mask.
+func New(care, val uint64) Cube {
+	return Cube{Care: care, Val: val & care}
+}
+
+// FromPoint returns the 0-degree cube containing exactly p.
+func FromPoint(n int, p uint64) Cube {
+	return Cube{Care: bitvec.SpaceMask(n), Val: p}
+}
+
+// Literals returns the number of literals in the product.
+func (c Cube) Literals() int { return bitvec.OnesCount(c.Care) }
+
+// Degree returns the cube's degree m (it covers 2^m points of B^n).
+func (c Cube) Degree(n int) int { return n - c.Literals() }
+
+// Contains reports whether point p satisfies the product.
+func (c Cube) Contains(p uint64) bool { return p&c.Care == c.Val }
+
+// Covers reports whether d's point set is a subset of c's.
+func (c Cube) Covers(d Cube) bool {
+	return c.Care&d.Care == c.Care && d.Val&c.Care == c.Val
+}
+
+// MergeDistance1 attempts the Quine–McCluskey merge: if c and d bind the
+// same variables and differ in exactly one value bit, it returns the
+// merged cube (that bit freed) and true.
+func MergeDistance1(c, d Cube) (Cube, bool) {
+	if c.Care != d.Care {
+		return Cube{}, false
+	}
+	diff := c.Val ^ d.Val
+	if diff == 0 || diff&(diff-1) != 0 {
+		return Cube{}, false
+	}
+	return Cube{Care: c.Care &^ diff, Val: c.Val &^ diff}, true
+}
+
+// Points enumerates the cube's point set over B^n. The caller owns the
+// returned slice.
+func (c Cube) Points(n int) []uint64 {
+	free := bitvec.SpaceMask(n) &^ c.Care
+	out := make([]uint64, 0, 1<<uint(bitvec.OnesCount(free)))
+	// Enumerate subsets of the free mask with the standard trick.
+	sub := uint64(0)
+	for {
+		out = append(out, c.Val|sub)
+		sub = (sub - free) & free
+		if sub == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// String renders the product, e.g. "x0·x̄2·x5", or "1" for the empty cube.
+func (c Cube) String() string { return c.Format(64) }
+
+// Format renders the product over an n-variable space.
+func (c Cube) Format(n int) string {
+	if c.Care == 0 {
+		return "1"
+	}
+	var sb strings.Builder
+	first := true
+	for i := 0; i < n; i++ {
+		m := bitvec.VarMask(n, i)
+		if c.Care&m == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteString("·")
+		}
+		first = false
+		if c.Val&m == 0 {
+			fmt.Fprintf(&sb, "x̄%d", i)
+		} else {
+			fmt.Fprintf(&sb, "x%d", i)
+		}
+	}
+	return sb.String()
+}
+
+// Form is a sum of products over B^n.
+type Form struct {
+	N     int
+	Cubes []Cube
+}
+
+// Literals returns the total literal count of the form (the paper's #L
+// metric for SP expressions).
+func (f Form) Literals() int {
+	total := 0
+	for _, c := range f.Cubes {
+		total += c.Literals()
+	}
+	return total
+}
+
+// Eval reports whether the form evaluates to 1 on p.
+func (f Form) Eval(p uint64) bool {
+	for _, c := range f.Cubes {
+		if c.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the form as a sum of products.
+func (f Form) String() string {
+	if len(f.Cubes) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(f.Cubes))
+	for i, c := range f.Cubes {
+		parts[i] = c.Format(f.N)
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,134 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestFromPointContains(t *testing.T) {
+	n := 5
+	c := FromPoint(n, 0b10110)
+	if !c.Contains(0b10110) {
+		t.Fatal("point cube must contain its point")
+	}
+	if c.Contains(0b10111) {
+		t.Fatal("point cube must not contain other points")
+	}
+	if c.Literals() != n || c.Degree(n) != 0 {
+		t.Fatalf("literals=%d degree=%d", c.Literals(), c.Degree(n))
+	}
+}
+
+func TestMergeDistance1(t *testing.T) {
+	n := 4
+	a := FromPoint(n, 0b0110)
+	b := FromPoint(n, 0b0100)
+	m, ok := MergeDistance1(a, b)
+	if !ok {
+		t.Fatal("distance-1 points must merge")
+	}
+	if m.Literals() != 3 || !m.Contains(0b0110) || !m.Contains(0b0100) {
+		t.Fatalf("merged cube wrong: %v", m)
+	}
+	if _, ok := MergeDistance1(a, FromPoint(n, 0b0101)); ok {
+		t.Fatal("distance-2 points must not merge")
+	}
+	if _, ok := MergeDistance1(a, a); ok {
+		t.Fatal("identical cubes must not merge")
+	}
+	// Different care masks never merge.
+	c := New(bitvec.MaskOf(n, 0, 1), 0)
+	d := New(bitvec.MaskOf(n, 0, 2), 0)
+	if _, ok := MergeDistance1(c, d); ok {
+		t.Fatal("different care masks must not merge")
+	}
+}
+
+func TestPointsEnumeration(t *testing.T) {
+	n := 4
+	c := New(bitvec.MaskOf(n, 0, 3), bitvec.MaskOf(n, 0))
+	pts := c.Points(n)
+	if len(pts) != 4 {
+		t.Fatalf("len(points) = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if !c.Contains(p) {
+			t.Fatalf("enumerated point %b not contained", p)
+		}
+	}
+	// Degenerate: full-space cube.
+	if got := len(Cube{}.Points(2)); got != 4 {
+		t.Fatalf("empty cube over B^2 has %d points", got)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	n := 4
+	big := New(bitvec.MaskOf(n, 0), bitvec.MaskOf(n, 0))      // x0
+	small := New(bitvec.MaskOf(n, 0, 2), bitvec.MaskOf(n, 0)) // x0·x̄2
+	if !big.Covers(small) {
+		t.Fatal("x0 must cover x0·x̄2")
+	}
+	if small.Covers(big) {
+		t.Fatal("x0·x̄2 must not cover x0")
+	}
+	other := New(bitvec.MaskOf(n, 0), 0) // x̄0
+	if big.Covers(other) || other.Covers(big) {
+		t.Fatal("x0 and x̄0 are incomparable")
+	}
+}
+
+func TestCoversMatchesPointSets(t *testing.T) {
+	n := 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Cube {
+			care := rng.Uint64() & bitvec.SpaceMask(n)
+			val := rng.Uint64() & care
+			return New(care, val)
+		}
+		a, b := mk(), mk()
+		subset := true
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if b.Contains(p) && !a.Contains(p) {
+				subset = false
+				break
+			}
+		}
+		return a.Covers(b) == subset
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormEvalAndLiterals(t *testing.T) {
+	n := 3
+	f := Form{N: n, Cubes: []Cube{
+		New(bitvec.MaskOf(n, 0, 1), bitvec.MaskOf(n, 0, 1)), // x0·x1
+		New(bitvec.MaskOf(n, 2), 0),                         // x̄2
+	}}
+	if f.Literals() != 3 {
+		t.Fatalf("Literals = %d", f.Literals())
+	}
+	if !f.Eval(0b110) || !f.Eval(0b000) || f.Eval(0b011) {
+		t.Fatal("Eval wrong")
+	}
+	if (Form{N: n}).Eval(0) {
+		t.Fatal("empty form is constant 0")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	n := 4
+	c := New(bitvec.MaskOf(n, 0, 2), bitvec.MaskOf(n, 0))
+	if got := c.Format(n); got != "x0·x̄2" {
+		t.Fatalf("Format = %q", got)
+	}
+	if got := (Cube{}).Format(n); got != "1" {
+		t.Fatalf("empty cube Format = %q", got)
+	}
+}

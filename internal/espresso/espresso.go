@@ -1,0 +1,278 @@
+// Package espresso implements a compact ESPRESSO-style heuristic
+// two-level minimizer: the EXPAND / IRREDUNDANT / REDUCE improvement
+// loop over a cube cover. The paper's SP reference results come from
+// the ESPRESSO benchmark ecosystem [10]; Quine–McCluskey (internal/qm)
+// is exact but explodes on wide inputs, while this heuristic handles
+// them gracefully, so the SP pipeline can pick either engine.
+//
+// The implementation follows the classical structure:
+//
+//	EXPAND      each cube grows literal by literal as long as it stays
+//	            inside ON ∪ DC (checked against a cube cover of the
+//	            OFF-set computed by unate-recursion complement),
+//	            preferring the literal whose removal covers the most
+//	            currently-uncovered ON minterms;
+//	REDUCE      each cube shrinks to the smallest cube covering its
+//	            essential ON minterms, opening room for the next EXPAND;
+//	IRREDUNDANT drops cubes whose ON minterms are covered by the rest.
+//
+// The loop runs until an iteration stops improving the literal count.
+package espresso
+
+import (
+	"sort"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+	"repro/internal/cube"
+)
+
+// Options tune the minimizer.
+type Options struct {
+	// MaxIterations bounds the improvement loop (0 = default 12).
+	MaxIterations int
+}
+
+// Result is a minimized cover with iteration statistics.
+type Result struct {
+	Cover      []cube.Cube
+	Iterations int
+	Literals   int
+}
+
+// Minimize computes a heuristic minimum-literal cover of f.
+func Minimize(f *bfunc.Func, opts Options) *Result {
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 12
+	}
+	n := f.N()
+	on := f.On()
+	if len(on) == 0 {
+		return &Result{}
+	}
+	if f.IsConstantOne() {
+		return &Result{Cover: []cube.Cube{{}}, Iterations: 0}
+	}
+	off := offCover(f)
+
+	// Initial cover: one cube per ON minterm.
+	cover := make([]cube.Cube, len(on))
+	for i, p := range on {
+		cover[i] = cube.FromPoint(n, p)
+	}
+
+	res := &Result{}
+	best := literals(cover)
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		cover = expand(n, cover, on, off)
+		cover = irredundant(n, cover, on)
+		cover = reduce(n, cover, on)
+		cover = expand(n, cover, on, off)
+		cover = irredundant(n, cover, on)
+		if l := literals(cover); l < best {
+			best = l
+		} else {
+			break
+		}
+	}
+	res.Cover = cover
+	res.Literals = literals(cover)
+	return res
+}
+
+func literals(cs []cube.Cube) int {
+	total := 0
+	for _, c := range cs {
+		total += c.Literals()
+	}
+	return total
+}
+
+// offCover computes a cube cover of the OFF-set (complement of
+// ON ∪ DC) with the unate-recursion complement, avoiding the 2^n
+// enumeration of explicit OFF minterms.
+func offCover(f *bfunc.Func) []cube.Cube {
+	n := f.N()
+	care := f.Care()
+	careCubes := make([]cube.Cube, len(care))
+	for i, p := range care {
+		careCubes[i] = cube.FromPoint(n, p)
+	}
+	return cube.Complement(n, careCubes)
+}
+
+// intersectsOff reports whether the cube reaches the OFF-set.
+func intersectsOff(c cube.Cube, off []cube.Cube) bool {
+	for _, o := range off {
+		if cube.Intersects(c, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// expand grows every cube maximally: repeatedly drop the bound literal
+// whose removal keeps the cube inside the care set and newly covers the
+// most not-yet-covered ON minterms (ties: lowest variable). Cubes are
+// processed smallest-first, the classical ESPRESSO order.
+func expand(n int, cover []cube.Cube, on []uint64, off []cube.Cube) []cube.Cube {
+	sort.Slice(cover, func(i, j int) bool {
+		return cover[i].Literals() > cover[j].Literals()
+	})
+	covered := map[uint64]bool{}
+	markCovered := func(c cube.Cube) {
+		for _, p := range on {
+			if c.Contains(p) {
+				covered[p] = true
+			}
+		}
+	}
+	out := cover[:0]
+	for _, c := range cover {
+		for {
+			bestVar, bestGain := -1, -1
+			for _, v := range bitvec.Vars(c.Care, n) {
+				trial := cube.New(c.Care&^bitvec.VarMask(n, v), c.Val)
+				if intersectsOff(trial, off) {
+					continue
+				}
+				gain := 0
+				for _, p := range on {
+					if !covered[p] && trial.Contains(p) {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					bestGain, bestVar = gain, v
+				}
+			}
+			if bestVar < 0 {
+				break
+			}
+			c = cube.New(c.Care&^bitvec.VarMask(n, bestVar), c.Val)
+		}
+		markCovered(c)
+		out = append(out, c)
+	}
+	return out
+}
+
+// irredundant removes cubes (largest-literal-count first) whose ON
+// minterms remain covered by the rest.
+func irredundant(n int, cover []cube.Cube, on []uint64) []cube.Cube {
+	order := make([]int, len(cover))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return cover[order[a]].Literals() > cover[order[b]].Literals()
+	})
+	alive := make([]bool, len(cover))
+	for i := range alive {
+		alive[i] = true
+	}
+	coveredBy := func(p uint64, skip int) bool {
+		for j, c := range cover {
+			if j != skip && alive[j] && c.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, i := range order {
+		redundant := true
+		for _, p := range on {
+			if cover[i].Contains(p) && !coveredBy(p, i) {
+				redundant = false
+				break
+			}
+		}
+		if redundant {
+			alive[i] = false
+		}
+	}
+	out := cover[:0]
+	for i, c := range cover {
+		if alive[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// reduce shrinks every cube to the smallest cube containing its
+// essential ON minterms — the points no other cube of the cover
+// currently covers — opening room for the next EXPAND to regrow it in a
+// better direction. Cubes are processed sequentially against the
+// partially reduced cover: once a cube sheds a point, that point is
+// essential for whichever later cube still covers it, so coverage is
+// preserved (reducing all cubes against the original cover could let
+// two cubes shed a doubly-covered point simultaneously).
+func reduce(n int, cover []cube.Cube, on []uint64) []cube.Cube {
+	cur := append([]cube.Cube(nil), cover...)
+	keep := make([]bool, len(cur))
+	for i := range cur {
+		c := cur[i]
+		var mask, val uint64
+		first := true
+		for _, p := range on {
+			if !c.Contains(p) {
+				continue
+			}
+			essential := true
+			for j := range cur {
+				if j != i && keepOrPending(keep, j, i) && cur[j].Contains(p) {
+					essential = false
+					break
+				}
+			}
+			if !essential {
+				continue
+			}
+			if first {
+				mask, val, first = bitvec.SpaceMask(n), p, false
+				continue
+			}
+			// Smallest cube containing the accumulated cube and p:
+			// free the differing bound bits.
+			diff := (p ^ val) & mask
+			mask &^= diff
+			val &= mask
+		}
+		if first {
+			// No essential points: collapse to the first covered ON
+			// minterm (if any; otherwise the cube is dead weight).
+			placed := false
+			for _, p := range on {
+				if c.Contains(p) {
+					cur[i] = cube.FromPoint(n, p)
+					placed = true
+					break
+				}
+			}
+			keep[i] = placed
+		} else {
+			cur[i] = cube.New(mask, val)
+			keep[i] = true
+		}
+	}
+	out := cur[:0]
+	for i, c := range cur {
+		if keep[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// keepOrPending reports whether cube j still participates in coverage
+// when reducing cube i: already-processed cubes (j < i) count only if
+// kept; not-yet-processed cubes always count.
+func keepOrPending(keep []bool, j, i int) bool {
+	if j < i {
+		return keep[j]
+	}
+	return true
+}

@@ -1,0 +1,217 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bfunc"
+	"repro/internal/cover"
+	"repro/internal/cube"
+	"repro/internal/qm"
+)
+
+func validCover(f *bfunc.Func, cs []cube.Cube) bool {
+	n := f.N()
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		covered := false
+		for _, c := range cs {
+			if c.Contains(p) {
+				covered = true
+				break
+			}
+		}
+		if f.IsOn(p) && !covered {
+			return false
+		}
+		if !f.IsCare(p) && covered {
+			return false
+		}
+	}
+	return true
+}
+
+// qmMinimal computes the true minimum literal count via QM primes and
+// exact covering (small n only).
+func qmMinimal(t *testing.T, f *bfunc.Func) int {
+	t.Helper()
+	primes := qm.Primes(f)
+	on := f.On()
+	if len(on) == 0 {
+		return 0
+	}
+	rowOf := map[uint64]int{}
+	for i, p := range on {
+		rowOf[p] = i
+	}
+	in := &cover.Instance{NRows: len(on)}
+	for _, pi := range primes {
+		var rows []int
+		for _, p := range pi.Points(f.N()) {
+			if r, ok := rowOf[p]; ok {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		cost := pi.Literals()
+		if cost == 0 {
+			cost = 1 // constant-one prime; Exact requires positive cost
+		}
+		in.Cols = append(in.Cols, cover.Column{Cost: cost, Rows: rows})
+	}
+	res := cover.Exact(in, cover.ExactOptions{MaxNodes: 5_000_000})
+	if !res.Optimal {
+		t.Fatal("reference covering did not finish")
+	}
+	return res.Cost
+}
+
+func randomFunc(rng *rand.Rand, n int, withDC bool) *bfunc.Func {
+	var on, dc []uint64
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		switch rng.Intn(4) {
+		case 0:
+			on = append(on, p)
+		case 1:
+			if withDC {
+				dc = append(dc, p)
+			}
+		}
+	}
+	return bfunc.NewDC(n, on, dc)
+}
+
+func TestMinimizeProducesValidCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		fn := randomFunc(rng, n, seed%2 == 0)
+		res := Minimize(fn, Options{})
+		return validCover(fn, res.Cover)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeNearOptimal(t *testing.T) {
+	// The heuristic should land within a modest factor of the QM+exact
+	// minimum on small functions (ESPRESSO's classical behaviour; it is
+	// usually optimal on these sizes).
+	rng := rand.New(rand.NewSource(7))
+	totalOpt, totalHeur := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		fn := randomFunc(rng, 4, false)
+		if fn.OnCount() == 0 {
+			continue
+		}
+		opt := qmMinimal(t, fn)
+		res := Minimize(fn, Options{})
+		if !validCover(fn, res.Cover) {
+			t.Fatal("invalid cover")
+		}
+		if res.Literals < opt {
+			t.Fatalf("heuristic %d beat the proven minimum %d", res.Literals, opt)
+		}
+		totalOpt += opt
+		totalHeur += res.Literals
+	}
+	if totalHeur > totalOpt*13/10 {
+		t.Fatalf("heuristic too weak: %d literals vs %d optimal (+%.0f%%)",
+			totalHeur, totalOpt, 100*float64(totalHeur-totalOpt)/float64(totalOpt))
+	}
+}
+
+func TestMinimizeKnownFunctions(t *testing.T) {
+	// Majority-of-3: minimum is 6 literals.
+	maj := bfunc.FromPredicate(3, func(p uint64) bool {
+		c := 0
+		for i := 0; i < 3; i++ {
+			c += int(p >> uint(i) & 1)
+		}
+		return c >= 2
+	})
+	res := Minimize(maj, Options{})
+	if !validCover(maj, res.Cover) || res.Literals != 6 {
+		t.Fatalf("majority: %d literals, cover %v", res.Literals, res.Cover)
+	}
+
+	// Single cube function: must collapse to that cube.
+	cubeFn := bfunc.FromPredicate(5, func(p uint64) bool { return p&0b10001 == 0b10000 })
+	res = Minimize(cubeFn, Options{})
+	if len(res.Cover) != 1 || res.Literals != 2 {
+		t.Fatalf("single cube: %v", res.Cover)
+	}
+}
+
+func TestMinimizeDegenerate(t *testing.T) {
+	if res := Minimize(bfunc.New(3, nil), Options{}); len(res.Cover) != 0 {
+		t.Fatalf("empty: %v", res.Cover)
+	}
+	one := bfunc.FromPredicate(3, func(uint64) bool { return true })
+	res := Minimize(one, Options{})
+	if len(res.Cover) != 1 || res.Cover[0].Literals() != 0 {
+		t.Fatalf("constant one: %v", res.Cover)
+	}
+	// Constant one via DC.
+	oneDC := bfunc.NewDC(2, []uint64{0}, []uint64{1, 2, 3})
+	res = Minimize(oneDC, Options{})
+	if res.Literals != 0 {
+		t.Fatalf("constant-one-with-DC: %v", res.Cover)
+	}
+}
+
+func TestMinimizeWideInput(t *testing.T) {
+	// n=16 with a few thousand minterms: far beyond QM's comfort zone;
+	// the heuristic must both finish quickly and produce a valid,
+	// compact cover. Function: a band comparator a > b on 8-bit halves
+	// restricted to a thin band (sparse, cube-rich).
+	n := 16
+	var on []uint64
+	for a := uint64(0); a < 256; a++ {
+		for d := uint64(1); d <= 2; d++ {
+			if a >= d {
+				on = append(on, a<<8|(a-d))
+			}
+		}
+	}
+	f := bfunc.New(n, on)
+	res := Minimize(f, Options{})
+	// Validity check on care points plus random off points (2^16 full
+	// sweep is still fine, do it).
+	if !validCover(f, res.Cover) {
+		t.Fatal("invalid cover on n=16")
+	}
+	if len(res.Cover) >= f.OnCount() {
+		t.Fatalf("no compression: %d cubes for %d minterms", len(res.Cover), f.OnCount())
+	}
+}
+
+func TestIterationCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	fn := randomFunc(rng, 5, false)
+	res := Minimize(fn, Options{MaxIterations: 1})
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	if !validCover(fn, res.Cover) {
+		t.Fatal("invalid cover with capped iterations")
+	}
+}
+
+func BenchmarkMinimize10(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var on []uint64
+	for p := uint64(0); p < 1024; p++ {
+		if rng.Intn(4) == 0 {
+			on = append(on, p)
+		}
+	}
+	f := bfunc.New(10, on)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimize(f, Options{})
+	}
+}

@@ -1,0 +1,170 @@
+// Package fprm implements Fixed-Polarity Reed–Muller (FPRM) AND-EXOR
+// minimization: the classical EXOR-based normal form the DAC'01 paper's
+// conclusions propose comparing SPP forms against ("we plan to compare
+// SPP forms with other three level forms"). An FPRM form is an EXOR of
+// products in which every variable appears with a single fixed polarity;
+// the positive-polarity special case is the Positive-Polarity Reed–
+// Muller (PPRM) canonical form.
+//
+// The spectrum for one polarity is computed with the positive-Davio
+// butterfly transform in O(n·2^n); the best polarity is found
+// exhaustively for narrow functions (2^n polarities) and by greedy
+// bit-flip hill climbing for wide ones.
+package fprm
+
+import (
+	"fmt"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+)
+
+// ExhaustiveLimit is the widest input count for which Minimize tries
+// all 2^n polarities (n·4^n work overall).
+const ExhaustiveLimit = 12
+
+// Result describes a minimized FPRM form.
+type Result struct {
+	// Polarity is the chosen polarity mask in the bitvec packing: a set
+	// bit means that variable appears complemented in every product.
+	Polarity uint64
+	// Monomials lists the nonzero spectrum coefficients: each mask
+	// selects the variables of one product term (0 = the constant-1
+	// term). Masks use the bitvec packing.
+	Monomials []uint64
+	// Literals is Σ |monomial| — the cost comparable to the paper's #L.
+	Literals int
+	// Exhaustive reports whether the polarity is a proven optimum.
+	Exhaustive bool
+}
+
+// NumTerms returns the number of products in the EXOR sum.
+func (r *Result) NumTerms() int { return len(r.Monomials) }
+
+// Eval computes the FPRM form's value on a packed point.
+func (r *Result) Eval(p uint64) bool {
+	// A monomial m evaluates to 1 iff every selected (polarity-adjusted)
+	// literal is 1: (p ^ Polarity) & m == m.
+	q := p ^ r.Polarity
+	v := uint64(0)
+	for _, m := range r.Monomials {
+		if q&m == m {
+			v ^= 1
+		}
+	}
+	return v == 1
+}
+
+// String renders the form, e.g. "x0·x̄2 ⊕ x̄2·x3 ⊕ 1".
+func (r *Result) String() string {
+	return r.Format(64)
+}
+
+// Format renders over an n-variable space.
+func (r *Result) Format(n int) string {
+	if len(r.Monomials) == 0 {
+		return "0"
+	}
+	out := ""
+	for i, m := range r.Monomials {
+		if i > 0 {
+			out += " ⊕ "
+		}
+		if m == 0 {
+			out += "1"
+			continue
+		}
+		first := true
+		for _, v := range bitvec.Vars(m, n) {
+			if !first {
+				out += "·"
+			}
+			first = false
+			if r.Polarity&bitvec.VarMask(n, v) != 0 {
+				out += fmt.Sprintf("x̄%d", v)
+			} else {
+				out += fmt.Sprintf("x%d", v)
+			}
+		}
+	}
+	return out
+}
+
+// spectrum computes the PPRM coefficients of the truth table tt (which
+// it overwrites) via the positive-Davio transform.
+func spectrum(n int, tt []uint8) {
+	for v := 0; v < n; v++ {
+		mask := bitvec.VarMask(n, v)
+		for p := uint64(0); p < uint64(len(tt)); p++ {
+			if p&mask != 0 {
+				tt[p] ^= tt[p^mask]
+			}
+		}
+	}
+}
+
+// costOf evaluates one polarity: literal count and term count of the
+// FPRM spectrum of f under polarity pol.
+func costOf(f *bfunc.Func, pol uint64, scratch []uint8) (lits, terms int) {
+	n := f.N()
+	for p := range scratch {
+		scratch[p] = 0
+	}
+	for _, q := range f.On() {
+		scratch[q^pol] = 1
+	}
+	spectrum(n, scratch)
+	for m, c := range scratch {
+		if c == 1 {
+			terms++
+			lits += bitvec.OnesCount(uint64(m))
+		}
+	}
+	return lits, terms
+}
+
+// Minimize finds a minimum-literal FPRM form of the completely
+// specified function f: exhaustively over all polarities for
+// n ≤ ExhaustiveLimit, by greedy polarity descent otherwise.
+func Minimize(f *bfunc.Func) *Result {
+	if len(f.DC()) > 0 {
+		panic("fprm: don't-care minimization not supported; specify the function")
+	}
+	n := f.N()
+	size := 1 << uint(n)
+	scratch := make([]uint8, size)
+
+	bestPol := uint64(0)
+	bestLits, _ := costOf(f, 0, scratch)
+	exhaustive := n <= ExhaustiveLimit
+	if exhaustive {
+		for pol := uint64(1); pol < uint64(size); pol++ {
+			if lits, _ := costOf(f, pol, scratch); lits < bestLits {
+				bestLits, bestPol = lits, pol
+			}
+		}
+	} else {
+		// Greedy descent: flip single polarity bits while improving.
+		improved := true
+		for improved {
+			improved = false
+			for v := 0; v < n; v++ {
+				pol := bestPol ^ bitvec.VarMask(n, v)
+				if lits, _ := costOf(f, pol, scratch); lits < bestLits {
+					bestLits, bestPol = lits, pol
+					improved = true
+				}
+			}
+		}
+	}
+
+	// Recompute the winning spectrum and collect monomials.
+	lits, _ := costOf(f, bestPol, scratch)
+	res := &Result{Polarity: bestPol, Literals: lits, Exhaustive: exhaustive}
+	for m, c := range scratch {
+		if c == 1 {
+			res.Monomials = append(res.Monomials, uint64(m))
+		}
+	}
+	return res
+}

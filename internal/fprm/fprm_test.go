@@ -1,0 +1,145 @@
+package fprm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+)
+
+func parity(n int) *bfunc.Func {
+	return bfunc.FromPredicate(n, func(p uint64) bool {
+		return bitvec.OnesCount(p)%2 == 1
+	})
+}
+
+func TestMinimizeEvaluatesCorrectly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		var on []uint64
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if rng.Intn(2) == 0 {
+				on = append(on, p)
+			}
+		}
+		fn := bfunc.New(n, on)
+		res := Minimize(fn)
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if res.Eval(p) != fn.IsOn(p) {
+				return false
+			}
+		}
+		return res.Exhaustive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParityForm(t *testing.T) {
+	// Parity's PPRM is x0 ⊕ x1 ⊕ … ⊕ x_{n-1}: n terms, n literals, and
+	// no polarity can beat it.
+	for n := 3; n <= 6; n++ {
+		res := Minimize(parity(n))
+		if res.Literals != n || res.NumTerms() != n {
+			t.Fatalf("parity-%d: %d literals, %d terms", n, res.Literals, res.NumTerms())
+		}
+		for _, m := range res.Monomials {
+			if bitvec.OnesCount(m) != 1 {
+				t.Fatalf("parity monomial %b not a single variable", m)
+			}
+		}
+	}
+}
+
+func TestAndIsOneMonomial(t *testing.T) {
+	and := bfunc.FromPredicate(3, func(p uint64) bool { return p == 0b111 })
+	res := Minimize(and)
+	if res.NumTerms() != 1 || res.Literals != 3 || res.Polarity != 0 {
+		t.Fatalf("AND: %+v", res)
+	}
+}
+
+func TestComplementedAndPrefersNegativePolarity(t *testing.T) {
+	// f = x̄0·x̄1·x̄2: positive polarity needs 2^3-ish terms, polarity
+	// 111 needs exactly one monomial.
+	f := bfunc.FromPredicate(3, func(p uint64) bool { return p == 0 })
+	res := Minimize(f)
+	if res.Polarity != bitvec.SpaceMask(3) || res.NumTerms() != 1 || res.Literals != 3 {
+		t.Fatalf("NOR-cube: %+v (%s)", res, res.Format(3))
+	}
+}
+
+func TestMajorityPPRM(t *testing.T) {
+	maj := bfunc.FromPredicate(3, func(p uint64) bool {
+		return bitvec.OnesCount(p) >= 2
+	})
+	res := Minimize(maj)
+	// Majority's best FPRM has 3 two-literal terms (x0x1 ⊕ x0x2 ⊕ x1x2).
+	if res.Literals != 6 || res.NumTerms() != 3 {
+		t.Fatalf("majority: %d literals, %d terms (%s)", res.Literals, res.NumTerms(), res.Format(3))
+	}
+}
+
+func TestConstantFunctions(t *testing.T) {
+	zero := bfunc.New(3, nil)
+	if res := Minimize(zero); res.NumTerms() != 0 || res.Format(3) != "0" {
+		t.Fatalf("zero: %+v", res)
+	}
+	one := bfunc.FromPredicate(3, func(uint64) bool { return true })
+	res := Minimize(one)
+	if res.NumTerms() != 1 || res.Monomials[0] != 0 || res.Literals != 0 {
+		t.Fatalf("one: %+v", res)
+	}
+	if res.Format(3) != "1" {
+		t.Fatalf("one renders %q", res.Format(3))
+	}
+}
+
+func TestGreedyWideInput(t *testing.T) {
+	// n = 13 > ExhaustiveLimit: greedy path; must still be correct.
+	n := 13
+	f := bfunc.FromPredicate(n, func(p uint64) bool {
+		// A sparse arithmetic-ish predicate.
+		a := p >> 7
+		b := p & 0x7F
+		return a == b>>1
+	})
+	res := Minimize(f)
+	if res.Exhaustive {
+		t.Fatal("n=13 should use the greedy path")
+	}
+	for _, p := range f.On() {
+		if !res.Eval(p) {
+			t.Fatal("greedy FPRM wrong on an ON point")
+		}
+	}
+	// spot-check some OFF points
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p := rng.Uint64() & bitvec.SpaceMask(n)
+		if res.Eval(p) != f.IsOn(p) {
+			t.Fatalf("greedy FPRM wrong at %b", p)
+		}
+	}
+}
+
+func TestRejectsDontCares(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for DC input")
+		}
+	}()
+	Minimize(bfunc.NewDC(3, []uint64{1}, []uint64{2}))
+}
+
+func BenchmarkMinimize8(b *testing.B) {
+	f := parity(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimize(f)
+	}
+}

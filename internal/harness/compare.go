@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fprm"
+	"repro/internal/sp"
+)
+
+// CompareRow is one row of the extension experiment suggested by the
+// paper's conclusions ("we plan to compare SPP forms with other three
+// level forms"): literal counts of SP, best fixed-polarity Reed–Muller
+// (AND-EXOR) and SPP forms of one benchmark, outputs summed.
+type CompareRow struct {
+	Name        string
+	SPLiterals  int
+	RMLiterals  int
+	SPPLiterals int
+	SPPIsExact  bool // false when the SPP figure is the SPP_0 bound
+}
+
+// CompareForms runs the extension experiment on the named benchmarks.
+// SPP numbers come from the exact algorithm within the budget, falling
+// back to SPP_0 when exceeded (flagged in the row).
+func CompareForms(w io.Writer, names []string, cfg Config) []CompareRow {
+	fmt.Fprintln(w, "Extension (paper §5): SP vs fixed-polarity Reed-Muller vs SPP literal counts")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "function\t#L(SP)\t#L(FPRM)\t#L(SPP)\tSPP kind\t")
+	var rows []CompareRow
+	for _, name := range names {
+		m := bench.MustLoad(name)
+		row := CompareRow{Name: name, SPPIsExact: true}
+		opts := cfg.coreOptions()
+		for o := 0; o < m.NOutputs(); o++ {
+			f := m.Output(o)
+			row.SPLiterals += sp.Minimize(f, sp.Options{}).Form.Literals()
+			row.RMLiterals += fprm.Minimize(f).Literals
+			res, err := core.MinimizeExact(f, opts)
+			if err != nil {
+				row.SPPIsExact = false
+				res, err = core.Heuristic(f, 0, opts)
+			}
+			if err == nil {
+				row.SPPLiterals += res.Form.Literals()
+			}
+		}
+		rows = append(rows, row)
+		kind := "exact"
+		if !row.SPPIsExact {
+			kind = "SPP_0"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t\n",
+			name, row.SPLiterals, row.RMLiterals, row.SPPLiterals, kind)
+	}
+	tw.Flush()
+	return rows
+}
+
+// CompareFunctions is the default function list for CompareForms: the
+// tier-1 (known semantics) benchmarks, where the comparison is about
+// real circuits. FPRM needs completely specified functions, which all
+// registry entries are.
+var CompareFunctions = []string{"adr4", "dist", "life", "mlp4", "root", "f51m", "cs8"}

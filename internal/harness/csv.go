@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV writers for the experiment results, so runs can be archived and
+// plotted without re-parsing the human-readable tables. Each writer
+// emits a header row followed by one record per result row; DNF cells
+// are empty strings.
+
+func dnfInt(v int, dnf bool) string {
+	if dnf {
+		return ""
+	}
+	return strconv.Itoa(v)
+}
+
+func dnfDur(v time.Duration, dnf bool) string {
+	if dnf {
+		return ""
+	}
+	return fmt.Sprintf("%.6f", v.Seconds())
+}
+
+// WriteTable1CSV serializes Table 1 rows.
+func WriteTable1CSV(w io.Writer, rows []FuncResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"function", "sp_primes", "sp_literals", "sp_terms",
+		"eppp", "spp_literals", "spp_terms", "dnf",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Name,
+			strconv.Itoa(r.SPPrimes), strconv.Itoa(r.SPLiterals), strconv.Itoa(r.SPTerms),
+			dnfInt(r.EPPP, r.DNF), dnfInt(r.SPPLiterals, r.DNF), dnfInt(r.SPPTerms, r.DNF),
+			strconv.FormatBool(r.DNF),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV serializes Table 2 rows.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"case", "literals", "naive_seconds", "alg2_seconds",
+		"naive_comparisons", "alg2_unions", "naive_dnf", "alg2_dnf",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Case.String(),
+			dnfInt(r.Literals, r.TrieDNF),
+			dnfDur(r.NaiveTime, r.NaiveDNF),
+			dnfDur(r.TrieTime, r.TrieDNF),
+			dnfInt(int(r.NaiveComparisons), r.NaiveDNF),
+			strconv.FormatInt(r.TrieUnions, 10),
+			strconv.FormatBool(r.NaiveDNF), strconv.FormatBool(r.TrieDNF),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV serializes Table 3 rows.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"function", "sp_literals", "av", "spp0_literals", "spp0_seconds",
+		"exact_literals", "exact_seconds", "spp0_dnf", "exact_dnf",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Name, strconv.Itoa(r.SPLiterals),
+			dnfInt(r.Av, !r.AvValid),
+			dnfInt(r.H0Literals, r.H0DNF), dnfDur(r.H0Time, r.H0DNF),
+			dnfInt(r.ExLiterals, r.ExDNF), dnfDur(r.ExTime, r.ExDNF),
+			strconv.FormatBool(r.H0DNF), strconv.FormatBool(r.ExDNF),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepCSV serializes Figure 3/4 series.
+func WriteSweepCSV(w io.Writer, sweeps []Sweep) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"function", "k", "spp_k_literals", "seconds", "sp_literals", "dnf",
+	}); err != nil {
+		return err
+	}
+	for _, sw := range sweeps {
+		for _, pt := range sw.Points {
+			rec := []string{
+				sw.Name, strconv.Itoa(pt.K),
+				dnfInt(pt.Literals, pt.DNF), dnfDur(pt.Time, pt.DNF),
+				strconv.Itoa(sw.SPLiterals), strconv.FormatBool(pt.DNF),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestWriteTable1CSV(t *testing.T) {
+	rows := []FuncResult{
+		{Name: "adr4", SPPrimes: 75, SPLiterals: 340, SPTerms: 75,
+			EPPP: 7158, SPPLiterals: 72, SPPTerms: 14},
+		{Name: "huge", SPPrimes: 9, SPLiterals: 9, SPTerms: 9, DNF: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[1][0] != "adr4" || recs[1][4] != "7158" || recs[1][7] != "false" {
+		t.Fatalf("row 1 = %v", recs[1])
+	}
+	if recs[2][4] != "" || recs[2][7] != "true" {
+		t.Fatalf("DNF row = %v", recs[2])
+	}
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	rows := []Table2Row{
+		{Case: OutputCase{Func: "cs8", Output: 1}, Literals: 16,
+			NaiveTime: 15 * time.Second, TrieTime: 380 * time.Millisecond,
+			NaiveComparisons: 1944090746, TrieUnions: 510563},
+		{Case: OutputCase{Func: "addm4", Output: 4}, Literals: 31,
+			TrieTime: time.Second, TrieUnions: 854790, NaiveDNF: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if recs[1][0] != "cs8(1)" || recs[1][5] != "510563" {
+		t.Fatalf("row = %v", recs[1])
+	}
+	if recs[2][2] != "" || recs[2][6] != "true" {
+		t.Fatalf("DNF naive cell should be empty: %v", recs[2])
+	}
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	rows := []Table3Row{
+		{Name: "dist", SPLiterals: 556, Av: 339, AvValid: true,
+			H0Literals: 420, H0Time: time.Second, ExLiterals: 122, ExTime: 2 * time.Second},
+		{Name: "alu", SPLiterals: 9000, H0Literals: 1255, H0Time: time.Second, ExDNF: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if recs[1][2] != "339" || recs[2][2] != "" || recs[2][8] != "true" {
+		t.Fatalf("rows = %v", recs[1:])
+	}
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	sweeps := []Sweep{{
+		Name: "dist", SPLiterals: 556,
+		Points: []SweepPoint{
+			{K: 0, Literals: 420, Time: time.Second},
+			{K: 1, DNF: true},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, sweeps); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 || recs[1][1] != "0" || recs[2][2] != "" {
+		t.Fatalf("recs = %v", recs)
+	}
+}

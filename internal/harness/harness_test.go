@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func fastCfg() Config {
+	return Config{
+		PerOutput:     30 * time.Second,
+		NaiveBudget:   10 * time.Second,
+		MaxCandidates: 2_000_000,
+	}
+}
+
+func TestMinimizeFuncAdr4MatchesPaper(t *testing.T) {
+	// The flagship row: adr4 is a true 4-bit adder, so the minimization
+	// reproduces the paper's Table 1 numbers exactly.
+	r := MinimizeFunc(bench.MustLoad("adr4"), fastCfg())
+	if r.DNF {
+		t.Fatal("adr4 must not DNF")
+	}
+	if r.SPPrimes != 75 || r.SPLiterals != 340 {
+		t.Errorf("SP side: #PI=%d #L=%d, paper says 75/340", r.SPPrimes, r.SPLiterals)
+	}
+	if r.EPPP != 7158 {
+		t.Errorf("#EPPP=%d, paper says 7158", r.EPPP)
+	}
+	if r.SPPLiterals != 72 || r.SPPTerms != 14 {
+		t.Errorf("SPP side: #L=%d #PP=%d, paper says 72/14", r.SPPLiterals, r.SPPTerms)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table1(&buf, []string{"life"}, fastCfg())
+	if len(rows) != 1 || rows[0].Name != "life" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "life") || !strings.Contains(out, "2100") {
+		t.Fatalf("table output missing expected cells:\n%s", out)
+	}
+	// life's EPPP count is the paper's exact value.
+	if rows[0].EPPP != 2100 {
+		t.Errorf("life #EPPP=%d, paper says 2100", rows[0].EPPP)
+	}
+	if rows[0].SPLiterals != 672 || rows[0].SPPrimes != 224 {
+		t.Errorf("life SP side %d/%d, paper says 224 primes / 672 literals",
+			rows[0].SPPrimes, rows[0].SPLiterals)
+	}
+}
+
+func TestTable1DNFRendersStar(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.MaxCandidates = 16 // guarantee DNF
+	rows := Table1(&buf, []string{"life"}, cfg)
+	if !rows[0].DNF {
+		t.Fatal("expected DNF with tiny budget")
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("DNF row must render stars:\n%s", buf.String())
+	}
+}
+
+func TestTable2SmallCases(t *testing.T) {
+	var buf bytes.Buffer
+	cases := []OutputCase{{Func: "max128", Output: 20}, {Func: "risc", Output: 2}}
+	rows := Table2(&buf, cases, fastCfg())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TrieDNF || r.NaiveDNF {
+			t.Fatalf("small case DNF: %+v", r)
+		}
+		if r.TrieTime <= 0 || r.NaiveTime <= 0 {
+			t.Fatalf("times not recorded: %+v", r)
+		}
+		// The mechanism of the paper's speedup: the baseline's
+		// comparison count dwarfs the trie's union count.
+		if r.NaiveComparisons <= r.TrieUnions {
+			t.Fatalf("comparisons %d not > unions %d", r.NaiveComparisons, r.TrieUnions)
+		}
+	}
+	if !strings.Contains(buf.String(), "max128(20)") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestTable3SmallCase(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table3(&buf, []string{"mlp4"}, fastCfg())
+	r := rows[0]
+	if r.H0DNF || r.ExDNF {
+		t.Fatalf("mlp4 DNF: %+v", r)
+	}
+	// SPP_0 is an upper bound on the exact form; SP an upper bound on
+	// SPP_0 (its candidate pool contains all SP primes).
+	if r.ExLiterals > r.H0Literals {
+		t.Fatalf("exact %d worse than SPP_0 %d", r.ExLiterals, r.H0Literals)
+	}
+	if r.H0Literals > r.SPLiterals {
+		t.Fatalf("SPP_0 %d worse than SP %d", r.H0Literals, r.SPLiterals)
+	}
+	// SPP_0 must be much faster than exact on mlp4 (paper's point).
+	if r.H0Time > r.ExTime {
+		t.Fatalf("SPP_0 time %v not below exact %v", r.H0Time, r.ExTime)
+	}
+	if !r.AvValid || r.Av != (r.SPLiterals+r.ExLiterals)/2 {
+		t.Fatalf("Av wrong: %+v", r)
+	}
+}
+
+func TestSweepKShape(t *testing.T) {
+	sw := SweepK("mlp4", 3, fastCfg())
+	if len(sw.Points) != 4 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+	prev := sw.SPLiterals
+	prevTime := time.Duration(0)
+	for _, pt := range sw.Points {
+		if pt.DNF {
+			t.Fatalf("mlp4 sweep DNF at k=%d", pt.K)
+		}
+		if pt.Literals > prev {
+			t.Fatalf("figure-3 shape violated: k=%d literals %d > previous %d",
+				pt.K, pt.Literals, prev)
+		}
+		prev = pt.Literals
+		_ = prevTime
+		prevTime = pt.Time
+	}
+}
+
+func TestFigures34Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	sweeps := Figures34(&buf, []string{"mlp4"}, 2, fastCfg())
+	if len(sweeps) != 1 || len(sweeps[0].Points) != 3 {
+		t.Fatalf("sweeps = %+v", sweeps)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mlp4") || !strings.Contains(out, "k") {
+		t.Fatalf("figure output:\n%s", out)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		2500 * time.Millisecond: "2.50s",
+		15 * time.Millisecond:   "15.0ms",
+		300 * time.Microsecond:  "300µs",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestExperimentListsResolve(t *testing.T) {
+	// Every function named by a table/figure/extension driver must
+	// exist in the registry with plausible dimensions.
+	var all []string
+	all = append(all, Table1Functions...)
+	all = append(all, Table3Functions...)
+	all = append(all, CompareFunctions...)
+	for _, c := range Table2Cases {
+		all = append(all, c.Func)
+	}
+	for _, name := range all {
+		info, ok := bench.Lookup(name)
+		if !ok {
+			t.Errorf("experiment references unknown benchmark %q", name)
+			continue
+		}
+		if info.Inputs < 3 || info.Outputs < 1 {
+			t.Errorf("%s: implausible dimensions %d/%d", name, info.Inputs, info.Outputs)
+		}
+	}
+	for _, c := range Table2Cases {
+		info, _ := bench.Lookup(c.Func)
+		if c.Output >= info.Outputs {
+			t.Errorf("table 2 case %s out of range (%d outputs)", c, info.Outputs)
+		}
+	}
+}
+
+func TestCompareFormsSmall(t *testing.T) {
+	var buf bytes.Buffer
+	rows := CompareForms(&buf, []string{"adr4"}, fastCfg())
+	r := rows[0]
+	if !r.SPPIsExact {
+		t.Fatal("adr4 must minimize exactly")
+	}
+	// The paper's ordering claim on the arithmetic flagship: SPP beats
+	// the Reed-Muller form, which beats SP.
+	if !(r.SPPLiterals < r.RMLiterals && r.RMLiterals < r.SPLiterals) {
+		t.Fatalf("ordering violated: SPP=%d FPRM=%d SP=%d",
+			r.SPPLiterals, r.RMLiterals, r.SPLiterals)
+	}
+	if !strings.Contains(buf.String(), "adr4") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sp"
+)
+
+// Table3Functions is the paper's Table 3 benchmark list. alu, add6, amd
+// and max1024 are the rows whose exact minimization the paper stars
+// (did not terminate in two days); their sizes put them past our budget
+// too, reproducing the shape.
+var Table3Functions = []string{
+	"alu", "addm4", "add6", "amd", "dist", "f51m",
+	"max512", "max1024", "mlp4", "m4", "newcond",
+}
+
+// Table3Row compares the k=0 heuristic with the exact algorithm on one
+// multi-output function (all outputs, summed, like Table 1).
+type Table3Row struct {
+	Name string
+	// Av is the paper's reference point for SPP_0: the midpoint between
+	// the SP and exact-SPP literal counts. (The paper prints the
+	// formula as (|SP|−|SPP|)/2, but its own Table 3 values — e.g.
+	// dist: Av 626 with |SP| 829 and |SPP| 422 — are midpoints.)
+	Av         int
+	AvValid    bool
+	SPLiterals int
+	H0Literals int
+	H0Time     time.Duration
+	H0DNF      bool
+	ExLiterals int
+	ExTime     time.Duration
+	ExDNF      bool
+}
+
+// Table3 reproduces the paper's Table 3: SPP_0 vs the exact algorithm.
+func Table3(w io.Writer, names []string, cfg Config) []Table3Row {
+	fmt.Fprintln(w, "Table 3: heuristic SPP_0 vs exact SPP (all outputs, summed)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "function\tAv\t#L(SPP0)\ttime(SPP0)\t#L(SPP)\ttime(SPP)\t")
+	var rows []Table3Row
+	for _, name := range names {
+		m := bench.MustLoad(name)
+		row := Table3Row{Name: name}
+		opts := cfg.coreOptions()
+		for o := 0; o < m.NOutputs(); o++ {
+			f := m.Output(o)
+			row.SPLiterals += sp.Minimize(f, sp.Options{}).Form.Literals()
+
+			start := time.Now()
+			h, err := core.Heuristic(f, 0, opts)
+			if err != nil {
+				row.H0DNF = true
+				row.H0Time += time.Since(start)
+			} else {
+				row.H0Literals += h.Form.Literals()
+				row.H0Time += h.Build.BuildTime + h.CoverTime
+			}
+
+			start = time.Now()
+			ex, err := core.MinimizeExact(f, opts)
+			if err != nil {
+				row.ExDNF = true
+				row.ExTime += time.Since(start)
+			} else {
+				row.ExLiterals += ex.Form.Literals()
+				row.ExTime += ex.Build.BuildTime + ex.CoverTime
+			}
+		}
+		if !row.ExDNF {
+			row.Av = (row.SPLiterals + row.ExLiterals) / 2
+			row.AvValid = true
+		}
+		rows = append(rows, row)
+
+		av, h0l, h0t, exl, ext := "*", "*", "*", "*", "*"
+		if row.AvValid {
+			av = fmt.Sprintf("%d", row.Av)
+		}
+		if !row.H0DNF {
+			h0l = fmt.Sprintf("%d", row.H0Literals)
+			h0t = fmtDur(row.H0Time)
+		}
+		if !row.ExDNF {
+			exl = fmt.Sprintf("%d", row.ExLiterals)
+			ext = fmtDur(row.ExTime)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t\n", name, av, h0l, h0t, exl, ext)
+	}
+	tw.Flush()
+	return rows
+}
+
+// SweepPoint is one (k, literals, time) sample of the Figure 3/4 curves.
+type SweepPoint struct {
+	K        int
+	Literals int
+	Time     time.Duration
+	DNF      bool
+}
+
+// Sweep is a full SPP_k sweep of one function plus its SP reference.
+type Sweep struct {
+	Name       string
+	SPLiterals int
+	SPTime     time.Duration
+	Points     []SweepPoint
+}
+
+// SweepK computes the Figure 3/4 series for one multi-output function:
+// total SPP_k literals and synthesis time for k = 0..n−1, plus the SP
+// reference line. maxK < 0 sweeps all k.
+func SweepK(name string, maxK int, cfg Config) Sweep {
+	m := bench.MustLoad(name)
+	sw := Sweep{Name: name}
+	for o := 0; o < m.NOutputs(); o++ {
+		res := sp.Minimize(m.Output(o), sp.Options{})
+		sw.SPLiterals += res.Form.Literals()
+		sw.SPTime += res.Time
+	}
+	top := m.Inputs - 1
+	if maxK >= 0 && maxK < top {
+		top = maxK
+	}
+	opts := cfg.coreOptions()
+	for k := 0; k <= top; k++ {
+		pt := SweepPoint{K: k}
+		for o := 0; o < m.NOutputs(); o++ {
+			start := time.Now()
+			res, err := core.Heuristic(m.Output(o), k, opts)
+			if err != nil {
+				pt.DNF = true
+				pt.Time += time.Since(start)
+				break
+			}
+			pt.Literals += res.Form.Literals()
+			pt.Time += res.Build.BuildTime + res.CoverTime
+		}
+		sw.Points = append(sw.Points, pt)
+		if pt.DNF {
+			break
+		}
+	}
+	return sw
+}
+
+// Figures34 reproduces the Figure 3 (literals vs k) and Figure 4 (time
+// vs k, log scale in the paper) series for the named functions (the
+// paper plots dist and f51m).
+func Figures34(w io.Writer, names []string, maxK int, cfg Config) []Sweep {
+	var sweeps []Sweep
+	for _, name := range names {
+		sw := SweepK(name, maxK, cfg)
+		sweeps = append(sweeps, sw)
+		fmt.Fprintf(w, "Figures 3 and 4 series: %s (SP: %d literals, %s)\n",
+			sw.Name, sw.SPLiterals, fmtDur(sw.SPTime))
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "k\t#L(SPP_k)\ttime\t")
+		for _, pt := range sw.Points {
+			if pt.DNF {
+				fmt.Fprintf(tw, "%d\t*\t*\t\n", pt.K)
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%d\t%s\t\n", pt.K, pt.Literals, fmtDur(pt.Time))
+		}
+		tw.Flush()
+	}
+	return sweeps
+}

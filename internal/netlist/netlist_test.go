@@ -1,0 +1,356 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// --- tiny structural-Verilog expression evaluator (test oracle) ---
+
+type vparser struct {
+	s   string
+	pos int
+}
+
+func (p *vparser) ws() {
+	for p.pos < len(p.s) && p.s[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *vparser) peek() byte {
+	p.ws()
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+// grammar: or := and ('|' and)* ; and := xor ('&' xor)* ;
+// xor := unary ('^' unary)* ; unary := '~' unary | '(' or ')' | lit | var
+func (p *vparser) or(env func(int) bool) bool {
+	v := p.and(env)
+	for p.peek() == '|' {
+		p.pos++
+		v = p.and(env) || v
+	}
+	return v
+}
+
+func (p *vparser) and(env func(int) bool) bool {
+	v := p.xor(env)
+	for p.peek() == '&' {
+		p.pos++
+		w := p.xor(env)
+		v = v && w
+	}
+	return v
+}
+
+func (p *vparser) xor(env func(int) bool) bool {
+	v := p.unary(env)
+	for p.peek() == '^' {
+		p.pos++
+		v = v != p.unary(env)
+	}
+	return v
+}
+
+func (p *vparser) unary(env func(int) bool) bool {
+	switch c := p.peek(); {
+	case c == '~':
+		p.pos++
+		return !p.unary(env)
+	case c == '(':
+		p.pos++
+		v := p.or(env)
+		if p.peek() != ')' {
+			panic("missing )")
+		}
+		p.pos++
+		return v
+	case c == '1' || c == '0':
+		// 1'b0 / 1'b1
+		lit := p.s[p.pos:]
+		p.pos += 4
+		return strings.HasPrefix(lit, "1'b1")
+	case c == 'x':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+			p.pos++
+		}
+		var idx int
+		fmt.Sscanf(p.s[start:p.pos], "%d", &idx)
+		return env(idx)
+	default:
+		panic(fmt.Sprintf("unexpected char %q in %q", c, p.s))
+	}
+}
+
+func evalVerilogAssign(expr string, n int, point uint64) bool {
+	p := &vparser{s: expr}
+	return p.or(func(i int) bool { return bitvec.Bit(point, n, i) == 1 })
+}
+
+// --- tiny BLIF evaluator (test oracle) ---
+
+type blifGate struct {
+	inputs []string
+	out    string
+	rows   []string // cover rows, output always 1
+}
+
+func evalBLIF(t *testing.T, src string, n int, point uint64, output string) bool {
+	t.Helper()
+	var gates []blifGate
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(line, ".names") {
+			continue
+		}
+		fields := strings.Fields(line)
+		g := blifGate{out: fields[len(fields)-1], inputs: fields[1 : len(fields)-1]}
+		for i+1 < len(lines) && !strings.HasPrefix(strings.TrimSpace(lines[i+1]), ".") {
+			row := strings.TrimSpace(lines[i+1])
+			i++
+			if row == "" {
+				continue
+			}
+			parts := strings.Fields(row)
+			if len(parts) == 2 && parts[1] == "1" {
+				g.rows = append(g.rows, parts[0])
+			} else if len(parts) == 1 && parts[0] == "1" && len(g.inputs) == 0 {
+				g.rows = append(g.rows, "")
+			}
+		}
+		gates = append(gates, g)
+	}
+	values := map[string]bool{}
+	for i := 0; i < n; i++ {
+		values[fmt.Sprintf("x%d", i)] = bitvec.Bit(point, n, i) == 1
+	}
+	// Gates are emitted in topological order; evaluate in sequence.
+	for _, g := range gates {
+		v := false
+		if len(g.inputs) == 0 {
+			v = len(g.rows) > 0 // constant-1 cover, else constant 0
+		}
+		for _, row := range g.rows {
+			match := true
+			for i, c := range row {
+				in, ok := values[g.inputs[i]]
+				if !ok {
+					t.Fatalf("blif gate %s uses undefined net %s", g.out, g.inputs[i])
+				}
+				switch c {
+				case '1':
+					match = match && in
+				case '0':
+					match = match && !in
+				}
+			}
+			if match {
+				v = true
+				break
+			}
+		}
+		values[g.out] = v
+	}
+	out, ok := values[output]
+	if !ok {
+		t.Fatalf("blif output %s undefined", output)
+	}
+	return out
+}
+
+// --- the actual tests ---
+
+func minimizeOutputs(t *testing.T, n int, fns []*bfunc.Func) *Module {
+	t.Helper()
+	m := &Module{Name: "dut", Inputs: n}
+	for i, f := range fns {
+		res, err := core.MinimizeExact(f, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Outputs = append(m.Outputs, Output{Name: fmt.Sprintf("y%d", i), Form: res.Form})
+	}
+	return m
+}
+
+func randomFns(rng *rand.Rand, n, outs int) []*bfunc.Func {
+	fns := make([]*bfunc.Func, outs)
+	for o := range fns {
+		var on []uint64
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if rng.Intn(3) == 0 {
+				on = append(on, p)
+			}
+		}
+		fns[o] = bfunc.New(n, on)
+	}
+	return fns
+}
+
+func TestVerilogMatchesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(2)
+		fns := randomFns(rng, n, 2)
+		m := minimizeOutputs(t, n, fns)
+		var buf bytes.Buffer
+		if err := WriteVerilog(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		src := buf.String()
+		if !strings.Contains(src, "module dut(") || !strings.Contains(src, "endmodule") {
+			t.Fatalf("malformed verilog:\n%s", src)
+		}
+		for o, f := range fns {
+			expr := extractAssign(t, src, fmt.Sprintf("y%d", o))
+			for p := uint64(0); p < 1<<uint(n); p++ {
+				if evalVerilogAssign(expr, n, p) != f.IsOn(p) {
+					t.Fatalf("verilog output y%d wrong at %b\nexpr: %s", o, p, expr)
+				}
+			}
+		}
+	}
+}
+
+func extractAssign(t *testing.T, src, port string) string {
+	t.Helper()
+	marker := fmt.Sprintf("assign %s = ", port)
+	i := strings.Index(src, marker)
+	if i < 0 {
+		t.Fatalf("no assign for %s in\n%s", port, src)
+	}
+	rest := src[i+len(marker):]
+	j := strings.Index(rest, ";")
+	return rest[:j]
+}
+
+func TestBLIFMatchesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(2)
+		fns := randomFns(rng, n, 2)
+		m := minimizeOutputs(t, n, fns)
+		var buf bytes.Buffer
+		if err := WriteBLIF(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		src := buf.String()
+		if !strings.Contains(src, ".model dut") || !strings.Contains(src, ".end") {
+			t.Fatalf("malformed blif:\n%s", src)
+		}
+		for o, f := range fns {
+			for p := uint64(0); p < 1<<uint(n); p++ {
+				if evalBLIF(t, src, n, p, fmt.Sprintf("y%d", o)) != f.IsOn(p) {
+					t.Fatalf("blif output y%d wrong at %b\n%s", o, p, src)
+				}
+			}
+		}
+	}
+}
+
+func TestParityNetlists(t *testing.T) {
+	// Parity minimizes to one wide EXOR factor: the exporters must
+	// handle multi-literal factors (verilog parens, blif xor chains).
+	n := 5
+	f := bfunc.FromPredicate(n, func(p uint64) bool {
+		return bitvec.OnesCount(p)%2 == 1
+	})
+	m := minimizeOutputs(t, n, []*bfunc.Func{f})
+	var v, b bytes.Buffer
+	if err := WriteVerilog(&v, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBLIF(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.String(), "^") {
+		t.Fatalf("parity verilog has no xor:\n%s", v.String())
+	}
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		expr := extractAssign(t, v.String(), "y0")
+		if evalVerilogAssign(expr, n, p) != f.IsOn(p) {
+			t.Fatalf("verilog parity wrong at %b", p)
+		}
+		if evalBLIF(t, b.String(), n, p, "y0") != f.IsOn(p) {
+			t.Fatalf("blif parity wrong at %b", p)
+		}
+	}
+}
+
+func TestConstantForms(t *testing.T) {
+	n := 3
+	zero := &Module{Name: "z", Inputs: n, Outputs: []Output{{Name: "y", Form: core.Form{N: n}}}}
+	var v, b bytes.Buffer
+	if err := WriteVerilog(&v, zero); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.String(), "1'b0") {
+		t.Fatalf("constant-zero verilog:\n%s", v.String())
+	}
+	if err := WriteBLIF(&b, zero); err != nil {
+		t.Fatal(err)
+	}
+	one := bfunc.FromPredicate(n, func(uint64) bool { return true })
+	m := minimizeOutputs(t, n, []*bfunc.Func{one})
+	v.Reset()
+	if err := WriteVerilog(&v, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.String(), "1'b1") {
+		t.Fatalf("constant-one verilog:\n%s", v.String())
+	}
+	b.Reset()
+	if err := WriteBLIF(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < 8; p++ {
+		if !evalBLIF(t, b.String(), n, p, "y0") {
+			t.Fatalf("constant-one blif wrong at %b\n%s", p, b.String())
+		}
+	}
+}
+
+func TestIdentifierSanitization(t *testing.T) {
+	cases := map[string]string{
+		"lin.rom": "lin_rom",
+		"9lives":  "_9lives",
+		"ok_name": "ok_name",
+		"":        "_",
+		"a-b c":   "a_b_c",
+	}
+	for in, want := range cases {
+		if got := identifier(in); got != want {
+			t.Errorf("identifier(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSingleComplementedLiteralBLIF(t *testing.T) {
+	// x̄0 factor: the inverter path of writeExorChain.
+	n := 2
+	f := bfunc.New(n, []uint64{0, 1}) // x̄0
+	m := minimizeOutputs(t, n, []*bfunc.Func{f})
+	var b bytes.Buffer
+	if err := WriteBLIF(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < 4; p++ {
+		if evalBLIF(t, b.String(), n, p, "y0") != f.IsOn(p) {
+			t.Fatalf("inverter blif wrong at %b\n%s", p, b.String())
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package netlist
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/core"
+)
+
+func xorModule(t *testing.T) *Module {
+	t.Helper()
+	f := bfunc.New(3, []uint64{0b100, 0b010, 0b001, 0b111})
+	res, err := core.MinimizeExact(f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Module{Name: "xor3", Inputs: 3,
+		Outputs: []Output{{Name: "y", Form: res.Form}}}
+}
+
+func TestWriteTestbenchStructure(t *testing.T) {
+	m := xorModule(t)
+	var buf bytes.Buffer
+	if err := WriteTestbench(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	tb := buf.String()
+	for _, want := range []string{
+		"module xor3_tb;",
+		"xor3 dut(.x0(in[2]), .x1(in[1]), .x2(in[0]), .y(y));",
+		"task check;",
+		"$finish;",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Fatalf("testbench missing %q:\n%s", want, tb)
+		}
+	}
+	// Exhaustive: 8 check calls with the right expected bits.
+	if got := strings.Count(tb, "check(3'b"); got != 8 {
+		t.Fatalf("%d check calls, want 8", got)
+	}
+	for p := uint64(0); p < 8; p++ {
+		want := fmt.Sprintf("check(3'b%03b, 1'b%b);", p, ExpectedVector(m, p))
+		if !strings.Contains(tb, want) {
+			t.Fatalf("missing vector line %q", want)
+		}
+	}
+}
+
+func TestExpectedVectorMatchesForms(t *testing.T) {
+	m := xorModule(t)
+	f := bfunc.New(3, []uint64{0b100, 0b010, 0b001, 0b111})
+	for p := uint64(0); p < 8; p++ {
+		want := uint64(0)
+		if f.IsOn(p) {
+			want = 1
+		}
+		if ExpectedVector(m, p) != want {
+			t.Fatalf("ExpectedVector(%03b) = %d, want %d", p, ExpectedVector(m, p), want)
+		}
+	}
+}
+
+func TestWriteTestbenchExplicitVectors(t *testing.T) {
+	m := xorModule(t)
+	var buf bytes.Buffer
+	if err := WriteTestbench(&buf, m, []uint64{0b101, 0b111}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "check(3'b"); got != 2 {
+		t.Fatalf("%d check calls, want 2", got)
+	}
+}
+
+func TestWriteTestbenchWidthGuard(t *testing.T) {
+	m := &Module{Name: "wide", Inputs: 24}
+	if err := WriteTestbench(&bytes.Buffer{}, m, nil); err == nil {
+		t.Fatal("expected error for exhaustive 24-input testbench")
+	}
+	if err := WriteTestbench(&bytes.Buffer{}, m, []uint64{0}); err != nil {
+		t.Fatalf("explicit vectors must work: %v", err)
+	}
+}

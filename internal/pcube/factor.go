@@ -1,0 +1,74 @@
+// Package pcube implements the pseudocube/pseudoproduct algebra of
+// Luccio–Pagli (ref. [5] of the paper) as used by the DAC'01 SPP
+// minimization algorithms: canonical expressions (CEX), structures,
+// the Algorithm-1 union, Theorem-2 sub-pseudocube enumeration, and
+// pseudocube recognition.
+//
+// The implementation view is linear-algebraic: a pseudocube of degree m
+// in B^n is an affine subspace of GF(2)^n of dimension m, and the CEX is
+// the reduced-row-echelon solution of its defining affine system with
+// leftmost pivots. The paper's combinatorial Definition 1 (canonical
+// matrices and normal columns) is implemented separately in matrix.go
+// and cross-checked against this view by the tests.
+package pcube
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitvec"
+)
+
+// Factor is a single EXOR factor: the XOR of the variables in Vars,
+// complemented iff Comp is 1. As a Boolean function of a packed point p
+// its value is parity(p & Vars) XOR Comp. Complementations inside the
+// written expression normalize to the single Comp bit via x̄ ⊕ y =
+// (x ⊕ y)'.
+type Factor struct {
+	Vars uint64
+	Comp uint8
+}
+
+// Eval returns the factor's value (0 or 1) on point p.
+func (f Factor) Eval(p uint64) uint64 {
+	return bitvec.Parity(p&f.Vars) ^ uint64(f.Comp)
+}
+
+// Literals returns the number of literals in the factor.
+func (f Factor) Literals() int { return bitvec.OnesCount(f.Vars) }
+
+// NormExor returns the normalized EXOR of two factors (the paper's
+// NORM_EXOR): variables appearing in both cancel, complementations
+// accumulate mod 2.
+func NormExor(a, b Factor) Factor {
+	return Factor{Vars: a.Vars ^ b.Vars, Comp: a.Comp ^ b.Comp}
+}
+
+// Format renders the factor over an n-variable space, complementing the
+// last variable if Comp is set (any single literal may carry the
+// complement; rendering it on the last matches reading order).
+func (f Factor) Format(n int) string {
+	vars := bitvec.Vars(f.Vars, n)
+	if len(vars) == 0 {
+		if f.Comp == 1 {
+			return "1"
+		}
+		return "0"
+	}
+	var sb strings.Builder
+	for i, v := range vars {
+		if i > 0 {
+			sb.WriteString("⊕")
+		}
+		if i == len(vars)-1 && f.Comp == 1 {
+			fmt.Fprintf(&sb, "x̄%d", v)
+		} else {
+			fmt.Fprintf(&sb, "x%d", v)
+		}
+	}
+	s := sb.String()
+	if len(vars) > 1 {
+		return "(" + s + ")"
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package pcube
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// FromFactors builds the CEX of the pseudocube defined by an arbitrary
+// product of EXOR factors — not necessarily canonical, possibly
+// redundant. It returns ok=false when the factors are inconsistent (the
+// product is the constant 0, hence not a pseudocube).
+//
+// Each factor is the affine constraint parity(p & Vars) = 1 ⊕ Comp.
+// Canonicalization is Gaussian elimination with *rightmost* pivots
+// (each reduced equation solves its highest-index variable in terms of
+// lower-index ones), which is exactly the CEX convention: a factor's
+// non-canonical variable is preceded by its canonical variables. The
+// theorem-2 footnote ("expressions A_1…A_q·A_{q+1} … can be easily
+// transformed in the equivalent CEX expressions") is this procedure.
+func FromFactors(n int, fs []Factor) (*CEX, bool) {
+	type row struct {
+		vars uint64
+		rhs  uint8
+	}
+	var rows []row
+	reduce := func(r row) row {
+		for _, e := range rows {
+			pivot := e.vars & (^e.vars + 1) // lowest set bit = highest var
+			if r.vars&pivot != 0 {
+				r.vars ^= e.vars
+				r.rhs ^= e.rhs
+			}
+		}
+		return r
+	}
+	for _, f := range fs {
+		if f.Vars&^bitvec.SpaceMask(n) != 0 {
+			return nil, false
+		}
+		r := reduce(row{vars: f.Vars, rhs: 1 ^ f.Comp})
+		if r.vars == 0 {
+			if r.rhs != 0 {
+				return nil, false // 0 = 1: inconsistent product
+			}
+			continue // redundant factor
+		}
+		// Back-substitute into existing rows to keep full reduction.
+		pivot := r.vars & (^r.vars + 1)
+		for i := range rows {
+			if rows[i].vars&pivot != 0 {
+				rows[i].vars ^= r.vars
+				rows[i].rhs ^= r.rhs
+			}
+		}
+		rows = append(rows, r)
+	}
+	// Pivot variables are non-canonical; order factors by their index.
+	sort.Slice(rows, func(i, j int) bool {
+		// Higher bit position = lower variable index; pivots are the
+		// lowest set bits, so compare them descending by position.
+		pi := bits.TrailingZeros64(rows[i].vars)
+		pj := bits.TrailingZeros64(rows[j].vars)
+		return pi > pj
+	})
+	canon := bitvec.SpaceMask(n)
+	factors := make([]Factor, len(rows))
+	for i, r := range rows {
+		canon &^= r.vars & (^r.vars + 1)
+		factors[i] = Factor{Vars: r.vars, Comp: 1 ^ r.rhs}
+	}
+	return &CEX{N: n, Canon: canon, Factors: factors}, true
+}

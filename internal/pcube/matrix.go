@@ -1,0 +1,124 @@
+package pcube
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// Matrix is the canonical-matrix view of a point set (paper §2): 2^m
+// sorted distinct rows over n columns. It exists to implement the
+// paper's combinatorial definitions literally, as a cross-check for the
+// linear-algebra implementation in cex.go.
+type Matrix struct {
+	N    int
+	Rows []uint64 // sorted ascending, distinct
+}
+
+// NewMatrix sorts and validates the rows.
+func NewMatrix(n int, pts []uint64) (*Matrix, error) {
+	rows := append([]uint64(nil), pts...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for i := 1; i < len(rows); i++ {
+		if rows[i] == rows[i-1] {
+			return nil, fmt.Errorf("pcube: duplicate row %x", rows[i])
+		}
+	}
+	if bitvec.Log2(len(rows)) < 0 {
+		return nil, fmt.Errorf("pcube: %d rows is not a power of two", len(rows))
+	}
+	return &Matrix{N: n, Rows: rows}, nil
+}
+
+// Column extracts column i as a 0/1 vector.
+func (m *Matrix) Column(i int) []uint64 {
+	col := make([]uint64, len(m.Rows))
+	for r, row := range m.Rows {
+		col[r] = bitvec.Bit(row, m.N, i)
+	}
+	return col
+}
+
+// IsCanonical reports whether the matrix is canonical: distinct sorted
+// rows (guaranteed by construction) with every column normal. A point
+// set is a pseudocube iff its matrix is canonical up to row permutation,
+// i.e. iff the sorted matrix is canonical.
+func (m *Matrix) IsCanonical() bool {
+	for i := 0; i < m.N; i++ {
+		if !bitvec.IsNormal(m.Column(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalColumns returns the indices of the m canonical columns:
+// scanning left to right, the j-th canonical column is the first one
+// that is (m−j−1)-canonical.
+func (m *Matrix) CanonicalColumns() []int {
+	deg := bitvec.Log2(len(m.Rows))
+	var cols []int
+	j := 0
+	for i := 0; i < m.N && j < deg; i++ {
+		if bitvec.IsKCanonical(m.Column(i), deg-j-1) {
+			cols = append(cols, i)
+			j++
+		}
+	}
+	return cols
+}
+
+// CEXDefinition1 builds the canonical expression following the paper's
+// Definition 1 verbatim: for each non-canonical column p_{m+i}, the
+// factor contains the canonical variables x_{p_j} with
+// M[0][p_{m+i}] ≠ M[2^{m−j−1}][p_{m+i}], plus x_{p_{m+i}} itself,
+// complemented iff M[0][p_{m+i}] = 0. It returns an error if the matrix
+// is not canonical or the canonical columns cannot be identified.
+func (m *Matrix) CEXDefinition1() (*CEX, error) {
+	if !m.IsCanonical() {
+		return nil, fmt.Errorf("pcube: matrix is not canonical")
+	}
+	deg := bitvec.Log2(len(m.Rows))
+	ccols := m.CanonicalColumns()
+	if len(ccols) != deg {
+		return nil, fmt.Errorf("pcube: found %d canonical columns, want %d", len(ccols), deg)
+	}
+	isCanon := make([]bool, m.N)
+	var canonMask uint64
+	for _, c := range ccols {
+		isCanon[c] = true
+		canonMask |= bitvec.VarMask(m.N, c)
+	}
+	var fs []Factor
+	for i := 0; i < m.N; i++ {
+		if isCanon[i] {
+			continue
+		}
+		vars := bitvec.VarMask(m.N, i)
+		first := bitvec.Bit(m.Rows[0], m.N, i)
+		for j, c := range ccols {
+			probe := m.Rows[1<<uint(deg-j-1)]
+			if bitvec.Bit(probe, m.N, i) != first {
+				vars |= bitvec.VarMask(m.N, c)
+			}
+		}
+		comp := uint8(0)
+		if first == 0 {
+			comp = 1
+		}
+		fs = append(fs, Factor{Vars: vars, Comp: comp})
+	}
+	return &CEX{N: m.N, Canon: canonMask, Factors: fs}, nil
+}
+
+// IsPseudocube reports whether the point set is a pseudocube: |pts| is a
+// power of two and the sorted matrix is canonical. Equivalent to (and
+// tested against) the affine-subspace check in FromPoints.
+func IsPseudocube(n int, pts []uint64) bool {
+	m, err := NewMatrix(n, pts)
+	if err != nil {
+		return false
+	}
+	return m.IsCanonical()
+}

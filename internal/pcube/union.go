@@ -1,0 +1,133 @@
+package pcube
+
+import (
+	"repro/internal/bitvec"
+)
+
+// Union implements the paper's Algorithm 1: given two pseudocubes with
+// the same structure (Theorem 1's condition), it builds the CEX of
+// their union, a pseudocube of degree m+1, in time linear in the size of
+// the inputs. It returns nil if the structures differ or the two CEX are
+// identical (a pseudocube is not the union of itself with itself).
+//
+// Let α be the set of non-canonical variables whose factors differ in
+// complementation, and x_k the variable of smallest index in α. Then:
+//
+//	x_k becomes canonical; its factor disappears;
+//	factors of variables in α\{x_k} become NORM_EXOR(f_j, f_k);
+//	factors of variables outside α are unchanged.
+func Union(a, b *CEX) *CEX {
+	if !a.SameStructure(b) {
+		return nil
+	}
+	// Locate the differing factors and the minimum one.
+	k := -1
+	for i := range a.Factors {
+		if a.Factors[i].Comp != b.Factors[i].Comp {
+			k = i
+			break
+		}
+	}
+	if k == -1 {
+		return nil // identical pseudocubes
+	}
+	fk := a.Factors[k] // f_k of P1 (the paper's f^1_{i_k})
+	xk := fk.Vars &^ a.Canon
+
+	fs := make([]Factor, 0, len(a.Factors)-1)
+	for i := range a.Factors {
+		if i == k {
+			continue
+		}
+		if a.Factors[i].Comp != b.Factors[i].Comp {
+			fs = append(fs, NormExor(b.Factors[i], fk))
+		} else {
+			fs = append(fs, b.Factors[i])
+		}
+	}
+	return &CEX{N: a.N, Canon: a.Canon | xk, Factors: fs}
+}
+
+// Alpha returns the mask of non-canonical variables whose factors differ
+// in complementation between two same-structure CEX (the paper's α), or
+// false if the structures differ.
+func Alpha(a, b *CEX) (uint64, bool) {
+	if !a.SameStructure(b) {
+		return 0, false
+	}
+	var alpha uint64
+	for i := range a.Factors {
+		if a.Factors[i].Comp != b.Factors[i].Comp {
+			alpha |= a.Factors[i].Vars &^ a.Canon
+		}
+	}
+	return alpha, true
+}
+
+// SubPseudocubes enumerates all 2^{m+1}−2 distinct pseudocubes of degree
+// m−1 strictly contained in c (paper Theorem 2): one per pair (S, b)
+// with S a non-empty subset of the canonical variables and b ∈ {0,1},
+// obtained by adjoining the constraint ⊕_{x∈S} x = b. The results are
+// in CEX form (the theorem's A_1…A_q·A_{q+1} expressions are
+// re-canonicalized as required by the theorem's footnote).
+//
+// The visit callback receives each sub-pseudocube; enumeration stops if
+// it returns false.
+func (c *CEX) SubPseudocubes(visit func(*CEX) bool) {
+	if c.Degree() == 0 {
+		return
+	}
+	pivots := bitvec.Vars(c.Canon, c.N)
+	nsub := (1 << uint(len(pivots))) - 1
+	for s := 1; s <= nsub; s++ {
+		var sMask uint64
+		for bit, p := range pivots {
+			if s&(1<<uint(bit)) != 0 {
+				sMask |= bitvec.VarMask(c.N, p)
+			}
+		}
+		for b := uint8(0); b <= 1; b++ {
+			if !visit(c.constrain(sMask, b)) {
+				return
+			}
+		}
+	}
+}
+
+// constrain adjoins the affine constraint parity(p & sMask) == b to the
+// pseudocube, where sMask is a non-empty subset of canonical variables,
+// and returns the CEX of the degree-(m−1) sub-pseudocube.
+//
+// The leaving pivot ℓ is the highest-index variable of S: under the
+// leftmost-pivot RREF convention the new constraint row, fully reduced,
+// solves for ℓ in terms of the remaining canonical variables. Every
+// factor containing ℓ is rewritten by substitution (XOR with S), and a
+// new factor for ℓ is inserted in non-canonical order.
+func (c *CEX) constrain(sMask uint64, b uint8) *CEX {
+	n := c.N
+	// Leaving variable: highest index in S = lowest set bit under the
+	// packing (x_0 most significant), i.e. the least significant bit.
+	lMask := sMask & (^sMask + 1)
+	l := bitvec.LowestVar(lMask, n)
+
+	newFactor := Factor{Vars: sMask, Comp: 1 ^ b}
+	fs := make([]Factor, 0, len(c.Factors)+1)
+	inserted := false
+	for _, f := range c.Factors {
+		nc := bitvec.LowestVar(f.Vars&^c.Canon, n)
+		if !inserted && nc > l {
+			fs = append(fs, newFactor)
+			inserted = true
+		}
+		if f.Vars&lMask != 0 {
+			// Substitute x_ℓ = parity(S\{ℓ}) ⊕ b.
+			fs = append(fs, Factor{Vars: f.Vars ^ sMask, Comp: f.Comp ^ b})
+		} else {
+			fs = append(fs, f)
+		}
+	}
+	if !inserted {
+		fs = append(fs, newFactor)
+	}
+	return &CEX{N: n, Canon: c.Canon &^ lMask, Factors: fs}
+}

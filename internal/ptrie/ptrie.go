@@ -1,0 +1,216 @@
+// Package ptrie implements the partition trie of the DAC'01 paper
+// (§3.2): a labeled rooted tree storing the CEX expressions of a set of
+// pseudoproducts so that expressions with the same structure share a
+// path. Internal nodes are C-nodes (canonical variable) or NC-nodes
+// (non-canonical variable); every root-to-group path spells a structure,
+// with each EXOR factor contributed as its NC-node followed by its
+// C-nodes in increasing order, factors ordered by non-canonical
+// variable. The leaves under a group node are the complement vectors of
+// the member pseudoproducts (paper Property 1: leaves with the same
+// parent have the same structure).
+package ptrie
+
+import (
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/pcube"
+)
+
+// kind distinguishes the two internal node types.
+type kind uint8
+
+const (
+	ncNode kind = iota // non-canonical variable (double-circled in fig. 2)
+	cNode              // canonical variable
+)
+
+// node is an internal trie node. Children are kept sorted: NC-nodes
+// first by label, then C-nodes by label (the paper's child ordering;
+// leaves are stored separately in the entries map of the group node).
+type node struct {
+	kind     kind
+	label    int
+	children []*node
+	entries  []*Entry // leaves: one per complement vector
+}
+
+// Entry is a stored pseudoproduct: a leaf of the partition trie.
+type Entry struct {
+	CEX *pcube.CEX
+	// Mark is caller-owned scratch state; the minimization algorithms
+	// use it for the "discarded by a cheaper union" flag of Algorithm 2
+	// step 2.
+	Mark bool
+}
+
+// Trie is a partition trie over B^n.
+type Trie struct {
+	n       int
+	root    node
+	size    int // number of stored entries (leaves)
+	groups  int // number of non-empty group nodes
+	inodes  int // number of internal nodes created (C + NC)
+	ncCount int
+}
+
+// New returns an empty partition trie for n-variable CEX expressions.
+func New(n int) *Trie { return &Trie{n: n} }
+
+// Len returns the number of stored pseudoproducts.
+func (t *Trie) Len() int { return t.size }
+
+// NumGroups returns the number of distinct structures stored.
+func (t *Trie) NumGroups() int { return t.groups }
+
+// NumInternalNodes returns the number of C- and NC-nodes allocated.
+func (t *Trie) NumInternalNodes() int { return t.inodes }
+
+// NumNCNodes returns the number of NC-nodes allocated.
+func (t *Trie) NumNCNodes() int { return t.ncCount }
+
+// child finds or creates the child of nd with the given kind and label,
+// maintaining the sorted order (NC-nodes before C-nodes, then by label).
+func (t *Trie) child(nd *node, k kind, label int) *node {
+	i := sort.Search(len(nd.children), func(i int) bool {
+		c := nd.children[i]
+		if c.kind != k {
+			return c.kind > k
+		}
+		return c.label >= label
+	})
+	if i < len(nd.children) && nd.children[i].kind == k && nd.children[i].label == label {
+		return nd.children[i]
+	}
+	nc := &node{kind: k, label: label}
+	nd.children = append(nd.children, nil)
+	copy(nd.children[i+1:], nd.children[i:])
+	nd.children[i] = nc
+	t.inodes++
+	if k == ncNode {
+		t.ncCount++
+	}
+	return nc
+}
+
+// findChild returns the child or nil without creating it.
+func (nd *node) findChild(k kind, label int) *node {
+	i := sort.Search(len(nd.children), func(i int) bool {
+		c := nd.children[i]
+		if c.kind != k {
+			return c.kind > k
+		}
+		return c.label >= label
+	})
+	if i < len(nd.children) && nd.children[i].kind == k && nd.children[i].label == label {
+		return nd.children[i]
+	}
+	return nil
+}
+
+// compVector packs the complement bits of the CEX factors into a mask
+// (factor i → bit i): the leaf vector L of the paper, with L[i]=1
+// meaning "not complemented"... the paper stores L[i]=0 for
+// complemented; we store Comp directly (bit set = complemented), which
+// is the same information.
+func compVector(c *pcube.CEX) uint64 {
+	var v uint64
+	for i, f := range c.Factors {
+		v |= uint64(f.Comp) << uint(i)
+	}
+	return v
+}
+
+// walk descends the structure path of c, creating nodes if create is
+// set; it returns the group node, or nil when absent and !create.
+func (t *Trie) walk(c *pcube.CEX, create bool) *node {
+	nd := &t.root
+	for _, f := range c.Factors {
+		ncVar := bitvec.LowestVar(f.Vars&^c.Canon, t.n)
+		if create {
+			nd = t.child(nd, ncNode, ncVar)
+		} else if nd = nd.findChild(ncNode, ncVar); nd == nil {
+			return nil
+		}
+		for _, v := range bitvec.Vars(f.Vars&c.Canon, t.n) {
+			if create {
+				nd = t.child(nd, cNode, v)
+			} else if nd = nd.findChild(cNode, v); nd == nil {
+				return nil
+			}
+		}
+	}
+	return nd
+}
+
+// Insert adds the pseudoproduct to the trie. If an identical CEX is
+// already present it returns the existing entry and false; otherwise it
+// returns the new entry and true.
+func (t *Trie) Insert(c *pcube.CEX) (*Entry, bool) {
+	if c.N != t.n {
+		panic("ptrie: CEX dimension mismatch")
+	}
+	grp := t.walk(c, true)
+	cv := compVector(c)
+	for _, e := range grp.entries {
+		if compVector(e.CEX) == cv {
+			return e, false
+		}
+	}
+	e := &Entry{CEX: c}
+	if len(grp.entries) == 0 {
+		t.groups++
+	}
+	grp.entries = append(grp.entries, e)
+	t.size++
+	return e, true
+}
+
+// Search returns the entry with CEX equal to c, or nil.
+func (t *Trie) Search(c *pcube.CEX) *Entry {
+	grp := t.walk(c, false)
+	if grp == nil {
+		return nil
+	}
+	cv := compVector(c)
+	for _, e := range grp.entries {
+		if compVector(e.CEX) == cv {
+			return e
+		}
+	}
+	return nil
+}
+
+// Groups visits every structure group (the entries sharing a parent),
+// in depth-first child order. Iteration stops if visit returns false.
+// The entries slice is shared; callers may flip Mark but must not
+// append or reorder.
+func (t *Trie) Groups(visit func(entries []*Entry) bool) {
+	t.visitGroups(&t.root, visit)
+}
+
+func (t *Trie) visitGroups(nd *node, visit func([]*Entry) bool) bool {
+	if len(nd.entries) > 0 {
+		if !visit(nd.entries) {
+			return false
+		}
+	}
+	for _, c := range nd.children {
+		if !t.visitGroups(c, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Entries visits every stored entry.
+func (t *Trie) Entries(visit func(*Entry) bool) {
+	t.Groups(func(es []*Entry) bool {
+		for _, e := range es {
+			if !visit(e) {
+				return false
+			}
+		}
+		return true
+	})
+}

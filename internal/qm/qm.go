@@ -1,0 +1,85 @@
+// Package qm implements Quine–McCluskey prime implicant generation for
+// incompletely specified single-output Boolean functions. It provides
+// the SP side of the paper's Table 1 comparison and the starting cover
+// for the SPP heuristic (Algorithm 3 step 1).
+package qm
+
+import (
+	"sort"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+	"repro/internal/cube"
+)
+
+// Primes computes all prime implicants of f: maximal cubes contained in
+// ON ∪ DC. The classic tabulation method groups cubes by popcount of the
+// value bits and merges distance-1 pairs level by level.
+func Primes(f *bfunc.Func) []cube.Cube {
+	n := f.N()
+	care := f.Care()
+	if len(care) == 0 {
+		return nil
+	}
+	if len(care) == 1<<uint(n) {
+		// Constant one: the single empty cube is the only prime.
+		return []cube.Cube{{}}
+	}
+
+	type level struct {
+		cubes map[cube.Cube]bool // cube -> merged into next level?
+	}
+	cur := level{cubes: make(map[cube.Cube]bool, len(care))}
+	for _, p := range care {
+		cur.cubes[cube.FromPoint(n, p)] = false
+	}
+
+	var primes []cube.Cube
+	for len(cur.cubes) > 0 {
+		next := level{cubes: map[cube.Cube]bool{}}
+		// Group by (Care mask, popcount(Val)) so only candidate pairs
+		// are compared; distance-1 merges need equal Care and value
+		// popcounts differing by one.
+		groups := map[uint64]map[int][]cube.Cube{}
+		for c := range cur.cubes {
+			g, ok := groups[c.Care]
+			if !ok {
+				g = map[int][]cube.Cube{}
+				groups[c.Care] = g
+			}
+			pc := bitvec.OnesCount(c.Val)
+			g[pc] = append(g[pc], c)
+		}
+		for _, g := range groups {
+			for pc, lo := range g {
+				hi := g[pc+1]
+				for _, a := range lo {
+					for _, b := range hi {
+						if m, ok := cube.MergeDistance1(a, b); ok {
+							cur.cubes[a] = true
+							cur.cubes[b] = true
+							next.cubes[m] = false
+						}
+					}
+				}
+			}
+		}
+		for c, merged := range cur.cubes {
+			if !merged {
+				primes = append(primes, c)
+			}
+		}
+		cur = next
+	}
+	sortCubes(primes)
+	return primes
+}
+
+func sortCubes(cs []cube.Cube) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Care != cs[j].Care {
+			return cs[i].Care < cs[j].Care
+		}
+		return cs[i].Val < cs[j].Val
+	})
+}

@@ -1,0 +1,153 @@
+package qm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bfunc"
+	"repro/internal/cube"
+)
+
+// bruteForcePrimes enumerates every cube over B^n and keeps the maximal
+// implicants. Exponential; used as the oracle on tiny n.
+func bruteForcePrimes(f *bfunc.Func) []cube.Cube {
+	n := f.N()
+	var implicants []cube.Cube
+	var caremask uint64 = (1 << uint(n)) - 1
+	for care := uint64(0); care <= caremask; care++ {
+		sub := care
+		for {
+			c := cube.New(care, sub)
+			ok := true
+			for _, p := range c.Points(n) {
+				if !f.IsCare(p) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				implicants = append(implicants, c)
+			}
+			if sub == 0 {
+				break
+			}
+			sub = (sub - 1) & care
+		}
+	}
+	var primes []cube.Cube
+	for i, c := range implicants {
+		maximal := true
+		for j, d := range implicants {
+			if i != j && d.Covers(c) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			primes = append(primes, c)
+		}
+	}
+	return primes
+}
+
+func cubeSet(cs []cube.Cube) map[cube.Cube]bool {
+	m := make(map[cube.Cube]bool, len(cs))
+	for _, c := range cs {
+		m[c] = true
+	}
+	return m
+}
+
+func TestPrimesAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		var on, dc []uint64
+		for p := uint64(0); p < 16; p++ {
+			switch rng.Intn(3) {
+			case 0:
+				on = append(on, p)
+			case 1:
+				dc = append(dc, p)
+			}
+		}
+		fn := bfunc.NewDC(n, on, dc)
+		got := cubeSet(Primes(fn))
+		want := cubeSet(bruteForcePrimes(fn))
+		if len(got) != len(want) {
+			return false
+		}
+		for c := range want {
+			if !got[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrimesKnownFunctions(t *testing.T) {
+	// XOR of 2 variables: primes are the two minterm products.
+	xor2 := bfunc.New(2, []uint64{0b01, 0b10})
+	ps := Primes(xor2)
+	if len(ps) != 2 {
+		t.Fatalf("xor2 primes = %d, want 2", len(ps))
+	}
+	for _, p := range ps {
+		if p.Literals() != 2 {
+			t.Fatalf("xor2 prime with %d literals", p.Literals())
+		}
+	}
+
+	// Constant one.
+	one := bfunc.New(3, []uint64{0, 1, 2, 3, 4, 5, 6, 7})
+	ps = Primes(one)
+	if len(ps) != 1 || ps[0].Literals() != 0 {
+		t.Fatalf("constant-one primes wrong: %v", ps)
+	}
+
+	// Empty function.
+	if got := Primes(bfunc.New(3, nil)); got != nil {
+		t.Fatalf("empty function primes = %v", got)
+	}
+
+	// Classic example: f = x̄0x̄1 + x0x1 + DC(x̄0x1) over B^2
+	// ON = {00, 11}, DC = {01}: primes are x̄0 (00,01), x1 (01,11).
+	fn := bfunc.NewDC(2, []uint64{0b00, 0b11}, []uint64{0b01})
+	ps = Primes(fn)
+	if len(ps) != 2 {
+		t.Fatalf("primes = %v", ps)
+	}
+}
+
+func TestPrimesDontCareOnlyNotCovered(t *testing.T) {
+	// Primes lie in ON ∪ DC; a function whose care set is a full cube
+	// minus a point must produce primes of the right total.
+	fn := bfunc.NewDC(3, []uint64{0, 1, 2, 3}, []uint64{4, 5, 6})
+	for _, p := range Primes(fn) {
+		for _, pt := range p.Points(3) {
+			if !fn.IsCare(pt) {
+				t.Fatalf("prime %v leaves care set", p)
+			}
+		}
+	}
+}
+
+func BenchmarkPrimes8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var on []uint64
+	for p := uint64(0); p < 256; p++ {
+		if rng.Intn(2) == 0 {
+			on = append(on, p)
+		}
+	}
+	fn := bfunc.New(8, on)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Primes(fn)
+	}
+}

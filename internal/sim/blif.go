@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadBLIF parses the BLIF subset internal/netlist emits: a single
+// .model with .inputs, .outputs and single-output .names covers (rows
+// of 0/1/- followed by the output value 1; the constant-1 cover is a
+// bare "1" row). Input ports must be named x<i>.
+func ReadBLIF(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	var c *Circuit
+	var name string
+	var inputNames, outputNames []string
+	var pendingGate *gate
+	var pendingInputs []string
+
+	flush := func() error {
+		if pendingGate == nil {
+			return nil
+		}
+		// Resolve operand slots now that the names are final.
+		for _, in := range pendingInputs {
+			pendingGate.args = append(pendingGate.args, c.net(in))
+		}
+		c.gates = append(c.gates, *pendingGate)
+		pendingGate, pendingInputs = nil, nil
+		return nil
+	}
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".model":
+				if len(fields) > 1 {
+					name = fields[1]
+				}
+			case ".inputs":
+				inputNames = append(inputNames, fields[1:]...)
+			case ".outputs":
+				outputNames = append(outputNames, fields[1:]...)
+			case ".names":
+				if c == nil {
+					n := len(inputNames)
+					for i := 0; i < n; i++ {
+						if inputNames[i] != fmt.Sprintf("x%d", i) {
+							return nil, fmt.Errorf("sim: blif inputs must be x0..x%d", n-1)
+						}
+					}
+					c = newCircuit(name, n)
+					c.outputs = outputNames
+				}
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				if len(fields) < 2 {
+					return nil, fmt.Errorf("sim: malformed .names")
+				}
+				out := c.net(fields[len(fields)-1])
+				pendingGate = &gate{op: opCover, out: out}
+				pendingInputs = fields[1 : len(fields)-1]
+			case ".end":
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("sim: unsupported blif directive %s", fields[0])
+			}
+			continue
+		}
+		// A cover row.
+		if pendingGate == nil {
+			return nil, fmt.Errorf("sim: cover row outside .names: %q", line)
+		}
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 1 && len(pendingInputs) == 0 && fields[0] == "1":
+			pendingGate.op = opConst1
+		case len(fields) == 2 && fields[1] == "1":
+			if len(fields[0]) != len(pendingInputs) {
+				return nil, fmt.Errorf("sim: cover row %q width %d, want %d",
+					line, len(fields[0]), len(pendingInputs))
+			}
+			row := coverRow{
+				care: make([]bool, len(pendingInputs)),
+				val:  make([]bool, len(pendingInputs)),
+			}
+			for i, ch := range fields[0] {
+				switch ch {
+				case '1':
+					row.care[i], row.val[i] = true, true
+				case '0':
+					row.care[i] = true
+				case '-':
+					// don't care
+				default:
+					return nil, fmt.Errorf("sim: bad cover character %q", ch)
+				}
+			}
+			pendingGate.cover = append(pendingGate.cover, row)
+		default:
+			return nil, fmt.Errorf("sim: unsupported cover row %q (only on-set covers)", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		if len(inputNames) == 0 && len(outputNames) == 0 {
+			return nil, fmt.Errorf("sim: no .model content")
+		}
+		n := len(inputNames)
+		c = newCircuit(name, n)
+		c.outputs = outputNames
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if err := c.sortTopological(); err != nil {
+		return nil, err
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

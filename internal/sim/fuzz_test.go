@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadVerilog checks the netlist reader never panics and that
+// accepted circuits evaluate without panicking.
+func FuzzReadVerilog(f *testing.F) {
+	f.Add("module m(x0, y); input x0; output y; assign y = ~x0; endmodule")
+	f.Add("module m(x0, x1, y); input x0; input x1; output y; assign y = (x0 ^ x1) & x0 | 1'b0; endmodule")
+	f.Add("module m(); endmodule")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, src string) {
+		ckt, err := ReadVerilog(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if ckt.Inputs > 16 {
+			return
+		}
+		for p := uint64(0); p < 1<<uint(ckt.Inputs) && p < 64; p++ {
+			ckt.Eval(p)
+		}
+	})
+}
+
+// FuzzReadBLIF does the same for the BLIF reader.
+func FuzzReadBLIF(f *testing.F) {
+	f.Add(".model m\n.inputs x0\n.outputs y\n.names x0 y\n0 1\n.end\n")
+	f.Add(".model m\n.inputs x0 x1\n.outputs y\n.names x0 x1 y\n1- 1\n-1 1\n.end\n")
+	f.Add(".model k\n.inputs x0\n.outputs y\n.names y\n1\n.end\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		ckt, err := ReadBLIF(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if ckt.Inputs > 16 {
+			return
+		}
+		for p := uint64(0); p < 1<<uint(ckt.Inputs) && p < 64; p++ {
+			ckt.Eval(p)
+		}
+	})
+}

@@ -1,0 +1,237 @@
+// Package sim provides a small gate-level combinational simulator with
+// readers for the two netlist dialects internal/netlist emits:
+// structural Verilog assigns (~ ^ & | with parentheses) and BLIF .names
+// covers. It closes the synthesis loop — a minimized SPP network is
+// exported, read back, and co-simulated against the source function —
+// and gives the examples and tools an engine for exercising generated
+// hardware the way a testbench would.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// Circuit is a combinational netlist: primary inputs x0..x{n-1},
+// internal nets defined by gates in topological order, and named
+// outputs.
+type Circuit struct {
+	Name    string
+	Inputs  int
+	gates   []gate
+	outputs []string       // output port names in declaration order
+	netIdx  map[string]int // net name -> value slot
+}
+
+// gate computes one net from previously computed nets.
+type gate struct {
+	op   opKind
+	args []int // value slots of the operands
+	out  int   // value slot written
+	// cover holds the rows of a BLIF .names cover (op opCover): each
+	// row is one cube over the args: two bits per arg (care,val) packed
+	// in a byte slice for simplicity.
+	cover []coverRow
+}
+
+type coverRow struct {
+	care []bool
+	val  []bool
+}
+
+type opKind uint8
+
+const (
+	opConst0 opKind = iota
+	opConst1
+	opBuf
+	opNot
+	opAnd
+	opOr
+	opXor
+	opXnor
+	opCover
+)
+
+// Outputs lists the circuit's output port names in order.
+func (c *Circuit) Outputs() []string { return append([]string(nil), c.outputs...) }
+
+// NumNets returns the number of value slots (inputs + defined nets).
+func (c *Circuit) NumNets() int { return len(c.netIdx) }
+
+// NumGates returns the number of gates.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// net returns (creating if needed) the slot of a named net.
+func (c *Circuit) net(name string) int {
+	if i, ok := c.netIdx[name]; ok {
+		return i
+	}
+	i := len(c.netIdx)
+	c.netIdx[name] = i
+	return i
+}
+
+// newCircuit seeds the input nets x0..x{n-1}.
+func newCircuit(name string, inputs int) *Circuit {
+	c := &Circuit{Name: name, Inputs: inputs, netIdx: map[string]int{}}
+	for i := 0; i < inputs; i++ {
+		c.net(fmt.Sprintf("x%d", i))
+	}
+	return c
+}
+
+// Eval evaluates the circuit on a packed input point (bitvec packing:
+// x0 most significant) and returns the output values in port order.
+func (c *Circuit) Eval(p uint64) []bool {
+	values := make([]bool, c.NumNets())
+	for i := 0; i < c.Inputs; i++ {
+		values[i] = bitvec.Bit(p, c.Inputs, i) == 1
+	}
+	for _, g := range c.gates {
+		values[g.out] = g.eval(values)
+	}
+	out := make([]bool, len(c.outputs))
+	for i, name := range c.outputs {
+		out[i] = values[c.netIdx[name]]
+	}
+	return out
+}
+
+func (g gate) eval(values []bool) bool {
+	switch g.op {
+	case opConst0:
+		return false
+	case opConst1:
+		return true
+	case opBuf:
+		return values[g.args[0]]
+	case opNot:
+		return !values[g.args[0]]
+	case opAnd:
+		for _, a := range g.args {
+			if !values[a] {
+				return false
+			}
+		}
+		return true
+	case opOr:
+		for _, a := range g.args {
+			if values[a] {
+				return true
+			}
+		}
+		return false
+	case opXor:
+		v := false
+		for _, a := range g.args {
+			v = v != values[a]
+		}
+		return v
+	case opXnor:
+		v := true
+		for _, a := range g.args {
+			v = v != values[a]
+		}
+		return v
+	case opCover:
+		for _, row := range g.cover {
+			match := true
+			for i, a := range g.args {
+				if row.care[i] && values[a] != row.val[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+		return false
+	default:
+		panic("sim: unknown gate op")
+	}
+}
+
+// validate checks that every gate reads only previously defined slots
+// (inputs or earlier gate outputs) and that outputs are defined.
+func (c *Circuit) validate() error {
+	defined := make([]bool, c.NumNets())
+	for i := 0; i < c.Inputs; i++ {
+		defined[i] = true
+	}
+	for gi, g := range c.gates {
+		for _, a := range g.args {
+			if !defined[a] {
+				return fmt.Errorf("sim: gate %d reads undefined net (combinational loop or missing driver)", gi)
+			}
+		}
+		defined[g.out] = true
+	}
+	for _, name := range c.outputs {
+		slot, ok := c.netIdx[name]
+		if !ok || !defined[slot] {
+			return fmt.Errorf("sim: output %s has no driver", name)
+		}
+	}
+	return nil
+}
+
+// sortTopological reorders gates so every gate follows its operands'
+// drivers; it reports an error on combinational cycles. The BLIF and
+// Verilog writers emit in order already, but external files may not.
+func (c *Circuit) sortTopological() error {
+	driver := make(map[int]int, len(c.gates)) // out slot -> gate index
+	for gi, g := range c.gates {
+		if _, dup := driver[g.out]; dup {
+			return fmt.Errorf("sim: net has two drivers")
+		}
+		driver[g.out] = gi
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make([]int, len(c.gates))
+	var order []int
+	var visit func(gi int) error
+	visit = func(gi int) error {
+		switch state[gi] {
+		case grey:
+			return fmt.Errorf("sim: combinational cycle through gate %d", gi)
+		case black:
+			return nil
+		}
+		state[gi] = grey
+		for _, a := range c.gates[gi].args {
+			if d, ok := driver[a]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[gi] = black
+		order = append(order, gi)
+		return nil
+	}
+	// Deterministic traversal order.
+	gis := make([]int, len(c.gates))
+	for i := range gis {
+		gis[i] = i
+	}
+	sort.Ints(gis)
+	for _, gi := range gis {
+		if err := visit(gi); err != nil {
+			return err
+		}
+	}
+	sorted := make([]gate, len(order))
+	for i, gi := range order {
+		sorted[i] = c.gates[gi]
+	}
+	c.gates = sorted
+	return nil
+}

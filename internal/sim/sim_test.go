@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+func minimizedModule(t *testing.T, n int, fns []*bfunc.Func) *netlist.Module {
+	t.Helper()
+	m := &netlist.Module{Name: "dut", Inputs: n}
+	for i, f := range fns {
+		res, err := core.MinimizeExact(f, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Outputs = append(m.Outputs, netlist.Output{Name: fmt.Sprintf("y%d", i), Form: res.Form})
+	}
+	return m
+}
+
+func randomFns(rng *rand.Rand, n, outs int) []*bfunc.Func {
+	fns := make([]*bfunc.Func, outs)
+	for o := range fns {
+		var on []uint64
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			if rng.Intn(3) == 0 {
+				on = append(on, p)
+			}
+		}
+		fns[o] = bfunc.New(n, on)
+	}
+	return fns
+}
+
+// TestCoSimulationVerilog closes the loop: minimize → emit Verilog →
+// read back → simulate → compare with the source functions everywhere.
+func TestCoSimulationVerilog(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(2)
+		fns := randomFns(rng, n, 3)
+		mod := minimizedModule(t, n, fns)
+		var buf bytes.Buffer
+		if err := netlist.WriteVerilog(&buf, mod); err != nil {
+			t.Fatal(err)
+		}
+		ckt, err := ReadVerilog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v\n%s", err, buf.String())
+		}
+		if ckt.Inputs != n || len(ckt.Outputs()) != 3 {
+			t.Fatalf("shape: %d inputs, outputs %v", ckt.Inputs, ckt.Outputs())
+		}
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			got := ckt.Eval(p)
+			for o, f := range fns {
+				if got[o] != f.IsOn(p) {
+					t.Fatalf("verilog co-sim mismatch out %d at %b\n%s", o, p, buf.String())
+				}
+			}
+		}
+	}
+}
+
+// TestCoSimulationBLIF does the same through the BLIF path.
+func TestCoSimulationBLIF(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(2)
+		fns := randomFns(rng, n, 2)
+		mod := minimizedModule(t, n, fns)
+		var buf bytes.Buffer
+		if err := netlist.WriteBLIF(&buf, mod); err != nil {
+			t.Fatal(err)
+		}
+		ckt, err := ReadBLIF(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v\n%s", err, buf.String())
+		}
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			got := ckt.Eval(p)
+			for o, f := range fns {
+				if got[o] != f.IsOn(p) {
+					t.Fatalf("blif co-sim mismatch out %d at %b\n%s", o, p, buf.String())
+				}
+			}
+		}
+	}
+}
+
+func TestReadVerilogHandwritten(t *testing.T) {
+	src := `
+// a handwritten module with out-of-order assigns
+module adder1(x0, x1, s, c);
+  input x0;
+  input x1;
+  output s;
+  output c;
+  assign c = x0 & x1;   // carry
+  assign s = x0 ^ x1;   // sum
+endmodule
+`
+	ckt, err := ReadVerilog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < 4; p++ {
+		got := ckt.Eval(p)
+		x0, x1 := p>>1&1 == 1, p&1 == 1
+		if got[0] != (x0 != x1) || got[1] != (x0 && x1) {
+			t.Fatalf("half adder wrong at %02b: %v", p, got)
+		}
+	}
+}
+
+func TestReadVerilogChainedNets(t *testing.T) {
+	// Assigns given in reverse dependency order exercise the
+	// topological sort.
+	src := `
+module chain(x0, x1, y);
+  input x0; input x1;
+  output y;
+  assign y = t2 | x1;
+  assign t2 = ~t1;
+  assign t1 = x0 & x1;
+endmodule
+`
+	ckt, err := ReadVerilog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < 4; p++ {
+		x0, x1 := p>>1&1 == 1, p&1 == 1
+		want := !(x0 && x1) || x1
+		if ckt.Eval(p)[0] != want {
+			t.Fatalf("chain wrong at %02b", p)
+		}
+	}
+}
+
+func TestReadVerilogErrors(t *testing.T) {
+	cases := []string{
+		"not verilog at all",
+		"module m(x0, y); input x0; output y; assign y = ; endmodule",
+		"module m(x0, y); input x0; output y; assign y = (x0; endmodule",
+		"module m(a, y); input a; output y; assign y = a; endmodule", // inputs must be x<i>
+		"module m(x0, y); input x0; output y; endmodule",             // y undriven
+		// combinational cycle
+		"module m(x0, y); input x0; output y; assign y = z; assign z = y; endmodule",
+	}
+	for i, src := range cases {
+		if _, err := ReadVerilog(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadBLIFHandwritten(t *testing.T) {
+	src := `
+.model mux
+.inputs x0 x1 x2
+.outputs y
+.names x0 x1 t0
+11 1
+.names x0 x2 t1
+01 1
+.names t0 t1 y
+1- 1
+-1 1
+.end
+`
+	ckt, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = x0·x1 + x̄0·x2 (a mux with select x0).
+	for p := uint64(0); p < 8; p++ {
+		x := func(i int) bool { return p>>uint(2-i)&1 == 1 }
+		want := (x(0) && x(1)) || (!x(0) && x(2))
+		if ckt.Eval(p)[0] != want {
+			t.Fatalf("mux wrong at %03b", p)
+		}
+	}
+}
+
+func TestReadBLIFConstants(t *testing.T) {
+	src := ".model k\n.inputs x0\n.outputs y z\n.names y\n1\n.names z\n.end\n"
+	ckt, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ckt.Eval(0)
+	if !out[0] || out[1] {
+		t.Fatalf("constants wrong: %v", out)
+	}
+}
+
+func TestReadBLIFErrors(t *testing.T) {
+	cases := []string{
+		"",
+		".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n", // inputs must be x<i>
+		".model m\n.inputs x0\n.outputs y\n11 1\n.end\n",           // row outside .names
+		".model m\n.inputs x0\n.outputs y\n.names x0 y\n111 1\n.end\n",
+		".model m\n.inputs x0\n.outputs y\n.names x0 y\n1 0\n.end\n", // off-set cover unsupported
+		".model m\n.inputs x0\n.outputs y\n.latch a b\n.end\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadBLIF(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCircuitStats(t *testing.T) {
+	src := "module m(x0, x1, y); input x0; input x1; output y; assign y = x0 ^ x1; endmodule"
+	ckt, err := ReadVerilog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckt.NumGates() < 1 || ckt.NumNets() < 3 {
+		t.Fatalf("stats: %d gates, %d nets", ckt.NumGates(), ckt.NumNets())
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+)
+
+// ToBDD performs symbolic simulation: every net is evaluated over BDD
+// nodes instead of Booleans, yielding one canonical diagram per output.
+// Equivalence of two circuits (or of a circuit against a specification
+// BDD) then reduces to node identity, with no 2^n enumeration.
+func (c *Circuit) ToBDD(m *bdd.Manager) ([]bdd.Node, error) {
+	if m.NumVars() != c.Inputs {
+		return nil, fmt.Errorf("sim: manager has %d vars, circuit %d inputs", m.NumVars(), c.Inputs)
+	}
+	values := make([]bdd.Node, c.NumNets())
+	for i := 0; i < c.Inputs; i++ {
+		values[i] = m.Var(i)
+	}
+	for _, g := range c.gates {
+		v, err := g.evalBDD(m, values)
+		if err != nil {
+			return nil, err
+		}
+		values[g.out] = v
+	}
+	out := make([]bdd.Node, len(c.outputs))
+	for i, name := range c.outputs {
+		out[i] = values[c.netIdx[name]]
+	}
+	return out, nil
+}
+
+func (g gate) evalBDD(m *bdd.Manager, values []bdd.Node) (bdd.Node, error) {
+	switch g.op {
+	case opConst0:
+		return bdd.Const0, nil
+	case opConst1:
+		return bdd.Const1, nil
+	case opBuf:
+		return values[g.args[0]], nil
+	case opNot:
+		return m.Not(values[g.args[0]]), nil
+	case opAnd:
+		acc := bdd.Const1
+		for _, a := range g.args {
+			acc = m.And(acc, values[a])
+		}
+		return acc, nil
+	case opOr:
+		acc := bdd.Const0
+		for _, a := range g.args {
+			acc = m.Or(acc, values[a])
+		}
+		return acc, nil
+	case opXor:
+		acc := bdd.Const0
+		for _, a := range g.args {
+			acc = m.Xor(acc, values[a])
+		}
+		return acc, nil
+	case opXnor:
+		acc := bdd.Const1
+		for _, a := range g.args {
+			acc = m.Xor(acc, values[a])
+		}
+		return acc, nil
+	case opCover:
+		acc := bdd.Const0
+		for _, row := range g.cover {
+			term := bdd.Const1
+			for i, a := range g.args {
+				if !row.care[i] {
+					continue
+				}
+				lit := values[a]
+				if !row.val[i] {
+					lit = m.Not(lit)
+				}
+				term = m.And(term, lit)
+			}
+			acc = m.Or(acc, term)
+		}
+		return acc, nil
+	default:
+		return bdd.Const0, fmt.Errorf("sim: gate op %d not supported symbolically", g.op)
+	}
+}

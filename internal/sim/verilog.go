@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+// ReadVerilog parses the structural-Verilog subset internal/netlist
+// emits: a single module with scalar ports, input/output declarations,
+// and continuous assigns over ~, ^, &, | and parentheses. Input ports
+// must be named x<i>; other identifiers are free.
+func ReadVerilog(r io.Reader) (*Circuit, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	text := stripLineComments(string(src))
+
+	modRe := regexp.MustCompile(`(?s)module\s+(\w+)\s*\(([^)]*)\)\s*;(.*)endmodule`)
+	m := modRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, fmt.Errorf("sim: no module found")
+	}
+	name, body := m[1], m[3]
+
+	inputs := map[string]bool{}
+	var outputs []string
+	declRe := regexp.MustCompile(`(input|output)\s+([^;]+);`)
+	for _, d := range declRe.FindAllStringSubmatch(body, -1) {
+		for _, id := range strings.Split(d[2], ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if d[1] == "input" {
+				inputs[id] = true
+			} else {
+				outputs = append(outputs, id)
+			}
+		}
+	}
+	// Inputs must be x0..x{k-1}.
+	n := len(inputs)
+	for i := 0; i < n; i++ {
+		if !inputs[fmt.Sprintf("x%d", i)] {
+			return nil, fmt.Errorf("sim: inputs must be named x0..x%d", n-1)
+		}
+	}
+
+	c := newCircuit(name, n)
+	c.outputs = outputs
+
+	assignRe := regexp.MustCompile(`assign\s+(\w+)\s*=\s*([^;]+);`)
+	for _, a := range assignRe.FindAllStringSubmatch(body, -1) {
+		target := c.net(a[1])
+		p := &exprParser{c: c, src: strings.TrimSpace(a[2])}
+		slot, err := p.parse()
+		if err != nil {
+			return nil, fmt.Errorf("sim: assign %s: %v", a[1], err)
+		}
+		c.gates = append(c.gates, gate{op: opBuf, args: []int{slot}, out: target})
+	}
+	if err := c.sortTopological(); err != nil {
+		return nil, err
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func stripLineComments(s string) string {
+	var sb strings.Builder
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// exprParser builds gates bottom-up from a Verilog expression; each
+// subexpression gets a fresh anonymous net. Precedence (loosest first):
+// | , ^ , & , unary ~ — matching the emitted dialect (note the emitted
+// code always parenthesizes xor inside and).
+type exprParser struct {
+	c    *Circuit
+	src  string
+	pos  int
+	anon int
+}
+
+func (p *exprParser) parse() (int, error) {
+	slot, err := p.or()
+	if err != nil {
+		return 0, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing input %q", p.src[p.pos:])
+	}
+	return slot, nil
+}
+
+func (p *exprParser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) fresh(op opKind, args ...int) int {
+	p.anon++
+	out := p.c.net(fmt.Sprintf("$%s%d", p.c.Name, len(p.c.gates)))
+	p.c.gates = append(p.c.gates, gate{op: op, args: args, out: out})
+	return out
+}
+
+func (p *exprParser) or() (int, error) {
+	slot, err := p.and()
+	if err != nil {
+		return 0, err
+	}
+	args := []int{slot}
+	for p.peek() == '|' {
+		p.pos++
+		next, err := p.and()
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return slot, nil
+	}
+	return p.fresh(opOr, args...), nil
+}
+
+func (p *exprParser) and() (int, error) {
+	slot, err := p.xor()
+	if err != nil {
+		return 0, err
+	}
+	args := []int{slot}
+	for p.peek() == '&' {
+		p.pos++
+		next, err := p.xor()
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return slot, nil
+	}
+	return p.fresh(opAnd, args...), nil
+}
+
+func (p *exprParser) xor() (int, error) {
+	slot, err := p.unary()
+	if err != nil {
+		return 0, err
+	}
+	args := []int{slot}
+	for p.peek() == '^' {
+		p.pos++
+		next, err := p.unary()
+		if err != nil {
+			return 0, err
+		}
+		args = append(args, next)
+	}
+	if len(args) == 1 {
+		return slot, nil
+	}
+	return p.fresh(opXor, args...), nil
+}
+
+func (p *exprParser) unary() (int, error) {
+	switch ch := p.peek(); {
+	case ch == '~':
+		p.pos++
+		slot, err := p.unary()
+		if err != nil {
+			return 0, err
+		}
+		return p.fresh(opNot, slot), nil
+	case ch == '(':
+		p.pos++
+		slot, err := p.or()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing )")
+		}
+		p.pos++
+		return slot, nil
+	case ch == '1' || ch == '0':
+		// 1'b0 / 1'b1 literals.
+		rest := p.src[p.pos:]
+		if strings.HasPrefix(rest, "1'b1") {
+			p.pos += 4
+			return p.fresh(opConst1), nil
+		}
+		if strings.HasPrefix(rest, "1'b0") {
+			p.pos += 4
+			return p.fresh(opConst0), nil
+		}
+		return 0, fmt.Errorf("bad literal at %q", rest)
+	default:
+		start := p.pos
+		for p.pos < len(p.src) && (isIdent(p.src[p.pos])) {
+			p.pos++
+		}
+		if p.pos == start {
+			return 0, fmt.Errorf("unexpected character %q", ch)
+		}
+		return p.c.net(p.src[start:p.pos]), nil
+	}
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,160 @@
+// Package sp implements classical two-level (Sum of Products)
+// minimization — Quine–McCluskey prime implicants followed by set
+// covering — providing the SP side of the paper's Table 1/3 comparisons
+// (#PI, #L, #P) and the starting cover of the SPP heuristic.
+package sp
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bfunc"
+	"repro/internal/cover"
+	"repro/internal/cube"
+	"repro/internal/espresso"
+	"repro/internal/qm"
+)
+
+// Method selects the two-level engine.
+type Method int
+
+const (
+	// MethodAuto picks Quine–McCluskey for narrow inputs and the
+	// ESPRESSO-style heuristic for wide ones (n > AutoQMLimit).
+	MethodAuto Method = iota
+	// MethodQM generates all prime implicants and covers them: exact
+	// prime enumeration, the engine behind the paper's #PI column.
+	MethodQM
+	// MethodEspresso runs the EXPAND/IRREDUNDANT/REDUCE loop: no prime
+	// enumeration, scales to wide inputs, literal counts are heuristic.
+	MethodEspresso
+)
+
+// AutoQMLimit is the input-width threshold above which MethodAuto
+// switches from Quine–McCluskey to the ESPRESSO-style heuristic.
+const AutoQMLimit = 12
+
+// Options configure SP minimization.
+type Options struct {
+	// Method selects the engine (default MethodAuto).
+	Method Method
+	// CoverExact selects branch-and-bound covering instead of greedy
+	// (MethodQM path only).
+	CoverExact bool
+	// CoverMaxNodes bounds the exact covering search (0 = default).
+	CoverMaxNodes int64
+}
+
+// Result is a minimized SP form with statistics.
+type Result struct {
+	Form Form
+	// NumPrimes is the paper's #PI.
+	NumPrimes int
+	// Time is the total wall-clock duration.
+	Time time.Duration
+	// CoverOptimal reports whether the covering was proven minimum.
+	CoverOptimal bool
+}
+
+// Form is a chosen sum of products.
+type Form struct {
+	N     int
+	Cubes []cube.Cube
+}
+
+// Literals is the paper's #L for SP forms.
+func (f Form) Literals() int {
+	total := 0
+	for _, c := range f.Cubes {
+		total += c.Literals()
+	}
+	return total
+}
+
+// NumTerms is the paper's #P.
+func (f Form) NumTerms() int { return len(f.Cubes) }
+
+// Eval reports the form's value on p.
+func (f Form) Eval(p uint64) bool {
+	for _, c := range f.Cubes {
+		if c.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Minimize computes a minimal (or heuristic upper bound) SP cover of f
+// with literal-count cost, dispatching on Options.Method.
+func Minimize(f *bfunc.Func, opts Options) *Result {
+	method := opts.Method
+	if method == MethodAuto {
+		if f.N() > AutoQMLimit {
+			method = MethodEspresso
+		} else {
+			method = MethodQM
+		}
+	}
+	if method == MethodEspresso {
+		return minimizeEspresso(f)
+	}
+	start := time.Now()
+	primes := qm.Primes(f)
+	res := &Result{Form: Form{N: f.N()}, NumPrimes: len(primes)}
+	if f.OnCount() == 0 {
+		res.CoverOptimal = true
+		res.Time = time.Since(start)
+		return res
+	}
+	if f.IsConstantOne() {
+		res.Form.Cubes = []cube.Cube{{}}
+		res.CoverOptimal = true
+		res.Time = time.Since(start)
+		return res
+	}
+
+	on := f.On()
+	rowOf := make(map[uint64]int, len(on))
+	for i, p := range on {
+		rowOf[p] = i
+	}
+	in := &cover.Instance{NRows: len(on)}
+	var cols []cube.Cube
+	for _, pi := range primes {
+		var rows []int
+		for _, p := range pi.Points(f.N()) {
+			if r, ok := rowOf[p]; ok {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sort.Ints(rows)
+		in.Cols = append(in.Cols, cover.Column{Cost: pi.Literals(), Rows: rows})
+		cols = append(cols, pi)
+	}
+	var cres cover.Result
+	if opts.CoverExact {
+		cres = cover.Exact(in, cover.ExactOptions{MaxNodes: opts.CoverMaxNodes})
+	} else {
+		cres = cover.Greedy(in)
+	}
+	for _, j := range cres.Picked {
+		res.Form.Cubes = append(res.Form.Cubes, cols[j])
+	}
+	res.CoverOptimal = cres.Optimal
+	res.Time = time.Since(start)
+	return res
+}
+
+// minimizeEspresso runs the heuristic engine. NumPrimes is reported as
+// 0: the ESPRESSO loop never enumerates the prime set.
+func minimizeEspresso(f *bfunc.Func) *Result {
+	start := time.Now()
+	er := espresso.Minimize(f, espresso.Options{})
+	return &Result{
+		Form: Form{N: f.N(), Cubes: er.Cover},
+		Time: time.Since(start),
+	}
+}

@@ -1,0 +1,82 @@
+package sp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfunc"
+)
+
+func verify(t *testing.T, f *bfunc.Func, form Form) {
+	t.Helper()
+	for p := uint64(0); p < 1<<uint(f.N()); p++ {
+		got := form.Eval(p)
+		if f.IsOn(p) && !got {
+			t.Fatalf("ON point %b not covered", p)
+		}
+		if !f.IsCare(p) && got {
+			t.Fatalf("OFF point %b wrongly covered", p)
+		}
+	}
+}
+
+func TestMinimizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(3)
+		var on, dc []uint64
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			switch rng.Intn(4) {
+			case 0:
+				on = append(on, p)
+			case 1:
+				if trial%2 == 0 {
+					dc = append(dc, p)
+				}
+			}
+		}
+		f := bfunc.NewDC(n, on, dc)
+		res := Minimize(f, Options{})
+		verify(t, f, res.Form)
+		resX := Minimize(f, Options{CoverExact: true})
+		verify(t, f, resX.Form)
+		if resX.Form.Literals() > res.Form.Literals() {
+			t.Fatalf("exact covering worse than greedy: %d > %d",
+				resX.Form.Literals(), res.Form.Literals())
+		}
+	}
+}
+
+func TestMinimizeKnown(t *testing.T) {
+	// Majority of 3: minimal SP is x0x1 + x0x2 + x1x2 (6 literals, 3
+	// products, 6 primes? no: exactly 3 primes).
+	maj := bfunc.FromPredicate(3, func(p uint64) bool {
+		c := 0
+		for i := 0; i < 3; i++ {
+			c += int(p >> uint(i) & 1)
+		}
+		return c >= 2
+	})
+	res := Minimize(maj, Options{CoverExact: true})
+	if res.NumPrimes != 3 {
+		t.Fatalf("majority primes = %d, want 3", res.NumPrimes)
+	}
+	if res.Form.Literals() != 6 || res.Form.NumTerms() != 3 {
+		t.Fatalf("majority SP = %d literals, %d products", res.Form.Literals(), res.Form.NumTerms())
+	}
+	verify(t, maj, res.Form)
+}
+
+func TestMinimizeDegenerate(t *testing.T) {
+	empty := bfunc.New(3, nil)
+	res := Minimize(empty, Options{})
+	if res.Form.NumTerms() != 0 || !res.CoverOptimal {
+		t.Fatalf("empty: %+v", res)
+	}
+	one := bfunc.FromPredicate(2, func(uint64) bool { return true })
+	res = Minimize(one, Options{})
+	if res.Form.NumTerms() != 1 || res.Form.Literals() != 0 {
+		t.Fatalf("constant one: %+v", res.Form)
+	}
+	verify(t, one, res.Form)
+}

@@ -1,0 +1,168 @@
+package spp_test
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/bdd"
+)
+
+func parity(n int) *spp.Function {
+	return spp.FromPredicate(n, func(p uint64) bool {
+		return bits.OnesCount64(p)%2 == 1
+	})
+}
+
+func TestMinimizeParity(t *testing.T) {
+	f := parity(4)
+	res, err := spp.Minimize(f, &spp.Options{ExactCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Form.Literals() != 4 || res.Form.NumTerms() != 1 {
+		t.Fatalf("parity form: %v", res.Form)
+	}
+	if res.Form.String() != "(x0⊕x1⊕x2⊕x3)" {
+		t.Fatalf("parity renders %q", res.Form.String())
+	}
+	if !res.CoverOptimal {
+		t.Fatal("exact cover should be optimal on parity")
+	}
+	if err := res.Form.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeKMatchesExactAtTop(t *testing.T) {
+	f := spp.New(4, []uint64{1, 2, 4, 7, 8, 11, 13, 14, 5})
+	exact, err := spp.Minimize(f, &spp.Options{ExactCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := spp.MinimizeK(f, 3, &spp.Options{ExactCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Form.Literals() != top.Form.Literals() {
+		t.Fatalf("SPP_{n-1}=%d, exact=%d", top.Form.Literals(), exact.Form.Literals())
+	}
+}
+
+func TestMinimizeNaiveAgrees(t *testing.T) {
+	f := spp.New(4, []uint64{0, 3, 5, 6, 9, 10, 12, 15})
+	a, err := spp.Minimize(f, &spp.Options{ExactCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spp.MinimizeNaive(f, &spp.Options{ExactCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Form.Literals() != b.Form.Literals() {
+		t.Fatalf("naive %d != exact %d", b.Form.Literals(), a.Form.Literals())
+	}
+}
+
+func TestMinimizeSPFacade(t *testing.T) {
+	f := parity(3)
+	res := spp.MinimizeSP(f, nil)
+	if res.Literals != 12 || res.NumTerms != 4 {
+		t.Fatalf("SP parity-3: %d literals, %d terms", res.Literals, res.NumTerms)
+	}
+	for p := uint64(0); p < 8; p++ {
+		if res.Eval(p) != f.IsOn(p) {
+			t.Fatalf("SP form wrong at %03b", p)
+		}
+	}
+	if res.Expr == "" || res.Expr == "0" {
+		t.Fatalf("SP expr = %q", res.Expr)
+	}
+}
+
+func TestBudgetSurfacesErrBudget(t *testing.T) {
+	f := parity(6)
+	_, err := spp.Minimize(f, &spp.Options{MaxCandidates: 3})
+	if err != spp.ErrBudget {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+	_, err = spp.Minimize(parity(10), &spp.Options{MaxDuration: time.Nanosecond, MaxCandidates: 100_000_000})
+	if err != spp.ErrBudget {
+		t.Fatalf("got %v, want ErrBudget (time)", err)
+	}
+}
+
+func TestParsePLAFacade(t *testing.T) {
+	src := ".i 2\n.o 2\n01 10\n10 11\n11 0-\n.e\n"
+	d, err := spp.ParsePLA(strings.NewReader(src), "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "demo" || d.Inputs() != 2 || d.NOutputs() != 2 {
+		t.Fatalf("design meta wrong: %s %d/%d", d.Name(), d.Inputs(), d.NOutputs())
+	}
+	f := d.Output(0)
+	res, err := spp.Minimize(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Form.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	// Output 0 is x0⊕x1 = 2 pseudoproducts of 2 literals... or the
+	// single factor (x0⊕x1): 2 literals.
+	if res.Form.Literals() != 2 {
+		t.Fatalf("xor output: %v", res.Form)
+	}
+}
+
+func TestFunctionConstructors(t *testing.T) {
+	tt := spp.FromTruthTable(2, []bool{false, true, true, false})
+	if tt.N() != 2 || tt.OnCount() != 2 || !tt.IsOn(1) {
+		t.Fatal("FromTruthTable wrong")
+	}
+	dc := spp.NewWithDC(3, []uint64{1}, []uint64{3, 5})
+	res, err := spp.Minimize(dc, &spp.Options{ExactCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Form.Verify(dc); err != nil {
+		t.Fatal(err)
+	}
+	// With DC {3,5}, ON {1} = 001; pseudoproducts may absorb DC points:
+	// {1,3} = x̄0·x2 (2 literals) or {1,5}=(x̄1·x2)... either way ≤ 2.
+	if res.Form.Literals() > 2 {
+		t.Fatalf("DC not exploited: %v", res.Form)
+	}
+}
+
+func TestFactorCostOption(t *testing.T) {
+	f := parity(4)
+	res, err := spp.Minimize(f, &spp.Options{FactorCost: true, ExactCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Form.NumTerms() != 1 {
+		t.Fatalf("factor-cost parity: %v", res.Form)
+	}
+}
+
+func TestFunctionBDDAndHasDC(t *testing.T) {
+	f := parity(5)
+	if f.HasDC() {
+		t.Fatal("parity has no DCs")
+	}
+	m := bdd.New(5)
+	node := f.BDD(m)
+	for p := uint64(0); p < 32; p++ {
+		if m.Eval(node, p) != f.IsOn(p) {
+			t.Fatalf("BDD disagrees at %b", p)
+		}
+	}
+	dc := spp.NewWithDC(3, []uint64{1}, []uint64{2})
+	if !dc.HasDC() {
+		t.Fatal("HasDC missed the DC set")
+	}
+}
