@@ -1,0 +1,22 @@
+# Check tiers. `check` is the tier-1 gate every PR must keep green;
+# `check-race` additionally vets and runs the suite under the race
+# detector (the parallel EPPP engine is exercised with forced worker
+# counts even on single-core hosts).
+
+.PHONY: check check-race bench-eppp bench
+
+check:
+	go build ./...
+	go test ./...
+
+check-race:
+	go vet ./...
+	go test -race ./...
+
+# Parallel EPPP speedup curve; writes BENCH_eppp.json (ops/sec and
+# speedup vs serial per worker count).
+bench-eppp:
+	go test -run '^$$' -bench BenchmarkParallelEPPP -benchtime 3x .
+
+bench:
+	go test -run '^$$' -bench . -benchmem .

@@ -9,8 +9,11 @@
 package spp_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -257,6 +260,102 @@ func BenchmarkAblationSPEngine(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(lits), "SP-literals")
+			})
+		}
+	}
+}
+
+// parallelBenchNsOp collects the per-worker-count timing of
+// BenchmarkParallelEPPP's sub-benchmarks (which run in declaration
+// order) so the trailing "report" step can emit BENCH_eppp.json.
+var parallelBenchNsOp = map[int]float64{}
+
+// BenchmarkParallelEPPP measures the worker-pool EPPP engine against
+// the serial one on a mid-size Table 2 instance and writes the curve to
+// BENCH_eppp.json (ops/sec per worker count, speedup vs serial). On a
+// single-core host the parallel engine pays only its sharding overhead;
+// the speedup column shows ~1.0 there and climbs with the core count.
+func BenchmarkParallelEPPP(b *testing.B) {
+	f := bench.MustLoad("max512").Output(5)
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildEPPP(f, core.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			parallelBenchNsOp[w] = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		})
+	}
+	b.Run("report", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Nothing to measure; this sub-benchmark exists to run after
+			// the timed ones and persist their results.
+		}
+		type row struct {
+			Workers int     `json:"workers"`
+			SecOp   float64 `json:"sec_per_op"`
+			OpsSec  float64 `json:"ops_per_sec"`
+			Speedup float64 `json:"speedup_vs_serial"`
+		}
+		serial := parallelBenchNsOp[1]
+		out := struct {
+			Bench string `json:"bench"`
+			CPUs  int    `json:"cpus"`
+			Rows  []row  `json:"rows"`
+		}{Bench: "BuildEPPP max512.5", CPUs: runtime.NumCPU()}
+		for _, w := range counts {
+			ns := parallelBenchNsOp[w]
+			if ns == 0 {
+				continue
+			}
+			out.Rows = append(out.Rows, row{
+				Workers: w,
+				SecOp:   ns / 1e9,
+				OpsSec:  1e9 / ns,
+				Speedup: serial / ns,
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_eppp.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkAblationParallelExpansion is the DESIGN.md "serial vs
+// parallel group expansion" ablation: the same construction across
+// worker counts, for both the exact EPPP build and the SPP_2 heuristic
+// (whose descendant/ascendant phases use the same worker pool).
+func BenchmarkAblationParallelExpansion(b *testing.B) {
+	for _, c := range []harness.OutputCase{
+		{Func: "m3", Output: 3}, {Func: "max512", Output: 5},
+	} {
+		f := bench.MustLoad(c.Func).Output(c.Output)
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/eppp/workers=%d", c.String(), w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.BuildEPPP(f, core.Options{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/spp2/workers=%d", c.String(), w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Heuristic(f, 2, core.Options{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
 			})
 		}
 	}

@@ -36,6 +36,7 @@ func main() {
 		budget    = flag.Duration("budget", 2*time.Minute, "per-output time budget")
 		exactCov  = flag.Bool("exact-cover", false, "use exact (branch-and-bound) covering")
 		share     = flag.Bool("share", false, "jointly minimize all outputs with a shared pseudoproduct pool")
+		workers   = flag.Int("workers", 0, "parallel workers for EPPP construction (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 	}
 	fmt.Printf("%s: %d inputs, %d outputs\n", design.Name(), design.Inputs(), design.NOutputs())
 
-	opts := &spp.Options{MaxDuration: *budget, ExactCover: *exactCov}
+	opts := &spp.Options{MaxDuration: *budget, ExactCover: *exactCov, Workers: *workers}
 	if *share {
 		shared, err := spp.MinimizeShared(design, opts)
 		if err != nil {

@@ -36,6 +36,7 @@ func main() {
 		compare     = flag.Bool("compare", false, "run the extension comparison: SP vs Reed-Muller vs SPP")
 		csvDir      = flag.String("csv", "", "also write results as CSV files into this directory")
 		list        = flag.Bool("list", false, "list available benchmarks and exit")
+		workers     = flag.Int("workers", 0, "parallel workers for EPPP construction (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 	cfg := harness.DefaultConfig()
 	cfg.PerOutput = *budget
 	cfg.NaiveBudget = *naiveBudget
+	cfg.Workers = *workers
 
 	pick := func(def []string) []string {
 		if *funcs == "" {

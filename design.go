@@ -77,8 +77,28 @@ func MinimizeDesign(d *Design, k int, opts *Options) *DesignResult {
 		Errors:  make([]error, nOut),
 	}
 	workers := runtime.GOMAXPROCS(0)
+	if opts != nil && opts.Workers != 0 {
+		workers = opts.Workers
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	if workers > nOut {
 		workers = nOut
+	}
+	// Split the worker budget: outputs across the outer pool, the rest
+	// down into each per-output build (Workers=1 inside when the outer
+	// pool already uses them all) so the CPUs are not oversubscribed.
+	inner := &Options{}
+	if opts != nil {
+		c := *opts
+		inner = &c
+	}
+	inner.Workers = 1
+	if opts != nil && opts.Workers != 0 {
+		if w := opts.Workers / workers; w > 1 {
+			inner.Workers = w
+		}
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -91,9 +111,9 @@ func MinimizeDesign(d *Design, k int, opts *Options) *DesignResult {
 				var res *Result
 				var err error
 				if k >= 0 {
-					res, err = MinimizeK(f, k, opts)
+					res, err = MinimizeK(f, k, inner)
 				} else {
-					res, err = Minimize(f, opts)
+					res, err = Minimize(f, inner)
 				}
 				// Slots are disjoint per worker; no lock needed.
 				r.results[o], r.Errors[o] = res, err

@@ -16,7 +16,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bfunc"
@@ -70,6 +72,23 @@ type Options struct {
 	// CoverMaxNodes bounds the exact covering search (0 = solver
 	// default).
 	CoverMaxNodes int64
+
+	// Workers sets the number of parallel workers used by EPPP
+	// construction, the heuristic's descendant/ascendant phases and
+	// multi-output minimization: 1 (or negative) means serial, 0 means
+	// runtime.NumCPU(). Every worker count produces the same result —
+	// the parallel engines are byte-identical to the serial ones.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers == 0 {
+		return runtime.NumCPU()
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // DefaultMaxCandidates bounds EPPP generation when Options.MaxCandidates
@@ -84,16 +103,19 @@ func (o Options) maxCandidates() int {
 	return o.MaxCandidates
 }
 
-// budget tracks generation limits during EPPP construction.
+// budget tracks generation limits during EPPP construction. It is safe
+// for concurrent use: the parallel engines have every worker spend
+// against the same budget.
 type budget struct {
-	remaining int
+	remaining atomic.Int64
 	deadline  time.Time
-	checkEach int
-	sinceLast int
+	checkEach int64
+	sinceLast atomic.Int64
 }
 
 func newBudget(o Options) *budget {
-	b := &budget{remaining: o.maxCandidates(), checkEach: 1024}
+	b := &budget{checkEach: 1024}
+	b.remaining.Store(int64(o.maxCandidates()))
 	if o.MaxDuration > 0 {
 		b.deadline = time.Now().Add(o.MaxDuration)
 	}
@@ -101,21 +123,27 @@ func newBudget(o Options) *budget {
 }
 
 // spend consumes n generation credits and reports whether the budget
-// still holds. The deadline is polled every checkEach credits to keep
-// time.Now out of the hot loop.
+// still holds. The deadline is polled coarsely — every checkEach
+// credits across all workers — to keep time.Now out of the hot loop.
 func (b *budget) spend(n int) bool {
-	b.remaining -= n
-	if b.remaining < 0 {
+	if b.remaining.Add(-int64(n)) < 0 {
 		return false
 	}
 	if !b.deadline.IsZero() {
-		b.sinceLast += n
-		if b.sinceLast >= b.checkEach {
-			b.sinceLast = 0
+		if b.sinceLast.Add(int64(n)) >= b.checkEach {
+			b.sinceLast.Store(0)
 			return !b.expired()
 		}
 	}
 	return true
+}
+
+// refund returns n credits. The parallel engines charge optimistically
+// for every pseudoproduct fresh in a worker-local shard and refund the
+// cross-shard duplicates during the deterministic merge, so the net
+// charge per level equals the serial engine's exactly.
+func (b *budget) refund(n int) {
+	b.remaining.Add(int64(n))
 }
 
 // expired reports whether the wall-clock deadline has passed.

@@ -50,7 +50,14 @@ type EPPPSet struct {
 //
 // It returns ErrBudget if Options limits are exceeded, like the paper's
 // two-day timeout stars.
+//
+// With Options.Workers != 1 the level expansion runs on a worker pool
+// (see parallel.go); the candidate set, its order and all statistics
+// except BuildTime are identical to the serial engine's.
 func BuildEPPP(f *bfunc.Func, opts Options) (*EPPPSet, error) {
+	if opts.workers() > 1 {
+		return buildEPPPParallel(f, opts)
+	}
 	start := time.Now()
 	n := f.N()
 	b := newBudget(opts)
@@ -116,7 +123,16 @@ func BuildEPPP(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 // structure, unify within groups — is identical, so the resulting EPPP
 // set matches BuildEPPP exactly; only the grouping data structure
 // differs.
+//
+// With Options.Workers != 1 the groups fan out over a worker pool; the
+// parallel variant additionally fixes the group iteration order (sorted
+// structure keys), so its candidate order is deterministic where the
+// serial map iteration is not. The candidate set is identical either
+// way.
 func BuildEPPPHashGrouped(f *bfunc.Func, opts Options) (*EPPPSet, error) {
+	if opts.workers() > 1 {
+		return buildEPPPHashGroupedParallel(f, opts)
+	}
 	start := time.Now()
 	n := f.N()
 	b := newBudget(opts)
@@ -131,8 +147,11 @@ func BuildEPPPHashGrouped(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 	seen := map[string]bool{}
 	for _, p := range f.Care() {
 		c := pcube.FromPoint(n, p)
-		if !seen[c.Key()] {
-			seen[c.Key()] = true
+		// Key and StructureKey are cached on the CEX at construction, so
+		// the repeated lookups here and in the union loop below cost a
+		// pointer read, not a re-serialization.
+		if k := c.Key(); !seen[k] {
+			seen[k] = true
 			cur[c.StructureKey()] = append(cur[c.StructureKey()], &entry{cex: c})
 			curLen++
 		}

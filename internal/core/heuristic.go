@@ -75,8 +75,15 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 			break
 		}
 	}
+	workers := opts.workers()
 	for i := 1; i <= k && top-i+1 >= 1; i++ {
 		d := top - i + 1
+		if workers > 1 && tries[d].Len() > 1 {
+			if !descendParallel(n, tries[d], tries[d-1], b, workers) {
+				return nil, ErrBudget
+			}
+			continue
+		}
 		overBudget := false
 		tries[d].Entries(func(e *ptrie.Entry) bool {
 			e.CEX.SubPseudocubes(func(s *pcube.CEX) bool {
@@ -104,31 +111,42 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 		}
 		stats.LevelSizes[d] = cur.Len()
 		stats.Groups[d] = cur.NumGroups()
-		overBudget := false
-		cur.Groups(func(entries []*ptrie.Entry) bool {
-			for i := 0; i < len(entries); i++ {
-				for j := i + 1; j < len(entries); j++ {
-					u := pcube.Union(entries[i].CEX, entries[j].CEX)
-					stats.Unions++
-					h := opts.Cost.of(u)
-					if h <= opts.Cost.of(entries[i].CEX) {
-						entries[i].Mark = true
-					}
-					if h <= opts.Cost.of(entries[j].CEX) {
-						entries[j].Mark = true
-					}
-					if _, fresh := tries[d+1].Insert(u); fresh {
-						if !b.spend(1) {
-							overBudget = true
-							return false
+		if workers > 1 && cur.Len() > 1 {
+			// Same group-parallel shape as BuildEPPP: unify on workers
+			// into shard tries, then merge into the (pre-seeded) trie of
+			// degree d+1 in the serial insertion order.
+			locals, ok := expandLevel(n, levelGroups(cur), opts, b, &stats.Unions, workers)
+			if !ok {
+				return nil, ErrBudget
+			}
+			mergeIntoTrie(tries[d+1], locals, b)
+		} else {
+			overBudget := false
+			cur.Groups(func(entries []*ptrie.Entry) bool {
+				for i := 0; i < len(entries); i++ {
+					for j := i + 1; j < len(entries); j++ {
+						u := pcube.Union(entries[i].CEX, entries[j].CEX)
+						stats.Unions++
+						h := opts.Cost.of(u)
+						if h <= opts.Cost.of(entries[i].CEX) {
+							entries[i].Mark = true
+						}
+						if h <= opts.Cost.of(entries[j].CEX) {
+							entries[j].Mark = true
+						}
+						if _, fresh := tries[d+1].Insert(u); fresh {
+							if !b.spend(1) {
+								overBudget = true
+								return false
+							}
 						}
 					}
 				}
+				return true
+			})
+			if overBudget {
+				return nil, ErrBudget
 			}
-			return true
-		})
-		if overBudget {
-			return nil, ErrBudget
 		}
 		cur.Entries(func(e *ptrie.Entry) bool {
 			if !e.Mark {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bfunc"
@@ -57,18 +58,59 @@ func (r *MultiResult) SeparateLiterals() int {
 // candidate is a pseudoproduct of (its points within that output's care
 // set). Column costs are literal counts paid once — the covering solver
 // does the sharing automatically.
+//
+// With Options.Workers != 1 the per-output EPPP builds run concurrently
+// (nested worker budget: outer workers split across outputs, the rest
+// passed down into each build); the pool merge and all later phases are
+// serial and performed in output order, so the result is identical to
+// the Workers=1 run.
 func MinimizeMulti(m *bfunc.Multi, opts Options) (*MultiResult, error) {
 	n := m.Inputs
 	res := &MultiResult{N: n, Drives: make([][]int, m.NOutputs())}
 
-	// Per-output EPPP sets, dedup'd into a shared pool.
+	// Per-output EPPP sets, built in parallel, then dedup'd into a
+	// shared pool serially in output order (determinism).
+	sets := make([]*EPPPSet, m.NOutputs())
+	errs := make([]error, m.NOutputs())
+	outer := opts.workers()
+	if outer > m.NOutputs() {
+		outer = m.NOutputs()
+	}
+	inner := opts
+	inner.Workers = opts.workers() / outer
+	if inner.Workers < 1 {
+		inner.Workers = 1
+	}
+	if outer > 1 {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < outer; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for o := range jobs {
+					sets[o], errs[o] = BuildEPPP(m.Output(o), inner)
+				}
+			}()
+		}
+		for o := 0; o < m.NOutputs(); o++ {
+			jobs <- o
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for o := 0; o < m.NOutputs(); o++ {
+			sets[o], errs[o] = BuildEPPP(m.Output(o), inner)
+		}
+	}
+
 	pool := map[string]*pcube.CEX{}
 	var keys []string
 	for o := 0; o < m.NOutputs(); o++ {
-		set, err := BuildEPPP(m.Output(o), opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: output %d: %w", o, err)
+		if errs[o] != nil {
+			return nil, fmt.Errorf("core: output %d: %w", o, errs[o])
 		}
+		set := sets[o]
 		res.Build.Candidates += set.Stats.Candidates
 		res.Build.Unions += set.Stats.Unions
 		res.Build.BuildTime += set.Stats.BuildTime

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bfunc"
+)
+
+// workerCounts exercised against the serial engine. NumCPU on the test
+// host may be 1, so forcing several explicit counts (including one far
+// above the group count) is what actually drives the parallel paths.
+var workerCounts = []int{2, 3, 4, 8}
+
+func keySeq(set *EPPPSet) []string {
+	keys := make([]string, len(set.Candidates))
+	for i, c := range set.Candidates {
+		keys[i] = c.Key()
+	}
+	return keys
+}
+
+func sameStats(t *testing.T, label string, a, b BuildStats) {
+	t.Helper()
+	if a.Candidates != b.Candidates || a.EPPP != b.EPPP || a.Unions != b.Unions {
+		t.Fatalf("%s: stats differ: serial {cand=%d eppp=%d unions=%d} parallel {cand=%d eppp=%d unions=%d}",
+			label, a.Candidates, a.EPPP, a.Unions, b.Candidates, b.EPPP, b.Unions)
+	}
+	if len(a.LevelSizes) != len(b.LevelSizes) {
+		t.Fatalf("%s: level count differs: %d vs %d", label, len(a.LevelSizes), len(b.LevelSizes))
+	}
+	for i := range a.LevelSizes {
+		if a.LevelSizes[i] != b.LevelSizes[i] || a.Groups[i] != b.Groups[i] {
+			t.Fatalf("%s: level %d differs: serial (%d pp, %d groups) parallel (%d pp, %d groups)",
+				label, i, a.LevelSizes[i], a.Groups[i], b.LevelSizes[i], b.Groups[i])
+		}
+	}
+}
+
+// TestParallelEPPPIdentical is the tentpole property: for every worker
+// count the parallel engine emits the exact candidate sequence — same
+// pseudoproducts, same order — and the same statistics as Workers=1.
+func TestParallelEPPPIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(3)
+		f := randomFunc(rng, n, 0.45, trial%3 == 0)
+		serial, err := BuildEPPP(f, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := keySeq(serial)
+		for _, w := range workerCounts {
+			par, err := BuildEPPP(f, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, w, err)
+			}
+			got := keySeq(par)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d workers %d: %d candidates, want %d", trial, w, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d workers %d: candidate %d differs:\n got %q\nwant %q",
+						trial, w, i, got[i], want[i])
+				}
+			}
+			sameStats(t, "BuildEPPP", serial.Stats, par.Stats)
+		}
+	}
+}
+
+// TestParallelHashGroupedIdentical checks the hash-grouped ablation
+// variant: the parallel engine must produce the same candidate *set*
+// (serial map iteration order is nondeterministic, so order is not
+// comparable) and the same counters.
+func TestParallelHashGroupedIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(2)
+		f := randomFunc(rng, n, 0.5, trial%2 == 0)
+		serial, err := BuildEPPPHashGrouped(f, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]bool{}
+		for _, k := range keySeq(serial) {
+			want[k] = true
+		}
+		for _, w := range workerCounts {
+			par, err := BuildEPPPHashGrouped(f, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, w, err)
+			}
+			got := keySeq(par)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d workers %d: %d candidates, want %d", trial, w, len(got), len(want))
+			}
+			for _, k := range got {
+				if !want[k] {
+					t.Fatalf("trial %d workers %d: unexpected candidate %q", trial, w, k)
+				}
+			}
+			sameStats(t, "BuildEPPPHashGrouped", serial.Stats, par.Stats)
+		}
+	}
+}
+
+// TestParallelHeuristicIdentical checks Algorithm 3 end to end: the
+// parallel descendant and ascendant phases must leave the selected
+// SPP_k form and the build statistics untouched for every k.
+func TestParallelHeuristicIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(3)
+		f := randomFunc(rng, n, 0.4, trial%3 == 0)
+		for k := 0; k < n; k++ {
+			serial, err := Heuristic(f, k, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts {
+				par, err := Heuristic(f, k, Options{Workers: w})
+				if err != nil {
+					t.Fatalf("trial %d k=%d workers %d: %v", trial, k, w, err)
+				}
+				if len(par.Form.Terms) != len(serial.Form.Terms) {
+					t.Fatalf("trial %d k=%d workers %d: %d terms, want %d",
+						trial, k, w, len(par.Form.Terms), len(serial.Form.Terms))
+				}
+				for i := range serial.Form.Terms {
+					if par.Form.Terms[i].Key() != serial.Form.Terms[i].Key() {
+						t.Fatalf("trial %d k=%d workers %d: term %d differs", trial, k, w, i)
+					}
+				}
+				sameStats(t, "Heuristic", serial.Build, par.Build)
+			}
+		}
+	}
+}
+
+// TestParallelMinimizeMultiIdentical checks the joint multi-output
+// minimizer: with parallel per-output builds the shared pool selection,
+// drive lists and joint cost must match the serial run.
+func TestParallelMinimizeMultiIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + rng.Intn(2)
+		outs := make([]*bfunc.Func, 2+rng.Intn(3))
+		for i := range outs {
+			outs[i] = randomFunc(rng, n, 0.4, trial%2 == 0)
+		}
+		m := bfunc.NewMulti("t", n, outs)
+		serial, err := MinimizeMulti(m, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			par, err := MinimizeMulti(m, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, w, err)
+			}
+			if par.SharedLiterals != serial.SharedLiterals {
+				t.Fatalf("trial %d workers %d: shared literals %d, want %d",
+					trial, w, par.SharedLiterals, serial.SharedLiterals)
+			}
+			if len(par.Terms) != len(serial.Terms) {
+				t.Fatalf("trial %d workers %d: pool size %d, want %d",
+					trial, w, len(par.Terms), len(serial.Terms))
+			}
+			for i := range serial.Terms {
+				if par.Terms[i].Key() != serial.Terms[i].Key() {
+					t.Fatalf("trial %d workers %d: pool term %d differs", trial, w, i)
+				}
+			}
+			for o := range serial.Drives {
+				if len(par.Drives[o]) != len(serial.Drives[o]) {
+					t.Fatalf("trial %d workers %d: output %d drives %v, want %v",
+						trial, w, o, par.Drives[o], serial.Drives[o])
+				}
+				for i := range serial.Drives[o] {
+					if par.Drives[o][i] != serial.Drives[o][i] {
+						t.Fatalf("trial %d workers %d: output %d drives %v, want %v",
+							trial, w, o, par.Drives[o], serial.Drives[o])
+					}
+				}
+			}
+			if par.Build.Unions != serial.Build.Unions || par.Build.Candidates != serial.Build.Candidates {
+				t.Fatalf("trial %d workers %d: build stats differ", trial, w)
+			}
+		}
+	}
+}
+
+// TestParallelBudgetExhaustion checks that budget limits keep working
+// under parallelism: a tiny candidate cap must surface ErrBudget (never
+// a wrong result, never a hang) and a tiny deadline likewise.
+func TestParallelBudgetExhaustion(t *testing.T) {
+	f := randomFunc(rand.New(rand.NewSource(15)), 5, 0.5, false)
+	// The deadline is polled every 1024 credits, so the wall-clock check
+	// needs a function that generates well past that many candidates.
+	big := randomFunc(rand.New(rand.NewSource(16)), 8, 0.5, false)
+	for _, w := range []int{1, 2, 4, 8} {
+		if _, err := BuildEPPP(f, Options{Workers: w, MaxCandidates: 8}); !errors.Is(err, ErrBudget) {
+			t.Fatalf("workers %d: MaxCandidates=8 returned %v, want ErrBudget", w, err)
+		}
+		if _, err := Heuristic(f, 2, Options{Workers: w, MaxCandidates: 8}); !errors.Is(err, ErrBudget) {
+			t.Fatalf("workers %d: heuristic MaxCandidates=8 returned %v, want ErrBudget", w, err)
+		}
+		if _, err := BuildEPPP(big, Options{Workers: w, MaxDuration: time.Nanosecond}); !errors.Is(err, ErrBudget) {
+			t.Fatalf("workers %d: MaxDuration=1ns returned %v, want ErrBudget", w, err)
+		}
+	}
+}

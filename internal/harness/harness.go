@@ -31,6 +31,9 @@ type Config struct {
 	MaxCandidates int
 	// CoverExact selects exact covering (small instances only).
 	CoverExact bool
+	// Workers sets the EPPP construction worker count (0 = all CPUs,
+	// 1 = serial); results are identical either way.
+	Workers int
 }
 
 // DefaultConfig keeps every default table row finishing in minutes on a
@@ -48,6 +51,7 @@ func (c Config) coreOptions() core.Options {
 		MaxDuration:   c.PerOutput,
 		MaxCandidates: c.MaxCandidates,
 		CoverExact:    c.CoverExact,
+		Workers:       c.Workers,
 	}
 }
 

@@ -26,6 +26,48 @@ type CEX struct {
 	N       int
 	Canon   uint64
 	Factors []Factor
+
+	// Cached derived values, computed once by NewCEX (immutability makes
+	// this safe to share across goroutines). lits stores Literals()+1 so
+	// that 0 means "not sealed": a CEX built as a raw struct literal
+	// still works — its accessors recompute on the fly without writing,
+	// which keeps concurrent reads race-free.
+	lits int
+	cvec uint64
+	key  string // skey is key[:8*len(Factors)]
+	skey string
+}
+
+// NewCEX builds a sealed CEX: the literal count, complement vector and
+// the Key/StructureKey strings are computed once here, making the
+// accessors O(1) on the minimization hot paths. Every constructor in
+// this package funnels through it; callers handing in factors transfer
+// ownership of the slice.
+func NewCEX(n int, canon uint64, factors []Factor) *CEX {
+	c := &CEX{N: n, Canon: canon, Factors: factors}
+	c.seal()
+	return c
+}
+
+// seal computes the cached derived values. The full key is the
+// structure bytes followed by one complement byte per factor, so the
+// structure key is a prefix of it and the two share one allocation.
+func (c *CEX) seal() {
+	total := 0
+	var cv uint64
+	for i, f := range c.Factors {
+		total += f.Literals()
+		cv |= uint64(f.Comp) << uint(i)
+	}
+	buf := c.structureBytes(make([]byte, 0, 9*len(c.Factors)))
+	for _, f := range c.Factors {
+		buf = append(buf, f.Comp)
+	}
+	key := string(buf)
+	c.lits = total + 1
+	c.cvec = cv
+	c.key = key
+	c.skey = key[:8*len(c.Factors)]
 }
 
 // Degree returns the pseudocube's degree m (it has 2^m points).
@@ -33,11 +75,29 @@ func (c *CEX) Degree() int { return bitvec.OnesCount(c.Canon) }
 
 // Literals returns the total number of literals (the paper's cost).
 func (c *CEX) Literals() int {
+	if c.lits != 0 {
+		return c.lits - 1
+	}
 	total := 0
 	for _, f := range c.Factors {
 		total += f.Literals()
 	}
 	return total
+}
+
+// CompVector packs the complement bits of the factors into a mask
+// (factor i → bit i); together with the structure it identifies the
+// pseudocube, so same-structure CEX are equal iff their comp vectors
+// are.
+func (c *CEX) CompVector() uint64 {
+	if c.lits != 0 {
+		return c.cvec
+	}
+	var v uint64
+	for i, f := range c.Factors {
+		v |= uint64(f.Comp) << uint(i)
+	}
+	return v
 }
 
 // NCVar returns the non-canonical variable index of factor i.
@@ -65,7 +125,7 @@ func FromPoint(n int, p uint64) *CEX {
 			Comp: uint8(1 ^ bitvec.Bit(p, n, i)),
 		}
 	}
-	return &CEX{N: n, Factors: fs}
+	return NewCEX(n, 0, fs)
 }
 
 // FromCube converts a product of literals to its CEX: free variables are
@@ -83,7 +143,7 @@ func FromCube(n int, cb cube.Cube) *CEX {
 		}
 		fs = append(fs, Factor{Vars: m, Comp: comp})
 	}
-	return &CEX{N: n, Canon: bitvec.SpaceMask(n) &^ cb.Care, Factors: fs}
+	return NewCEX(n, bitvec.SpaceMask(n)&^cb.Care, fs)
 }
 
 // FromPoints computes the CEX of the given point set if it is a
@@ -146,7 +206,7 @@ func fromAffine(n int, off uint64, basis *bitvec.Basis) *CEX {
 		comp := uint8(1 ^ bitvec.Parity(off&vars))
 		fs = append(fs, Factor{Vars: vars, Comp: comp})
 	}
-	return &CEX{N: n, Canon: canon, Factors: fs}
+	return NewCEX(n, canon, fs)
 }
 
 // Points enumerates the pseudocube's 2^m points in unspecified order.
@@ -211,12 +271,18 @@ func (c *CEX) structureBytes(buf []byte) []byte {
 // StructureKey returns a map key identifying STR(c), the structure of
 // the pseudocube (paper Definition 2): the CEX without complementations.
 func (c *CEX) StructureKey() string {
+	if c.lits != 0 {
+		return c.skey
+	}
 	return string(c.structureBytes(make([]byte, 0, 8*len(c.Factors))))
 }
 
 // Key returns a map key identifying the full CEX (structure plus
 // complementations): equal keys mean equal pseudocubes.
 func (c *CEX) Key() string {
+	if c.lits != 0 {
+		return c.key
+	}
 	buf := c.structureBytes(make([]byte, 0, 9*len(c.Factors)))
 	for _, f := range c.Factors {
 		buf = append(buf, f.Comp)
@@ -278,7 +344,7 @@ func (c *CEX) Transform(alpha uint64) *CEX {
 	for i, f := range c.Factors {
 		fs[i] = Factor{Vars: f.Vars, Comp: f.Comp ^ uint8(bitvec.Parity(f.Vars&alpha))}
 	}
-	return &CEX{N: c.N, Canon: c.Canon, Factors: fs}
+	return NewCEX(c.N, c.Canon, fs)
 }
 
 // String renders the CEX like the paper, complement on the

@@ -70,5 +70,5 @@ func FromFactors(n int, fs []Factor) (*CEX, bool) {
 		canon &^= r.vars & (^r.vars + 1)
 		factors[i] = Factor{Vars: r.vars, Comp: 1 ^ r.rhs}
 	}
-	return &CEX{N: n, Canon: canon, Factors: factors}, true
+	return NewCEX(n, canon, factors), true
 }

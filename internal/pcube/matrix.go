@@ -109,7 +109,7 @@ func (m *Matrix) CEXDefinition1() (*CEX, error) {
 		}
 		fs = append(fs, Factor{Vars: vars, Comp: comp})
 	}
-	return &CEX{N: m.N, Canon: canonMask, Factors: fs}, nil
+	return NewCEX(m.N, canonMask, fs), nil
 }
 
 // IsPseudocube reports whether the point set is a pseudocube: |pts| is a

@@ -45,7 +45,7 @@ func Union(a, b *CEX) *CEX {
 			fs = append(fs, b.Factors[i])
 		}
 	}
-	return &CEX{N: a.N, Canon: a.Canon | xk, Factors: fs}
+	return NewCEX(a.N, a.Canon|xk, fs)
 }
 
 // Alpha returns the mask of non-canonical variables whose factors differ
@@ -129,5 +129,5 @@ func (c *CEX) constrain(sMask uint64, b uint8) *CEX {
 	if !inserted {
 		fs = append(fs, newFactor)
 	}
-	return &CEX{N: n, Canon: c.Canon &^ lMask, Factors: fs}
+	return NewCEX(n, c.Canon&^lMask, fs)
 }

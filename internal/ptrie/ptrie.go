@@ -112,13 +112,9 @@ func (nd *node) findChild(k kind, label int) *node {
 // (factor i → bit i): the leaf vector L of the paper, with L[i]=1
 // meaning "not complemented"... the paper stores L[i]=0 for
 // complemented; we store Comp directly (bit set = complemented), which
-// is the same information.
+// is the same information. Sealed CEX carry it precomputed.
 func compVector(c *pcube.CEX) uint64 {
-	var v uint64
-	for i, f := range c.Factors {
-		v |= uint64(f.Comp) << uint(i)
-	}
-	return v
+	return c.CompVector()
 }
 
 // walk descends the structure path of c, creating nodes if create is
@@ -197,6 +193,33 @@ func (t *Trie) visitGroups(nd *node, visit func([]*Entry) bool) bool {
 	}
 	for _, c := range nd.children {
 		if !t.visitGroups(c, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// PathGroups visits every structure group in DFS order together with
+// the group node's path key: the (kind, label) byte sequence from the
+// root. Children are sorted NC-before-C then by label and a parent's
+// key is a proper prefix of its descendants', so lexicographic byte
+// order of path keys equals DFS order; equal structures stored in
+// different tries get equal path keys. This is what lets worker-local
+// tries built in parallel be k-way merged back into the DFS order a
+// single trie would have produced. The path slice is reused between
+// visits — callers that retain it must copy.
+func (t *Trie) PathGroups(visit func(path []byte, entries []*Entry) bool) {
+	t.visitPathGroups(&t.root, make([]byte, 0, 2*t.n), visit)
+}
+
+func (t *Trie) visitPathGroups(nd *node, path []byte, visit func([]byte, []*Entry) bool) bool {
+	if len(nd.entries) > 0 {
+		if !visit(path, nd.entries) {
+			return false
+		}
+	}
+	for _, c := range nd.children {
+		if !t.visitPathGroups(c, append(path, byte(c.kind), byte(c.label)), visit) {
 			return false
 		}
 	}

@@ -120,6 +120,10 @@ type Options struct {
 	// branch and bound; the literal counts become provable minima when
 	// the search completes (Result.CoverOptimal).
 	ExactCover bool
+	// Workers sets the number of parallel workers for EPPP construction
+	// and the heuristic phases: 0 means all CPUs, 1 (or negative) means
+	// serial. Results are identical for every worker count.
+	Workers int
 }
 
 func (o *Options) toCore() core.Options {
@@ -130,6 +134,7 @@ func (o *Options) toCore() core.Options {
 		MaxDuration:   o.MaxDuration,
 		MaxCandidates: o.MaxCandidates,
 		CoverExact:    o.ExactCover,
+		Workers:       o.Workers,
 	}
 	if o.FactorCost {
 		opts.Cost = core.CostFactors
