@@ -3,9 +3,10 @@
 # detector (the parallel EPPP engine is exercised with forced worker
 # counts even on single-core hosts).
 
-.PHONY: check check-race bench-eppp bench
+.PHONY: check check-race bench-eppp bench-cover bench
 
 check:
+	go vet ./...
 	go build ./...
 	go test ./...
 
@@ -17,6 +18,11 @@ check-race:
 # speedup vs serial per worker count).
 bench-eppp:
 	go test -run '^$$' -bench BenchmarkParallelEPPP -benchtime 3x .
+
+# Covering-phase comparison (seed map-and-rescan path vs the bitset
+# engine); writes BENCH_cover.json and asserts identical literal counts.
+bench-cover:
+	go test -run '^$$' -bench '^BenchmarkCover$$' -benchtime 200x .
 
 bench:
 	go test -run '^$$' -bench . -benchmem .

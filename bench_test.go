@@ -12,14 +12,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/bits"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/bfunc"
 	"repro/internal/core"
+	"repro/internal/cover"
 	"repro/internal/fprm"
 	"repro/internal/harness"
 	"repro/internal/pcube"
@@ -299,6 +302,7 @@ func BenchmarkParallelEPPP(b *testing.B) {
 		}
 		type row struct {
 			Workers int     `json:"workers"`
+			CPUs    int     `json:"cpus"`
 			SecOp   float64 `json:"sec_per_op"`
 			OpsSec  float64 `json:"ops_per_sec"`
 			Speedup float64 `json:"speedup_vs_serial"`
@@ -314,8 +318,11 @@ func BenchmarkParallelEPPP(b *testing.B) {
 			if ns == 0 {
 				continue
 			}
+			// Each row carries the host CPU count so a speedup < 1 at
+			// workers > cpus is interpretable in isolation.
 			out.Rows = append(out.Rows, row{
 				Workers: w,
+				CPUs:    runtime.NumCPU(),
 				SecOp:   ns / 1e9,
 				OpsSec:  1e9 / ns,
 				Speedup: serial / ns,
@@ -392,5 +399,238 @@ func BenchmarkExtensionSharedOutputs(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(lits), "separate-literals")
+	})
+}
+
+// --- covering-phase benchmark (BENCH_cover.json) ---------------------
+//
+// The seed covering path is reproduced here verbatim as the baseline:
+// column construction enumerating every candidate's points through a
+// map[uint64]int, and the full-rescan float-ratio greedy with the
+// OR-rebuild redundancy elimination — exactly what internal/cover and
+// SelectCover did before the word-parallel bitset engine.
+
+type seedBits []uint64
+
+func newSeedBits(n int) seedBits { return make(seedBits, (n+63)/64) }
+
+func (b seedBits) set(i int) { b[i/64] |= 1 << uint(i%64) }
+
+func (b seedBits) orWith(o seedBits) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b seedBits) countNew(o seedBits) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(o[i] &^ b[i])
+	}
+	return n
+}
+
+func (b seedBits) containsAll(o seedBits) bool {
+	for i := range b {
+		if o[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func seedGreedyCover(in *cover.Instance) []int {
+	bs := make([]seedBits, len(in.Cols))
+	for j, c := range in.Cols {
+		b := newSeedBits(in.NRows)
+		for _, r := range c.Rows {
+			b.set(r)
+		}
+		bs[j] = b
+	}
+	covered := newSeedBits(in.NRows)
+	var picked []int
+	remaining := in.NRows
+	for remaining > 0 {
+		best, bestNew := -1, 0
+		var bestRatio float64
+		for j := range in.Cols {
+			nw := covered.countNew(bs[j])
+			if nw == 0 {
+				continue
+			}
+			ratio := float64(in.Cols[j].Cost) / float64(nw)
+			if best == -1 || ratio < bestRatio ||
+				(ratio == bestRatio && nw > bestNew) {
+				best, bestNew, bestRatio = j, nw, ratio
+			}
+		}
+		if best == -1 {
+			panic("bench: uncoverable row")
+		}
+		picked = append(picked, best)
+		covered.orWith(bs[best])
+		remaining -= bestNew
+	}
+	order := append([]int(nil), picked...)
+	sort.Slice(order, func(a, b int) bool {
+		return in.Cols[order[a]].Cost > in.Cols[order[b]].Cost
+	})
+	alive := map[int]bool{}
+	for _, j := range picked {
+		alive[j] = true
+	}
+	for _, j := range order {
+		without := newSeedBits(in.NRows)
+		for k := range alive {
+			if k != j && alive[k] {
+				without.orWith(bs[k])
+			}
+		}
+		if without.containsAll(bs[j]) {
+			alive[j] = false
+		}
+	}
+	out := picked[:0]
+	for _, j := range picked {
+		if alive[j] {
+			out = append(out, j)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// seedCoverPhase runs the pre-bitset covering phase end to end
+// (map-based column construction + seed greedy) and returns the
+// selected form's literal count.
+func seedCoverPhase(f *bfunc.Func, set *core.EPPPSet) (int, error) {
+	on := f.On()
+	rowOf := make(map[uint64]int, len(on))
+	for i, p := range on {
+		rowOf[p] = i
+	}
+	in := &cover.Instance{NRows: len(on)}
+	var cols []*pcube.CEX
+	for _, c := range set.Candidates {
+		var rows []int
+		for _, p := range c.Points() {
+			if r, ok := rowOf[p]; ok {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sort.Ints(rows)
+		in.Cols = append(in.Cols, cover.Column{Cost: c.Literals(), Rows: rows})
+		cols = append(cols, c)
+	}
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	lits := 0
+	for _, j := range seedGreedyCover(in) {
+		lits += cols[j].Literals()
+	}
+	return lits, nil
+}
+
+// coverBench collects per-(function, implementation) timings and
+// literal counts of BenchmarkCover's sub-benchmarks (declaration order)
+// for the trailing "report" step.
+var (
+	coverBenchNsOp = map[string]float64{}
+	coverBenchLits = map[string]int{}
+)
+
+var coverBenchCases = []harness.OutputCase{
+	{Func: "adr4", Output: 0}, {Func: "dist", Output: 0},
+	{Func: "m3", Output: 3}, {Func: "max512", Output: 5},
+}
+
+// BenchmarkCover measures the covering phase (Algorithm 2 step 3) on
+// Table 1/2 functions: the seed map-and-rescan path against the
+// word-parallel bitset engine at CoverWorkers=NumCPU, writing the
+// comparison to BENCH_cover.json. The report step asserts both paths
+// select forms with identical literal counts.
+func BenchmarkCover(b *testing.B) {
+	workers := runtime.NumCPU()
+	for _, c := range coverBenchCases {
+		f := bench.MustLoad(c.Func).Output(c.Output)
+		set, err := core.BuildEPPP(f, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.String()+"/seed", func(b *testing.B) {
+			lits := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if lits, err = seedCoverPhase(f, set); err != nil {
+					b.Fatal(err)
+				}
+			}
+			coverBenchNsOp[c.String()+"/seed"] = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+			coverBenchLits[c.String()+"/seed"] = lits
+		})
+		b.Run(c.String()+"/bitset", func(b *testing.B) {
+			opts := core.Options{CoverWorkers: workers}
+			lits := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				form, _, _, err := core.SelectCover(f, set, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lits = form.Literals()
+			}
+			coverBenchNsOp[c.String()+"/bitset"] = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+			coverBenchLits[c.String()+"/bitset"] = lits
+		})
+	}
+	b.Run("report", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Runs after the timed sub-benchmarks to persist their results.
+		}
+		type row struct {
+			Function  string  `json:"function"`
+			Workers   int     `json:"workers"`
+			CPUs      int     `json:"cpus"`
+			SeedSec   float64 `json:"seed_sec_per_op"`
+			BitsetSec float64 `json:"bitset_sec_per_op"`
+			Speedup   float64 `json:"speedup_vs_seed"`
+			Literals  int     `json:"literals"`
+		}
+		out := struct {
+			Bench string `json:"bench"`
+			CPUs  int    `json:"cpus"`
+			Rows  []row  `json:"rows"`
+		}{Bench: "covering phase: seed vs bitset engine", CPUs: runtime.NumCPU()}
+		for _, c := range coverBenchCases {
+			seedNs := coverBenchNsOp[c.String()+"/seed"]
+			bitNs := coverBenchNsOp[c.String()+"/bitset"]
+			if seedNs == 0 || bitNs == 0 {
+				continue
+			}
+			if sl, bl := coverBenchLits[c.String()+"/seed"], coverBenchLits[c.String()+"/bitset"]; sl != bl {
+				b.Fatalf("%s: literal counts diverge: seed %d, bitset %d", c.String(), sl, bl)
+			}
+			out.Rows = append(out.Rows, row{
+				Function:  c.String(),
+				Workers:   workers,
+				CPUs:      runtime.NumCPU(),
+				SeedSec:   seedNs / 1e9,
+				BitsetSec: bitNs / 1e9,
+				Speedup:   seedNs / bitNs,
+				Literals:  coverBenchLits[c.String()+"/bitset"],
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_cover.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
 	})
 }

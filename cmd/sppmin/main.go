@@ -37,6 +37,7 @@ func main() {
 		exactCov  = flag.Bool("exact-cover", false, "use exact (branch-and-bound) covering")
 		share     = flag.Bool("share", false, "jointly minimize all outputs with a shared pseudoproduct pool")
 		workers   = flag.Int("workers", 0, "parallel workers for EPPP construction (0 = all CPUs, 1 = serial)")
+		coverWork = flag.Int("cover-workers", 0, "parallel workers for the covering phase (0 = follow -workers, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 	}
 	fmt.Printf("%s: %d inputs, %d outputs\n", design.Name(), design.Inputs(), design.NOutputs())
 
-	opts := &spp.Options{MaxDuration: *budget, ExactCover: *exactCov, Workers: *workers}
+	opts := &spp.Options{MaxDuration: *budget, ExactCover: *exactCov, Workers: *workers, CoverWorkers: *coverWork}
 	if *share {
 		shared, err := spp.MinimizeShared(design, opts)
 		if err != nil {

@@ -37,6 +37,7 @@ func main() {
 		csvDir      = flag.String("csv", "", "also write results as CSV files into this directory")
 		list        = flag.Bool("list", false, "list available benchmarks and exit")
 		workers     = flag.Int("workers", 0, "parallel workers for EPPP construction (0 = all CPUs, 1 = serial)")
+		coverWork   = flag.Int("cover-workers", 0, "parallel workers for the covering phase (0 = follow -workers, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 	cfg.PerOutput = *budget
 	cfg.NaiveBudget = *naiveBudget
 	cfg.Workers = *workers
+	cfg.CoverWorkers = *coverWork
 
 	pick := func(def []string) []string {
 		if *funcs == "" {

@@ -79,6 +79,13 @@ type Options struct {
 	// runtime.NumCPU(). Every worker count produces the same result —
 	// the parallel engines are byte-identical to the serial ones.
 	Workers int
+
+	// CoverWorkers sets the worker count for the covering phase: the
+	// column construction shards of SelectCover/MinimizeMulti and the
+	// root branches of the exact branch and bound. 0 follows the
+	// resolution of Workers; 1 (or negative) means serial. Every
+	// setting produces the same forms.
+	CoverWorkers int
 }
 
 func (o Options) workers() int {
@@ -89,6 +96,16 @@ func (o Options) workers() int {
 		return 1
 	}
 	return o.Workers
+}
+
+func (o Options) coverWorkers() int {
+	if o.CoverWorkers == 0 {
+		return o.workers()
+	}
+	if o.CoverWorkers < 1 {
+		return 1
+	}
+	return o.CoverWorkers
 }
 
 // DefaultMaxCandidates bounds EPPP generation when Options.MaxCandidates

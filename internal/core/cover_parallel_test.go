@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/bfunc"
+)
+
+func formKeys(f Form) []string {
+	keys := make([]string, len(f.Terms))
+	for i, c := range f.Terms {
+		keys[i] = c.Key()
+	}
+	return keys
+}
+
+func sameForm(t *testing.T, label string, got, want Form) {
+	t.Helper()
+	g, w := formKeys(got), formKeys(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d terms, want %d", label, len(g), len(w))
+	}
+	for i := range w {
+		if g[i] != w[i] {
+			t.Fatalf("%s: term %d differs:\n got %q\nwant %q", label, i, g[i], w[i])
+		}
+	}
+}
+
+// TestSelectCoverWorkersIdentical: the sharded bitset column
+// construction and the parallel exact solver produce the same form as
+// CoverWorkers=1 for every worker count, with both greedy and exact
+// covering, mirroring the EPPP determinism properties.
+func TestSelectCoverWorkersIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	coverWorkerCounts := []int{1, 2, 4, runtime.NumCPU()}
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(3)
+		f := randomFunc(rng, n, 0.45, trial%3 == 0)
+		if f.OnCount() == 0 {
+			continue
+		}
+		set, err := BuildEPPP(f, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, exact := range []bool{false, true} {
+			base := Options{Workers: 1, CoverWorkers: 1, CoverExact: exact}
+			want, _, wantOpt, err := SelectCover(f, set, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := want.Verify(f); err != nil {
+				t.Fatalf("trial %d exact=%v: serial form invalid: %v", trial, exact, err)
+			}
+			for _, w := range coverWorkerCounts {
+				opts := base
+				opts.CoverWorkers = w
+				got, _, gotOpt, err := SelectCover(f, set, opts)
+				if err != nil {
+					t.Fatalf("trial %d exact=%v cover-workers=%d: %v", trial, exact, w, err)
+				}
+				if gotOpt != wantOpt {
+					t.Fatalf("trial %d exact=%v cover-workers=%d: optimal=%v, want %v",
+						trial, exact, w, gotOpt, wantOpt)
+				}
+				sameForm(t, "SelectCover", got, want)
+			}
+		}
+	}
+}
+
+// TestMinimizeMultiCoverWorkersIdentical: the joint multi-output
+// covering is likewise identical for every covering worker count.
+func TestMinimizeMultiCoverWorkersIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	coverWorkerCounts := []int{1, 2, 4, runtime.NumCPU()}
+	for trial := 0; trial < 6; trial++ {
+		n := 3 + rng.Intn(2)
+		outs := make([]*bfunc.Func, 2+rng.Intn(2))
+		for o := range outs {
+			outs[o] = randomFunc(rng, n, 0.4, trial%2 == 0)
+		}
+		m := &bfunc.Multi{Name: "t", Inputs: n, Outputs: outs}
+		base := Options{Workers: 1, CoverWorkers: 1}
+		want, err := MinimizeMulti(m, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range coverWorkerCounts {
+			opts := base
+			opts.CoverWorkers = w
+			got, err := MinimizeMulti(m, opts)
+			if err != nil {
+				t.Fatalf("trial %d cover-workers=%d: %v", trial, w, err)
+			}
+			if got.SharedLiterals != want.SharedLiterals || len(got.Terms) != len(want.Terms) {
+				t.Fatalf("trial %d cover-workers=%d: %d terms/%d literals, want %d/%d",
+					trial, w, len(got.Terms), got.SharedLiterals, len(want.Terms), want.SharedLiterals)
+			}
+			for i := range want.Terms {
+				if got.Terms[i].Key() != want.Terms[i].Key() {
+					t.Fatalf("trial %d cover-workers=%d: term %d differs", trial, w, i)
+				}
+			}
+			for o := range want.Drives {
+				if len(got.Drives[o]) != len(want.Drives[o]) {
+					t.Fatalf("trial %d cover-workers=%d: output %d drives differ", trial, w, o)
+				}
+				for i := range want.Drives[o] {
+					if got.Drives[o][i] != want.Drives[o][i] {
+						t.Fatalf("trial %d cover-workers=%d: output %d drive %d differs", trial, w, o, i)
+					}
+				}
+			}
+		}
+	}
+}

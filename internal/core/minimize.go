@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -43,32 +44,16 @@ func SelectCover(f *bfunc.Func, set *EPPPSet, opts Options) (Form, time.Duration
 	}
 
 	on := f.On()
-	rowOf := make(map[uint64]int, len(on))
-	for i, p := range on {
-		rowOf[p] = i
-	}
-	in := &cover.Instance{NRows: len(on)}
-	var cols []*pcube.CEX
-	for _, c := range set.Candidates {
-		var rows []int
-		for _, p := range c.Points() {
-			if r, ok := rowOf[p]; ok {
-				rows = append(rows, r)
-			}
-		}
-		if len(rows) == 0 {
-			continue // covers only don't-cares
-		}
-		sort.Ints(rows)
-		in.Cols = append(in.Cols, cover.Column{Cost: opts.Cost.of(c), Rows: rows})
-		cols = append(cols, c)
-	}
+	in, cols := buildCoverColumns(n, on, set.Candidates, opts)
 	if err := in.Validate(); err != nil {
 		return Form{}, 0, false, fmt.Errorf("core: candidate set does not cover ON-set: %v", err)
 	}
 	var res cover.Result
 	if opts.CoverExact {
-		res = cover.Exact(in, cover.ExactOptions{MaxNodes: opts.CoverMaxNodes})
+		res = cover.Exact(in, cover.ExactOptions{
+			MaxNodes: opts.CoverMaxNodes,
+			Workers:  opts.coverWorkers(),
+		})
 	} else {
 		res = cover.Greedy(in)
 	}
@@ -84,6 +69,160 @@ func allMask(n int) uint64 {
 		return ^uint64(0)
 	}
 	return (1 << uint(n)) - 1
+}
+
+// pointIndex maps points of B^n to their index in a sorted point list.
+// For small n a dense array gives O(1) lookups; beyond the gate the
+// fallback is binary search on the sorted list. Read-only after
+// construction, so shared freely across workers.
+type pointIndex struct {
+	dense []int32
+	pts   []uint64
+}
+
+// densePointIndexMaxVars caps the dense table at 4 MiB of int32.
+const densePointIndexMaxVars = 20
+
+func newPointIndex(n int, pts []uint64) *pointIndex {
+	ix := &pointIndex{pts: pts}
+	if n <= densePointIndexMaxVars {
+		ix.dense = make([]int32, uint64(1)<<uint(n))
+		for i := range ix.dense {
+			ix.dense[i] = -1
+		}
+		for i, p := range pts {
+			ix.dense[p] = int32(i)
+		}
+	}
+	return ix
+}
+
+// lookup returns the index of p in the point list, or -1.
+func (ix *pointIndex) lookup(p uint64) int {
+	if ix.dense != nil {
+		return int(ix.dense[p])
+	}
+	lo, hi := 0, len(ix.pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.pts[mid] < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ix.pts) && ix.pts[lo] == p {
+		return lo
+	}
+	return -1
+}
+
+// affineOf computes the affine representation of c — the offset point
+// and one basis row per canonical variable — into the reusable basis
+// slice. It is c.Affine without the Gaussian elimination: each row
+// carries a distinct canonical pivot bit no other row touches, so the
+// rows are independent by construction, which is all the Gray-code walk
+// of candidateRows needs.
+func affineOf(c *pcube.CEX, basis []uint64) (uint64, []uint64) {
+	// One row per canonical variable, seeded with its pivot bit; idx maps
+	// a bit position to its row so factors can scatter into the rows they
+	// touch (entries for non-canonical positions are never read).
+	var idx [64]uint8
+	base := len(basis)
+	k := uint8(0)
+	for canon := c.Canon; canon != 0; canon &= canon - 1 {
+		b := canon & -canon
+		idx[bits.TrailingZeros64(b)] = k
+		basis = append(basis, b)
+		k++
+	}
+	var off uint64
+	for _, f := range c.Factors {
+		nc := f.Vars &^ c.Canon
+		if f.Comp == 0 {
+			off |= nc
+		}
+		for vars := f.Vars & c.Canon; vars != 0; vars &= vars - 1 {
+			basis[base+int(idx[bits.TrailingZeros64(vars)])] |= nc
+		}
+	}
+	return off, basis
+}
+
+// candidateRows appends to rows the indices of the ON points covered by
+// candidate c, sorted ascending. When the pseudocube is smaller than
+// the ON-set its 2^m points are enumerated allocation-free by walking
+// the affine basis in Gray-code order; otherwise the sorted ON points
+// are filtered through c.Contains directly. basis is reusable scratch.
+func candidateRows(c *pcube.CEX, on []uint64, ix *pointIndex, rows []int, basis []uint64) ([]int, []uint64) {
+	if m := uint(c.Degree()); m < 32 && uint64(1)<<m <= uint64(len(on)) {
+		var off uint64
+		off, basis = affineOf(c, basis[:0])
+		br := basis
+		size := uint64(1) << m
+		p := off
+		for i := uint64(0); ; i++ {
+			if r := ix.lookup(p); r >= 0 {
+				rows = append(rows, r)
+			}
+			if i+1 == size {
+				break
+			}
+			p ^= br[bits.TrailingZeros64(i+1)]
+		}
+		sort.Ints(rows)
+		return rows, basis
+	}
+	for r, p := range on {
+		if c.Contains(p) {
+			rows = append(rows, r)
+		}
+	}
+	return rows, basis
+}
+
+// buildCoverColumns intersects every candidate's affine subspace with
+// the ON-set to form the covering columns, sharding candidates
+// contiguously over the covering worker pool. Shard outputs are
+// concatenated in candidate order, so the instance — and everything
+// downstream of it — is identical for every worker count.
+func buildCoverColumns(n int, on []uint64, candidates []*pcube.CEX, opts Options) (*cover.Instance, []*pcube.CEX) {
+	ix := newPointIndex(n, on)
+	type shardOut struct {
+		cols []cover.Column
+		kept []*pcube.CEX
+	}
+	workers := opts.coverWorkers()
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outs := make([]shardOut, workers)
+	shardSlice(len(candidates), workers, func(shard, lo, hi int) {
+		out := &outs[shard]
+		var scratch []int
+		var basis []uint64
+		for _, c := range candidates[lo:hi] {
+			scratch, basis = candidateRows(c, on, ix, scratch[:0], basis)
+			if len(scratch) == 0 {
+				continue // covers only don't-cares
+			}
+			out.cols = append(out.cols, cover.Column{
+				Cost: opts.Cost.of(c),
+				Rows: append([]int(nil), scratch...),
+			})
+			out.kept = append(out.kept, c)
+		}
+	})
+	in := &cover.Instance{NRows: len(on)}
+	var cols []*pcube.CEX
+	for i := range outs {
+		in.Cols = append(in.Cols, outs[i].cols...)
+		cols = append(cols, outs[i].kept...)
+	}
+	return in, cols
 }
 
 // MinimizeExact runs the full exact SPP minimization (Algorithm 2):

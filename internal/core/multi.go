@@ -125,61 +125,100 @@ func MinimizeMulti(m *bfunc.Multi, opts Options) (*MultiResult, error) {
 	sort.Strings(keys) // deterministic column order
 	res.Build.EPPP = len(keys)
 
-	// Rows: (output, ON minterm).
+	// Rows: (output, ON minterm). Each output's ON list is indexed by a
+	// dense point index at a base offset, replacing the (output, point)
+	// hash map of the seed implementation.
 	start := time.Now()
-	rowOf := map[[2]uint64]int{}
+	nOut := m.NOutputs()
+	outFns := make([]*bfunc.Func, nOut)
+	base := make([]int, nOut)
+	onIdx := make([]*pointIndex, nOut)
 	nRows := 0
-	for o := 0; o < m.NOutputs(); o++ {
-		for _, p := range m.Output(o).On() {
-			rowOf[[2]uint64{uint64(o), p}] = nRows
-			nRows++
-		}
+	for o := 0; o < nOut; o++ {
+		outFns[o] = m.Output(o)
+		base[o] = nRows
+		nRows += outFns[o].OnCount()
+		onIdx[o] = newPointIndex(n, outFns[o].On())
 	}
 	if nRows == 0 {
 		return res, nil
 	}
 
-	in := &cover.Instance{NRows: nRows}
-	var cols []*pcube.CEX
-	for _, k := range keys {
-		c := pool[k]
-		pts := c.Points()
+	// One column per pooled candidate, covering the ON rows of every
+	// output whose care set contains the whole pseudocube. Candidates
+	// are sharded contiguously over the covering workers and the shard
+	// outputs concatenated in pool order, so the instance is identical
+	// for every worker count. Points are enumerated sorted, so the row
+	// lists come out sorted without a final sort.
+	cands := make([]*pcube.CEX, len(keys))
+	for i, k := range keys {
+		cands[i] = pool[k]
+	}
+	type shardOut struct {
+		cols []cover.Column
+		kept []*pcube.CEX
+	}
+	workers := opts.coverWorkers()
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outs := make([]shardOut, workers)
+	shardSlice(len(cands), workers, func(shard, lo, hi int) {
+		out := &outs[shard]
 		var rows []int
-		for o := 0; o < m.NOutputs(); o++ {
-			f := m.Output(o)
-			valid := true
-			for _, p := range pts {
-				if !f.IsCare(p) {
-					valid = false
-					break
+		for _, c := range cands[lo:hi] {
+			pts := c.SortedPoints()
+			rows = rows[:0]
+			for o := 0; o < nOut; o++ {
+				f := outFns[o]
+				valid := true
+				for _, p := range pts {
+					if !f.IsCare(p) {
+						valid = false
+						break
+					}
+				}
+				if !valid {
+					continue
+				}
+				for _, p := range pts {
+					if r := onIdx[o].lookup(p); r >= 0 {
+						rows = append(rows, base[o]+r)
+					}
 				}
 			}
-			if !valid {
+			if len(rows) == 0 {
 				continue
 			}
-			for _, p := range pts {
-				if r, ok := rowOf[[2]uint64{uint64(o), p}]; ok {
-					rows = append(rows, r)
-				}
+			cost := opts.Cost.of(c)
+			if cost == 0 {
+				cost = 1 // constant-one candidate on a non-constant instance
 			}
+			out.cols = append(out.cols, cover.Column{
+				Cost: cost,
+				Rows: append([]int(nil), rows...),
+			})
+			out.kept = append(out.kept, c)
 		}
-		if len(rows) == 0 {
-			continue
-		}
-		sort.Ints(rows)
-		cost := opts.Cost.of(c)
-		if cost == 0 {
-			cost = 1 // constant-one candidate on a non-constant instance
-		}
-		in.Cols = append(in.Cols, cover.Column{Cost: cost, Rows: rows})
-		cols = append(cols, c)
+	})
+	in := &cover.Instance{NRows: nRows}
+	var cols []*pcube.CEX
+	for i := range outs {
+		in.Cols = append(in.Cols, outs[i].cols...)
+		cols = append(cols, outs[i].kept...)
 	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("core: joint candidate pool does not cover: %v", err)
 	}
 	var cres cover.Result
 	if opts.CoverExact {
-		cres = cover.Exact(in, cover.ExactOptions{MaxNodes: opts.CoverMaxNodes})
+		cres = cover.Exact(in, cover.ExactOptions{
+			MaxNodes: opts.CoverMaxNodes,
+			Workers:  opts.coverWorkers(),
+		})
 	} else {
 		cres = cover.Greedy(in)
 	}

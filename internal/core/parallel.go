@@ -549,3 +549,31 @@ func buildEPPPHashGroupedParallel(f *bfunc.Func, opts Options) (*EPPPSet, error)
 	stats.BuildTime = time.Since(start)
 	return &EPPPSet{N: n, Candidates: candidates, Stats: stats}, nil
 }
+
+// shardSlice splits [0, n) into contiguous order-preserving shards, one
+// per worker (shard s covers [n*s/w, n*(s+1)/w)), and runs fn for each
+// shard concurrently. With one worker (or n <= 1) fn runs inline. It is
+// the shared fan-out primitive for embarrassingly parallel per-item
+// passes whose outputs are concatenated back in shard order — e.g. the
+// covering-column construction of SelectCover and MinimizeMulti.
+func shardSlice(n, workers int, fn func(shard, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo, hi := n*s/workers, n*(s+1)/workers
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}

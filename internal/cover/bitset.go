@@ -1,0 +1,124 @@
+package cover
+
+import "math/bits"
+
+// bitset over rows, stored as dense machine words so covering-table
+// operations (union, difference counts, subset tests) run word-parallel.
+type bitset []uint64
+
+func wordsFor(n int) int { return (n + 63) / 64 }
+
+func newBitset(n int) bitset { return make(bitset, wordsFor(n)) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) unset(i int)    { b[i/64] &^= 1 << uint(i%64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+func (b bitset) clone() bitset  { c := make(bitset, len(b)); copy(c, b); return c }
+
+func (b bitset) zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func (b bitset) orWith(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) andWith(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+func (b bitset) andNotWith(o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+func (b bitset) isEmpty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// countNew returns |o \ b|: rows of o not already set in b.
+func (b bitset) countNew(o bitset) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(o[i] &^ b[i])
+	}
+	return n
+}
+
+// anyNew reports whether o has at least one row not set in b
+// (countNew(o) > 0, but with an early exit on the first such word).
+func (b bitset) anyNew(o bitset) bool {
+	for i := range b {
+		if o[i]&^b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b bitset) containsAll(o bitset) bool {
+	for i := range b {
+		if o[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// colBitsets builds one row-bitset per column, all views into a single
+// backing allocation.
+func (in *Instance) colBitsets() []bitset {
+	words := wordsFor(in.NRows)
+	backing := make([]uint64, words*len(in.Cols))
+	bs := make([]bitset, len(in.Cols))
+	for j, c := range in.Cols {
+		b := bitset(backing[j*words : (j+1)*words : (j+1)*words])
+		for _, r := range c.Rows {
+			b.set(r)
+		}
+		bs[j] = b
+	}
+	return bs
+}
+
+// bitMatrix is a set of equally sized bitsets sharing one backing
+// allocation, indexed by row.
+type bitMatrix struct {
+	words int
+	bits  []uint64
+}
+
+func newBitMatrix(n, width int) bitMatrix {
+	w := wordsFor(width)
+	return bitMatrix{words: w, bits: make([]uint64, n*w)}
+}
+
+func (m bitMatrix) row(i int) bitset {
+	return bitset(m.bits[i*m.words : (i+1)*m.words : (i+1)*m.words])
+}
+
+func (m bitMatrix) zero() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}

@@ -9,11 +9,17 @@
 // making its #L figures upper bounds), and an exact branch-and-bound
 // with classical essential/dominance reductions and an
 // independent-rows lower bound, budgeted by a node limit.
+//
+// Both solvers run over dense word-parallel bitsets. Greedy uses a lazy
+// re-evaluation heap (cached new-row counts are upper bounds, so the
+// heap top with an up-to-date count is the true argmin) and does no
+// per-pick allocation; the branch and bound undoes moves through a
+// trail instead of cloning row sets, and can fan its root branches out
+// over a worker pool (ExactOptions.Workers) deterministically.
 package cover
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
 )
 
@@ -67,57 +73,67 @@ func (in *Instance) Validate() error {
 	return nil
 }
 
-// bitset over rows.
-type bitset []uint64
+// greedyItem is one heap entry: column col with its cost and a cached
+// (possibly stale) count of rows it would newly cover. Coverage only
+// grows, so the cached count is an upper bound on the true one and the
+// cached key is an optimistic lower bound in the heap order.
+type greedyItem struct {
+	cost int
+	nw   int
+	col  int
+}
 
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+// better is the greedy selection order: cost per newly covered row
+// ascending (compared by integer cross-multiplication, so there is no
+// float rounding and no overflow for any counts that fit an int32),
+// then more new rows first, then lower column index. The index
+// tie-break makes the order total, which keeps the lazy heap — and
+// therefore the whole greedy — deterministic.
+func (a greedyItem) better(b greedyItem) bool {
+	l := int64(a.cost) * int64(b.nw)
+	r := int64(b.cost) * int64(a.nw)
+	if l != r {
+		return l < r
+	}
+	if a.nw != b.nw {
+		return a.nw > b.nw
+	}
+	return a.col < b.col
+}
 
-func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
-func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
-func (b bitset) clone() bitset  { c := make(bitset, len(b)); copy(c, b); return c }
+type greedyHeap []greedyItem
 
-func (b bitset) orWith(o bitset) {
-	for i := range b {
-		b[i] |= o[i]
+func (h greedyHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
 	}
 }
 
-func (b bitset) count() int {
-	n := 0
-	for _, w := range b {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
-
-// countNew returns |o \ b|: rows of o not already set in b.
-func (b bitset) countNew(o bitset) int {
-	n := 0
-	for i := range b {
-		n += bits.OnesCount64(o[i] &^ b[i])
-	}
-	return n
-}
-
-func (b bitset) containsAll(o bitset) bool {
-	for i := range b {
-		if o[i]&^b[i] != 0 {
-			return false
+func (h greedyHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
 		}
+		m := l
+		if r := l + 1; r < n && h[r].better(h[l]) {
+			m = r
+		}
+		if !h[m].better(h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
-	return true
 }
 
-func (in *Instance) colBitsets() []bitset {
-	bs := make([]bitset, len(in.Cols))
-	for j, c := range in.Cols {
-		b := newBitset(in.NRows)
-		for _, r := range c.Rows {
-			b.set(r)
-		}
-		bs[j] = b
-	}
-	return bs
+func (h *greedyHeap) pop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	h.down(0)
 }
 
 // Greedy computes a cover with the classic cost-effectiveness greedy
@@ -126,36 +142,46 @@ func (in *Instance) colBitsets() []bitset {
 // covered by the others). The result is always a valid cover; Optimal
 // is false unless the cover is trivially a single column of minimum
 // cost covering everything.
+//
+// Selection runs over a lazy heap: the cached new-row count of the heap
+// top is recomputed on demand, and only a stale top forces a sift. All
+// other entries hold optimistic keys, so a top whose cached count is
+// exact is the true minimum — the same column a full rescan would pick.
 func Greedy(in *Instance) Result {
 	if in.NRows == 0 {
 		return Result{Optimal: true}
 	}
 	bs := in.colBitsets()
 	covered := newBitset(in.NRows)
-	var picked []int
+	h := make(greedyHeap, 0, len(in.Cols))
+	for j, c := range in.Cols {
+		if len(c.Rows) > 0 {
+			h = append(h, greedyItem{cost: c.Cost, nw: len(c.Rows), col: j})
+		}
+	}
+	h.init()
+	picked := make([]int, 0, 8)
 	remaining := in.NRows
 	for remaining > 0 {
-		best, bestNew := -1, 0
-		var bestRatio float64
-		for j := range in.Cols {
-			nw := covered.countNew(bs[j])
-			if nw == 0 {
-				continue
-			}
-			ratio := float64(in.Cols[j].Cost) / float64(nw)
-			if best == -1 || ratio < bestRatio ||
-				(ratio == bestRatio && nw > bestNew) {
-				best, bestNew, bestRatio = j, nw, ratio
-			}
-		}
-		if best == -1 {
+		if len(h) == 0 {
 			panic("cover: uncoverable row in Greedy (call Validate first)")
 		}
-		picked = append(picked, best)
-		covered.orWith(bs[best])
-		remaining -= bestNew
+		top := h[0]
+		nw := covered.countNew(bs[top.col])
+		switch {
+		case nw == 0:
+			h.pop()
+		case nw != top.nw:
+			h[0].nw = nw
+			h.down(0)
+		default:
+			h.pop()
+			picked = append(picked, top.col)
+			covered.orWith(bs[top.col])
+			remaining -= nw
+		}
 	}
-	picked = eliminateRedundant(in, bs, picked)
+	picked = eliminateRedundant(in, picked)
 	sort.Ints(picked)
 	cost := 0
 	for _, j := range picked {
@@ -165,31 +191,49 @@ func Greedy(in *Instance) Result {
 }
 
 // eliminateRedundant drops picked columns (most expensive first) whose
-// rows remain covered by the rest.
-func eliminateRedundant(in *Instance, bs []bitset, picked []int) []int {
+// rows remain covered by the rest. A column is redundant exactly when
+// every one of its rows is covered by at least two still-alive picks,
+// so a per-row coverage count replaces the seed's rebuild of the union
+// bitset for every candidate drop.
+func eliminateRedundant(in *Instance, picked []int) []int {
+	if len(picked) <= 1 {
+		return picked
+	}
 	order := append([]int(nil), picked...)
 	sort.Slice(order, func(a, b int) bool {
 		return in.Cols[order[a]].Cost > in.Cols[order[b]].Cost
 	})
-	alive := map[int]bool{}
+	cnt := make([]int32, in.NRows)
 	for _, j := range picked {
-		alive[j] = true
+		for _, r := range in.Cols[j].Rows {
+			cnt[r]++
+		}
 	}
+	var dropped map[int]bool
 	for _, j := range order {
-		// Coverage without j.
-		without := newBitset(in.NRows)
-		for k := range alive {
-			if k != j && alive[k] {
-				without.orWith(bs[k])
+		redundant := true
+		for _, r := range in.Cols[j].Rows {
+			if cnt[r] < 2 {
+				redundant = false
+				break
 			}
 		}
-		if without.containsAll(bs[j]) {
-			alive[j] = false
+		if redundant {
+			for _, r := range in.Cols[j].Rows {
+				cnt[r]--
+			}
+			if dropped == nil {
+				dropped = make(map[int]bool, 4)
+			}
+			dropped[j] = true
 		}
+	}
+	if dropped == nil {
+		return picked
 	}
 	out := picked[:0]
 	for _, j := range picked {
-		if alive[j] {
+		if !dropped[j] {
 			out = append(out, j)
 		}
 	}

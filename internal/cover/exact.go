@@ -2,6 +2,8 @@ package cover
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ExactOptions configures the branch-and-bound solver.
@@ -11,6 +13,16 @@ type ExactOptions struct {
 	// Optimal=false (it is still a valid cover because the search is
 	// seeded with the greedy solution).
 	MaxNodes int64
+	// Workers fans the root-level branches of the search out over this
+	// many goroutines; <= 1 runs the serial solver, which visits
+	// exactly the seed implementation's nodes. The parallel solver is
+	// deterministic whenever the node budget is not exhausted: branches
+	// are searched in a fixed order with per-branch local bounds and
+	// strict pruning against the shared atomic upper bound, and the
+	// final reduction breaks cost ties by lowest branch index (see
+	// DESIGN.md, ablation 9). Nodes may exceed the serial count because
+	// strict pruning re-explores some suboptimal subtrees.
+	Workers int
 }
 
 // DefaultMaxNodes is the node budget used when ExactOptions.MaxNodes is 0.
@@ -36,25 +48,25 @@ func Exact(in *Instance, opts ExactOptions) Result {
 		return Result{Picked: picked, Cost: cost, Optimal: true}
 	}
 	seed := Greedy(red.residual)
-	s := &solver{
-		in:      red.residual,
-		bs:      red.residual.colBitsets(),
-		best:    append([]int(nil), seed.Picked...),
-		bestUB:  seed.Cost,
-		budget:  budget,
-		rowCols: rowToCols(red.residual),
+	var best []int
+	var bestUB int
+	var nodes int64
+	if opts.Workers > 1 {
+		best, bestUB, nodes = searchParallel(red.residual, seed, budget, opts.Workers)
+	} else {
+		s := newSolver(red.residual, red.residual.colBitsets(), rowToCols(red.residual), seed, budget)
+		s.search(0)
+		best, bestUB, nodes = s.best, s.bestUB, s.nodes
 	}
-	covered := newBitset(red.residual.NRows)
-	s.search(covered, nil, 0)
-	for _, j := range s.best {
+	for _, j := range best {
 		picked = append(picked, red.colMap[j])
 	}
 	sort.Ints(picked)
 	return Result{
 		Picked:  picked,
-		Cost:    cost + s.bestUB,
-		Optimal: s.nodes < s.budget,
-		Nodes:   s.nodes,
+		Cost:    cost + bestUB,
+		Optimal: nodes < budget,
+		Nodes:   nodes,
 	}
 }
 
@@ -68,30 +80,155 @@ func rowToCols(in *Instance) [][]int {
 	return rc
 }
 
+// trailEntry is one undo record: the previous contents of a covered
+// word that a pick overwrote.
+type trailEntry struct {
+	word int32
+	old  uint64
+}
+
+// candEntry is a branch candidate with its new-row count, kept in
+// per-depth scratch so sorting the branch order allocates nothing.
+type candEntry struct {
+	col int
+	nw  int
+}
+
+// parShared is the state the parallel root branches share: the global
+// node budget counter and the best upper bound found anywhere. Both
+// only ever tighten, so reading them can only prune more, never less.
+type parShared struct {
+	nodes  atomic.Int64
+	bestUB atomic.Int64
+}
+
+func (p *parShared) lowerBestUB(v int64) {
+	for {
+		cur := p.bestUB.Load()
+		if v >= cur || p.bestUB.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 type solver struct {
 	in      *Instance
 	bs      []bitset
 	rowCols [][]int
-	best    []int
-	bestUB  int
-	nodes   int64
-	budget  int64
+
+	covered bitset
+	trail   []trailEntry
+	picked  []int
+	cands   [][]candEntry // per-depth branch-ordering scratch
+
+	best   []int
+	bestUB int
+	nodes  int64
+	budget int64
+
+	colMark []int64 // lowerBound scratch: epoch stamps instead of a map
+	epoch   int64
+
+	par *parShared // nil for the serial solver
+}
+
+func newSolver(in *Instance, bs []bitset, rowCols [][]int, seed Result, budget int64) *solver {
+	return &solver{
+		in:      in,
+		bs:      bs,
+		rowCols: rowCols,
+		covered: newBitset(in.NRows),
+		picked:  make([]int, 0, 16),
+		best:    append([]int(nil), seed.Picked...),
+		bestUB:  seed.Cost,
+		budget:  budget,
+		colMark: make([]int64, len(in.Cols)),
+	}
+}
+
+// enterNode charges one node against the budget; false means the
+// budget is exhausted and the node must not be expanded.
+func (s *solver) enterNode() bool {
+	if s.par != nil {
+		return s.par.nodes.Add(1) < s.budget
+	}
+	s.nodes++
+	return s.nodes < s.budget
+}
+
+func (s *solver) overBudget() bool {
+	if s.par != nil {
+		return s.par.nodes.Load() >= s.budget
+	}
+	return s.nodes >= s.budget
+}
+
+// pruned reports whether a node of the given cost (or cost plus lower
+// bound) cannot improve on the incumbent. The serial solver prunes
+// cost >= bestUB, matching the seed node-for-node. A parallel branch
+// also reads the shared upper bound but prunes strictly (cost > bound):
+// a strict prune never cuts a path to a solution as cheap as any
+// incumbent, so what a branch records does not depend on when other
+// branches publish their bounds — only the work saved does.
+func (s *solver) pruned(cost int) bool {
+	if s.par == nil {
+		return cost >= s.bestUB
+	}
+	b := s.bestUB
+	if sb := int(s.par.bestUB.Load()); sb < b {
+		b = sb
+	}
+	return cost > b
+}
+
+func (s *solver) record(cost int) {
+	if cost >= s.bestUB {
+		return
+	}
+	s.bestUB = cost
+	s.best = append(s.best[:0], s.picked...)
+	if s.par != nil {
+		s.par.lowerBestUB(int64(cost))
+	}
+}
+
+// cover ORs column j into the covered set, logging overwritten words on
+// the trail; undo(mark) rolls back to the state before the matching
+// cover call. This replaces the seed's per-node bitset.clone().
+func (s *solver) cover(j int) (mark int) {
+	mark = len(s.trail)
+	b := s.bs[j]
+	for w, bw := range b {
+		if bw&^s.covered[w] != 0 {
+			s.trail = append(s.trail, trailEntry{word: int32(w), old: s.covered[w]})
+			s.covered[w] |= bw
+		}
+	}
+	return mark
+}
+
+func (s *solver) undo(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		s.covered[s.trail[i].word] = s.trail[i].old
+	}
+	s.trail = s.trail[:mark]
 }
 
 // lowerBound computes a simple independent-rows bound: greedily pick
 // uncovered rows no two of which share a column, summing for each the
-// cheapest column covering it.
-func (s *solver) lowerBound(covered bitset) int {
-	usedCols := map[int]bool{}
+// cheapest column covering it. Columns are marked used with an epoch
+// stamp, so the scratch is reset by bumping one counter.
+func (s *solver) lowerBound() int {
+	s.epoch++
 	lb := 0
 	for r := 0; r < s.in.NRows; r++ {
-		if covered.get(r) {
+		if s.covered.get(r) {
 			continue
 		}
 		independent := true
 		minCost := -1
 		for _, j := range s.rowCols[r] {
-			if usedCols[j] {
+			if s.colMark[j] == s.epoch {
 				independent = false
 				break
 			}
@@ -102,31 +239,25 @@ func (s *solver) lowerBound(covered bitset) int {
 		if independent && minCost > 0 {
 			lb += minCost
 			for _, j := range s.rowCols[r] {
-				usedCols[j] = true
+				s.colMark[j] = s.epoch
 			}
 		}
 	}
 	return lb
 }
 
-func (s *solver) search(covered bitset, picked []int, cost int) {
-	s.nodes++
-	if s.nodes >= s.budget {
-		return
-	}
-	if cost >= s.bestUB {
-		return
-	}
-	// Find the uncovered row with the fewest candidate columns.
+// selectRow finds the uncovered row with the fewest live candidate
+// columns (first one hit wins, stopping early at degree <= 1).
+func (s *solver) selectRow() int {
 	branchRow := -1
 	branchDeg := int(^uint(0) >> 1)
 	for r := 0; r < s.in.NRows; r++ {
-		if covered.get(r) {
+		if s.covered.get(r) {
 			continue
 		}
 		deg := 0
 		for _, j := range s.rowCols[r] {
-			if covered.countNew(s.bs[j]) > 0 {
+			if s.covered.anyNew(s.bs[j]) {
 				deg++
 			}
 		}
@@ -137,32 +268,131 @@ func (s *solver) search(covered bitset, picked []int, cost int) {
 			break
 		}
 	}
+	return branchRow
+}
+
+// sortedCands orders the columns covering row cheapest-per-new first
+// (integer cross-multiplication, as in the seed) into the scratch slice
+// for the current depth.
+func (s *solver) sortedCands(row int) []candEntry {
+	depth := len(s.picked)
+	for depth >= len(s.cands) {
+		s.cands = append(s.cands, nil)
+	}
+	cs := s.cands[depth][:0]
+	for _, j := range s.rowCols[row] {
+		cs = append(cs, candEntry{col: j, nw: s.covered.countNew(s.bs[j])})
+	}
+	sort.Slice(cs, func(a, b int) bool {
+		ca, cb := s.in.Cols[cs[a].col].Cost, s.in.Cols[cs[b].col].Cost
+		return int64(ca)*int64(cs[b].nw) < int64(cb)*int64(cs[a].nw)
+	})
+	s.cands[depth] = cs
+	return cs
+}
+
+func (s *solver) search(cost int) {
+	if !s.enterNode() {
+		return
+	}
+	if s.pruned(cost) {
+		return
+	}
+	branchRow := s.selectRow()
 	if branchRow == -1 {
 		// Full cover found.
-		if cost < s.bestUB {
-			s.bestUB = cost
-			s.best = append(s.best[:0], picked...)
-		}
+		s.record(cost)
 		return
 	}
-	if cost+s.lowerBound(covered) >= s.bestUB {
+	if s.pruned(cost + s.lowerBound()) {
 		return
 	}
-	// Branch on the columns covering branchRow, cheapest-per-new first.
-	cands := make([]int, 0, len(s.rowCols[branchRow]))
-	cands = append(cands, s.rowCols[branchRow]...)
-	sort.Slice(cands, func(a, b int) bool {
-		na := covered.countNew(s.bs[cands[a]])
-		nb := covered.countNew(s.bs[cands[b]])
-		ca, cb := s.in.Cols[cands[a]].Cost, s.in.Cols[cands[b]].Cost
-		return ca*nb < cb*na // cost/new ascending without division
-	})
-	for _, j := range cands {
-		nc := covered.clone()
-		nc.orWith(s.bs[j])
-		s.search(nc, append(picked, j), cost+s.in.Cols[j].Cost)
-		if s.nodes >= s.budget {
+	for _, c := range s.sortedCands(branchRow) {
+		mark := s.cover(c.col)
+		s.picked = append(s.picked, c.col)
+		s.search(cost + s.in.Cols[c.col].Cost)
+		s.picked = s.picked[:len(s.picked)-1]
+		s.undo(mark)
+		if s.overBudget() {
 			return
 		}
 	}
+}
+
+// searchParallel fans the root-level branches out over a worker pool.
+// The root node is expanded once (exactly as the serial solver would),
+// its sorted candidate list becomes the fixed branch order, and each
+// branch is searched independently: local incumbent reset per branch,
+// strict pruning against min(local, shared) bound. The result reduction
+// keeps the cheapest branch solution, lowest branch index first, which
+// is the same solution the serial depth-first search commits to.
+func searchParallel(in *Instance, seed Result, budget int64, workers int) (best []int, bestUB int, nodes int64) {
+	bs := in.colBitsets()
+	rowCols := rowToCols(in)
+	par := &parShared{}
+	par.bestUB.Store(int64(seed.Cost))
+
+	root := newSolver(in, bs, rowCols, seed, budget)
+	root.par = par
+	if !root.enterNode() || root.pruned(0) {
+		return seed.Picked, seed.Cost, par.nodes.Load()
+	}
+	branchRow := root.selectRow() // NRows > 0, nothing covered: always a row
+	if root.pruned(root.lowerBound()) {
+		return seed.Picked, seed.Cost, par.nodes.Load()
+	}
+	cands := append([]candEntry(nil), root.sortedCands(branchRow)...)
+
+	type branchResult struct {
+		cost   int
+		picked []int
+		found  bool
+	}
+	results := make([]branchResult, len(cands))
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newSolver(in, bs, rowCols, seed, budget)
+			s.par = par
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) || s.overBudget() {
+					return
+				}
+				j := cands[i].col
+				// Reset all per-branch state: the local incumbent must
+				// depend only on the branch index, not on which worker
+				// ran it or what it ran before, or determinism is lost.
+				s.covered.zero()
+				s.trail = s.trail[:0]
+				s.picked = append(s.picked[:0], j)
+				s.bestUB = seed.Cost
+				s.best = append(s.best[:0], seed.Picked...)
+				s.cover(j)
+				s.search(in.Cols[j].Cost)
+				if s.bestUB < seed.Cost {
+					results[i] = branchResult{
+						cost:   s.bestUB,
+						picked: append([]int(nil), s.best...),
+						found:  true,
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	best, bestUB = seed.Picked, seed.Cost
+	for i := range results {
+		if results[i].found && results[i].cost < bestUB {
+			bestUB = results[i].cost
+			best = results[i].picked
+		}
+	}
+	return best, bestUB, par.nodes.Load()
 }

@@ -1,0 +1,55 @@
+package cover
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzExactRoundTrip decodes an instance from fuzz bytes, validates
+// it, and round-trips it through Greedy and Exact (serial and
+// parallel): every accepted instance must produce valid covers, Exact
+// must never cost more than Greedy, the serial solver must agree
+// byte-for-byte with the seed oracle, and the parallel solver must
+// agree with the serial one.
+func FuzzExactRoundTrip(f *testing.F) {
+	f.Add(uint8(5), []byte{1, 0x07, 2, 0x18, 1, 0x11})
+	f.Add(uint8(3), []byte{1, 0x01, 1, 0x02, 1, 0x04, 2, 0x07})
+	f.Add(uint8(9), []byte{3, 0xff, 0x01, 1, 0x0f, 0x00, 2, 0xf0, 0x01})
+	f.Fuzz(func(t *testing.T, rowsByte uint8, data []byte) {
+		nRows := 1 + int(rowsByte)%12
+		in := &Instance{NRows: nRows}
+		for len(data) >= 3 && len(in.Cols) < 16 {
+			cost := 1 + int(data[0])%9
+			mask := uint16(data[1]) | uint16(data[2])<<8
+			data = data[3:]
+			var rows []int
+			for r := 0; r < nRows; r++ {
+				if mask&(1<<uint(r)) != 0 {
+					rows = append(rows, r)
+				}
+			}
+			in.Cols = append(in.Cols, Column{Cost: cost, Rows: rows})
+		}
+		if in.Validate() != nil {
+			return
+		}
+		g := Greedy(in)
+		if !isCover(in, g.Picked) {
+			t.Fatalf("Greedy returned a non-cover: %+v", g)
+		}
+		e := Exact(in, ExactOptions{})
+		if !isCover(in, e.Picked) {
+			t.Fatalf("Exact returned a non-cover: %+v", e)
+		}
+		if e.Cost > g.Cost {
+			t.Fatalf("Exact cost %d worse than Greedy %d", e.Cost, g.Cost)
+		}
+		want := seedExact(in, ExactOptions{})
+		sameResult(t, "fuzz exact vs seed", e, want)
+		par := Exact(in, ExactOptions{Workers: 3})
+		if !reflect.DeepEqual(par.Picked, e.Picked) || par.Cost != e.Cost ||
+			par.Optimal != e.Optimal {
+			t.Fatalf("parallel Exact diverged: got %+v, want %+v", par, e)
+		}
+	})
+}

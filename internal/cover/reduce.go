@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"math/bits"
 	"sort"
 )
 
@@ -15,107 +16,118 @@ type reduction struct {
 }
 
 // reduceInstance applies essential-column, row-dominance and
-// column-dominance rules to a fixpoint. The reductions are the
-// standard ones from two-level minimization (McCluskey): they preserve
-// at least one optimal solution.
+// column-dominance rules to a fixpoint over dense bitsets: columns as
+// row-bitsets for the dominance subset tests, rows as column-bitsets
+// for the row-dominance subset tests. The rules are the standard ones
+// from two-level minimization (McCluskey) and preserve at least one
+// optimal solution. The essential cascade is confluent (forcing one
+// essential column never changes another active row's coverage count),
+// so this deterministic lowest-row-first schedule reaches the same
+// fixpoint as any other processing order.
 func reduceInstance(in *Instance) reduction {
-	type col struct {
-		orig int
-		cost int
-		rows map[int]bool
+	nc := len(in.Cols)
+	colBits := in.colBitsets() // owned; pruned in place as rows die
+	alive := make([]bool, nc)
+	for j := range alive {
+		alive[j] = true
 	}
-	cols := make([]*col, 0, len(in.Cols))
-	for j, c := range in.Cols {
-		rows := make(map[int]bool, len(c.Rows))
-		for _, r := range c.Rows {
-			rows[r] = true
-		}
-		cols = append(cols, &col{orig: j, cost: c.Cost, rows: rows})
-	}
-	activeRows := map[int]bool{}
+	activeRows := newBitset(in.NRows)
 	for r := 0; r < in.NRows; r++ {
-		activeRows[r] = true
+		activeRows.set(r)
 	}
 	red := reduction{}
-
-	removeCoveredRows := func(c *col) {
-		for r := range c.rows {
-			delete(activeRows, r)
-		}
-	}
+	rowCnt := make([]int32, in.NRows)
+	var rowBits bitMatrix // row -> alive-column bitset, rebuilt per pass
+	var rcCount []int     // popcounts of rowBits rows
 
 	for changed := true; changed; {
 		changed = false
 
-		// Essential columns: a row covered by exactly one column forces
-		// that column.
-		for r := range activeRows {
-			var last *col
-			count := 0
-			for _, c := range cols {
-				if c.rows[r] {
-					count++
-					last = c
+		// Essential columns: an active row covered by exactly one alive
+		// column forces that column.
+		for r := range rowCnt {
+			rowCnt[r] = 0
+		}
+		for j := 0; j < nc; j++ {
+			if !alive[j] {
+				continue
+			}
+			for wi, w := range colBits[j] {
+				w &= activeRows[wi]
+				for ; w != 0; w &= w - 1 {
+					rowCnt[wi*64+bits.TrailingZeros64(w)]++
 				}
 			}
-			if count == 1 {
-				red.forced = append(red.forced, last.orig)
-				red.cost += last.cost
-				removeCoveredRows(last)
-				// Drop the column itself.
-				for i, c := range cols {
-					if c == last {
-						cols = append(cols[:i], cols[i+1:]...)
-						break
-					}
-				}
-				changed = true
-				break // row sets changed; restart scans
+		}
+		for r := 0; r < in.NRows; r++ {
+			if !activeRows.get(r) || rowCnt[r] != 1 {
+				continue
 			}
+			forced := -1
+			for j := 0; j < nc; j++ {
+				if alive[j] && colBits[j].get(r) {
+					forced = j
+					break
+				}
+			}
+			red.forced = append(red.forced, forced)
+			red.cost += in.Cols[forced].Cost
+			activeRows.andNotWith(colBits[forced])
+			alive[forced] = false
+			changed = true
+			break // row sets changed; restart scans
 		}
 		if changed {
 			continue
 		}
 
 		// Prune columns to active rows; drop empty ones.
-		kept := cols[:0]
-		for _, c := range cols {
-			for r := range c.rows {
-				if !activeRows[r] {
-					delete(c.rows, r)
-				}
+		for j := 0; j < nc; j++ {
+			if !alive[j] {
+				continue
 			}
-			if len(c.rows) > 0 {
-				kept = append(kept, c)
+			colBits[j].andWith(activeRows)
+			if colBits[j].isEmpty() {
+				alive[j] = false
+				changed = true
 			}
 		}
-		if len(kept) != len(cols) {
-			cols = kept
-			changed = true
+		if changed {
 			continue
 		}
 
 		// Row dominance: if cols(r) ⊆ cols(s), any cover of r covers s;
 		// drop s.
-		rowCols := map[int][]int{}
-		for ci, c := range cols {
-			for r := range c.rows {
-				rowCols[r] = append(rowCols[r], ci)
+		if rowBits.words == 0 && in.NRows > 0 {
+			rowBits = newBitMatrix(in.NRows, nc)
+			rcCount = make([]int, in.NRows)
+		}
+		rowBits.zero()
+		for j := 0; j < nc; j++ {
+			if !alive[j] {
+				continue
+			}
+			for wi, w := range colBits[j] {
+				for ; w != 0; w &= w - 1 {
+					rowBits.row(wi*64 + bits.TrailingZeros64(w)).set(j)
+				}
 			}
 		}
-		rows := make([]int, 0, len(activeRows))
-		for r := range activeRows {
-			rows = append(rows, r)
+		for r := 0; r < in.NRows; r++ {
+			rcCount[r] = rowBits.row(r).count()
 		}
-		sort.Ints(rows)
 	rowLoop:
-		for _, r := range rows {
-			for _, s := range rows {
-				if r == s || !activeRows[r] || !activeRows[s] {
+		for r := 0; r < in.NRows; r++ {
+			if !activeRows.get(r) {
+				continue
+			}
+			for s := 0; s < in.NRows; s++ {
+				if s == r || !activeRows.get(s) {
 					continue
 				}
-				if subsetInts(rowCols[r], rowCols[s]) && (len(rowCols[r]) < len(rowCols[s]) || r < s) {
-					delete(activeRows, s)
+				if rowBits.row(s).containsAll(rowBits.row(r)) &&
+					(rcCount[r] < rcCount[s] || r < s) {
+					activeRows.unset(s)
 					changed = true
 					continue rowLoop
 				}
@@ -125,20 +137,23 @@ func reduceInstance(in *Instance) reduction {
 			continue
 		}
 
-		// Column dominance: drop j when rows(k) ⊇ rows(j) with
-		// cost(k) ≤ cost(j) (ties keep the earlier original index).
+		// Column dominance: drop i when rows(k) ⊇ rows(i) with
+		// cost(k) ≤ cost(i) (ties keep the earlier index).
 	colLoop:
-		for i := 0; i < len(cols); i++ {
-			for k := 0; k < len(cols); k++ {
-				if i == k {
+		for i := 0; i < nc; i++ {
+			if !alive[i] {
+				continue
+			}
+			for k := 0; k < nc; k++ {
+				if k == i || !alive[k] {
 					continue
 				}
-				a, b := cols[i], cols[k]
-				if b.cost <= a.cost && subsetRows(a.rows, b.rows) {
-					if len(a.rows) == len(b.rows) && a.cost == b.cost && a.orig < b.orig {
-						continue // symmetric tie: keep the earlier one
+				if in.Cols[k].Cost <= in.Cols[i].Cost && colBits[k].containsAll(colBits[i]) {
+					if in.Cols[i].Cost == in.Cols[k].Cost && i < k &&
+						colBits[i].count() == colBits[k].count() {
+						continue // symmetric tie: keep the earlier column
 					}
-					cols = append(cols[:i], cols[i+1:]...)
+					alive[i] = false
 					changed = true
 					break colLoop
 				}
@@ -147,51 +162,28 @@ func reduceInstance(in *Instance) reduction {
 	}
 
 	// Build the residual instance over the surviving rows/columns.
-	rowIdx := map[int]int{}
-	rows := make([]int, 0, len(activeRows))
-	for r := range activeRows {
-		rows = append(rows, r)
-	}
-	sort.Ints(rows)
-	for i, r := range rows {
-		rowIdx[r] = i
-	}
-	red.residual = &Instance{NRows: len(rows)}
-	for _, c := range cols {
-		var rr []int
-		for r := range c.rows {
-			rr = append(rr, rowIdx[r])
+	rowIdx := make([]int, in.NRows)
+	nActive := 0
+	for r := 0; r < in.NRows; r++ {
+		if activeRows.get(r) {
+			rowIdx[r] = nActive
+			nActive++
 		}
-		sort.Ints(rr)
-		red.residual.Cols = append(red.residual.Cols, Column{Cost: c.cost, Rows: rr})
-		red.colMap = append(red.colMap, c.orig)
+	}
+	red.residual = &Instance{NRows: nActive}
+	for j := 0; j < nc; j++ {
+		if !alive[j] {
+			continue
+		}
+		rr := make([]int, 0, colBits[j].count())
+		for wi, w := range colBits[j] {
+			for ; w != 0; w &= w - 1 {
+				rr = append(rr, rowIdx[wi*64+bits.TrailingZeros64(w)])
+			}
+		}
+		red.residual.Cols = append(red.residual.Cols, Column{Cost: in.Cols[j].Cost, Rows: rr})
+		red.colMap = append(red.colMap, j)
 	}
 	sort.Ints(red.forced)
 	return red
-}
-
-// subsetInts reports a ⊆ b for the (unordered) column-index lists.
-func subsetInts(a, b []int) bool {
-	set := make(map[int]bool, len(b))
-	for _, x := range b {
-		set[x] = true
-	}
-	for _, x := range a {
-		if !set[x] {
-			return false
-		}
-	}
-	return true
-}
-
-func subsetRows(a, b map[int]bool) bool {
-	if len(a) > len(b) {
-		return false
-	}
-	for r := range a {
-		if !b[r] {
-			return false
-		}
-	}
-	return true
 }

@@ -1,0 +1,506 @@
+package cover
+
+// This file carries verbatim copies of the seed (pre-bitset-engine)
+// solvers as test oracles: the float-ratio rescan greedy, the
+// map-based reductions and the clone-per-node branch and bound. The
+// property tests below assert the rewritten engine returns
+// byte-identical Results on random instances.
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// --- seed greedy -----------------------------------------------------
+
+func seedGreedy(in *Instance) Result {
+	if in.NRows == 0 {
+		return Result{Optimal: true}
+	}
+	bs := seedColBitsets(in)
+	covered := newBitset(in.NRows)
+	var picked []int
+	remaining := in.NRows
+	for remaining > 0 {
+		best, bestNew := -1, 0
+		var bestRatio float64
+		for j := range in.Cols {
+			nw := covered.countNew(bs[j])
+			if nw == 0 {
+				continue
+			}
+			ratio := float64(in.Cols[j].Cost) / float64(nw)
+			if best == -1 || ratio < bestRatio ||
+				(ratio == bestRatio && nw > bestNew) {
+				best, bestNew, bestRatio = j, nw, ratio
+			}
+		}
+		if best == -1 {
+			panic("cover: uncoverable row in seedGreedy")
+		}
+		picked = append(picked, best)
+		covered.orWith(bs[best])
+		remaining -= bestNew
+	}
+	picked = seedEliminateRedundant(in, bs, picked)
+	sort.Ints(picked)
+	cost := 0
+	for _, j := range picked {
+		cost += in.Cols[j].Cost
+	}
+	return Result{Picked: picked, Cost: cost}
+}
+
+func seedColBitsets(in *Instance) []bitset {
+	bs := make([]bitset, len(in.Cols))
+	for j, c := range in.Cols {
+		b := newBitset(in.NRows)
+		for _, r := range c.Rows {
+			b.set(r)
+		}
+		bs[j] = b
+	}
+	return bs
+}
+
+func seedEliminateRedundant(in *Instance, bs []bitset, picked []int) []int {
+	order := append([]int(nil), picked...)
+	sort.Slice(order, func(a, b int) bool {
+		return in.Cols[order[a]].Cost > in.Cols[order[b]].Cost
+	})
+	alive := map[int]bool{}
+	for _, j := range picked {
+		alive[j] = true
+	}
+	for _, j := range order {
+		without := newBitset(in.NRows)
+		for k := range alive {
+			if k != j && alive[k] {
+				without.orWith(bs[k])
+			}
+		}
+		if without.containsAll(bs[j]) {
+			alive[j] = false
+		}
+	}
+	out := picked[:0]
+	for _, j := range picked {
+		if alive[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// --- seed reductions -------------------------------------------------
+
+func seedReduceInstance(in *Instance) reduction {
+	type col struct {
+		orig int
+		cost int
+		rows map[int]bool
+	}
+	cols := make([]*col, 0, len(in.Cols))
+	for j, c := range in.Cols {
+		rows := make(map[int]bool, len(c.Rows))
+		for _, r := range c.Rows {
+			rows[r] = true
+		}
+		cols = append(cols, &col{orig: j, cost: c.Cost, rows: rows})
+	}
+	activeRows := map[int]bool{}
+	for r := 0; r < in.NRows; r++ {
+		activeRows[r] = true
+	}
+	red := reduction{}
+
+	removeCoveredRows := func(c *col) {
+		for r := range c.rows {
+			delete(activeRows, r)
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		for r := range activeRows {
+			var last *col
+			count := 0
+			for _, c := range cols {
+				if c.rows[r] {
+					count++
+					last = c
+				}
+			}
+			if count == 1 {
+				red.forced = append(red.forced, last.orig)
+				red.cost += last.cost
+				removeCoveredRows(last)
+				for i, c := range cols {
+					if c == last {
+						cols = append(cols[:i], cols[i+1:]...)
+						break
+					}
+				}
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+
+		kept := cols[:0]
+		for _, c := range cols {
+			for r := range c.rows {
+				if !activeRows[r] {
+					delete(c.rows, r)
+				}
+			}
+			if len(c.rows) > 0 {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) != len(cols) {
+			cols = kept
+			changed = true
+			continue
+		}
+
+		rowCols := map[int][]int{}
+		for ci, c := range cols {
+			for r := range c.rows {
+				rowCols[r] = append(rowCols[r], ci)
+			}
+		}
+		rows := make([]int, 0, len(activeRows))
+		for r := range activeRows {
+			rows = append(rows, r)
+		}
+		sort.Ints(rows)
+	rowLoop:
+		for _, r := range rows {
+			for _, s := range rows {
+				if r == s || !activeRows[r] || !activeRows[s] {
+					continue
+				}
+				if seedSubsetInts(rowCols[r], rowCols[s]) && (len(rowCols[r]) < len(rowCols[s]) || r < s) {
+					delete(activeRows, s)
+					changed = true
+					continue rowLoop
+				}
+			}
+		}
+		if changed {
+			continue
+		}
+
+	colLoop:
+		for i := 0; i < len(cols); i++ {
+			for k := 0; k < len(cols); k++ {
+				if i == k {
+					continue
+				}
+				a, b := cols[i], cols[k]
+				if b.cost <= a.cost && seedSubsetRows(a.rows, b.rows) {
+					if len(a.rows) == len(b.rows) && a.cost == b.cost && a.orig < b.orig {
+						continue
+					}
+					cols = append(cols[:i], cols[i+1:]...)
+					changed = true
+					break colLoop
+				}
+			}
+		}
+	}
+
+	rowIdx := map[int]int{}
+	rows := make([]int, 0, len(activeRows))
+	for r := range activeRows {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	for i, r := range rows {
+		rowIdx[r] = i
+	}
+	red.residual = &Instance{NRows: len(rows)}
+	for _, c := range cols {
+		var rr []int
+		for r := range c.rows {
+			rr = append(rr, rowIdx[r])
+		}
+		sort.Ints(rr)
+		red.residual.Cols = append(red.residual.Cols, Column{Cost: c.cost, Rows: rr})
+		red.colMap = append(red.colMap, c.orig)
+	}
+	sort.Ints(red.forced)
+	return red
+}
+
+func seedSubsetInts(a, b []int) bool {
+	set := make(map[int]bool, len(b))
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func seedSubsetRows(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for r := range a {
+		if !b[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- seed exact ------------------------------------------------------
+
+func seedExact(in *Instance, opts ExactOptions) Result {
+	if in.NRows == 0 {
+		return Result{Optimal: true}
+	}
+	budget := opts.MaxNodes
+	if budget == 0 {
+		budget = DefaultMaxNodes
+	}
+	red := seedReduceInstance(in)
+	picked := append([]int(nil), red.forced...)
+	cost := red.cost
+	if red.residual.NRows == 0 {
+		sort.Ints(picked)
+		return Result{Picked: picked, Cost: cost, Optimal: true}
+	}
+	seed := seedGreedy(red.residual)
+	s := &seedSolver{
+		in:      red.residual,
+		bs:      seedColBitsets(red.residual),
+		best:    append([]int(nil), seed.Picked...),
+		bestUB:  seed.Cost,
+		budget:  budget,
+		rowCols: rowToCols(red.residual),
+	}
+	covered := newBitset(red.residual.NRows)
+	s.search(covered, nil, 0)
+	for _, j := range s.best {
+		picked = append(picked, red.colMap[j])
+	}
+	sort.Ints(picked)
+	return Result{
+		Picked:  picked,
+		Cost:    cost + s.bestUB,
+		Optimal: s.nodes < s.budget,
+		Nodes:   s.nodes,
+	}
+}
+
+type seedSolver struct {
+	in      *Instance
+	bs      []bitset
+	rowCols [][]int
+	best    []int
+	bestUB  int
+	nodes   int64
+	budget  int64
+}
+
+func (s *seedSolver) lowerBound(covered bitset) int {
+	usedCols := map[int]bool{}
+	lb := 0
+	for r := 0; r < s.in.NRows; r++ {
+		if covered.get(r) {
+			continue
+		}
+		independent := true
+		minCost := -1
+		for _, j := range s.rowCols[r] {
+			if usedCols[j] {
+				independent = false
+				break
+			}
+			if minCost == -1 || s.in.Cols[j].Cost < minCost {
+				minCost = s.in.Cols[j].Cost
+			}
+		}
+		if independent && minCost > 0 {
+			lb += minCost
+			for _, j := range s.rowCols[r] {
+				usedCols[j] = true
+			}
+		}
+	}
+	return lb
+}
+
+func (s *seedSolver) search(covered bitset, picked []int, cost int) {
+	s.nodes++
+	if s.nodes >= s.budget {
+		return
+	}
+	if cost >= s.bestUB {
+		return
+	}
+	branchRow := -1
+	branchDeg := int(^uint(0) >> 1)
+	for r := 0; r < s.in.NRows; r++ {
+		if covered.get(r) {
+			continue
+		}
+		deg := 0
+		for _, j := range s.rowCols[r] {
+			if covered.countNew(s.bs[j]) > 0 {
+				deg++
+			}
+		}
+		if deg < branchDeg {
+			branchDeg, branchRow = deg, r
+		}
+		if deg <= 1 {
+			break
+		}
+	}
+	if branchRow == -1 {
+		if cost < s.bestUB {
+			s.bestUB = cost
+			s.best = append(s.best[:0], picked...)
+		}
+		return
+	}
+	if cost+s.lowerBound(covered) >= s.bestUB {
+		return
+	}
+	cands := make([]int, 0, len(s.rowCols[branchRow]))
+	cands = append(cands, s.rowCols[branchRow]...)
+	sort.Slice(cands, func(a, b int) bool {
+		na := covered.countNew(s.bs[cands[a]])
+		nb := covered.countNew(s.bs[cands[b]])
+		ca, cb := s.in.Cols[cands[a]].Cost, s.in.Cols[cands[b]].Cost
+		return ca*nb < cb*na
+	})
+	for _, j := range cands {
+		nc := covered.clone()
+		nc.orWith(s.bs[j])
+		s.search(nc, append(picked, j), cost+s.in.Cols[j].Cost)
+		if s.nodes >= s.budget {
+			return
+		}
+	}
+}
+
+// --- properties ------------------------------------------------------
+
+func sameResult(t *testing.T, what string, got, want Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Picked, want.Picked) || got.Cost != want.Cost ||
+		got.Optimal != want.Optimal || got.Nodes != want.Nodes {
+		t.Fatalf("%s: got %+v, want %+v", what, got, want)
+	}
+}
+
+// TestGreedyMatchesSeed: the lazy-heap greedy returns byte-identical
+// Results to the seed full-rescan float-ratio greedy.
+func TestGreedyMatchesSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 400; trial++ {
+		nRows := 1 + rng.Intn(40)
+		nCols := 1 + rng.Intn(50)
+		maxCost := 1 + rng.Intn(20)
+		in := randomInstance(rng, nRows, nCols, maxCost)
+		got := Greedy(in)
+		want := seedGreedy(in)
+		if !reflect.DeepEqual(got.Picked, want.Picked) || got.Cost != want.Cost {
+			t.Fatalf("trial %d (%dx%d): got %+v, want %+v", trial, nRows, nCols, got, want)
+		}
+	}
+}
+
+// TestReduceMatchesSeed: the bitset reductions land on the same forced
+// set, cost and residual as the seed map-based ones.
+func TestReduceMatchesSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nRows := 1 + rng.Intn(25)
+		nCols := 1 + rng.Intn(30)
+		in := randomInstance(rng, nRows, nCols, 1+rng.Intn(12))
+		got := reduceInstance(in)
+		want := seedReduceInstance(in)
+		if !reflect.DeepEqual(got.forced, want.forced) || got.cost != want.cost {
+			t.Fatalf("trial %d: forced %v cost %d, want %v cost %d",
+				trial, got.forced, got.cost, want.forced, want.cost)
+		}
+		if !reflect.DeepEqual(got.colMap, want.colMap) {
+			t.Fatalf("trial %d: colMap %v, want %v", trial, got.colMap, want.colMap)
+		}
+		if !reflect.DeepEqual(got.residual, want.residual) {
+			t.Fatalf("trial %d: residual %+v, want %+v", trial, got.residual, want.residual)
+		}
+	}
+}
+
+// TestExactMatchesSeed: the trail-based serial branch and bound visits
+// the seed solver's nodes exactly and returns byte-identical Results,
+// including under tight node budgets.
+func TestExactMatchesSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		nRows := 1 + rng.Intn(20)
+		nCols := 1 + rng.Intn(25)
+		in := randomInstance(rng, nRows, nCols, 1+rng.Intn(10))
+		opts := ExactOptions{}
+		if trial%4 == 3 {
+			opts.MaxNodes = int64(1 + rng.Intn(50)) // exercise budget exhaustion
+		}
+		got := Exact(in, opts)
+		want := seedExact(in, opts)
+		sameResult(t, "exact", got, want)
+	}
+}
+
+// TestExactWorkersDeterministic: within budget, the parallel solver
+// returns the serial Picked/Cost/Optimal for every worker count.
+func TestExactWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	workerCounts := []int{1, 2, 4, runtime.NumCPU()}
+	for trial := 0; trial < 120; trial++ {
+		nRows := 1 + rng.Intn(20)
+		nCols := 1 + rng.Intn(25)
+		in := randomInstance(rng, nRows, nCols, 1+rng.Intn(10))
+		want := Exact(in, ExactOptions{Workers: 1})
+		for _, w := range workerCounts {
+			got := Exact(in, ExactOptions{Workers: w})
+			if !reflect.DeepEqual(got.Picked, want.Picked) || got.Cost != want.Cost ||
+				got.Optimal != want.Optimal {
+				t.Fatalf("trial %d workers=%d: got %+v, want %+v", trial, w, got, want)
+			}
+		}
+	}
+}
+
+// TestGreedyIntegerTieBreak pins the cross-multiplied comparator on a
+// ratio tie the float path also sees as equal: cost 2 / 6 rows beats
+// cost 1 / 3 rows (same ratio, more new rows).
+func TestGreedyIntegerTieBreak(t *testing.T) {
+	in := &Instance{
+		NRows: 6,
+		Cols: []Column{
+			{Cost: 1, Rows: []int{0, 1, 2}},
+			{Cost: 2, Rows: []int{0, 1, 2, 3, 4, 5}},
+		},
+	}
+	mustValidate(t, in)
+	res := Greedy(in)
+	if !reflect.DeepEqual(res.Picked, []int{1}) || res.Cost != 2 {
+		t.Fatalf("tie-break: got %+v, want Picked=[1] Cost=2", res)
+	}
+}

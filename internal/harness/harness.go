@@ -34,6 +34,9 @@ type Config struct {
 	// Workers sets the EPPP construction worker count (0 = all CPUs,
 	// 1 = serial); results are identical either way.
 	Workers int
+	// CoverWorkers sets the covering-phase worker count (0 = follow
+	// Workers, 1 = serial); results are identical either way.
+	CoverWorkers int
 }
 
 // DefaultConfig keeps every default table row finishing in minutes on a
@@ -52,6 +55,7 @@ func (c Config) coreOptions() core.Options {
 		MaxCandidates: c.MaxCandidates,
 		CoverExact:    c.CoverExact,
 		Workers:       c.Workers,
+		CoverWorkers:  c.CoverWorkers,
 	}
 }
 

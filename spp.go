@@ -124,6 +124,11 @@ type Options struct {
 	// and the heuristic phases: 0 means all CPUs, 1 (or negative) means
 	// serial. Results are identical for every worker count.
 	Workers int
+	// CoverWorkers sets the number of parallel workers for the covering
+	// phase (column construction and the exact branch and bound): 0
+	// follows Workers, 1 (or negative) means serial. Results are
+	// identical for every worker count.
+	CoverWorkers int
 }
 
 func (o *Options) toCore() core.Options {
@@ -135,6 +140,7 @@ func (o *Options) toCore() core.Options {
 		MaxCandidates: o.MaxCandidates,
 		CoverExact:    o.ExactCover,
 		Workers:       o.Workers,
+		CoverWorkers:  o.CoverWorkers,
 	}
 	if o.FactorCost {
 		opts.Cost = core.CostFactors
