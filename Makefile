@@ -3,9 +3,9 @@
 # detector (the parallel EPPP engine is exercised with forced worker
 # counts even on single-core hosts).
 
-.PHONY: check check-race bench-eppp bench-cover bench
+.PHONY: check check-race fmt-check bench-eppp bench-cover bench bench-smoke fuzz-smoke
 
-check:
+check: fmt-check
 	go vet ./...
 	go build ./...
 	go test ./...
@@ -13,6 +13,12 @@ check:
 check-race:
 	go vet ./...
 	go test -race ./...
+
+# gofmt gate: fails listing the offending files (gofmt -l exits 0 even
+# when files need formatting, so the failure has to be scripted).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Parallel EPPP speedup curve; writes BENCH_eppp.json (ops/sec and
 # speedup vs serial per worker count).
@@ -26,3 +32,12 @@ bench-cover:
 
 bench:
 	go test -run '^$$' -bench . -benchmem .
+
+# CI smoke tiers: every benchmark once (compile + one iteration catches
+# bit-rot without benchmarking anything), and a short fuzz run of the
+# exact-cover round-trip property.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...
+
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzExactRoundTrip$$' -fuzztime 20s ./internal/cover

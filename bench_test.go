@@ -28,6 +28,7 @@ import (
 	"repro/internal/pcube"
 	"repro/internal/ptrie"
 	"repro/internal/sp"
+	"repro/internal/stats"
 )
 
 func cfg() harness.Config {
@@ -334,6 +335,32 @@ func BenchmarkParallelEPPP(b *testing.B) {
 		}
 		if err := os.WriteFile("BENCH_eppp.json", append(data, '\n'), 0o644); err != nil {
 			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkStatsOverhead guards the observability tentpole's
+// zero-overhead-when-disabled contract: the same parallel EPPP build as
+// BenchmarkParallelEPPP with Options.Stats nil (hot paths pay one nil
+// check) vs a live recorder. Compare stats=off here against
+// BenchmarkParallelEPPP to confirm instrumented-but-disabled builds
+// did not regress; stats=on shows the price of turning collection on.
+func BenchmarkStatsOverhead(b *testing.B) {
+	f := bench.MustLoad("max512").Output(5)
+	workers := 4
+	b.Run("stats=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildEPPP(f, core.Options{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stats=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := stats.New()
+			if _, err := core.BuildEPPP(f, core.Options{Workers: workers, Stats: rec}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

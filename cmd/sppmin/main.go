@@ -21,6 +21,7 @@ import (
 	"repro"
 	"repro/internal/bench"
 	"repro/internal/bfunc"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -38,6 +39,9 @@ func main() {
 		share     = flag.Bool("share", false, "jointly minimize all outputs with a shared pseudoproduct pool")
 		workers   = flag.Int("workers", 0, "parallel workers for EPPP construction (0 = all CPUs, 1 = serial)")
 		coverWork = flag.Int("cover-workers", 0, "parallel workers for the covering phase (0 = follow -workers, 1 = serial)")
+		maxNodes  = flag.Int64("cover-max-nodes", 0, "node budget for exact covering (0 = solver default)")
+		statsPath = flag.String("stats", "", "write a machine-readable run report (JSON) to this file, - for stdout")
+		verbose   = flag.Bool("v", false, "print a per-phase timing and counter summary to stderr")
 	)
 	flag.Parse()
 
@@ -48,14 +52,54 @@ func main() {
 	}
 	fmt.Printf("%s: %d inputs, %d outputs\n", design.Name(), design.Inputs(), design.NOutputs())
 
-	opts := &spp.Options{MaxDuration: *budget, ExactCover: *exactCov, Workers: *workers, CoverWorkers: *coverWork}
+	opts := &spp.Options{
+		MaxDuration:   *budget,
+		ExactCover:    *exactCov,
+		Workers:       *workers,
+		CoverWorkers:  *coverWork,
+		MaxCoverNodes: *maxNodes,
+	}
+	var rec *spp.StatsRecorder
+	if *statsPath != "" || *verbose {
+		rec = spp.NewLabeledStatsRecorder()
+		opts.Stats = rec
+	}
+	emitStats := func() {
+		if rec == nil {
+			return
+		}
+		rep := rec.Report(design.Name())
+		rep.Workers = *workers
+		rep.CoverWorkers = *coverWork
+		if *verbose {
+			rep.Summary(os.Stderr)
+		}
+		if *statsPath == "" {
+			return
+		}
+		if *statsPath == "-" {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "sppmin:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := writeFile(*statsPath, rep.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "sppmin:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *statsPath)
+	}
 	if *share {
 		shared, err := spp.MinimizeShared(design, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sppmin:", err)
 			os.Exit(1)
 		}
-		if err := shared.Verify(); err != nil {
+		stopVerify := rec.Phase(stats.PhaseVerify)
+		err = shared.Verify()
+		stopVerify()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "sppmin: internal verification failed:", err)
 			os.Exit(1)
 		}
@@ -69,6 +113,7 @@ func main() {
 		}
 		fmt.Printf("shared pool: %d pseudoproducts, %d literals paid once (%d if stacked per-output)\n",
 			shared.NumTerms(), shared.SharedLiterals(), shared.SeparateLiterals())
+		emitStats()
 		return
 	}
 	first, last := 0, design.NOutputs()-1
@@ -94,7 +139,10 @@ func main() {
 			fmt.Printf("  out %2d: %v\n", o, err)
 			continue
 		}
-		if err := res.Form.Verify(f); err != nil {
+		stopVerify := rec.Phase(stats.PhaseVerify)
+		err = res.Form.Verify(f)
+		stopVerify()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sppmin: internal verification failed on output %d: %v\n", o, err)
 			os.Exit(1)
 		}
@@ -149,6 +197,7 @@ func main() {
 			fmt.Println("wrote", *blif)
 		}
 	}
+	emitStats()
 }
 
 func writeFile(path string, write func(io.Writer) error) error {

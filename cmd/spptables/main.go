@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/harness"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -38,6 +39,9 @@ func main() {
 		list        = flag.Bool("list", false, "list available benchmarks and exit")
 		workers     = flag.Int("workers", 0, "parallel workers for EPPP construction (0 = all CPUs, 1 = serial)")
 		coverWork   = flag.Int("cover-workers", 0, "parallel workers for the covering phase (0 = follow -workers, 1 = serial)")
+		maxNodes    = flag.Int64("cover-max-nodes", 0, "node budget for exact covering (0 = solver default)")
+		statsPath   = flag.String("stats", "", "write per-row run reports (JSON) to this file, - for stdout")
+		verbose     = flag.Bool("v", false, "print per-row phase/counter summaries to stderr")
 	)
 	flag.Parse()
 
@@ -55,6 +59,20 @@ func main() {
 	cfg.NaiveBudget = *naiveBudget
 	cfg.Workers = *workers
 	cfg.CoverWorkers = *coverWork
+	cfg.CoverMaxNodes = *maxNodes
+
+	var reports []*stats.Report
+	collect := func(reps ...*stats.Report) {
+		for _, rep := range reps {
+			if rep == nil {
+				continue
+			}
+			reports = append(reports, rep)
+			if *verbose {
+				rep.Summary(os.Stderr)
+			}
+		}
+	}
 
 	pick := func(def []string) []string {
 		if *funcs == "" {
@@ -99,18 +117,27 @@ func main() {
 	if *all || *table == 1 {
 		rows := harness.Table1(os.Stdout, pick(harness.Table1Functions), cfg)
 		writeCSV("table1.csv", func(w *os.File) error { return harness.WriteTable1CSV(w, rows) })
+		for _, r := range rows {
+			collect(r.Stats)
+		}
 		fmt.Println()
 		ran = true
 	}
 	if *all || *table == 2 {
 		rows := harness.Table2(os.Stdout, harness.Table2Cases, cfg)
 		writeCSV("table2.csv", func(w *os.File) error { return harness.WriteTable2CSV(w, rows) })
+		for _, r := range rows {
+			collect(r.TrieStats, r.NaiveStats)
+		}
 		fmt.Println()
 		ran = true
 	}
 	if *all || *table == 3 {
 		rows := harness.Table3(os.Stdout, pick(harness.Table3Functions), cfg)
 		writeCSV("table3.csv", func(w *os.File) error { return harness.WriteTable3CSV(w, rows) })
+		for _, r := range rows {
+			collect(r.Stats)
+		}
 		fmt.Println()
 		ran = true
 	}
@@ -127,5 +154,25 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *statsPath != "" {
+		rr := stats.NewRunReport(reports...)
+		out := os.Stdout
+		if *statsPath != "-" {
+			f, err := os.Create(*statsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spptables:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rr.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "spptables:", err)
+			os.Exit(1)
+		}
+		if *statsPath != "-" {
+			fmt.Println("wrote", *statsPath)
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/bfunc"
 	"repro/internal/pcube"
+	"repro/internal/stats"
 )
 
 // CostKind selects the covering cost function. The paper minimizes the
@@ -86,6 +87,14 @@ type Options struct {
 	// resolution of Workers; 1 (or negative) means serial. Every
 	// setting produces the same forms.
 	CoverWorkers int
+
+	// Stats, when non-nil, receives per-phase wall times and counters
+	// from every pipeline stage. nil (the default) disables the
+	// observability layer entirely; the hot paths then pay only a nil
+	// check (see BenchmarkStatsOverhead). The deterministic counter
+	// section of the resulting report is identical for every
+	// Workers/CoverWorkers setting, like the results themselves.
+	Stats *stats.Recorder
 }
 
 func (o Options) workers() int {
@@ -128,10 +137,11 @@ type budget struct {
 	deadline  time.Time
 	checkEach int64
 	sinceLast atomic.Int64
+	rec       *stats.Recorder
 }
 
 func newBudget(o Options) *budget {
-	b := &budget{checkEach: 1024}
+	b := &budget{checkEach: 1024, rec: o.Stats}
 	b.remaining.Store(int64(o.maxCandidates()))
 	if o.MaxDuration > 0 {
 		b.deadline = time.Now().Add(o.MaxDuration)
@@ -161,6 +171,7 @@ func (b *budget) spend(n int) bool {
 // charge per level equals the serial engine's exactly.
 func (b *budget) refund(n int) {
 	b.remaining.Add(int64(n))
+	b.rec.Add(stats.CtrBudgetRefunds, int64(n))
 }
 
 // expired reports whether the wall-clock deadline has passed.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bfunc"
 	"repro/internal/pcube"
 	"repro/internal/ptrie"
+	"repro/internal/stats"
 )
 
 // BuildStats records the work performed during EPPP construction; the
@@ -19,6 +20,11 @@ type BuildStats struct {
 	EPPP int
 	// Unions is the number of Algorithm-1 union operations performed.
 	Unions int64
+	// Fresh is the number of union successes: distinct pseudoproducts a
+	// union (or heuristic descent) step admitted to the next level.
+	// Like every other field except BuildTime it is identical for every
+	// worker count.
+	Fresh int64
 	// Comparisons is the number of structure comparisons performed.
 	// Algorithm 2 performs none (grouping makes every considered pair
 	// unify); the naive baseline performs |X|(|X|−1)/2 per step.
@@ -31,6 +37,28 @@ type BuildStats struct {
 	Groups []int
 	// BuildTime is the wall-clock duration of the construction.
 	BuildTime time.Duration
+}
+
+// recordBuild publishes the deterministic construction statistics (and
+// the per-degree layer sizes) to the recorder. Degree and level
+// coincide for EPPP construction — level-k pseudoproducts have degree k
+// — so BuildStats.LevelSizes indexes the recorder's layers directly.
+func recordBuild(r *stats.Recorder, b *BuildStats) {
+	if r == nil {
+		return
+	}
+	r.Add(stats.CtrCandidates, int64(b.Candidates))
+	r.Add(stats.CtrEPPP, int64(b.EPPP))
+	r.Add(stats.CtrUnions, b.Unions)
+	r.Add(stats.CtrFresh, b.Fresh)
+	r.Add(stats.CtrComparisons, b.Comparisons)
+	for d, size := range b.LevelSizes {
+		groups := 0
+		if d < len(b.Groups) {
+			groups = b.Groups[d]
+		}
+		r.Layer(d, size, groups)
+	}
 }
 
 // EPPPSet is the output of EPPP construction: the covering candidates
@@ -58,10 +86,11 @@ func BuildEPPP(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 	if opts.workers() > 1 {
 		return buildEPPPParallel(f, opts)
 	}
+	defer opts.Stats.Phase(stats.PhaseEPPP)()
 	start := time.Now()
 	n := f.N()
 	b := newBudget(opts)
-	stats := BuildStats{}
+	bst := BuildStats{}
 
 	cur := ptrie.New(n)
 	for _, p := range f.Care() {
@@ -73,15 +102,18 @@ func BuildEPPP(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 
 	var candidates []*pcube.CEX
 	for level := 0; cur.Len() > 0; level++ {
-		stats.LevelSizes = append(stats.LevelSizes, cur.Len())
-		stats.Groups = append(stats.Groups, cur.NumGroups())
+		bst.LevelSizes = append(bst.LevelSizes, cur.Len())
+		bst.Groups = append(bst.Groups, cur.NumGroups())
+		if opts.Stats != nil {
+			opts.Stats.Add(stats.CtrTrieNodes, int64(cur.NumInternalNodes()))
+		}
 		next := ptrie.New(n)
 		overBudget := false
 		cur.Groups(func(entries []*ptrie.Entry) bool {
 			for i := 0; i < len(entries); i++ {
 				for j := i + 1; j < len(entries); j++ {
 					u := pcube.Union(entries[i].CEX, entries[j].CEX)
-					stats.Unions++
+					bst.Unions++
 					h := opts.Cost.of(u)
 					if h <= opts.Cost.of(entries[i].CEX) {
 						entries[i].Mark = true
@@ -109,12 +141,14 @@ func BuildEPPP(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 			}
 			return true
 		})
-		stats.Candidates += cur.Len()
+		bst.Candidates += cur.Len()
+		bst.Fresh += int64(next.Len())
 		cur = next
 	}
-	stats.EPPP = len(candidates)
-	stats.BuildTime = time.Since(start)
-	return &EPPPSet{N: n, Candidates: candidates, Stats: stats}, nil
+	bst.EPPP = len(candidates)
+	bst.BuildTime = time.Since(start)
+	recordBuild(opts.Stats, &bst)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: bst}, nil
 }
 
 // BuildEPPPHashGrouped is the ablation variant of Algorithm 2 that
@@ -133,10 +167,11 @@ func BuildEPPPHashGrouped(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 	if opts.workers() > 1 {
 		return buildEPPPHashGroupedParallel(f, opts)
 	}
+	defer opts.Stats.Phase(stats.PhaseEPPP)()
 	start := time.Now()
 	n := f.N()
 	b := newBudget(opts)
-	stats := BuildStats{}
+	bst := BuildStats{}
 
 	type entry struct {
 		cex  *pcube.CEX
@@ -162,8 +197,8 @@ func BuildEPPPHashGrouped(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 
 	var candidates []*pcube.CEX
 	for level := 0; curLen > 0; level++ {
-		stats.LevelSizes = append(stats.LevelSizes, curLen)
-		stats.Groups = append(stats.Groups, len(cur))
+		bst.LevelSizes = append(bst.LevelSizes, curLen)
+		bst.Groups = append(bst.Groups, len(cur))
 		next := map[string][]*entry{}
 		nextSeen := map[string]bool{}
 		nextLen := 0
@@ -171,7 +206,7 @@ func BuildEPPPHashGrouped(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 			for i := 0; i < len(group); i++ {
 				for j := i + 1; j < len(group); j++ {
 					u := pcube.Union(group[i].cex, group[j].cex)
-					stats.Unions++
+					bst.Unions++
 					h := opts.Cost.of(u)
 					if h <= opts.Cost.of(group[i].cex) {
 						group[i].mark = true
@@ -198,10 +233,12 @@ func BuildEPPPHashGrouped(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 				}
 			}
 		}
-		stats.Candidates += curLen
+		bst.Candidates += curLen
+		bst.Fresh += int64(nextLen)
 		cur, curLen = next, nextLen
 	}
-	stats.EPPP = len(candidates)
-	stats.BuildTime = time.Since(start)
-	return &EPPPSet{N: n, Candidates: candidates, Stats: stats}, nil
+	bst.EPPP = len(candidates)
+	bst.BuildTime = time.Since(start)
+	recordBuild(opts.Stats, &bst)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: bst}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/pcube"
 	"repro/internal/ptrie"
 	"repro/internal/qm"
+	"repro/internal/stats"
 )
 
 // Heuristic runs the paper's Algorithm 3, producing the SPP_k form:
@@ -34,7 +35,8 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 	start := time.Now()
 	n := f.N()
 	b := newBudget(opts)
-	stats := BuildStats{LevelSizes: make([]int, n+1), Groups: make([]int, n+1)}
+	rec := opts.Stats
+	bst := BuildStats{LevelSizes: make([]int, n+1), Groups: make([]int, n+1)}
 
 	if f.IsConstantOne() {
 		one := &pcube.CEX{N: n, Canon: allMask(n)}
@@ -46,6 +48,7 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 	}
 
 	// Step 1: seed the tries with the SP prime implicants.
+	stop := rec.Phase(stats.PhaseSeed)
 	tries := make([]*ptrie.Trie, n+1)
 	for d := range tries {
 		tries[d] = ptrie.New(n)
@@ -57,6 +60,7 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 			total++
 		}
 	}
+	stop()
 	if !b.spend(total) {
 		return nil, ErrBudget
 	}
@@ -76,18 +80,23 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 		}
 	}
 	workers := opts.workers()
+	stop = rec.Phase(stats.PhaseDescend)
 	for i := 1; i <= k && top-i+1 >= 1; i++ {
 		d := top - i + 1
 		if workers > 1 && tries[d].Len() > 1 {
-			if !descendParallel(n, tries[d], tries[d-1], b, workers) {
+			fresh, ok := descendParallel(n, tries[d], tries[d-1], b, workers, rec)
+			if !ok {
+				stop()
 				return nil, ErrBudget
 			}
+			bst.Fresh += int64(fresh)
 			continue
 		}
 		overBudget := false
 		tries[d].Entries(func(e *ptrie.Entry) bool {
 			e.CEX.SubPseudocubes(func(s *pcube.CEX) bool {
 				if _, fresh := tries[d-1].Insert(s); fresh {
+					bst.Fresh++
 					if !b.spend(1) {
 						overBudget = true
 						return false
@@ -98,35 +107,42 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 			return !overBudget
 		})
 		if overBudget {
+			stop()
 			return nil, ErrBudget
 		}
 	}
+	stop()
 
 	// Step 3: ascendant phase (Algorithm 2 step 2 over the merged pool).
+	stop = rec.Phase(stats.PhaseAscend)
 	var candidates []*pcube.CEX
 	for d := 0; d < n; d++ {
 		cur := tries[d]
 		if cur.Len() == 0 {
 			continue
 		}
-		stats.LevelSizes[d] = cur.Len()
-		stats.Groups[d] = cur.NumGroups()
+		bst.LevelSizes[d] = cur.Len()
+		bst.Groups[d] = cur.NumGroups()
+		if rec != nil {
+			rec.Add(stats.CtrTrieNodes, int64(cur.NumInternalNodes()))
+		}
 		if workers > 1 && cur.Len() > 1 {
 			// Same group-parallel shape as BuildEPPP: unify on workers
 			// into shard tries, then merge into the (pre-seeded) trie of
 			// degree d+1 in the serial insertion order.
-			locals, ok := expandLevel(n, levelGroups(cur), opts, b, &stats.Unions, workers)
+			locals, ok := expandLevel(n, levelGroups(cur), opts, b, &bst.Unions, workers, stats.PhaseAscend)
 			if !ok {
+				stop()
 				return nil, ErrBudget
 			}
-			mergeIntoTrie(tries[d+1], locals, b)
+			bst.Fresh += int64(mergeIntoTrie(tries[d+1], locals, b))
 		} else {
 			overBudget := false
 			cur.Groups(func(entries []*ptrie.Entry) bool {
 				for i := 0; i < len(entries); i++ {
 					for j := i + 1; j < len(entries); j++ {
 						u := pcube.Union(entries[i].CEX, entries[j].CEX)
-						stats.Unions++
+						bst.Unions++
 						h := opts.Cost.of(u)
 						if h <= opts.Cost.of(entries[i].CEX) {
 							entries[i].Mark = true
@@ -135,6 +151,7 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 							entries[j].Mark = true
 						}
 						if _, fresh := tries[d+1].Insert(u); fresh {
+							bst.Fresh++
 							if !b.spend(1) {
 								overBudget = true
 								return false
@@ -145,6 +162,7 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 				return true
 			})
 			if overBudget {
+				stop()
 				return nil, ErrBudget
 			}
 		}
@@ -154,7 +172,7 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 			}
 			return true
 		})
-		stats.Candidates += cur.Len()
+		bst.Candidates += cur.Len()
 	}
 	// Degree-n trie: only the constant-one pseudocube could live there,
 	// and the constant-one case returned early; nothing can be stored
@@ -164,15 +182,17 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 			candidates = append(candidates, e.CEX)
 			return true
 		})
-		stats.Candidates += tries[n].Len()
+		bst.Candidates += tries[n].Len()
 	}
-	stats.EPPP = len(candidates)
-	stats.BuildTime = time.Since(start)
+	stop()
+	bst.EPPP = len(candidates)
+	bst.BuildTime = time.Since(start)
+	recordBuild(rec, &bst)
 
-	set := &EPPPSet{N: n, Candidates: candidates, Stats: stats}
+	set := &EPPPSet{N: n, Candidates: candidates, Stats: bst}
 	form, coverTime, optimal, err := SelectCover(f, set, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Form: form, Build: stats, CoverTime: coverTime, CoverOptimal: optimal}, nil
+	return &Result{Form: form, Build: bst, CoverTime: coverTime, CoverOptimal: optimal}, nil
 }

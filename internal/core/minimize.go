@@ -9,6 +9,7 @@ import (
 	"repro/internal/bfunc"
 	"repro/internal/cover"
 	"repro/internal/pcube"
+	"repro/internal/stats"
 )
 
 // Result is a minimized SPP form together with the work statistics of
@@ -44,7 +45,9 @@ func SelectCover(f *bfunc.Func, set *EPPPSet, opts Options) (Form, time.Duration
 	}
 
 	on := f.On()
+	stopCols := opts.Stats.Phase(stats.PhaseCoverColumns)
 	in, cols := buildCoverColumns(n, on, set.Candidates, opts)
+	stopCols()
 	if err := in.Validate(); err != nil {
 		return Form{}, 0, false, fmt.Errorf("core: candidate set does not cover ON-set: %v", err)
 	}
@@ -53,9 +56,10 @@ func SelectCover(f *bfunc.Func, set *EPPPSet, opts Options) (Form, time.Duration
 		res = cover.Exact(in, cover.ExactOptions{
 			MaxNodes: opts.CoverMaxNodes,
 			Workers:  opts.coverWorkers(),
+			Stats:    opts.Stats,
 		})
 	} else {
-		res = cover.Greedy(in)
+		res = cover.GreedyStats(in, opts.Stats)
 	}
 	form := Form{N: n}
 	for _, j := range res.Picked {
@@ -153,8 +157,9 @@ func affineOf(c *pcube.CEX, basis []uint64) (uint64, []uint64) {
 // candidate c, sorted ascending. When the pseudocube is smaller than
 // the ON-set its 2^m points are enumerated allocation-free by walking
 // the affine basis in Gray-code order; otherwise the sorted ON points
-// are filtered through c.Contains directly. basis is reusable scratch.
-func candidateRows(c *pcube.CEX, on []uint64, ix *pointIndex, rows []int, basis []uint64) ([]int, []uint64) {
+// are filtered through c.Contains directly. basis is reusable scratch;
+// gray reports which of the two enumeration paths ran.
+func candidateRows(c *pcube.CEX, on []uint64, ix *pointIndex, rows []int, basis []uint64) (_ []int, _ []uint64, gray bool) {
 	if m := uint(c.Degree()); m < 32 && uint64(1)<<m <= uint64(len(on)) {
 		var off uint64
 		off, basis = affineOf(c, basis[:0])
@@ -171,14 +176,14 @@ func candidateRows(c *pcube.CEX, on []uint64, ix *pointIndex, rows []int, basis 
 			p ^= br[bits.TrailingZeros64(i+1)]
 		}
 		sort.Ints(rows)
-		return rows, basis
+		return rows, basis, true
 	}
 	for r, p := range on {
 		if c.Contains(p) {
 			rows = append(rows, r)
 		}
 	}
-	return rows, basis
+	return rows, basis, false
 }
 
 // buildCoverColumns intersects every candidate's affine subspace with
@@ -200,27 +205,47 @@ func buildCoverColumns(n int, on []uint64, candidates []*pcube.CEX, opts Options
 		workers = 1
 	}
 	outs := make([]shardOut, workers)
+	shards := make([]stats.Shard, workers)
 	shardSlice(len(candidates), workers, func(shard, lo, hi int) {
-		out := &outs[shard]
-		var scratch []int
-		var basis []uint64
-		for _, c := range candidates[lo:hi] {
-			scratch, basis = candidateRows(c, on, ix, scratch[:0], basis)
-			if len(scratch) == 0 {
-				continue // covers only don't-cares
+		opts.Stats.Do(stats.PhaseCoverColumns, func() {
+			out := &outs[shard]
+			sh := &shards[shard]
+			record := opts.Stats != nil
+			var scratch []int
+			var basis []uint64
+			for _, c := range candidates[lo:hi] {
+				var gray bool
+				scratch, basis, gray = candidateRows(c, on, ix, scratch[:0], basis)
+				if record {
+					if gray {
+						sh.Add(stats.CtrCoverGray, 1)
+					} else {
+						sh.Add(stats.CtrCoverContains, 1)
+					}
+				}
+				if len(scratch) == 0 {
+					if record {
+						sh.Add(stats.CtrCoverDCOnly, 1)
+					}
+					continue // covers only don't-cares
+				}
+				out.cols = append(out.cols, cover.Column{
+					Cost: opts.Cost.of(c),
+					Rows: append([]int(nil), scratch...),
+				})
+				out.kept = append(out.kept, c)
 			}
-			out.cols = append(out.cols, cover.Column{
-				Cost: opts.Cost.of(c),
-				Rows: append([]int(nil), scratch...),
-			})
-			out.kept = append(out.kept, c)
-		}
+			if record {
+				sh.Add(stats.CtrCoverColumns, int64(len(out.cols)))
+			}
+		})
 	})
 	in := &cover.Instance{NRows: len(on)}
 	var cols []*pcube.CEX
 	for i := range outs {
 		in.Cols = append(in.Cols, outs[i].cols...)
 		cols = append(cols, outs[i].kept...)
+		opts.Stats.Merge(&shards[i])
 	}
 	return in, cols
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bfunc"
 	"repro/internal/cover"
 	"repro/internal/pcube"
+	"repro/internal/stats"
 )
 
 // MultiResult is a jointly minimized multi-output SPP network: a shared
@@ -88,9 +89,11 @@ func MinimizeMulti(m *bfunc.Multi, opts Options) (*MultiResult, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for o := range jobs {
-					sets[o], errs[o] = BuildEPPP(m.Output(o), inner)
-				}
+				opts.Stats.Do(stats.PhaseEPPP, func() {
+					for o := range jobs {
+						sets[o], errs[o] = BuildEPPP(m.Output(o), inner)
+					}
+				})
 			}()
 		}
 		for o := 0; o < m.NOutputs(); o++ {
@@ -113,6 +116,7 @@ func MinimizeMulti(m *bfunc.Multi, opts Options) (*MultiResult, error) {
 		set := sets[o]
 		res.Build.Candidates += set.Stats.Candidates
 		res.Build.Unions += set.Stats.Unions
+		res.Build.Fresh += set.Stats.Fresh
 		res.Build.BuildTime += set.Stats.BuildTime
 		for _, c := range set.Candidates {
 			k := c.Key()
@@ -165,51 +169,63 @@ func MinimizeMulti(m *bfunc.Multi, opts Options) (*MultiResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	stopCols := opts.Stats.Phase(stats.PhaseCoverColumns)
 	outs := make([]shardOut, workers)
+	shards := make([]stats.Shard, workers)
 	shardSlice(len(cands), workers, func(shard, lo, hi int) {
-		out := &outs[shard]
-		var rows []int
-		for _, c := range cands[lo:hi] {
-			pts := c.SortedPoints()
-			rows = rows[:0]
-			for o := 0; o < nOut; o++ {
-				f := outFns[o]
-				valid := true
-				for _, p := range pts {
-					if !f.IsCare(p) {
-						valid = false
-						break
+		opts.Stats.Do(stats.PhaseCoverColumns, func() {
+			out := &outs[shard]
+			var rows []int
+			for _, c := range cands[lo:hi] {
+				pts := c.SortedPoints()
+				rows = rows[:0]
+				for o := 0; o < nOut; o++ {
+					f := outFns[o]
+					valid := true
+					for _, p := range pts {
+						if !f.IsCare(p) {
+							valid = false
+							break
+						}
+					}
+					if !valid {
+						continue
+					}
+					for _, p := range pts {
+						if r := onIdx[o].lookup(p); r >= 0 {
+							rows = append(rows, base[o]+r)
+						}
 					}
 				}
-				if !valid {
+				if len(rows) == 0 {
+					if opts.Stats != nil {
+						shards[shard].Add(stats.CtrCoverDCOnly, 1)
+					}
 					continue
 				}
-				for _, p := range pts {
-					if r := onIdx[o].lookup(p); r >= 0 {
-						rows = append(rows, base[o]+r)
-					}
+				cost := opts.Cost.of(c)
+				if cost == 0 {
+					cost = 1 // constant-one candidate on a non-constant instance
 				}
+				out.cols = append(out.cols, cover.Column{
+					Cost: cost,
+					Rows: append([]int(nil), rows...),
+				})
+				out.kept = append(out.kept, c)
 			}
-			if len(rows) == 0 {
-				continue
+			if opts.Stats != nil {
+				shards[shard].Add(stats.CtrCoverColumns, int64(len(out.cols)))
 			}
-			cost := opts.Cost.of(c)
-			if cost == 0 {
-				cost = 1 // constant-one candidate on a non-constant instance
-			}
-			out.cols = append(out.cols, cover.Column{
-				Cost: cost,
-				Rows: append([]int(nil), rows...),
-			})
-			out.kept = append(out.kept, c)
-		}
+		})
 	})
 	in := &cover.Instance{NRows: nRows}
 	var cols []*pcube.CEX
 	for i := range outs {
 		in.Cols = append(in.Cols, outs[i].cols...)
 		cols = append(cols, outs[i].kept...)
+		opts.Stats.Merge(&shards[i])
 	}
+	stopCols()
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("core: joint candidate pool does not cover: %v", err)
 	}
@@ -218,9 +234,10 @@ func MinimizeMulti(m *bfunc.Multi, opts Options) (*MultiResult, error) {
 		cres = cover.Exact(in, cover.ExactOptions{
 			MaxNodes: opts.CoverMaxNodes,
 			Workers:  opts.coverWorkers(),
+			Stats:    opts.Stats,
 		})
 	} else {
-		cres = cover.Greedy(in)
+		cres = cover.GreedyStats(in, opts.Stats)
 	}
 	res.CoverTime = time.Since(start)
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bfunc"
 	"repro/internal/pcube"
+	"repro/internal/stats"
 )
 
 // BuildEPPPNaive constructs the EPPP set with the original
@@ -15,10 +16,11 @@ import (
 // match are unified. The retained (extended prime) pseudoproducts are
 // identical to BuildEPPP's; only the work differs.
 func BuildEPPPNaive(f *bfunc.Func, opts Options) (*EPPPSet, error) {
+	defer opts.Stats.Phase(stats.PhaseEPPPNaive)()
 	start := time.Now()
 	n := f.N()
 	b := newBudget(opts)
-	stats := BuildStats{}
+	bst := BuildStats{}
 
 	type entry struct {
 		cex  *pcube.CEX
@@ -39,19 +41,19 @@ func BuildEPPPNaive(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 
 	var candidates []*pcube.CEX
 	for level := 0; len(cur) > 0; level++ {
-		stats.LevelSizes = append(stats.LevelSizes, len(cur))
+		bst.LevelSizes = append(bst.LevelSizes, len(cur))
 		var next []*entry
 		nextSeen := map[string]bool{}
 		for i := 0; i < len(cur); i++ {
 			for j := i + 1; j < len(cur); j++ {
 				// The baseline pays a comparison for every pair; most
 				// fail the structure test.
-				stats.Comparisons++
+				bst.Comparisons++
 				if !cur[i].cex.SameStructure(cur[j].cex) {
 					continue
 				}
 				u := pcube.Union(cur[i].cex, cur[j].cex)
-				stats.Unions++
+				bst.Unions++
 				h := opts.Cost.of(u)
 				if h <= opts.Cost.of(cur[i].cex) {
 					cur[i].mark = true
@@ -63,6 +65,7 @@ func BuildEPPPNaive(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 				if !nextSeen[k] {
 					nextSeen[k] = true
 					next = append(next, &entry{cex: u})
+					bst.Fresh++
 					if !b.spend(1) {
 						return nil, ErrBudget
 					}
@@ -79,10 +82,11 @@ func BuildEPPPNaive(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 				candidates = append(candidates, e.cex)
 			}
 		}
-		stats.Candidates += len(cur)
+		bst.Candidates += len(cur)
 		cur = next
 	}
-	stats.EPPP = len(candidates)
-	stats.BuildTime = time.Since(start)
-	return &EPPPSet{N: n, Candidates: candidates, Stats: stats}, nil
+	bst.EPPP = len(candidates)
+	bst.BuildTime = time.Since(start)
+	recordBuild(opts.Stats, &bst)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: bst}, nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/bfunc"
 	"repro/internal/pcube"
 	"repro/internal/ptrie"
+	"repro/internal/stats"
 )
 
 // This file implements the worker-pool parallel EPPP engine. Algorithm 2
@@ -128,8 +129,9 @@ func shardTasks(groups []pgroup, tasks []*utask, workers int) [][]*utask {
 // groups on parallel workers. It returns the worker-local tries in shard
 // order and reports false when the budget was exhausted. Discard marks
 // are applied to the group entries before returning, so the caller can
-// collect the level's surviving candidates directly.
-func expandLevel(n int, groups []pgroup, opts Options, b *budget, unions *int64, workers int) ([]*ptrie.Trie, bool) {
+// collect the level's surviving candidates directly. phase tags the
+// worker goroutines for pprof when the recorder labels them.
+func expandLevel(n int, groups []pgroup, opts Options, b *budget, unions *int64, workers int, phase stats.Phase) ([]*ptrie.Trie, bool) {
 	tasks := planTasks(groups, workers)
 	if len(tasks) == 0 {
 		return nil, true
@@ -142,34 +144,36 @@ func expandLevel(n int, groups []pgroup, opts Options, b *budget, unions *int64,
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			local := ptrie.New(n)
-			var count int64
-			defer func() { atomic.AddInt64(unions, count) }()
-			for _, t := range shards[s] {
-				if over.Load() {
-					return
-				}
-				es := groups[t.g].entries
-				for i := t.lo; i < t.hi; i++ {
-					ci := opts.Cost.of(es[i].CEX)
-					for j := i + 1; j < len(es); j++ {
-						u := pcube.Union(es[i].CEX, es[j].CEX)
-						count++
-						h := opts.Cost.of(u)
-						if h <= ci {
-							t.mark(i)
-						}
-						if h <= opts.Cost.of(es[j].CEX) {
-							t.mark(j)
-						}
-						if _, fresh := local.Insert(u); fresh && !b.spend(1) {
-							over.Store(true)
-							return
+			opts.Stats.Do(phase, func() {
+				local := ptrie.New(n)
+				var count int64
+				defer func() { atomic.AddInt64(unions, count) }()
+				for _, t := range shards[s] {
+					if over.Load() {
+						return
+					}
+					es := groups[t.g].entries
+					for i := t.lo; i < t.hi; i++ {
+						ci := opts.Cost.of(es[i].CEX)
+						for j := i + 1; j < len(es); j++ {
+							u := pcube.Union(es[i].CEX, es[j].CEX)
+							count++
+							h := opts.Cost.of(u)
+							if h <= ci {
+								t.mark(i)
+							}
+							if h <= opts.Cost.of(es[j].CEX) {
+								t.mark(j)
+							}
+							if _, fresh := local.Insert(u); fresh && !b.spend(1) {
+								over.Store(true)
+								return
+							}
 						}
 					}
 				}
-			}
-			locals[s] = local
+				locals[s] = local
+			})
 		}(s)
 	}
 	wg.Wait()
@@ -267,23 +271,29 @@ func mergeShards(locals []*ptrie.Trie, b *budget) ([]pgroup, int) {
 }
 
 // mergeIntoTrie drains the worker-local tries into an existing master
-// trie in shard order, refunding duplicates. Within every destination
-// group the master ends up with entries in the same order the serial
-// engine's interleaved inserts would have produced, because each local
-// trie keeps its entries in generation order and shards are contiguous
-// runs of the source iteration.
-func mergeIntoTrie(dst *ptrie.Trie, locals []*ptrie.Trie, b *budget) {
+// trie in shard order, refunding duplicates, and returns the number of
+// entries fresh in the master — the deterministic union-success count
+// of the step. Within every destination group the master ends up with
+// entries in the same order the serial engine's interleaved inserts
+// would have produced, because each local trie keeps its entries in
+// generation order and shards are contiguous runs of the source
+// iteration.
+func mergeIntoTrie(dst *ptrie.Trie, locals []*ptrie.Trie, b *budget) int {
+	fresh := 0
 	for _, lt := range locals {
 		if lt == nil {
 			continue
 		}
 		lt.Entries(func(e *ptrie.Entry) bool {
-			if _, fresh := dst.Insert(e.CEX); !fresh {
+			if _, f := dst.Insert(e.CEX); f {
+				fresh++
+			} else {
 				b.refund(1)
 			}
 			return true
 		})
 	}
+	return fresh
 }
 
 // descendParallel runs one step of the heuristic's descendant phase on
@@ -291,8 +301,9 @@ func mergeIntoTrie(dst *ptrie.Trie, locals []*ptrie.Trie, b *budget) {
 // degree-(m−1) sub-pseudocubes (Theorem 2), sharded contiguously over
 // the src iteration order, then merged into dst (which may already hold
 // the seeded prime implicants of that degree) in the serial insertion
-// order. Reports false when the budget is exhausted.
-func descendParallel(n int, src, dst *ptrie.Trie, b *budget, workers int) bool {
+// order. Returns the number of sub-pseudocubes fresh in dst and
+// reports false when the budget is exhausted.
+func descendParallel(n int, src, dst *ptrie.Trie, b *budget, workers int, rec *stats.Recorder) (int, bool) {
 	var entries []*ptrie.Entry
 	src.Entries(func(e *ptrie.Entry) bool {
 		entries = append(entries, e)
@@ -308,32 +319,33 @@ func descendParallel(n int, src, dst *ptrie.Trie, b *budget, workers int) bool {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			local := ptrie.New(n)
-			for _, e := range entries[len(entries)*s/workers : len(entries)*(s+1)/workers] {
-				if over.Load() {
-					return
-				}
-				ok := true
-				e.CEX.SubPseudocubes(func(sub *pcube.CEX) bool {
-					if _, fresh := local.Insert(sub); fresh && !b.spend(1) {
-						over.Store(true)
-						ok = false
+			rec.Do(stats.PhaseDescend, func() {
+				local := ptrie.New(n)
+				for _, e := range entries[len(entries)*s/workers : len(entries)*(s+1)/workers] {
+					if over.Load() {
+						return
 					}
-					return ok
-				})
-				if !ok {
-					return
+					ok := true
+					e.CEX.SubPseudocubes(func(sub *pcube.CEX) bool {
+						if _, fresh := local.Insert(sub); fresh && !b.spend(1) {
+							over.Store(true)
+							ok = false
+						}
+						return ok
+					})
+					if !ok {
+						return
+					}
 				}
-			}
-			locals[s] = local
+				locals[s] = local
+			})
 		}(s)
 	}
 	wg.Wait()
 	if over.Load() {
-		return false
+		return 0, false
 	}
-	mergeIntoTrie(dst, locals, b)
-	return true
+	return mergeIntoTrie(dst, locals, b), true
 }
 
 // levelGroups snapshots a trie's structure groups in DFS order.
@@ -350,11 +362,12 @@ func levelGroups(t *ptrie.Trie) []pgroup {
 // over opts.workers() workers. The candidate set, its order, and every
 // statistic except BuildTime are identical to the serial engine's.
 func buildEPPPParallel(f *bfunc.Func, opts Options) (*EPPPSet, error) {
+	defer opts.Stats.Phase(stats.PhaseEPPP)()
 	start := time.Now()
 	n := f.N()
 	workers := opts.workers()
 	b := newBudget(opts)
-	stats := BuildStats{}
+	bst := BuildStats{}
 
 	seed := ptrie.New(n)
 	for _, p := range f.Care() {
@@ -363,16 +376,29 @@ func buildEPPPParallel(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 	if !b.spend(seed.Len()) {
 		return nil, ErrBudget
 	}
+	if opts.Stats != nil {
+		opts.Stats.Add(stats.CtrTrieNodes, int64(seed.NumInternalNodes()))
+	}
 	groups := levelGroups(seed)
 	size := seed.Len()
 
 	var candidates []*pcube.CEX
 	for level := 0; size > 0; level++ {
-		stats.LevelSizes = append(stats.LevelSizes, size)
-		stats.Groups = append(stats.Groups, len(groups))
-		locals, ok := expandLevel(n, groups, opts, b, &stats.Unions, workers)
+		bst.LevelSizes = append(bst.LevelSizes, size)
+		bst.Groups = append(bst.Groups, len(groups))
+		locals, ok := expandLevel(n, groups, opts, b, &bst.Unions, workers, stats.PhaseEPPP)
 		if !ok {
 			return nil, ErrBudget
+		}
+		if opts.Stats != nil {
+			// Shard tries duplicate path prefixes across workers, so this
+			// node count is scheduling-dependent (unlike every BuildStats
+			// field) and lands in the report's sched section.
+			for _, lt := range locals {
+				if lt != nil {
+					opts.Stats.Add(stats.CtrTrieNodes, int64(lt.NumInternalNodes()))
+				}
+			}
 		}
 		for _, g := range groups {
 			for _, e := range g.entries {
@@ -381,12 +407,14 @@ func buildEPPPParallel(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 				}
 			}
 		}
-		stats.Candidates += size
+		bst.Candidates += size
 		groups, size = mergeShards(locals, b)
+		bst.Fresh += int64(size)
 	}
-	stats.EPPP = len(candidates)
-	stats.BuildTime = time.Since(start)
-	return &EPPPSet{N: n, Candidates: candidates, Stats: stats}, nil
+	bst.EPPP = len(candidates)
+	bst.BuildTime = time.Since(start)
+	recordBuild(opts.Stats, &bst)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: bst}, nil
 }
 
 // buildEPPPHashGroupedParallel parallelizes the hash-grouped ablation
@@ -396,11 +424,12 @@ func buildEPPPParallel(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 // so unlike the serial map-iteration variant the output order here is
 // deterministic; the candidate set is identical either way.
 func buildEPPPHashGroupedParallel(f *bfunc.Func, opts Options) (*EPPPSet, error) {
+	defer opts.Stats.Phase(stats.PhaseEPPP)()
 	start := time.Now()
 	n := f.N()
 	workers := opts.workers()
 	b := newBudget(opts)
-	stats := BuildStats{}
+	bst := BuildStats{}
 
 	type hentry struct {
 		cex  *pcube.CEX
@@ -440,8 +469,8 @@ func buildEPPPHashGroupedParallel(f *bfunc.Func, opts Options) (*EPPPSet, error)
 
 	var candidates []*pcube.CEX
 	for level := 0; curLen > 0; level++ {
-		stats.LevelSizes = append(stats.LevelSizes, curLen)
-		stats.Groups = append(stats.Groups, len(cur))
+		bst.LevelSizes = append(bst.LevelSizes, curLen)
+		bst.Groups = append(bst.Groups, len(cur))
 
 		// Contiguous group shards, weighted by pair count.
 		var total int64
@@ -475,36 +504,38 @@ func buildEPPPHashGroupedParallel(f *bfunc.Func, opts Options) (*EPPPSet, error)
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
-				var count int64
-				defer func() { atomic.AddInt64(&stats.Unions, count) }()
-				seen := map[string]bool{}
-				for _, g := range cur[bounds[s]:bounds[s+1]] {
-					if over.Load() {
-						return
-					}
-					es := g.entries
-					for i := 0; i < len(es); i++ {
-						for j := i + 1; j < len(es); j++ {
-							u := pcube.Union(es[i].cex, es[j].cex)
-							count++
-							h := opts.Cost.of(u)
-							if h <= opts.Cost.of(es[i].cex) {
-								es[i].mark = true
-							}
-							if h <= opts.Cost.of(es[j].cex) {
-								es[j].mark = true
-							}
-							if k := u.Key(); !seen[k] {
-								seen[k] = true
-								outs[s].fresh = append(outs[s].fresh, &hentry{cex: u})
-								if !b.spend(1) {
-									over.Store(true)
-									return
+				opts.Stats.Do(stats.PhaseEPPP, func() {
+					var count int64
+					defer func() { atomic.AddInt64(&bst.Unions, count) }()
+					seen := map[string]bool{}
+					for _, g := range cur[bounds[s]:bounds[s+1]] {
+						if over.Load() {
+							return
+						}
+						es := g.entries
+						for i := 0; i < len(es); i++ {
+							for j := i + 1; j < len(es); j++ {
+								u := pcube.Union(es[i].cex, es[j].cex)
+								count++
+								h := opts.Cost.of(u)
+								if h <= opts.Cost.of(es[i].cex) {
+									es[i].mark = true
+								}
+								if h <= opts.Cost.of(es[j].cex) {
+									es[j].mark = true
+								}
+								if k := u.Key(); !seen[k] {
+									seen[k] = true
+									outs[s].fresh = append(outs[s].fresh, &hentry{cex: u})
+									if !b.spend(1) {
+										over.Store(true)
+										return
+									}
 								}
 							}
 						}
 					}
-				}
+				})
 			}(s)
 		}
 		wg.Wait()
@@ -519,7 +550,7 @@ func buildEPPPHashGroupedParallel(f *bfunc.Func, opts Options) (*EPPPSet, error)
 				}
 			}
 		}
-		stats.Candidates += curLen
+		bst.Candidates += curLen
 
 		// Reduction: dedup across shards in shard order, regroup by
 		// structure, restore the deterministic group order.
@@ -544,10 +575,12 @@ func buildEPPPHashGroupedParallel(f *bfunc.Func, opts Options) (*EPPPSet, error)
 		}
 		sortGroups(next)
 		cur, curLen = next, nextLen
+		bst.Fresh += int64(nextLen)
 	}
-	stats.EPPP = len(candidates)
-	stats.BuildTime = time.Since(start)
-	return &EPPPSet{N: n, Candidates: candidates, Stats: stats}, nil
+	bst.EPPP = len(candidates)
+	bst.BuildTime = time.Since(start)
+	recordBuild(opts.Stats, &bst)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: bst}, nil
 }
 
 // shardSlice splits [0, n) into contiguous order-preserving shards, one

@@ -24,9 +24,9 @@ func keySeq(set *EPPPSet) []string {
 
 func sameStats(t *testing.T, label string, a, b BuildStats) {
 	t.Helper()
-	if a.Candidates != b.Candidates || a.EPPP != b.EPPP || a.Unions != b.Unions {
-		t.Fatalf("%s: stats differ: serial {cand=%d eppp=%d unions=%d} parallel {cand=%d eppp=%d unions=%d}",
-			label, a.Candidates, a.EPPP, a.Unions, b.Candidates, b.EPPP, b.Unions)
+	if a.Candidates != b.Candidates || a.EPPP != b.EPPP || a.Unions != b.Unions || a.Fresh != b.Fresh {
+		t.Fatalf("%s: stats differ: serial {cand=%d eppp=%d unions=%d fresh=%d} parallel {cand=%d eppp=%d unions=%d fresh=%d}",
+			label, a.Candidates, a.EPPP, a.Unions, a.Fresh, b.Candidates, b.EPPP, b.Unions, b.Fresh)
 	}
 	if len(a.LevelSizes) != len(b.LevelSizes) {
 		t.Fatalf("%s: level count differs: %d vs %d", label, len(a.LevelSizes), len(b.LevelSizes))

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/stats"
+)
+
+// detParts extracts the worker-count-invariant sections of a report:
+// the deterministic counters and the per-degree layer sizes. Phase
+// times and the sched section are scheduling-dependent by design and
+// excluded.
+func detParts(rec *stats.Recorder) (map[string]int64, []stats.LayerSize) {
+	rep := rec.Report("")
+	return rep.Counters, rep.Layers
+}
+
+func sameDetParts(t *testing.T, label string, serial, par *stats.Recorder) {
+	t.Helper()
+	sc, sl := detParts(serial)
+	pc, pl := detParts(par)
+	if !reflect.DeepEqual(sc, pc) {
+		t.Fatalf("%s: deterministic counters differ:\nserial   %v\nparallel %v", label, sc, pc)
+	}
+	if !reflect.DeepEqual(sl, pl) {
+		t.Fatalf("%s: layers differ:\nserial   %v\nparallel %v", label, sl, pl)
+	}
+}
+
+// TestStatsDeterministicAcrossWorkers is the observability counterpart
+// of the byte-identical-results property: every counter in the
+// deterministic section of the report, and the per-degree layer sizes,
+// must be identical for every worker count — on the exact minimizer
+// (greedy and exact covering), the SPP_k heuristic and the joint
+// multi-output minimizer.
+func TestStatsDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + rng.Intn(3)
+		f := randomFunc(rng, n, 0.45, trial%3 == 0)
+
+		for _, exact := range []bool{false, true} {
+			serialRec := stats.New()
+			if _, err := MinimizeExact(f, Options{Workers: 1, CoverExact: exact, Stats: serialRec}); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts {
+				parRec := stats.New()
+				if _, err := MinimizeExact(f, Options{Workers: w, CoverExact: exact, Stats: parRec}); err != nil {
+					t.Fatalf("trial %d workers %d: %v", trial, w, err)
+				}
+				sameDetParts(t, "MinimizeExact", serialRec, parRec)
+			}
+			if serialRec.Get(stats.CtrCandidates) == 0 {
+				t.Fatalf("trial %d: no candidates counted", trial)
+			}
+		}
+
+		k := rng.Intn(n)
+		serialRec := stats.New()
+		if _, err := Heuristic(f, k, Options{Workers: 1, Stats: serialRec}); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			parRec := stats.New()
+			if _, err := Heuristic(f, k, Options{Workers: w, Stats: parRec}); err != nil {
+				t.Fatalf("trial %d k=%d workers %d: %v", trial, k, w, err)
+			}
+			sameDetParts(t, "Heuristic", serialRec, parRec)
+		}
+	}
+}
+
+// TestStatsDeterministicMulti covers the joint multi-output path, whose
+// column construction and EPPP builds shard differently per worker
+// count.
+func TestStatsDeterministicMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + rng.Intn(2)
+		outs := make([]*bfunc.Func, 2+rng.Intn(3))
+		for i := range outs {
+			outs[i] = randomFunc(rng, n, 0.4, trial%2 == 0)
+		}
+		m := bfunc.NewMulti("t", n, outs)
+		serialRec := stats.New()
+		if _, err := MinimizeMulti(m, Options{Workers: 1, Stats: serialRec}); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			parRec := stats.New()
+			if _, err := MinimizeMulti(m, Options{Workers: w, Stats: parRec}); err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, w, err)
+			}
+			sameDetParts(t, "MinimizeMulti", serialRec, parRec)
+		}
+	}
+}
+
+// TestStatsPhasesRecorded checks the phase clock: an instrumented exact
+// minimization must time the EPPP, column and covering phases, and a
+// heuristic run the seed/descend/ascend split.
+func TestStatsPhasesRecorded(t *testing.T) {
+	f := randomFunc(rand.New(rand.NewSource(23)), 4, 0.45, true)
+	rec := stats.New()
+	if _, err := MinimizeExact(f, Options{Workers: 1, Stats: rec}); err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Report("x")
+	got := map[string]bool{}
+	for _, p := range rep.Phases {
+		got[p.Phase] = true
+	}
+	for _, want := range []string{"eppp", "cover.columns", "cover.greedy"} {
+		if !got[want] {
+			t.Fatalf("exact run phases %v missing %q", rep.Phases, want)
+		}
+	}
+	if rep.PhaseSeconds() > rep.WallSeconds {
+		t.Fatalf("phase sum %.6fs exceeds wall %.6fs (phases must be disjoint)",
+			rep.PhaseSeconds(), rep.WallSeconds)
+	}
+
+	rec = stats.New()
+	if _, err := Heuristic(f, 1, Options{Workers: 1, Stats: rec}); err != nil {
+		t.Fatal(err)
+	}
+	rep = rec.Report("x")
+	got = map[string]bool{}
+	for _, p := range rep.Phases {
+		got[p.Phase] = true
+	}
+	for _, want := range []string{"heuristic.seed", "heuristic.descend", "heuristic.ascend"} {
+		if !got[want] {
+			t.Fatalf("heuristic run phases %v missing %q", rep.Phases, want)
+		}
+	}
+}

@@ -21,6 +21,8 @@ package cover
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/stats"
 )
 
 // Instance is a covering problem. Rows are indexed 0..NRows-1; column j
@@ -147,7 +149,15 @@ func (h *greedyHeap) pop() {
 // top is recomputed on demand, and only a stale top forces a sift. All
 // other entries hold optimistic keys, so a top whose cached count is
 // exact is the true minimum — the same column a full rescan would pick.
-func Greedy(in *Instance) Result {
+func Greedy(in *Instance) Result { return GreedyStats(in, nil) }
+
+// GreedyStats is Greedy with observability: when rec is non-nil it
+// times the greedy phase and counts picks, lazy-heap re-evaluations
+// (stale tops that had to be popped or re-keyed) and redundancy drops.
+// All three are deterministic — the lazy heap's total order makes the
+// greedy independent of everything but the instance.
+func GreedyStats(in *Instance, rec *stats.Recorder) Result {
+	defer rec.Phase(stats.PhaseCoverGreedy)()
 	if in.NRows == 0 {
 		return Result{Optimal: true}
 	}
@@ -162,6 +172,7 @@ func Greedy(in *Instance) Result {
 	h.init()
 	picked := make([]int, 0, 8)
 	remaining := in.NRows
+	var reevals int64
 	for remaining > 0 {
 		if len(h) == 0 {
 			panic("cover: uncoverable row in Greedy (call Validate first)")
@@ -171,9 +182,11 @@ func Greedy(in *Instance) Result {
 		switch {
 		case nw == 0:
 			h.pop()
+			reevals++
 		case nw != top.nw:
 			h[0].nw = nw
 			h.down(0)
+			reevals++
 		default:
 			h.pop()
 			picked = append(picked, top.col)
@@ -181,11 +194,17 @@ func Greedy(in *Instance) Result {
 			remaining -= nw
 		}
 	}
+	nPicked := len(picked)
 	picked = eliminateRedundant(in, picked)
 	sort.Ints(picked)
 	cost := 0
 	for _, j := range picked {
 		cost += in.Cols[j].Cost
+	}
+	if rec != nil {
+		rec.Add(stats.CtrGreedyPicks, int64(nPicked))
+		rec.Add(stats.CtrGreedyReevals, reevals)
+		rec.Add(stats.CtrGreedyRedundant, int64(nPicked-len(picked)))
 	}
 	return Result{Picked: picked, Cost: cost}
 }

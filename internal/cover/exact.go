@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/stats"
 )
 
 // ExactOptions configures the branch-and-bound solver.
@@ -23,6 +25,11 @@ type ExactOptions struct {
 	// DESIGN.md, ablation 9). Nodes may exceed the serial count because
 	// strict pruning re-explores some suboptimal subtrees.
 	Workers int
+	// Stats, when non-nil, receives the solver's phase times and
+	// counters: the reduction's essential/dominance hits (deterministic)
+	// and the search's node/prune/root-branch counts (scheduling-
+	// dependent when Workers > 1, for the strict-pruning reason above).
+	Stats *stats.Recorder
 }
 
 // DefaultMaxNodes is the node budget used when ExactOptions.MaxNodes is 0.
@@ -36,28 +43,43 @@ func Exact(in *Instance, opts ExactOptions) Result {
 	if in.NRows == 0 {
 		return Result{Optimal: true}
 	}
+	rec := opts.Stats
 	budget := opts.MaxNodes
 	if budget == 0 {
 		budget = DefaultMaxNodes
 	}
+	stopReduce := rec.Phase(stats.PhaseCoverReduce)
 	red := reduceInstance(in)
+	stopReduce()
+	if rec != nil {
+		rec.Add(stats.CtrReduceEssential, int64(len(red.forced)))
+		rec.Add(stats.CtrReduceRowDom, int64(red.rowDrops))
+		rec.Add(stats.CtrReduceColDom, int64(red.colDrops))
+	}
 	picked := append([]int(nil), red.forced...)
 	cost := red.cost
 	if red.residual.NRows == 0 {
 		sort.Ints(picked)
 		return Result{Picked: picked, Cost: cost, Optimal: true}
 	}
-	seed := Greedy(red.residual)
+	seed := GreedyStats(red.residual, rec)
 	var best []int
 	var bestUB int
 	var nodes int64
+	stopSearch := rec.Phase(stats.PhaseCoverExact)
 	if opts.Workers > 1 {
-		best, bestUB, nodes = searchParallel(red.residual, seed, budget, opts.Workers)
+		best, bestUB, nodes = searchParallel(red.residual, seed, budget, opts.Workers, rec)
 	} else {
 		s := newSolver(red.residual, red.residual.colBitsets(), rowToCols(red.residual), seed, budget)
 		s.search(0)
 		best, bestUB, nodes = s.best, s.bestUB, s.nodes
+		if rec != nil {
+			rec.Add(stats.CtrExactBoundPrunes, s.boundPrunes)
+			rec.Add(stats.CtrExactLBPrunes, s.lbPrunes)
+		}
 	}
+	stopSearch()
+	rec.Add(stats.CtrExactNodes, nodes)
 	for _, j := range best {
 		picked = append(picked, red.colMap[j])
 	}
@@ -125,6 +147,9 @@ type solver struct {
 	bestUB int
 	nodes  int64
 	budget int64
+
+	boundPrunes int64 // subtrees cut against the incumbent
+	lbPrunes    int64 // subtrees cut by the independent-rows lower bound
 
 	colMark []int64 // lowerBound scratch: epoch stamps instead of a map
 	epoch   int64
@@ -296,6 +321,7 @@ func (s *solver) search(cost int) {
 		return
 	}
 	if s.pruned(cost) {
+		s.boundPrunes++
 		return
 	}
 	branchRow := s.selectRow()
@@ -305,6 +331,7 @@ func (s *solver) search(cost int) {
 		return
 	}
 	if s.pruned(cost + s.lowerBound()) {
+		s.lbPrunes++
 		return
 	}
 	for _, c := range s.sortedCands(branchRow) {
@@ -326,7 +353,7 @@ func (s *solver) search(cost int) {
 // strict pruning against min(local, shared) bound. The result reduction
 // keeps the cheapest branch solution, lowest branch index first, which
 // is the same solution the serial depth-first search commits to.
-func searchParallel(in *Instance, seed Result, budget int64, workers int) (best []int, bestUB int, nodes int64) {
+func searchParallel(in *Instance, seed Result, budget int64, workers int, rec *stats.Recorder) (best []int, bestUB int, nodes int64) {
 	bs := in.colBitsets()
 	rowCols := rowToCols(in)
 	par := &parShared{}
@@ -342,6 +369,7 @@ func searchParallel(in *Instance, seed Result, budget int64, workers int) (best 
 		return seed.Picked, seed.Cost, par.nodes.Load()
 	}
 	cands := append([]candEntry(nil), root.sortedCands(branchRow)...)
+	rec.Add(stats.CtrExactRootBranches, int64(len(cands)))
 
 	type branchResult struct {
 		cost   int
@@ -358,32 +386,42 @@ func searchParallel(in *Instance, seed Result, budget int64, workers int) (best 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := newSolver(in, bs, rowCols, seed, budget)
-			s.par = par
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cands) || s.overBudget() {
-					return
-				}
-				j := cands[i].col
-				// Reset all per-branch state: the local incumbent must
-				// depend only on the branch index, not on which worker
-				// ran it or what it ran before, or determinism is lost.
-				s.covered.zero()
-				s.trail = s.trail[:0]
-				s.picked = append(s.picked[:0], j)
-				s.bestUB = seed.Cost
-				s.best = append(s.best[:0], seed.Picked...)
-				s.cover(j)
-				s.search(in.Cols[j].Cost)
-				if s.bestUB < seed.Cost {
-					results[i] = branchResult{
-						cost:   s.bestUB,
-						picked: append([]int(nil), s.best...),
-						found:  true,
+			rec.Do(stats.PhaseCoverExact, func() {
+				s := newSolver(in, bs, rowCols, seed, budget)
+				s.par = par
+				defer func() {
+					if rec != nil {
+						var sh stats.Shard
+						sh.Add(stats.CtrExactBoundPrunes, s.boundPrunes)
+						sh.Add(stats.CtrExactLBPrunes, s.lbPrunes)
+						rec.Merge(&sh)
+					}
+				}()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cands) || s.overBudget() {
+						return
+					}
+					j := cands[i].col
+					// Reset all per-branch state: the local incumbent must
+					// depend only on the branch index, not on which worker
+					// ran it or what it ran before, or determinism is lost.
+					s.covered.zero()
+					s.trail = s.trail[:0]
+					s.picked = append(s.picked[:0], j)
+					s.bestUB = seed.Cost
+					s.best = append(s.best[:0], seed.Picked...)
+					s.cover(j)
+					s.search(in.Cols[j].Cost)
+					if s.bestUB < seed.Cost {
+						results[i] = branchResult{
+							cost:   s.bestUB,
+							picked: append([]int(nil), s.best...),
+							found:  true,
+						}
 					}
 				}
-			}
+			})
 		}()
 	}
 	wg.Wait()

@@ -13,6 +13,8 @@ type reduction struct {
 	cost     int   // their total cost
 	residual *Instance
 	colMap   []int // residual column -> original column index
+	rowDrops int   // rows removed by row dominance
+	colDrops int   // columns removed by column dominance
 }
 
 // reduceInstance applies essential-column, row-dominance and
@@ -128,6 +130,7 @@ func reduceInstance(in *Instance) reduction {
 				if rowBits.row(s).containsAll(rowBits.row(r)) &&
 					(rcCount[r] < rcCount[s] || r < s) {
 					activeRows.unset(s)
+					red.rowDrops++
 					changed = true
 					continue rowLoop
 				}
@@ -154,6 +157,7 @@ func reduceInstance(in *Instance) reduction {
 						continue // symmetric tie: keep the earlier column
 					}
 					alive[i] = false
+					red.colDrops++
 					changed = true
 					break colLoop
 				}

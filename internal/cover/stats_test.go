@@ -1,0 +1,84 @@
+package cover
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestExactStatsDeterministic: the deterministic counter section of an
+// instrumented exact solve (reductions, greedy seed) must not depend on
+// the worker count; the sched section (nodes, prunes) may.
+func TestExactStatsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 12+rng.Intn(10), 16+rng.Intn(12), 4)
+		mustValidate(t, in)
+		serialRec := stats.New()
+		serial := Exact(in, ExactOptions{Workers: 1, Stats: serialRec})
+		for _, w := range []int{2, 4, 8} {
+			parRec := stats.New()
+			par := Exact(in, ExactOptions{Workers: w, Stats: parRec})
+			if par.Cost != serial.Cost || !reflect.DeepEqual(par.Picked, serial.Picked) {
+				t.Fatalf("trial %d workers %d: result differs", trial, w)
+			}
+			sc, pc := serialRec.Report("").Counters, parRec.Report("").Counters
+			if !reflect.DeepEqual(sc, pc) {
+				t.Fatalf("trial %d workers %d: deterministic counters differ:\nserial   %v\nparallel %v",
+					trial, w, sc, pc)
+			}
+		}
+	}
+}
+
+// TestGreedyStatsCounted sanity-checks the greedy counters: picks match
+// the pre-elimination selection size and the redundant-drop count is
+// the difference to the final cover.
+func TestGreedyStatsCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 10+rng.Intn(20), 12+rng.Intn(20), 3)
+		mustValidate(t, in)
+		rec := stats.New()
+		res := GreedyStats(in, rec)
+		picks := rec.Get(stats.CtrGreedyPicks)
+		drops := rec.Get(stats.CtrGreedyRedundant)
+		if picks-drops != int64(len(res.Picked)) {
+			t.Fatalf("trial %d: picks %d - redundant %d != %d final columns",
+				trial, picks, drops, len(res.Picked))
+		}
+		if picks == 0 {
+			t.Fatalf("trial %d: no greedy picks counted", trial)
+		}
+	}
+}
+
+// TestExactStatsRecorded checks the exact solver's phase and counter
+// wiring on an instance forced through both reduction and search.
+func TestExactStatsRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	in := randomInstance(rng, 24, 30, 4)
+	mustValidate(t, in)
+	rec := stats.New()
+	res := Exact(in, ExactOptions{Workers: 1, Stats: rec})
+	if !res.Optimal {
+		t.Fatal("expected optimal solve")
+	}
+	rep := rec.Report("")
+	phases := map[string]bool{}
+	for _, p := range rep.Phases {
+		phases[p.Phase] = true
+	}
+	for _, want := range []string{"cover.reduce", "cover.greedy"} {
+		if !phases[want] {
+			t.Fatalf("phases %v missing %q", rep.Phases, want)
+		}
+	}
+	// Nodes land in sched: the parallel search explores a schedule-
+	// dependent number of them.
+	if res.Nodes > 0 && rep.Sched["cover.exact_nodes"] != res.Nodes {
+		t.Fatalf("sched nodes %d != result nodes %d", rep.Sched["cover.exact_nodes"], res.Nodes)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bfunc"
 	"repro/internal/core"
 	"repro/internal/sp"
+	"repro/internal/stats"
 )
 
 // Config bounds each per-output minimization, standing in for the
@@ -31,6 +32,11 @@ type Config struct {
 	MaxCandidates int
 	// CoverExact selects exact covering (small instances only).
 	CoverExact bool
+	// CoverMaxNodes bounds the exact covering search per instance
+	// (0 = the solver default). Without it a CoverExact row had no node
+	// budget at all — the paper's "*" timeout semantics only covered
+	// EPPP construction time.
+	CoverMaxNodes int64
 	// Workers sets the EPPP construction worker count (0 = all CPUs,
 	// 1 = serial); results are identical either way.
 	Workers int
@@ -54,8 +60,23 @@ func (c Config) coreOptions() core.Options {
 		MaxDuration:   c.PerOutput,
 		MaxCandidates: c.MaxCandidates,
 		CoverExact:    c.CoverExact,
+		CoverMaxNodes: c.CoverMaxNodes,
 		Workers:       c.Workers,
 		CoverWorkers:  c.CoverWorkers,
+	}
+}
+
+// rowRecorder pairs a fresh recorder with the Report call every table
+// row makes: phases and counters accumulate into rec during the row's
+// minimizations and report(name) snapshots them, stamping the
+// configured worker counts.
+func (c Config) rowRecorder() (rec *stats.Recorder, report func(name string) *stats.Report) {
+	rec = stats.New()
+	return rec, func(name string) *stats.Report {
+		rep := rec.Report(name)
+		rep.Workers = c.Workers
+		rep.CoverWorkers = c.CoverWorkers
+		return rep
 	}
 }
 
@@ -77,12 +98,18 @@ type FuncResult struct {
 	// DNF marks outputs whose EPPP construction exceeded the budget;
 	// the row is reported with a star like the paper's.
 	DNF bool
+	// Stats is the machine-readable run report of the SPP side,
+	// aggregated over all outputs.
+	Stats *stats.Report
 }
 
 // MinimizeFunc runs SP and exact SPP minimization over every output of
 // m and sums the metrics.
 func MinimizeFunc(m *bfunc.Multi, cfg Config) FuncResult {
 	res := FuncResult{Name: m.Name}
+	rec, report := cfg.rowRecorder()
+	opts := cfg.coreOptions()
+	opts.Stats = rec
 	for o := 0; o < m.NOutputs(); o++ {
 		f := m.Output(o)
 		spRes := sp.Minimize(f, sp.Options{CoverExact: cfg.CoverExact})
@@ -92,7 +119,7 @@ func MinimizeFunc(m *bfunc.Multi, cfg Config) FuncResult {
 		res.SPTime += spRes.Time
 
 		start := time.Now()
-		sppRes, err := core.MinimizeExact(f, cfg.coreOptions())
+		sppRes, err := core.MinimizeExact(f, opts)
 		if err != nil {
 			res.DNF = true
 			res.SPPTime += time.Since(start)
@@ -103,6 +130,7 @@ func MinimizeFunc(m *bfunc.Multi, cfg Config) FuncResult {
 		res.SPPTerms += sppRes.Form.NumTerms()
 		res.SPPTime += sppRes.Build.BuildTime + sppRes.CoverTime
 	}
+	res.Stats = report("table1/" + m.Name)
 	return res
 }
 
@@ -170,6 +198,11 @@ type Table2Row struct {
 	// per pair, the trie algorithm only ever touches unifiable pairs.
 	NaiveComparisons int64
 	TrieUnions       int64
+	// NaiveStats and TrieStats are the per-engine run reports (the two
+	// engines get separate recorders so their phase times and counters
+	// stay comparable side by side).
+	NaiveStats *stats.Report
+	TrieStats  *stats.Report
 }
 
 // Table2 reproduces the paper's Table 2.
@@ -182,7 +215,9 @@ func Table2(w io.Writer, cases []OutputCase, cfg Config) []Table2Row {
 		f := bench.MustLoad(c.Func).Output(c.Output)
 		row := Table2Row{Case: c}
 
+		trieRec, trieReport := cfg.rowRecorder()
 		opts := cfg.coreOptions()
+		opts.Stats = trieRec
 		res, err := core.MinimizeExact(f, opts)
 		if err != nil {
 			row.TrieDNF = true
@@ -191,9 +226,12 @@ func Table2(w io.Writer, cases []OutputCase, cfg Config) []Table2Row {
 			row.TrieTime = res.Build.BuildTime
 			row.TrieUnions = res.Build.Unions
 		}
+		row.TrieStats = trieReport(fmt.Sprintf("table2/%s/alg2", c))
 
+		naiveRec, naiveReport := cfg.rowRecorder()
 		nOpts := opts
 		nOpts.MaxDuration = cfg.NaiveBudget
+		nOpts.Stats = naiveRec
 		start := time.Now()
 		nres, err := core.BuildEPPPNaive(f, nOpts)
 		if err != nil {
@@ -203,6 +241,7 @@ func Table2(w io.Writer, cases []OutputCase, cfg Config) []Table2Row {
 			row.NaiveTime = nres.Stats.BuildTime
 			row.NaiveComparisons = nres.Stats.Comparisons
 		}
+		row.NaiveStats = naiveReport(fmt.Sprintf("table2/%s/naive", c))
 		rows = append(rows, row)
 
 		lit, naive, alg2, speed, cmps := "*", "*", "*", "*", "*"

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/sp"
+	"repro/internal/stats"
 )
 
 // Table3Functions is the paper's Table 3 benchmark list. alu, add6, amd
@@ -37,6 +38,10 @@ type Table3Row struct {
 	ExLiterals int
 	ExTime     time.Duration
 	ExDNF      bool
+	// Stats is the row's run report; the heuristic and exact passes
+	// share one recorder (their phases are disjoint, so the report
+	// keeps them apart by phase name).
+	Stats *stats.Report
 }
 
 // Table3 reproduces the paper's Table 3: SPP_0 vs the exact algorithm.
@@ -48,7 +53,9 @@ func Table3(w io.Writer, names []string, cfg Config) []Table3Row {
 	for _, name := range names {
 		m := bench.MustLoad(name)
 		row := Table3Row{Name: name}
+		rec, report := cfg.rowRecorder()
 		opts := cfg.coreOptions()
+		opts.Stats = rec
 		for o := 0; o < m.NOutputs(); o++ {
 			f := m.Output(o)
 			row.SPLiterals += sp.Minimize(f, sp.Options{}).Form.Literals()
@@ -77,6 +84,7 @@ func Table3(w io.Writer, names []string, cfg Config) []Table3Row {
 			row.Av = (row.SPLiterals + row.ExLiterals) / 2
 			row.AvValid = true
 		}
+		row.Stats = report("table3/" + name)
 		rows = append(rows, row)
 
 		av, h0l, h0t, exl, ext := "*", "*", "*", "*", "*"

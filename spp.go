@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fprm"
 	"repro/internal/sp"
+	"repro/internal/stats"
 )
 
 // Function is a single-output, possibly incompletely specified Boolean
@@ -129,6 +130,12 @@ type Options struct {
 	// follows Workers, 1 (or negative) means serial. Results are
 	// identical for every worker count.
 	CoverWorkers int
+	// MaxCoverNodes bounds the exact covering branch and bound (0 = the
+	// solver default). Only meaningful with ExactCover.
+	MaxCoverNodes int64
+	// Stats, when non-nil, collects per-phase timings and counters for
+	// the run (see package repro/internal/stats); nil costs nothing.
+	Stats *stats.Recorder
 }
 
 func (o *Options) toCore() core.Options {
@@ -139,8 +146,10 @@ func (o *Options) toCore() core.Options {
 		MaxDuration:   o.MaxDuration,
 		MaxCandidates: o.MaxCandidates,
 		CoverExact:    o.ExactCover,
+		CoverMaxNodes: o.MaxCoverNodes,
 		Workers:       o.Workers,
 		CoverWorkers:  o.CoverWorkers,
+		Stats:         o.Stats,
 	}
 	if o.FactorCost {
 		opts.Cost = core.CostFactors
@@ -150,6 +159,22 @@ func (o *Options) toCore() core.Options {
 
 // ErrBudget reports that a limit in Options was hit before completion.
 var ErrBudget = core.ErrBudget
+
+// StatsRecorder collects per-phase wall times and pipeline counters
+// during a minimization; see Options.Stats. The alias lets callers
+// outside this module use the internal recorder type.
+type StatsRecorder = stats.Recorder
+
+// StatsReport is the machine-readable snapshot of a StatsRecorder.
+type StatsReport = stats.Report
+
+// NewStatsRecorder returns an empty recorder to pass via Options.Stats.
+func NewStatsRecorder() *StatsRecorder { return stats.New() }
+
+// NewLabeledStatsRecorder is NewStatsRecorder plus pprof goroutine
+// labels: worker goroutines are tagged with their pipeline phase
+// ("spp-phase") so CPU profiles split by phase.
+func NewLabeledStatsRecorder() *StatsRecorder { return stats.NewLabeled() }
 
 // Form is a minimized SPP expression.
 type Form struct {
