@@ -3,9 +3,9 @@
 # detector (the parallel EPPP engine is exercised with forced worker
 # counts even on single-core hosts).
 
-.PHONY: check check-race fmt-check bench-eppp bench-cover bench bench-smoke fuzz-smoke
+.PHONY: check check-race fmt-check pkgdoc-check docs-check server-smoke bench-eppp bench-cover bench bench-smoke fuzz-smoke
 
-check: fmt-check
+check: fmt-check pkgdoc-check docs-check
 	go vet ./...
 	go build ./...
 	go test ./...
@@ -19,6 +19,20 @@ check-race:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# godoc gate: every library package needs a canonical "// Package x"
+# comment, every main package a doc comment on its package clause.
+pkgdoc-check:
+	sh scripts/pkgdoc_check.sh
+
+# docs gate: relative markdown links must resolve.
+docs-check:
+	sh scripts/check_links.sh
+
+# End-to-end smoke of the HTTP service: cold vs cached latency (>=10x),
+# batching, /statsz counters, graceful SIGTERM drain + stats flush.
+server-smoke:
+	sh scripts/server_smoke.sh
 
 # Parallel EPPP speedup curve; writes BENCH_eppp.json (ops/sec and
 # speedup vs serial per worker count).

@@ -1,0 +1,108 @@
+// Command sppserve runs the SPP minimization HTTP service: a JSON API
+// over the exact/naive/SPP_k engines with a canonical-function result
+// cache, bounded concurrency, per-request deadlines and an spp-stats/v1
+// observability endpoint (see internal/service and ARCHITECTURE.md).
+//
+//	sppserve -addr 127.0.0.1:8080
+//	curl -s localhost:8080/healthz
+//	curl -s -d '{"bench":"adr4"}' localhost:8080/v1/minimize
+//	curl -s -d '{"requests":[{"n":3,"on":[1,2,4,7]},{"bench":"life"}]}' \
+//	    localhost:8080/v1/minimize
+//	curl -s localhost:8080/statsz
+//
+// Minimization bounds share flag names with spptables (-budget,
+// -workers, ...). On SIGINT/SIGTERM the server drains in-flight
+// requests (refusing new ones with 503) and flushes a final
+// spp-stats-run/v1 report of the recent runs to -stats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		maxConc     = flag.Int("max-concurrent", 2, "admission gate width: requests (or batches) in flight at once")
+		cacheSize   = flag.Int("cache-size", 256, "canonical-function result cache capacity (entries)")
+		defTimeout  = flag.Duration("default-timeout", 30*time.Second, "per-request deadline when the request sets none")
+		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied timeouts")
+		historySize = flag.Int("history", 32, "recent cold runs kept for /statsz")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		statsPath   = flag.String("stats", "", "write the final run report (JSON) here on shutdown, - for stdout")
+	)
+	core := harness.DefaultConfig()
+	core.BindFlags(flag.CommandLine)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Core:           core,
+		MaxConcurrent:  *maxConc,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		HistorySize:    *historySize,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sppserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sppserve: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "sppserve:", err)
+		os.Exit(1)
+	}
+	stop()
+
+	fmt.Fprintln(os.Stderr, "sppserve: draining")
+	svc.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "sppserve: shutdown:", err)
+	}
+
+	if *statsPath != "" {
+		rr := svc.FinalReport()
+		out := os.Stdout
+		if *statsPath != "-" {
+			f, err := os.Create(*statsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sppserve:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rr.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "sppserve:", err)
+			os.Exit(1)
+		}
+		if *statsPath != "-" {
+			fmt.Fprintln(os.Stderr, "sppserve: wrote", *statsPath)
+		}
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"repro/internal/bench"
 	"repro/internal/harness"
@@ -27,22 +26,19 @@ import (
 
 func main() {
 	var (
-		table       = flag.Int("table", 0, "table to regenerate (1, 2 or 3)")
-		fig         = flag.String("fig", "", "figure series to regenerate (\"34\")")
-		all         = flag.Bool("all", false, "regenerate every table and figure")
-		funcs       = flag.String("funcs", "", "comma-separated benchmark subset (default: the paper's list)")
-		budget      = flag.Duration("budget", 60*time.Second, "per-output budget for EPPP construction")
-		naiveBudget = flag.Duration("naive-budget", 60*time.Second, "per-output budget for the naive [5] baseline")
-		maxK        = flag.Int("maxk", -1, "cap on k for the figure sweeps (-1 = up to n-1)")
-		compare     = flag.Bool("compare", false, "run the extension comparison: SP vs Reed-Muller vs SPP")
-		csvDir      = flag.String("csv", "", "also write results as CSV files into this directory")
-		list        = flag.Bool("list", false, "list available benchmarks and exit")
-		workers     = flag.Int("workers", 0, "parallel workers for EPPP construction (0 = all CPUs, 1 = serial)")
-		coverWork   = flag.Int("cover-workers", 0, "parallel workers for the covering phase (0 = follow -workers, 1 = serial)")
-		maxNodes    = flag.Int64("cover-max-nodes", 0, "node budget for exact covering (0 = solver default)")
-		statsPath   = flag.String("stats", "", "write per-row run reports (JSON) to this file, - for stdout")
-		verbose     = flag.Bool("v", false, "print per-row phase/counter summaries to stderr")
+		table     = flag.Int("table", 0, "table to regenerate (1, 2 or 3)")
+		fig       = flag.String("fig", "", "figure series to regenerate (\"34\")")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		funcs     = flag.String("funcs", "", "comma-separated benchmark subset (default: the paper's list)")
+		maxK      = flag.Int("maxk", -1, "cap on k for the figure sweeps (-1 = up to n-1)")
+		compare   = flag.Bool("compare", false, "run the extension comparison: SP vs Reed-Muller vs SPP")
+		csvDir    = flag.String("csv", "", "also write results as CSV files into this directory")
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+		statsPath = flag.String("stats", "", "write per-row run reports (JSON) to this file, - for stdout")
+		verbose   = flag.Bool("v", false, "print per-row phase/counter summaries to stderr")
 	)
+	cfg := harness.DefaultConfig()
+	cfg.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -53,13 +49,6 @@ func main() {
 		}
 		return
 	}
-
-	cfg := harness.DefaultConfig()
-	cfg.PerOutput = *budget
-	cfg.NaiveBudget = *naiveBudget
-	cfg.Workers = *workers
-	cfg.CoverWorkers = *coverWork
-	cfg.CoverMaxNodes = *maxNodes
 
 	var reports []*stats.Report
 	collect := func(reps ...*stats.Report) {

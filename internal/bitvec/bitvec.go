@@ -264,3 +264,18 @@ func Log2(v int) int {
 	}
 	return bits.TrailingZeros(uint(v))
 }
+
+// PermutePoint applies a variable permutation to a packed point (or
+// mask): bit x_i of p becomes bit x_perm[i] of the result. perm must be
+// a permutation of [0,n). Renaming variables this way is the substrate
+// of the canonical-function cache: a pseudocube's offset and basis rows
+// permute point-wise, and the permuted rows re-reduce to RREF.
+func PermutePoint(p uint64, n int, perm []int) uint64 {
+	var q uint64
+	for i := 0; i < n; i++ {
+		if p&VarMask(n, i) != 0 {
+			q |= VarMask(n, perm[i])
+		}
+	}
+	return q
+}

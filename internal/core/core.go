@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -64,6 +65,17 @@ type Options struct {
 	// MaxDuration caps wall-clock time for EPPP construction; 0 means
 	// no time limit.
 	MaxDuration time.Duration
+
+	// Ctx, when non-nil, cancels the whole pipeline: every phase
+	// boundary and every long-running inner loop (EPPP level expansion,
+	// the heuristic's descend/ascend steps, covering-column
+	// construction and the exact branch and bound) polls it and returns
+	// ctx.Err() — so context.DeadlineExceeded or context.Canceled, not
+	// ErrBudget — when it fires. nil means no cancellation, exactly the
+	// pre-context behaviour. Unlike MaxDuration (which bounds only EPPP
+	// construction, mirroring the paper's per-phase timeout), Ctx bounds
+	// wall-clock across phases, which is what a serving deadline needs.
+	Ctx context.Context
 
 	// CoverExact selects branch-and-bound covering (within
 	// CoverMaxNodes) instead of the greedy heuristic. The paper used
@@ -129,6 +141,16 @@ func (o Options) maxCandidates() int {
 	return o.MaxCandidates
 }
 
+// ctxErr reports the options context's error, nil when no context was
+// configured. Engines call it at phase boundaries so cancellation is
+// honored even between budget polls.
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
 // budget tracks generation limits during EPPP construction. It is safe
 // for concurrent use: the parallel engines have every worker spend
 // against the same budget.
@@ -138,10 +160,11 @@ type budget struct {
 	checkEach int64
 	sinceLast atomic.Int64
 	rec       *stats.Recorder
+	ctx       context.Context // nil = not cancellable
 }
 
 func newBudget(o Options) *budget {
-	b := &budget{checkEach: 1024, rec: o.Stats}
+	b := &budget{checkEach: 1024, rec: o.Stats, ctx: o.Ctx}
 	b.remaining.Store(int64(o.maxCandidates()))
 	if o.MaxDuration > 0 {
 		b.deadline = time.Now().Add(o.MaxDuration)
@@ -150,19 +173,36 @@ func newBudget(o Options) *budget {
 }
 
 // spend consumes n generation credits and reports whether the budget
-// still holds. The deadline is polled coarsely — every checkEach
-// credits across all workers — to keep time.Now out of the hot loop.
+// still holds. The deadline and the cancellation context are polled
+// coarsely — every checkEach credits across all workers — to keep
+// time.Now and the ctx.Err atomic out of the hot loop.
 func (b *budget) spend(n int) bool {
 	if b.remaining.Add(-int64(n)) < 0 {
 		return false
 	}
-	if !b.deadline.IsZero() {
+	if b.ctx != nil || !b.deadline.IsZero() {
 		if b.sinceLast.Add(int64(n)) >= b.checkEach {
 			b.sinceLast.Store(0)
+			if b.ctx != nil && b.ctx.Err() != nil {
+				return false
+			}
 			return !b.expired()
 		}
 	}
 	return true
+}
+
+// failure returns the error a failed spend/expired check stands for:
+// the context's error when cancellation tripped the budget, ErrBudget
+// otherwise. Engines call it instead of returning ErrBudget directly so
+// callers can tell a serving deadline from an exhausted search budget.
+func (b *budget) failure() error {
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return ErrBudget
 }
 
 // refund returns n credits. The parallel engines charge optimistically

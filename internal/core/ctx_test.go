@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bfunc"
+)
+
+// randFunc builds a dense random function: random ON-sets have large
+// EPPP candidate spaces, so construction runs long enough to cancel.
+func randFunc(n int, seed int64) *bfunc.Func {
+	rng := rand.New(rand.NewSource(seed))
+	var on []uint64
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		if rng.Intn(2) == 0 {
+			on = append(on, p)
+		}
+	}
+	return bfunc.New(n, on)
+}
+
+func TestMinimizePreCancelledContext(t *testing.T) {
+	f := randFunc(8, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, run := range map[string]func() error{
+		"exact": func() error { _, err := MinimizeExact(f, Options{Ctx: ctx, Workers: 1}); return err },
+		"naive": func() error { _, err := MinimizeNaive(f, Options{Ctx: ctx, Workers: 1}); return err },
+		"heur":  func() error { _, err := Heuristic(f, 1, Options{Ctx: ctx, Workers: 1}); return err },
+		"par":   func() error { _, err := MinimizeExact(f, Options{Ctx: ctx, Workers: 4}); return err },
+	} {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: got %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+func TestMinimizeContextCancelMidRun(t *testing.T) {
+	// n=13 random: EPPP construction takes seconds serially, so the
+	// 30ms cancellation must land inside the level expansion (the
+	// budget's coarse ctx poll), not at a phase boundary.
+	f := randFunc(13, 2)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		time.AfterFunc(30*time.Millisecond, cancel)
+		start := time.Now()
+		_, err := MinimizeExact(f, Options{Ctx: ctx, Workers: workers})
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("workers=%d: cancellation honored only after %v", workers, elapsed)
+		}
+	}
+}
+
+func TestMinimizeContextDeadline(t *testing.T) {
+	f := randFunc(13, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := MinimizeExact(f, Options{Ctx: ctx, Workers: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestMinimizeContextUncancelledIdentical: passing a live context must
+// not change results — same form as a run with no context at all.
+func TestMinimizeContextUncancelledIdentical(t *testing.T) {
+	f := randFunc(8, 4)
+	ctx := context.Background()
+	plain, err := MinimizeExact(f, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := MinimizeExact(f, Options{Ctx: ctx, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Form.String() != withCtx.Form.String() {
+		t.Fatalf("ctx changed the result:\n  plain: %v\n  ctx:   %v", plain.Form, withCtx.Form)
+	}
+	if err := withCtx.Form.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}

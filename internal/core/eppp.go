@@ -77,7 +77,9 @@ type EPPPSet struct {
 // discarded when some union result costs no more than it does.
 //
 // It returns ErrBudget if Options limits are exceeded, like the paper's
-// two-day timeout stars.
+// two-day timeout stars, and the context's error if Options.Ctx is
+// cancelled (polled at every level boundary and, coarsely, inside the
+// level expansion via the generation budget).
 //
 // With Options.Workers != 1 the level expansion runs on a worker pool
 // (see parallel.go); the candidate set, its order and all statistics
@@ -97,11 +99,14 @@ func BuildEPPP(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 		cur.Insert(pcube.FromPoint(n, p))
 	}
 	if !b.spend(cur.Len()) {
-		return nil, ErrBudget
+		return nil, b.failure()
 	}
 
 	var candidates []*pcube.CEX
 	for level := 0; cur.Len() > 0; level++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		bst.LevelSizes = append(bst.LevelSizes, cur.Len())
 		bst.Groups = append(bst.Groups, cur.NumGroups())
 		if opts.Stats != nil {
@@ -132,7 +137,7 @@ func BuildEPPP(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 			return true
 		})
 		if overBudget {
-			return nil, ErrBudget
+			return nil, b.failure()
 		}
 		// Retain the unmarked pseudoproducts of this level.
 		cur.Entries(func(e *ptrie.Entry) bool {
@@ -192,11 +197,14 @@ func BuildEPPPHashGrouped(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 		}
 	}
 	if !b.spend(curLen) {
-		return nil, ErrBudget
+		return nil, b.failure()
 	}
 
 	var candidates []*pcube.CEX
 	for level := 0; curLen > 0; level++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		bst.LevelSizes = append(bst.LevelSizes, curLen)
 		bst.Groups = append(bst.Groups, len(cur))
 		next := map[string][]*entry{}
@@ -220,7 +228,7 @@ func BuildEPPPHashGrouped(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 						next[u.StructureKey()] = append(next[u.StructureKey()], &entry{cex: u})
 						nextLen++
 						if !b.spend(1) {
-							return nil, ErrBudget
+							return nil, b.failure()
 						}
 					}
 				}

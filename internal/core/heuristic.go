@@ -62,7 +62,7 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 	}
 	stop()
 	if !b.spend(total) {
-		return nil, ErrBudget
+		return nil, b.failure()
 	}
 
 	// Step 2: descendant phase. Step i expands the highest not-yet-
@@ -82,12 +82,16 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 	workers := opts.workers()
 	stop = rec.Phase(stats.PhaseDescend)
 	for i := 1; i <= k && top-i+1 >= 1; i++ {
+		if err := opts.ctxErr(); err != nil {
+			stop()
+			return nil, err
+		}
 		d := top - i + 1
 		if workers > 1 && tries[d].Len() > 1 {
 			fresh, ok := descendParallel(n, tries[d], tries[d-1], b, workers, rec)
 			if !ok {
 				stop()
-				return nil, ErrBudget
+				return nil, b.failure()
 			}
 			bst.Fresh += int64(fresh)
 			continue
@@ -108,7 +112,7 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 		})
 		if overBudget {
 			stop()
-			return nil, ErrBudget
+			return nil, b.failure()
 		}
 	}
 	stop()
@@ -117,6 +121,10 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 	stop = rec.Phase(stats.PhaseAscend)
 	var candidates []*pcube.CEX
 	for d := 0; d < n; d++ {
+		if err := opts.ctxErr(); err != nil {
+			stop()
+			return nil, err
+		}
 		cur := tries[d]
 		if cur.Len() == 0 {
 			continue
@@ -133,7 +141,7 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 			locals, ok := expandLevel(n, levelGroups(cur), opts, b, &bst.Unions, workers, stats.PhaseAscend)
 			if !ok {
 				stop()
-				return nil, ErrBudget
+				return nil, b.failure()
 			}
 			bst.Fresh += int64(mergeIntoTrie(tries[d+1], locals, b))
 		} else {
@@ -163,7 +171,7 @@ func Heuristic(f *bfunc.Func, k int, opts Options) (*Result, error) {
 			})
 			if overBudget {
 				stop()
-				return nil, ErrBudget
+				return nil, b.failure()
 			}
 		}
 		cur.Entries(func(e *ptrie.Entry) bool {

@@ -44,6 +44,9 @@ func SelectCover(f *bfunc.Func, set *EPPPSet, opts Options) (Form, time.Duration
 		return Form{N: n, Terms: []*pcube.CEX{one}}, time.Since(start), true, nil
 	}
 
+	if err := opts.ctxErr(); err != nil {
+		return Form{}, 0, false, err
+	}
 	on := f.On()
 	stopCols := opts.Stats.Phase(stats.PhaseCoverColumns)
 	in, cols := buildCoverColumns(n, on, set.Candidates, opts)
@@ -51,12 +54,16 @@ func SelectCover(f *bfunc.Func, set *EPPPSet, opts Options) (Form, time.Duration
 	if err := in.Validate(); err != nil {
 		return Form{}, 0, false, fmt.Errorf("core: candidate set does not cover ON-set: %v", err)
 	}
+	if err := opts.ctxErr(); err != nil {
+		return Form{}, 0, false, err
+	}
 	var res cover.Result
 	if opts.CoverExact {
 		res = cover.Exact(in, cover.ExactOptions{
 			MaxNodes: opts.CoverMaxNodes,
 			Workers:  opts.coverWorkers(),
 			Stats:    opts.Stats,
+			Ctx:      opts.Ctx,
 		})
 	} else {
 		res = cover.GreedyStats(in, opts.Stats)

@@ -36,11 +36,14 @@ func BuildEPPPNaive(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 		}
 	}
 	if !b.spend(len(cur)) {
-		return nil, ErrBudget
+		return nil, b.failure()
 	}
 
 	var candidates []*pcube.CEX
 	for level := 0; len(cur) > 0; level++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		bst.LevelSizes = append(bst.LevelSizes, len(cur))
 		var next []*entry
 		nextSeen := map[string]bool{}
@@ -67,14 +70,18 @@ func BuildEPPPNaive(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 					next = append(next, &entry{cex: u})
 					bst.Fresh++
 					if !b.spend(1) {
-						return nil, ErrBudget
+						return nil, b.failure()
 					}
 				}
 			}
-			// The quadratic pair loop dominates; check the clock even
-			// when no unions fire so oversized levels still time out.
+			// The quadratic pair loop dominates; check the clock and
+			// the context even when no unions fire so oversized levels
+			// still time out.
 			if b.expired() {
 				return nil, ErrBudget
+			}
+			if err := opts.ctxErr(); err != nil {
+				return nil, err
 			}
 		}
 		for _, e := range cur {

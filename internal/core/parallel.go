@@ -374,7 +374,7 @@ func buildEPPPParallel(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 		seed.Insert(pcube.FromPoint(n, p))
 	}
 	if !b.spend(seed.Len()) {
-		return nil, ErrBudget
+		return nil, b.failure()
 	}
 	if opts.Stats != nil {
 		opts.Stats.Add(stats.CtrTrieNodes, int64(seed.NumInternalNodes()))
@@ -384,11 +384,14 @@ func buildEPPPParallel(f *bfunc.Func, opts Options) (*EPPPSet, error) {
 
 	var candidates []*pcube.CEX
 	for level := 0; size > 0; level++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		bst.LevelSizes = append(bst.LevelSizes, size)
 		bst.Groups = append(bst.Groups, len(groups))
 		locals, ok := expandLevel(n, groups, opts, b, &bst.Unions, workers, stats.PhaseEPPP)
 		if !ok {
-			return nil, ErrBudget
+			return nil, b.failure()
 		}
 		if opts.Stats != nil {
 			// Shard tries duplicate path prefixes across workers, so this
@@ -464,11 +467,14 @@ func buildEPPPHashGroupedParallel(f *bfunc.Func, opts Options) (*EPPPSet, error)
 		sortGroups(cur)
 	}
 	if !b.spend(curLen) {
-		return nil, ErrBudget
+		return nil, b.failure()
 	}
 
 	var candidates []*pcube.CEX
 	for level := 0; curLen > 0; level++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		bst.LevelSizes = append(bst.LevelSizes, curLen)
 		bst.Groups = append(bst.Groups, len(cur))
 
@@ -540,7 +546,7 @@ func buildEPPPHashGroupedParallel(f *bfunc.Func, opts Options) (*EPPPSet, error)
 		}
 		wg.Wait()
 		if over.Load() {
-			return nil, ErrBudget
+			return nil, b.failure()
 		}
 
 		for _, g := range cur {

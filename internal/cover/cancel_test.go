@@ -1,0 +1,119 @@
+package cover
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// hardInstance builds a dense random covering instance that the branch
+// and bound cannot finish quickly: many overlapping near-equal-cost
+// columns keep the independent-rows lower bound weak, so proving
+// optimality means exploring a huge tree.
+func hardInstance(rows, cols, perCol int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := &Instance{NRows: rows}
+	for j := 0; j < cols; j++ {
+		picked := map[int]bool{}
+		// Guarantee coverage: column j always covers row j%rows.
+		picked[j%rows] = true
+		for len(picked) < perCol {
+			picked[rng.Intn(rows)] = true
+		}
+		var rs []int
+		for r := range picked {
+			rs = append(rs, r)
+		}
+		sortInts(rs)
+		in.Cols = append(in.Cols, Column{Cost: 3 + rng.Intn(4), Rows: rs})
+	}
+	return in
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestExactContextCancellation is the regression test for the hung
+// exact-cover bug: before ExactOptions.Ctx, a search on an instance
+// like this could only be stopped by the node budget. A cancelled
+// context must stop it within the ctx check interval and still return
+// a valid (non-optimal) cover.
+func TestExactContextCancellation(t *testing.T) {
+	in := hardInstance(96, 420, 6, 1)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("instance invalid: %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		res := Exact(in, ExactOptions{MaxNodes: 1 << 60, Workers: workers, Ctx: ctx})
+		elapsed := time.Since(start)
+		cancel()
+		// Nodes run at well under a microsecond, so 1024-node polling
+		// lands the stop within milliseconds; 5s leaves two orders of
+		// magnitude of slack for loaded CI machines.
+		if elapsed > 5*time.Second {
+			t.Fatalf("workers=%d: cancelled search returned only after %v", workers, elapsed)
+		}
+		if res.Optimal {
+			t.Errorf("workers=%d: cancelled search claims optimality", workers)
+		}
+		assertCovers(t, in, res)
+	}
+}
+
+// TestExactContextPreCancelled: a context that is already done must
+// short-circuit to the greedy cover without entering the search.
+func TestExactContextPreCancelled(t *testing.T) {
+	in := hardInstance(96, 420, 6, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res := Exact(in, ExactOptions{MaxNodes: 1 << 60, Ctx: ctx})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pre-cancelled Exact took %v", elapsed)
+	}
+	assertCovers(t, in, res)
+}
+
+// TestExactNilCtxUnchanged: without a context the solver must behave
+// exactly as before on a small instance — terminate and prove
+// optimality within the node budget.
+func TestExactNilCtxUnchanged(t *testing.T) {
+	in := hardInstance(24, 60, 4, 3)
+	res := Exact(in, ExactOptions{})
+	if !res.Optimal {
+		t.Fatalf("small instance not solved to optimality (nodes=%d)", res.Nodes)
+	}
+	assertCovers(t, in, res)
+}
+
+func assertCovers(t *testing.T, in *Instance, res Result) {
+	t.Helper()
+	covered := make([]bool, in.NRows)
+	cost := 0
+	for _, j := range res.Picked {
+		cost += in.Cols[j].Cost
+		for _, r := range in.Cols[j].Rows {
+			covered[r] = true
+		}
+	}
+	for r, ok := range covered {
+		if !ok {
+			t.Fatalf("row %d not covered", r)
+		}
+	}
+	if cost != res.Cost {
+		t.Fatalf("reported cost %d != recomputed %d", res.Cost, cost)
+	}
+}

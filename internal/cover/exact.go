@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,7 +31,19 @@ type ExactOptions struct {
 	// and the search's node/prune/root-branch counts (scheduling-
 	// dependent when Workers > 1, for the strict-pruning reason above).
 	Stats *stats.Recorder
+	// Ctx, when non-nil, cancels the search: the loop polls ctx.Err()
+	// every ctxCheckNodes nodes (per worker) and stops like a budget
+	// exhaustion, returning the best cover found so far with
+	// Optimal=false. Without it a hung exact-cover run could only be
+	// stopped by the node budget.
+	Ctx context.Context
 }
+
+// ctxCheckNodes is how many search nodes a solver expands between
+// ctx.Err() polls: coarse enough to keep the atomic load of a context
+// read out of the node hot path, fine enough that cancellation lands
+// within milliseconds (nodes are sub-microsecond).
+const ctxCheckNodes = 1024
 
 // DefaultMaxNodes is the node budget used when ExactOptions.MaxNodes is 0.
 const DefaultMaxNodes = 2_000_000
@@ -47,6 +60,11 @@ func Exact(in *Instance, opts ExactOptions) Result {
 	budget := opts.MaxNodes
 	if budget == 0 {
 		budget = DefaultMaxNodes
+	}
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		// Already cancelled: the greedy cover is the cheapest valid
+		// answer we can produce without entering the search.
+		return GreedyStats(in, rec)
 	}
 	stopReduce := rec.Phase(stats.PhaseCoverReduce)
 	red := reduceInstance(in)
@@ -68,9 +86,10 @@ func Exact(in *Instance, opts ExactOptions) Result {
 	var nodes int64
 	stopSearch := rec.Phase(stats.PhaseCoverExact)
 	if opts.Workers > 1 {
-		best, bestUB, nodes = searchParallel(red.residual, seed, budget, opts.Workers, rec)
+		best, bestUB, nodes = searchParallel(red.residual, seed, budget, opts.Workers, opts.Ctx, rec)
 	} else {
 		s := newSolver(red.residual, red.residual.colBitsets(), rowToCols(red.residual), seed, budget)
+		s.ctx = opts.Ctx
 		s.search(0)
 		best, bestUB, nodes = s.best, s.bestUB, s.nodes
 		if rec != nil {
@@ -84,10 +103,11 @@ func Exact(in *Instance, opts ExactOptions) Result {
 		picked = append(picked, red.colMap[j])
 	}
 	sort.Ints(picked)
+	cancelled := opts.Ctx != nil && opts.Ctx.Err() != nil
 	return Result{
 		Picked:  picked,
 		Cost:    cost + bestUB,
-		Optimal: nodes < budget,
+		Optimal: nodes < budget && !cancelled,
 		Nodes:   nodes,
 	}
 }
@@ -117,11 +137,14 @@ type candEntry struct {
 }
 
 // parShared is the state the parallel root branches share: the global
-// node budget counter and the best upper bound found anywhere. Both
-// only ever tighten, so reading them can only prune more, never less.
+// node budget counter, the best upper bound found anywhere, and the
+// cancellation flag any worker raises when it observes the context
+// done. Bounds only ever tighten, so reading them can only prune more,
+// never less.
 type parShared struct {
-	nodes  atomic.Int64
-	bestUB atomic.Int64
+	nodes     atomic.Int64
+	bestUB    atomic.Int64
+	cancelled atomic.Bool
 }
 
 func (p *parShared) lowerBestUB(v int64) {
@@ -154,6 +177,13 @@ type solver struct {
 	colMark []int64 // lowerBound scratch: epoch stamps instead of a map
 	epoch   int64
 
+	// Cancellation: ctx is polled every ctxCheckNodes entered nodes;
+	// when it fires, stopped halts this solver (and, through
+	// par.cancelled, every sibling branch) like a budget exhaustion.
+	ctx      context.Context
+	sinceCtx int64
+	stopped  bool
+
 	par *parShared // nil for the serial solver
 }
 
@@ -172,10 +202,25 @@ func newSolver(in *Instance, bs []bitset, rowCols [][]int, seed Result, budget i
 }
 
 // enterNode charges one node against the budget; false means the
-// budget is exhausted and the node must not be expanded.
+// budget is exhausted (or the context cancelled) and the node must not
+// be expanded.
 func (s *solver) enterNode() bool {
+	if s.ctx != nil {
+		if s.sinceCtx++; s.sinceCtx >= ctxCheckNodes {
+			s.sinceCtx = 0
+			if s.ctx.Err() != nil {
+				s.stopped = true
+				if s.par != nil {
+					s.par.cancelled.Store(true)
+				}
+			}
+		}
+	}
+	if s.stopped {
+		return false
+	}
 	if s.par != nil {
-		return s.par.nodes.Add(1) < s.budget
+		return !s.par.cancelled.Load() && s.par.nodes.Add(1) < s.budget
 	}
 	s.nodes++
 	return s.nodes < s.budget
@@ -183,9 +228,9 @@ func (s *solver) enterNode() bool {
 
 func (s *solver) overBudget() bool {
 	if s.par != nil {
-		return s.par.nodes.Load() >= s.budget
+		return s.par.cancelled.Load() || s.par.nodes.Load() >= s.budget
 	}
-	return s.nodes >= s.budget
+	return s.stopped || s.nodes >= s.budget
 }
 
 // pruned reports whether a node of the given cost (or cost plus lower
@@ -353,7 +398,7 @@ func (s *solver) search(cost int) {
 // strict pruning against min(local, shared) bound. The result reduction
 // keeps the cheapest branch solution, lowest branch index first, which
 // is the same solution the serial depth-first search commits to.
-func searchParallel(in *Instance, seed Result, budget int64, workers int, rec *stats.Recorder) (best []int, bestUB int, nodes int64) {
+func searchParallel(in *Instance, seed Result, budget int64, workers int, ctx context.Context, rec *stats.Recorder) (best []int, bestUB int, nodes int64) {
 	bs := in.colBitsets()
 	rowCols := rowToCols(in)
 	par := &parShared{}
@@ -361,6 +406,7 @@ func searchParallel(in *Instance, seed Result, budget int64, workers int, rec *s
 
 	root := newSolver(in, bs, rowCols, seed, budget)
 	root.par = par
+	root.ctx = ctx
 	if !root.enterNode() || root.pruned(0) {
 		return seed.Picked, seed.Cost, par.nodes.Load()
 	}
@@ -389,6 +435,7 @@ func searchParallel(in *Instance, seed Result, budget int64, workers int, rec *s
 			rec.Do(stats.PhaseCoverExact, func() {
 				s := newSolver(in, bs, rowCols, seed, budget)
 				s.par = par
+				s.ctx = ctx
 				defer func() {
 					if rec != nil {
 						var sh stats.Shard

@@ -1,0 +1,340 @@
+// Package fcache provides a canonical-function cache for minimization
+// results. Two requests whose Boolean functions differ only by a
+// permutation of input variables (P-equivalence) or by the textual
+// representation of their DC sets reduce to the same canonical function
+// and therefore the same cache key, so the second request is served
+// from the cache and its SPP form is mapped back to the request's
+// variable order.
+//
+// Safety does not depend on the canonicalization being perfect: the key
+// is a SHA-256 hash of the canonical point sets, so equal keys imply
+// identical canonical functions (up to hash collision). When the
+// tie-break search is cut off by its work budget the canonical form is
+// merely best-effort — two equivalent functions may map to different
+// keys and miss the cache — but a hit is always sound. Callers that
+// want belt-and-braces safety can store the canonical *bfunc.Func in
+// the cache value and Equal-check it on hit.
+package fcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+)
+
+// Key identifies a canonical function (plus, via Derive, any
+// result-affecting options) in the cache.
+type Key [32]byte
+
+// String returns the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Derive returns a key that mixes in a tag describing result-affecting
+// options (e.g. "k=2;exact=true"), so the same function minimized under
+// different options occupies distinct cache slots.
+func (k Key) Derive(tag string) Key {
+	h := sha256.New()
+	h.Write(k[:])
+	io.WriteString(h, tag)
+	var out Key
+	h.Sum(out[:0])
+	return out
+}
+
+// tieBreakWork bounds the point-mapping work spent enumerating
+// permutations inside ambiguous variable classes. Small functions get
+// thousands of candidates; huge ON sets fall back to a deterministic
+// (but not permutation-invariant) order almost immediately.
+const tieBreakWork = 1 << 22
+
+// Canonicalize computes a canonical representative of f's
+// P-equivalence class. It returns the cache key, the permutation perm
+// such that canonical variable perm[i] corresponds to f's variable i
+// (canon's points are bitvec.PermutePoint(p, n, perm) of f's points),
+// and the canonical function itself. Results computed over canon map
+// back to f's variable order via the inverse permutation.
+//
+// The canonicalization is exact — equivalent functions get equal keys —
+// whenever the class refinement plus the bounded tie-break resolves
+// every variable; beyond the work budget it degrades to a deterministic
+// best effort (equal inputs still get equal keys, some equivalent
+// inputs may not).
+func Canonicalize(f *bfunc.Func) (Key, []int, *bfunc.Func) {
+	class := refineClasses(f)
+	perm := tieBreak(f, class)
+	canon := applyPerm(f, perm)
+	return keyOf(canon), perm, canon
+}
+
+// KeyOf returns the cache key of f without canonicalizing: equal
+// functions get equal keys, permuted ones do not. Useful for tests and
+// for callers that have already canonicalized.
+func KeyOf(f *bfunc.Func) Key { return keyOf(f) }
+
+// refineClasses partitions variables into equivalence classes by
+// iterated Weisfeiler–Leman-style refinement over the point/variable
+// incidence structure: each round hashes, per variable, the multiset of
+// point signatures (ON/DC tag + multiset of current classes of the
+// point's set bits) of the points containing that variable, then splits
+// classes that hash apart. Equivalent-under-permutation inputs produce
+// identical class structures. The initial uniform class makes round one
+// equivalent to the classic per-weight bit-count signature.
+func refineClasses(f *bfunc.Func) []int {
+	n := f.N()
+	class := make([]int, n)
+	nclasses := 1
+	for iter := 0; iter < n; iter++ {
+		varSigs := make([][]uint64, n)
+		collect := func(pts []uint64, tag byte) {
+			for _, p := range pts {
+				h := pointHash(p, n, class, tag)
+				for i := 0; i < n; i++ {
+					if p&bitvec.VarMask(n, i) != 0 {
+						varSigs[i] = append(varSigs[i], h)
+					}
+				}
+			}
+		}
+		collect(f.On(), 1)
+		collect(f.DC(), 2)
+		varHash := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			sort.Slice(varSigs[i], func(a, b int) bool { return varSigs[i][a] < varSigs[i][b] })
+			varHash[i] = hashSeq(uint64(class[i]), varSigs[i])
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if class[ia] != class[ib] {
+				return class[ia] < class[ib]
+			}
+			return varHash[ia] < varHash[ib]
+		})
+		next := make([]int, n)
+		nnext := 0
+		for idx, v := range order {
+			if idx > 0 {
+				prev := order[idx-1]
+				if class[prev] != class[v] || varHash[prev] != varHash[v] {
+					nnext++
+				}
+			}
+			next[v] = nnext
+		}
+		nnext++
+		if nnext == nclasses {
+			return class
+		}
+		class, nclasses = next, nnext
+		if nclasses == n {
+			return class
+		}
+	}
+	return class
+}
+
+// pointHash hashes a point's invariant view: its ON/DC tag plus the
+// sorted multiset of variable classes at its set bits.
+func pointHash(p uint64, n int, class []int, tag byte) uint64 {
+	var classes []uint64
+	for i := 0; i < n; i++ {
+		if p&bitvec.VarMask(n, i) != 0 {
+			classes = append(classes, uint64(class[i]))
+		}
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a] < classes[b] })
+	return hashSeq(uint64(tag), classes)
+}
+
+func hashSeq(seed uint64, vals []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	h.Write(buf[:])
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// tieBreak turns the class partition into a concrete permutation.
+// Classes are laid out in class order; within a class, every assignment
+// of members to positions yields an equivalent candidate, so we
+// enumerate all combinations (as long as the total point-mapping work
+// stays under tieBreakWork) and keep the one whose permuted (ON, DC)
+// point lists are lexicographically smallest. If the class structure is
+// too ambiguous to afford enumeration, members keep their original
+// relative order — deterministic, but not permutation-invariant.
+func tieBreak(f *bfunc.Func, class []int) []int {
+	n := f.N()
+	groups := make([][]int, 0, n)
+	byClass := map[int][]int{}
+	for i := 0; i < n; i++ {
+		byClass[class[i]] = append(byClass[class[i]], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	ambiguous := false
+	candidates := 1
+	pts := f.OnCount() + len(f.DC())
+	if pts == 0 {
+		pts = 1
+	}
+	for _, c := range classes {
+		g := byClass[c]
+		groups = append(groups, g)
+		if len(g) > 1 {
+			ambiguous = true
+			for k := 2; k <= len(g); k++ {
+				candidates *= k
+				if candidates > tieBreakWork/pts {
+					candidates = tieBreakWork // poison: force fallback
+				}
+			}
+		}
+	}
+
+	// Fallback / unambiguous layout: group members in original index
+	// order at the group's positions.
+	layout := func() []int {
+		perm := make([]int, n)
+		pos := 0
+		for _, g := range groups {
+			for _, v := range g {
+				perm[v] = pos
+				pos++
+			}
+		}
+		return perm
+	}
+	if !ambiguous || candidates > tieBreakWork/pts {
+		return layout()
+	}
+
+	best := layout()
+	bestOn, bestDC := mapPoints(f, best)
+	perm := make([]int, n)
+	var walk func(gi, pos int)
+	walk = func(gi, pos int) {
+		if gi == len(groups) {
+			on, dc := mapPoints(f, perm)
+			if lessPoints(on, dc, bestOn, bestDC) {
+				copy(best, perm)
+				bestOn, bestDC = on, dc
+			}
+			return
+		}
+		g := groups[gi]
+		permuteGroup(g, func(assign []int) {
+			for k, v := range assign {
+				perm[v] = pos + k
+			}
+			walk(gi+1, pos+len(g))
+		})
+	}
+	walk(0, 0)
+	return best
+}
+
+// permuteGroup calls fn with every ordering of g (Heap's algorithm).
+func permuteGroup(g []int, fn func([]int)) {
+	a := append([]int(nil), g...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			fn(a)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				a[i], a[k-1] = a[k-1], a[i]
+			} else {
+				a[0], a[k-1] = a[k-1], a[0]
+			}
+		}
+	}
+	rec(len(a))
+}
+
+func mapPoints(f *bfunc.Func, perm []int) (on, dc []uint64) {
+	n := f.N()
+	on = make([]uint64, f.OnCount())
+	for i, p := range f.On() {
+		on[i] = bitvec.PermutePoint(p, n, perm)
+	}
+	sort.Slice(on, func(a, b int) bool { return on[a] < on[b] })
+	if len(f.DC()) > 0 {
+		dc = make([]uint64, len(f.DC()))
+		for i, p := range f.DC() {
+			dc[i] = bitvec.PermutePoint(p, n, perm)
+		}
+		sort.Slice(dc, func(a, b int) bool { return dc[a] < dc[b] })
+	}
+	return on, dc
+}
+
+func lessPoints(on1, dc1, on2, dc2 []uint64) bool {
+	for i := range on1 {
+		if on1[i] != on2[i] {
+			return on1[i] < on2[i]
+		}
+	}
+	for i := range dc1 {
+		if dc1[i] != dc2[i] {
+			return dc1[i] < dc2[i]
+		}
+	}
+	return false
+}
+
+func applyPerm(f *bfunc.Func, perm []int) *bfunc.Func {
+	on, dc := mapPoints(f, perm)
+	return bfunc.NewDC(f.N(), on, dc)
+}
+
+func keyOf(f *bfunc.Func) Key {
+	h := sha256.New()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	write(uint64(f.N()))
+	write(uint64(f.OnCount()))
+	for _, p := range f.On() {
+		write(p)
+	}
+	write(^uint64(0)) // ON/DC separator
+	write(uint64(len(f.DC())))
+	for _, p := range f.DC() {
+		write(p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// InversePerm returns the inverse of perm: if perm maps original
+// variable i to canonical position perm[i], the inverse maps canonical
+// variable j back to original position inv[j].
+func InversePerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, v := range perm {
+		inv[v] = i
+	}
+	return inv
+}

@@ -1,0 +1,229 @@
+package fcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+)
+
+func permFunc(f *bfunc.Func, perm []int) *bfunc.Func {
+	n := f.N()
+	mapPts := func(pts []uint64) []uint64 {
+		out := make([]uint64, len(pts))
+		for i, p := range pts {
+			out[i] = bitvec.PermutePoint(p, n, perm)
+		}
+		return out
+	}
+	return bfunc.NewDC(n, mapPts(f.On()), mapPts(f.DC()))
+}
+
+// TestCanonicalizeTable drives the ISSUE's key invariants: variable
+// permutation and DC-set representation must not change the key;
+// distinct functions must.
+func TestCanonicalizeTable(t *testing.T) {
+	key := func(f *bfunc.Func) Key {
+		k, _, _ := Canonicalize(f)
+		return k
+	}
+	cases := []struct {
+		name string
+		a, b *bfunc.Func
+		same bool
+	}{
+		{
+			name: "identical functions",
+			a:    bfunc.New(3, []uint64{0, 3, 5}),
+			b:    bfunc.New(3, []uint64{0, 3, 5}),
+			same: true,
+		},
+		{
+			name: "duplicate ON minterms normalize away",
+			a:    bfunc.New(3, []uint64{0, 3, 5}),
+			b:    bfunc.New(3, []uint64{5, 0, 3, 3, 0}),
+			same: true,
+		},
+		{
+			name: "swap x0 and x2",
+			a:    bfunc.New(3, []uint64{0b100, 0b110}),
+			b:    bfunc.New(3, []uint64{0b001, 0b011}),
+			same: true,
+		},
+		{
+			name: "rotate all three variables",
+			a:    bfunc.New(3, []uint64{0b100, 0b010, 0b111}),
+			b:    bfunc.New(3, []uint64{0b010, 0b001, 0b111}),
+			same: true,
+		},
+		{
+			name: "DC duplicates and ON-overlap normalize away",
+			a:    bfunc.NewDC(3, []uint64{1, 2}, []uint64{4, 6}),
+			b:    bfunc.NewDC(3, []uint64{1, 2}, []uint64{6, 4, 4, 1, 2}),
+			same: true,
+		},
+		{
+			name: "permutation with DC set",
+			a:    bfunc.NewDC(3, []uint64{0b100}, []uint64{0b101}),
+			b:    bfunc.NewDC(3, []uint64{0b001}, []uint64{0b101}),
+			same: true,
+		},
+		{
+			name: "different ON sets (inequivalent weight profile)",
+			a:    bfunc.New(3, []uint64{0b000, 0b001, 0b010}),
+			b:    bfunc.New(3, []uint64{0b000, 0b001, 0b111}),
+			same: false,
+		},
+		{
+			name: "equivalent under x1-x2 swap",
+			a:    bfunc.New(3, []uint64{0, 3, 5}),
+			b:    bfunc.New(3, []uint64{0, 3, 6}),
+			same: true,
+		},
+		{
+			name: "DC point is not an ON point",
+			a:    bfunc.NewDC(3, []uint64{1, 2}, []uint64{4}),
+			b:    bfunc.New(3, []uint64{1, 2, 4}),
+			same: false,
+		},
+		{
+			name: "ON-only vs same care set with DC",
+			a:    bfunc.New(3, []uint64{1, 2, 4}),
+			b:    bfunc.NewDC(3, []uint64{1, 2}, []uint64{4}),
+			same: false,
+		},
+		{
+			name: "different variable counts",
+			a:    bfunc.New(3, []uint64{1, 2}),
+			b:    bfunc.New(4, []uint64{1, 2}),
+			same: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ka, kb := key(tc.a), key(tc.b)
+			if (ka == kb) != tc.same {
+				t.Errorf("keys equal=%v, want %v\n  a=%v key=%s\n  b=%v key=%s",
+					ka == kb, tc.same, tc.a, ka, tc.b, kb)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeRandomPermutations: for random functions, every
+// permutation of the inputs must land on the same key, and the
+// returned perm must actually map f onto canon.
+func TestCanonicalizeRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		var on, dc []uint64
+		for p := uint64(0); p < 1<<uint(n); p++ {
+			switch rng.Intn(4) {
+			case 0:
+				on = append(on, p)
+			case 1:
+				dc = append(dc, p)
+			}
+		}
+		if len(on) == 0 {
+			on = []uint64{uint64(rng.Intn(1 << uint(n)))}
+		}
+		f := bfunc.NewDC(n, on, dc)
+		k0, perm, canon := Canonicalize(f)
+
+		if got := permFunc(f, perm); !got.Equal(canon) {
+			t.Fatalf("trial %d: perm does not map f onto canon\n  f=%v perm=%v", trial, f, perm)
+		}
+		if got := permFunc(canon, InversePerm(perm)); !got.Equal(f) {
+			t.Fatalf("trial %d: inverse perm does not map canon back to f", trial)
+		}
+		for pi := 0; pi < 5; pi++ {
+			shuffle := rng.Perm(n)
+			g := permFunc(f, shuffle)
+			kg, _, canonG := Canonicalize(g)
+			if kg != k0 {
+				t.Fatalf("trial %d: permuted function changed key\n  f=%v\n  shuffle=%v", trial, f, shuffle)
+			}
+			if !canonG.Equal(canon) {
+				t.Fatalf("trial %d: canonical forms differ for equivalent inputs", trial)
+			}
+		}
+	}
+}
+
+func TestKeyDerive(t *testing.T) {
+	f := bfunc.New(3, []uint64{1, 2, 4})
+	k, _, _ := Canonicalize(f)
+	a, b := k.Derive("k=1;exact=true"), k.Derive("k=2;exact=true")
+	if a == b {
+		t.Error("different tags produced equal derived keys")
+	}
+	if a != k.Derive("k=1;exact=true") {
+		t.Error("Derive is not deterministic")
+	}
+	if a == k {
+		t.Error("derived key equals base key")
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := New[int](2)
+	k := func(b byte) Key {
+		var k Key
+		k[0] = b
+		return k
+	}
+	if _, ok := c.Get(k(1)); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put(k(1), 10)
+	c.Put(k(2), 20)
+	if v, ok := c.Get(k(1)); !ok || v != 10 {
+		t.Fatalf("Get(1) = %d,%v want 10,true", v, ok)
+	}
+	c.Put(k(3), 30) // evicts 2 (LRU; 1 was just touched)
+	if _, ok := c.Get(k(2)); ok {
+		t.Error("entry 2 should have been evicted")
+	}
+	if v, ok := c.Get(k(1)); !ok || v != 10 {
+		t.Errorf("entry 1 should have survived, got %d,%v", v, ok)
+	}
+	if v, ok := c.Get(k(3)); !ok || v != 30 {
+		t.Errorf("entry 3 should be present, got %d,%v", v, ok)
+	}
+	c.Put(k(3), 33) // replace in place
+	if v, _ := c.Get(k(3)); v != 33 {
+		t.Errorf("replace failed, got %d", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 2 {
+		t.Errorf("Stats = %d hits, %d misses; want 4, 2", hits, misses)
+	}
+}
+
+func TestLRUCacheEvictionOrder(t *testing.T) {
+	c := New[int](3)
+	k := func(b byte) Key {
+		var k Key
+		k[0] = b
+		return k
+	}
+	for i := byte(1); i <= 3; i++ {
+		c.Put(k(i), int(i))
+	}
+	c.Get(k(1)) // order now 1,3,2 (MRU..LRU)
+	c.Put(k(4), 4)
+	if _, ok := c.Get(k(2)); ok {
+		t.Error("2 was LRU and should be gone")
+	}
+	for _, b := range []byte{1, 3, 4} {
+		if _, ok := c.Get(k(b)); !ok {
+			t.Errorf("%d should still be cached", b)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package fcache
+
+import "sync"
+
+// Cache is a thread-safe fixed-capacity LRU cache keyed by Key. The
+// zero value is not usable; construct with New.
+type Cache[V any] struct {
+	mu           sync.Mutex
+	max          int
+	items        map[Key]*node[V]
+	head, tail   *node[V] // head = most recently used
+	hits, misses uint64
+}
+
+type node[V any] struct {
+	key        Key
+	val        V
+	prev, next *node[V]
+}
+
+// New returns an empty cache holding at most max entries (max ≥ 1).
+func New[V any](max int) *Cache[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache[V]{max: max, items: make(map[Key]*node[V], max)}
+}
+
+// Get returns the value for k and marks it most recently used.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.items[k]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.moveToFront(n)
+	return n.val, true
+}
+
+// Put inserts or replaces the value for k, marking it most recently
+// used and evicting the least recently used entry if over capacity.
+func (c *Cache[V]) Put(k Key, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.items[k]; ok {
+		n.val = v
+		c.moveToFront(n)
+		return
+	}
+	n := &node[V]{key: k, val: v}
+	c.items[k] = n
+	c.pushFront(n)
+	if len(c.items) > c.max {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func (c *Cache[V]) pushFront(n *node[V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache[V]) unlink(n *node[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *Cache[V]) moveToFront(n *node[V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

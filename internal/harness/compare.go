@@ -34,7 +34,7 @@ func CompareForms(w io.Writer, names []string, cfg Config) []CompareRow {
 	for _, name := range names {
 		m := bench.MustLoad(name)
 		row := CompareRow{Name: name, SPPIsExact: true}
-		opts := cfg.coreOptions()
+		opts := cfg.CoreOptions()
 		for o := 0; o < m.NOutputs(); o++ {
 			f := m.Output(o)
 			row.SPLiterals += sp.Minimize(f, sp.Options{}).Form.Literals()

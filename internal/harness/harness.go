@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -55,7 +56,24 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) coreOptions() core.Options {
+// BindFlags registers the config's minimization bounds on fs under the
+// flag names the tools share (-budget, -workers, ...), so cmd/spptables
+// and cmd/sppserve parse identical knobs. Call on a config seeded with
+// DefaultConfig (or other desired defaults) before fs.Parse.
+func (c *Config) BindFlags(fs *flag.FlagSet) {
+	fs.DurationVar(&c.PerOutput, "budget", c.PerOutput, "per-output budget for EPPP construction")
+	fs.DurationVar(&c.NaiveBudget, "naive-budget", c.NaiveBudget, "per-output budget for the naive [5] baseline")
+	fs.IntVar(&c.MaxCandidates, "max-candidates", c.MaxCandidates, "cap on generated pseudoproducts per output (0 = library default)")
+	fs.IntVar(&c.Workers, "workers", c.Workers, "parallel workers for EPPP construction (0 = all CPUs, 1 = serial)")
+	fs.IntVar(&c.CoverWorkers, "cover-workers", c.CoverWorkers, "parallel workers for the covering phase (0 = follow -workers, 1 = serial)")
+	fs.Int64Var(&c.CoverMaxNodes, "cover-max-nodes", c.CoverMaxNodes, "node budget for exact covering (0 = solver default)")
+}
+
+// CoreOptions translates the config into the per-minimization options
+// the core engines take. Shared by the table drivers here and by the
+// serving layer (internal/service), which adds its own per-request
+// context and stats recorder on top.
+func (c Config) CoreOptions() core.Options {
 	return core.Options{
 		MaxDuration:   c.PerOutput,
 		MaxCandidates: c.MaxCandidates,
@@ -108,7 +126,7 @@ type FuncResult struct {
 func MinimizeFunc(m *bfunc.Multi, cfg Config) FuncResult {
 	res := FuncResult{Name: m.Name}
 	rec, report := cfg.rowRecorder()
-	opts := cfg.coreOptions()
+	opts := cfg.CoreOptions()
 	opts.Stats = rec
 	for o := 0; o < m.NOutputs(); o++ {
 		f := m.Output(o)
@@ -216,7 +234,7 @@ func Table2(w io.Writer, cases []OutputCase, cfg Config) []Table2Row {
 		row := Table2Row{Case: c}
 
 		trieRec, trieReport := cfg.rowRecorder()
-		opts := cfg.coreOptions()
+		opts := cfg.CoreOptions()
 		opts.Stats = trieRec
 		res, err := core.MinimizeExact(f, opts)
 		if err != nil {

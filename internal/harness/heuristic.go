@@ -54,7 +54,7 @@ func Table3(w io.Writer, names []string, cfg Config) []Table3Row {
 		m := bench.MustLoad(name)
 		row := Table3Row{Name: name}
 		rec, report := cfg.rowRecorder()
-		opts := cfg.coreOptions()
+		opts := cfg.CoreOptions()
 		opts.Stats = rec
 		for o := 0; o < m.NOutputs(); o++ {
 			f := m.Output(o)
@@ -136,7 +136,7 @@ func SweepK(name string, maxK int, cfg Config) Sweep {
 	if maxK >= 0 && maxK < top {
 		top = maxK
 	}
-	opts := cfg.coreOptions()
+	opts := cfg.CoreOptions()
 	for k := 0; k <= top; k++ {
 		pt := SweepPoint{K: k}
 		for o := 0; o < m.NOutputs(); o++ {

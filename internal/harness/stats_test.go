@@ -10,14 +10,14 @@ import (
 func TestCoreOptionsPlumbsCoverMaxNodes(t *testing.T) {
 	cfg := fastCfg()
 	cfg.CoverMaxNodes = 12345
-	if got := cfg.coreOptions().CoverMaxNodes; got != 12345 {
-		t.Fatalf("coreOptions().CoverMaxNodes = %d, want 12345", got)
+	if got := cfg.CoreOptions().CoverMaxNodes; got != 12345 {
+		t.Fatalf("CoreOptions().CoverMaxNodes = %d, want 12345", got)
 	}
 	cfg.CoverExact = true
 	cfg.Workers = 3
-	opts := cfg.coreOptions()
+	opts := cfg.CoreOptions()
 	if !opts.CoverExact || opts.Workers != 3 || opts.CoverMaxNodes != 12345 {
-		t.Fatalf("coreOptions dropped fields: %+v", opts)
+		t.Fatalf("CoreOptions dropped fields: %+v", opts)
 	}
 }
 

@@ -1,0 +1,24 @@
+package pcube
+
+import (
+	"repro/internal/bitvec"
+)
+
+// PermuteVars returns the pseudocube over the renamed variables: point
+// set {π(p) : p ∈ c}, where π moves variable x_i to x_perm[i]. The
+// result is rebuilt through the affine representation — offset and
+// basis rows are permuted point-wise and re-reduced to RREF — so it
+// satisfies every CEX invariant (Verify) regardless of how the
+// permutation scrambles the canonical-variable choice.
+//
+// This is the bridge of the canonical-function cache: minimization
+// results computed in canonical variable order are mapped back to the
+// request's order term by term.
+func (c *CEX) PermuteVars(perm []int) *CEX {
+	off, basis := c.Affine()
+	nb := bitvec.NewBasis(c.N)
+	for _, r := range basis.Rows() {
+		nb.Insert(bitvec.PermutePoint(r, c.N, perm))
+	}
+	return fromAffine(c.N, bitvec.PermutePoint(off, c.N, perm), nb)
+}

@@ -1,0 +1,71 @@
+package pcube
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestPermuteVars(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 3 + rng.Intn(8)
+		m := rng.Intn(n + 1)
+		c := randomCEX(rng, n, m)
+		perm := rng.Perm(n)
+
+		p := c.PermuteVars(perm)
+		if err := p.Verify(); err != nil {
+			t.Fatalf("n=%d m=%d perm=%v: permuted CEX invalid: %v\n  c=%v\n  p=%v", n, m, perm, err, c, p)
+		}
+		want := c.SortedPoints()
+		for i := range want {
+			want[i] = bitvec.PermutePoint(want[i], n, perm)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := p.SortedPoints()
+		if len(got) != len(want) {
+			t.Fatalf("point count changed: %d -> %d", len(want), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d m=%d perm=%v: point sets differ\n  want %v\n  got  %v", n, m, perm, want, got)
+			}
+		}
+	}
+}
+
+func TestPermuteVarsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 100; iter++ {
+		n := 3 + rng.Intn(8)
+		c := randomCEX(rng, n, rng.Intn(n+1))
+		id := make([]int, n)
+		for i := range id {
+			id[i] = i
+		}
+		p := c.PermuteVars(id)
+		if !c.Equal(p) {
+			t.Fatalf("identity permutation changed the CEX:\n  c=%v\n  p=%v", c, p)
+		}
+	}
+}
+
+func TestPermuteVarsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 100; iter++ {
+		n := 3 + rng.Intn(8)
+		c := randomCEX(rng, n, rng.Intn(n+1))
+		perm := rng.Perm(n)
+		inv := make([]int, n)
+		for i, v := range perm {
+			inv[v] = i
+		}
+		back := c.PermuteVars(perm).PermuteVars(inv)
+		if !c.Equal(back) {
+			t.Fatalf("perm=%v round trip changed the CEX:\n  c=%v\n  back=%v", perm, c, back)
+		}
+	}
+}

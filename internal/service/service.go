@@ -1,0 +1,538 @@
+// Package service implements the long-running SPP minimization HTTP
+// service behind cmd/sppserve: a JSON API over the core pipeline with a
+// canonical-function result cache (internal/fcache), a bounded
+// admission gate, per-request deadlines plumbed as context into the
+// engines, and an observability endpoint serving the spp-stats/v1
+// reports of recent runs.
+//
+// Endpoints:
+//
+//	POST /v1/minimize  — minimize one function, or a batch via the
+//	                     "requests" array; responses carry the SPP form,
+//	                     its metrics, cache status and elapsed time.
+//	GET  /healthz      — liveness plus the draining flag.
+//	GET  /statsz       — service counters and the spp-stats-run/v1
+//	                     report of the last N cold runs.
+//
+// Two requests whose functions differ only by an input-variable
+// permutation or by DC-set spelling hit the same cache entry: the
+// function is canonicalized (fcache.Canonicalize) before the key
+// lookup, and the cached canonical-space form is mapped back through
+// the inverse permutation on the way out.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/fcache"
+	"repro/internal/harness"
+	"repro/internal/pcube"
+	"repro/internal/stats"
+)
+
+// Config tunes the server. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// Core bounds each minimization (budgets, worker counts), shared
+	// with the table harness so sppserve and spptables read the same
+	// flags.
+	Core harness.Config
+	// MaxConcurrent is the admission-gate width: how many requests (or
+	// batches) may occupy the pipeline at once. Default 2.
+	MaxConcurrent int
+	// CacheSize is the canonical-function LRU capacity. Default 256.
+	CacheSize int
+	// DefaultTimeout applies to requests that set no timeout_ms.
+	// Default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied timeouts. Default 2m.
+	MaxTimeout time.Duration
+	// HistorySize is how many recent cold-run reports /statsz returns.
+	// Default 32.
+	HistorySize int
+}
+
+// Request is one minimization job. Exactly one function source must be
+// set: explicit minterms (N+On, optional Dc), a named built-in
+// benchmark (Bench, optional Output), or inline PLA text (PLA, optional
+// Output).
+type Request struct {
+	N  int      `json:"n,omitempty"`
+	On []uint64 `json:"on,omitempty"`
+	Dc []uint64 `json:"dc,omitempty"`
+
+	Bench  string `json:"bench,omitempty"`
+	PLA    string `json:"pla,omitempty"`
+	Output int    `json:"output,omitempty"`
+
+	// Algorithm selects the engine: "exact" (default), "naive", or
+	// "sppk" (the SPP_k heuristic, degree K).
+	Algorithm string `json:"algorithm,omitempty"`
+	K         int    `json:"k,omitempty"`
+
+	ExactCover bool `json:"exact_cover,omitempty"`
+	FactorCost bool `json:"factor_cost,omitempty"`
+
+	// TimeoutMS bounds this request's wall clock, queue wait included;
+	// 0 means the server default. Capped at Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache (still populates it).
+	NoCache bool `json:"no_cache,omitempty"`
+	// Stats embeds this run's spp-stats/v1 report in the response.
+	Stats bool `json:"stats,omitempty"`
+}
+
+// envelope is the /v1/minimize body: either a bare Request or a batch.
+type envelope struct {
+	Request
+	Requests []Request `json:"requests,omitempty"`
+}
+
+// Response is the result of one Request.
+type Response struct {
+	Form         string        `json:"form,omitempty"`
+	Literals     int           `json:"literals"`
+	NumTerms     int           `json:"num_terms"`
+	EPPP         int           `json:"eppp,omitempty"`
+	CoverOptimal bool          `json:"cover_optimal"`
+	Cached       bool          `json:"cached"`
+	Key          string        `json:"key,omitempty"`
+	ElapsedNS    int64         `json:"elapsed_ns"`
+	Stats        *stats.Report `json:"stats,omitempty"`
+	Error        string        `json:"error,omitempty"`
+
+	status int // HTTP status for single-request responses
+}
+
+// batchResponse wraps the per-item results of a batch request.
+type batchResponse struct {
+	Results []Response `json:"results"`
+}
+
+// Statsz is the /statsz payload: service counters plus the recent-run
+// report ring (docs/stats-schema.md documents the run schema).
+type Statsz struct {
+	Served      int64            `json:"served"`
+	CacheHits   int64            `json:"cache_hits"`
+	CacheMisses int64            `json:"cache_misses"`
+	Errors      int64            `json:"errors"`
+	InFlight    int              `json:"in_flight"`
+	Draining    bool             `json:"draining"`
+	Runs        *stats.RunReport `json:"runs"`
+}
+
+// cacheEntry is a canonical-space result. canon is kept for an Equal
+// check on hit, so even a SHA-256 collision cannot serve a wrong form.
+type cacheEntry struct {
+	canon        *bfunc.Func
+	form         core.Form
+	eppp         int
+	coverOptimal bool
+}
+
+// Server is the minimization service. Create with New; expose with
+// Handler.
+type Server struct {
+	cfg   Config
+	cache *fcache.Cache[cacheEntry]
+	slots chan struct{}
+
+	served, errors atomic.Int64
+	draining       atomic.Bool
+
+	mu      sync.Mutex
+	history []*stats.Report // ring, oldest first
+	runSeq  int64
+
+	// testHookAfterAcquire, when set, runs after a request takes its
+	// admission slot and before minimization — tests use it to hold
+	// slots open deterministically.
+	testHookAfterAcquire func(ctx context.Context)
+}
+
+// New builds a server, applying defaults for zero config fields.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	if cfg.HistorySize <= 0 {
+		cfg.HistorySize = 32
+	}
+	if cfg.Core.PerOutput == 0 && cfg.Core.MaxCandidates == 0 {
+		cfg.Core = harness.DefaultConfig()
+	}
+	return &Server{
+		cfg:   cfg,
+		cache: fcache.New[cacheEntry](cfg.CacheSize),
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/minimize", s.handleMinimize)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+// SetDraining flips the draining flag: while set, new minimize
+// requests are refused with 503 so http.Server.Shutdown can drain the
+// in-flight ones. Reported by /healthz and /statsz.
+func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+
+// FinalReport snapshots the run history for the shutdown flush.
+func (s *Server) FinalReport() *stats.RunReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return stats.NewRunReport(s.history...)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.draining.Load(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	hits, misses := s.cache.Stats()
+	s.mu.Lock()
+	runs := stats.NewRunReport(s.history...)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Statsz{
+		Served:      s.served.Load(),
+		CacheHits:   int64(hits),
+		CacheMisses: int64(misses),
+		Errors:      s.errors.Load(),
+		InFlight:    len(s.slots),
+		Draining:    s.draining.Load(),
+		Runs:        runs,
+	})
+}
+
+func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, Response{Error: "server draining"})
+		return
+	}
+	var env envelope
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: "bad request: " + err.Error()})
+		return
+	}
+	batch := env.Requests != nil
+	reqs := env.Requests
+	if !batch {
+		reqs = []Request{env.Request}
+	}
+	if len(reqs) == 0 {
+		writeJSON(w, http.StatusBadRequest, Response{Error: "empty batch"})
+		return
+	}
+
+	// The deadline covers the whole request, queue wait included. A
+	// batch shares one deadline (the max of its items' requests) and
+	// one admission slot, so intra-batch duplicates hit the cache
+	// without re-queueing.
+	var timeout time.Duration
+	for _, q := range reqs {
+		timeout = max(timeout, s.timeout(q))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	case <-ctx.Done():
+		s.errors.Add(1)
+		writeJSON(w, statusFor(ctx.Err()), Response{Error: "queue wait: " + ctx.Err().Error()})
+		return
+	}
+	if s.testHookAfterAcquire != nil {
+		s.testHookAfterAcquire(ctx)
+	}
+
+	results := make([]Response, len(reqs))
+	for i, q := range reqs {
+		results[i] = s.process(ctx, q)
+		if results[i].Error != "" {
+			s.errors.Add(1)
+		} else {
+			s.served.Add(1)
+		}
+	}
+	if batch {
+		writeJSON(w, http.StatusOK, batchResponse{Results: results})
+		return
+	}
+	res := results[0]
+	status := res.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, res)
+}
+
+func (s *Server) timeout(q Request) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if q.TimeoutMS > 0 {
+		d = time.Duration(q.TimeoutMS) * time.Millisecond
+	}
+	return min(d, s.cfg.MaxTimeout)
+}
+
+// process runs one request: resolve the function, canonicalize, try
+// the cache, minimize on miss, permute the form back.
+func (s *Server) process(ctx context.Context, q Request) Response {
+	start := time.Now()
+	fail := func(status int, err error) Response {
+		return Response{Error: err.Error(), status: status, ElapsedNS: time.Since(start).Nanoseconds()}
+	}
+	f, err := resolveFunction(q)
+	if err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
+	alg, err := normalizeAlgorithm(q, f.N())
+	if err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
+
+	key, perm, canon := fcache.Canonicalize(f)
+	key = key.Derive(s.optionTag(q, alg))
+	inv := fcache.InversePerm(perm)
+
+	if !q.NoCache {
+		if e, ok := s.cache.Get(key); ok && e.canon.Equal(canon) {
+			form := permuteForm(e.form, inv)
+			return Response{
+				Form:         form.String(),
+				Literals:     form.Literals(),
+				NumTerms:     form.NumTerms(),
+				EPPP:         e.eppp,
+				CoverOptimal: e.coverOptimal,
+				Cached:       true,
+				Key:          key.String(),
+				ElapsedNS:    time.Since(start).Nanoseconds(),
+			}
+		}
+	}
+
+	rec := stats.New()
+	opts := s.cfg.Core.CoreOptions()
+	opts.Ctx = ctx
+	opts.Stats = rec
+	opts.CoverExact = q.ExactCover
+	if q.FactorCost {
+		opts.Cost = core.CostFactors
+	}
+
+	var res *core.Result
+	switch alg.name {
+	case "exact":
+		res, err = core.MinimizeExact(canon, opts)
+	case "naive":
+		res, err = core.MinimizeNaive(canon, opts)
+	case "sppk":
+		res, err = core.Heuristic(canon, alg.k, opts)
+	}
+	if err != nil {
+		return fail(statusFor(err), err)
+	}
+	// A deadline that expires inside the covering search yields a valid
+	// but truncated form (cover.Exact degrades to its incumbent). Serve
+	// nothing rather than cache a deadline-shaped result.
+	if ctx.Err() != nil {
+		return fail(statusFor(ctx.Err()), ctx.Err())
+	}
+
+	s.mu.Lock()
+	s.runSeq++
+	rep := rec.Report(fmt.Sprintf("serve/%d/%s", s.runSeq, alg.name))
+	rep.Workers = s.cfg.Core.Workers
+	rep.CoverWorkers = s.cfg.Core.CoverWorkers
+	s.history = append(s.history, rep)
+	if len(s.history) > s.cfg.HistorySize {
+		s.history = s.history[1:]
+	}
+	s.mu.Unlock()
+
+	s.cache.Put(key, cacheEntry{
+		canon:        canon,
+		form:         res.Form,
+		eppp:         res.Build.EPPP,
+		coverOptimal: res.CoverOptimal,
+	})
+
+	form := permuteForm(res.Form, inv)
+	out := Response{
+		Form:         form.String(),
+		Literals:     form.Literals(),
+		NumTerms:     form.NumTerms(),
+		EPPP:         res.Build.EPPP,
+		CoverOptimal: res.CoverOptimal,
+		Key:          key.String(),
+		ElapsedNS:    time.Since(start).Nanoseconds(),
+	}
+	if q.Stats {
+		out.Stats = rep
+	}
+	return out
+}
+
+type algorithm struct {
+	name string
+	k    int
+}
+
+func normalizeAlgorithm(q Request, n int) (algorithm, error) {
+	switch q.Algorithm {
+	case "", "exact":
+		return algorithm{name: "exact"}, nil
+	case "naive":
+		return algorithm{name: "naive"}, nil
+	case "sppk", "spp_k":
+		if q.K < 0 || q.K > n-1 {
+			return algorithm{}, fmt.Errorf("k=%d outside [0, %d]", q.K, n-1)
+		}
+		return algorithm{name: "sppk", k: q.K}, nil
+	default:
+		return algorithm{}, fmt.Errorf("unknown algorithm %q", q.Algorithm)
+	}
+}
+
+// optionTag spells out every option that can change a successful
+// result, so different options occupy different cache slots. Budgets
+// that abort with an error rather than truncate (PerOutput,
+// MaxCandidates) still matter: a function minimized under a larger
+// budget is not the same cache entry as one that fit a smaller one
+// only because both succeeded. Timeouts and worker counts are absent —
+// results are worker-count-independent, and a request that survives
+// its deadline is complete.
+func (s *Server) optionTag(q Request, alg algorithm) string {
+	return fmt.Sprintf("alg=%s;k=%d;xc=%t;fc=%t;cand=%d;nodes=%d",
+		alg.name, alg.k, q.ExactCover, q.FactorCost,
+		s.cfg.Core.MaxCandidates, s.cfg.Core.CoverMaxNodes)
+}
+
+func resolveFunction(q Request) (*bfunc.Func, error) {
+	sources := 0
+	if len(q.On) > 0 || q.N > 0 {
+		sources++
+	}
+	if q.Bench != "" {
+		sources++
+	}
+	if q.PLA != "" {
+		sources++
+	}
+	if sources != 1 {
+		return nil, errors.New("exactly one of (n,on), bench, pla must be set")
+	}
+	switch {
+	case q.Bench != "":
+		m, err := bench.Load(q.Bench)
+		if err != nil {
+			return nil, err
+		}
+		return pickOutput(m, q.Output)
+	case q.PLA != "":
+		m, err := bfunc.ParsePLA(strings.NewReader(q.PLA), "request")
+		if err != nil {
+			return nil, err
+		}
+		return pickOutput(m, q.Output)
+	default:
+		if q.N < 1 || q.N > bitvec.MaxVars {
+			return nil, fmt.Errorf("n=%d outside [1, %d]", q.N, bitvec.MaxVars)
+		}
+		if q.N > 30 {
+			return nil, fmt.Errorf("n=%d too large for explicit minterms (max 30)", q.N)
+		}
+		limit := uint64(1) << uint(q.N)
+		for _, p := range append(append([]uint64{}, q.On...), q.Dc...) {
+			if p >= limit {
+				return nil, fmt.Errorf("point %d outside B^%d", p, q.N)
+			}
+		}
+		if len(q.On) == 0 {
+			return nil, errors.New("empty ON-set")
+		}
+		return bfunc.NewDC(q.N, q.On, q.Dc), nil
+	}
+}
+
+func pickOutput(m *bfunc.Multi, idx int) (*bfunc.Func, error) {
+	if idx < 0 || idx >= m.NOutputs() {
+		return nil, fmt.Errorf("output %d outside [0, %d)", idx, m.NOutputs())
+	}
+	return m.Output(idx), nil
+}
+
+// permuteForm maps a canonical-space form back to request-variable
+// space term by term.
+func permuteForm(f core.Form, inv []int) core.Form {
+	terms := make([]*pcube.CEX, len(f.Terms))
+	for i, t := range f.Terms {
+		terms[i] = t.PermuteVars(inv)
+	}
+	return core.Form{N: f.N, Terms: terms}
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, core.ErrBudget):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

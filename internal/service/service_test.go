@@ -1,0 +1,404 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func testConfig() Config {
+	return Config{
+		Core: harness.Config{
+			PerOutput:     10 * time.Second,
+			MaxCandidates: 1_000_000,
+			Workers:       1,
+		},
+		MaxConcurrent:  2,
+		DefaultTimeout: 10 * time.Second,
+		MaxTimeout:     20 * time.Second,
+	}
+}
+
+func post(t *testing.T, h http.Handler, body string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/minimize", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code, w.Body.String()
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code, w.Body.String()
+}
+
+func decodeResp(t *testing.T, body string) Response {
+	t.Helper()
+	var r Response
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	return r
+}
+
+// oddParity is the n-variable odd-parity ON-set: a one-pseudoproduct
+// SPP form, so requests stay fast.
+func oddParity(n int) []uint64 {
+	var on []uint64
+	for p := uint64(0); p < 1<<uint(n); p++ {
+		if bits.OnesCount64(p)%2 == 1 {
+			on = append(on, p)
+		}
+	}
+	return on
+}
+
+func pointsJSON(pts []uint64) string {
+	parts := make([]string, len(pts))
+	for i, p := range pts {
+		parts[i] = fmt.Sprint(p)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func TestMinimizeSingleAndCacheHit(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+	body := fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(oddParity(4)))
+
+	code, out := post(t, h, body)
+	if code != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", code, out)
+	}
+	cold := decodeResp(t, out)
+	if cold.Cached {
+		t.Error("first request claims cached")
+	}
+	if cold.Literals != 4 || cold.NumTerms != 1 {
+		t.Errorf("odd parity minimized to %d literals / %d terms, want 4/1 (%s)",
+			cold.Literals, cold.NumTerms, cold.Form)
+	}
+
+	code, out = post(t, h, body)
+	if code != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", code, out)
+	}
+	warm := decodeResp(t, out)
+	if !warm.Cached {
+		t.Error("repeat request missed the cache")
+	}
+	if warm.Form != cold.Form || warm.Literals != cold.Literals {
+		t.Errorf("cached result differs: %q vs %q", warm.Form, cold.Form)
+	}
+}
+
+// TestMinimizePermutedEquivalentHit: a function that differs from a
+// previous request only by an input permutation must hit the cache,
+// and the returned form must realize the *permuted* function.
+func TestMinimizePermutedEquivalentHit(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+
+	// Asymmetric function so the permutation genuinely moves points.
+	on := []uint64{0b0001, 0b0011, 0b0111, 0b1111, 0b1000}
+	code, out := post(t, h, fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(on)))
+	if code != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", code, out)
+	}
+
+	// Permute x0<->x3, x1<->x2 (bit reversal over 4 bits).
+	perm := []int{3, 2, 1, 0}
+	pon := make([]uint64, len(on))
+	for i, p := range on {
+		pon[i] = bitvec.PermutePoint(p, 4, perm)
+	}
+	code, out = post(t, h, fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(pon)))
+	if code != http.StatusOK {
+		t.Fatalf("permuted: status %d: %s", code, out)
+	}
+	res := decodeResp(t, out)
+	if !res.Cached {
+		t.Error("permuted-equivalent request missed the cache")
+	}
+	form, err := core.ParseForm(4, res.Form)
+	if err != nil {
+		t.Fatalf("returned form does not parse: %v\n%q", err, res.Form)
+	}
+	if err := form.Verify(bfunc.New(4, pon)); err != nil {
+		t.Errorf("cached form does not realize the permuted function: %v", err)
+	}
+}
+
+func TestMinimizeBatch(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+	on := pointsJSON(oddParity(3))
+	body := fmt.Sprintf(`{"requests":[{"n":3,"on":%s},{"n":3,"on":%s},{"n":3,"on":[1,2]}]}`, on, on)
+	code, out := post(t, h, body)
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, out)
+	}
+	var br batchResponse
+	if err := json.Unmarshal([]byte(out), &br); err != nil {
+		t.Fatalf("bad batch JSON: %v", err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(br.Results))
+	}
+	if br.Results[0].Cached {
+		t.Error("first batch item claims cached")
+	}
+	if !br.Results[1].Cached {
+		t.Error("duplicate batch item missed the cache (should share the slot and hit)")
+	}
+	if br.Results[2].Cached || br.Results[2].Form == br.Results[0].Form {
+		t.Error("distinct batch item wrongly shared a result")
+	}
+	for i, r := range br.Results {
+		if r.Error != "" {
+			t.Errorf("item %d errored: %s", i, r.Error)
+		}
+	}
+}
+
+func TestMinimizeDeadline504(t *testing.T) {
+	s := New(testConfig())
+	// Hold the request until its deadline has passed, then let the
+	// pipeline see the expired context.
+	s.testHookAfterAcquire = func(ctx context.Context) { <-ctx.Done() }
+	h := s.Handler()
+	body := fmt.Sprintf(`{"n":4,"on":%s,"timeout_ms":50}`, pointsJSON(oddParity(4)))
+	start := time.Now()
+	code, out := post(t, h, body)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", code, out)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline honored only after %v", elapsed)
+	}
+	res := decodeResp(t, out)
+	if res.Error == "" {
+		t.Error("504 response carries no error message")
+	}
+}
+
+// TestQueueDeadlineDoesNotLeakSlot: a request that times out while
+// waiting for admission must not consume a slot — afterwards the full
+// gate width is still available.
+func TestQueueDeadlineDoesNotLeakSlot(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxConcurrent = 1
+	s := New(cfg)
+	gate := make(chan struct{})
+	s.testHookAfterAcquire = func(ctx context.Context) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+	}
+	h := s.Handler()
+	body := fmt.Sprintf(`{"n":3,"on":%s}`, pointsJSON(oddParity(3)))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if code, out := post(t, h, body); code != http.StatusOK {
+			t.Errorf("slot holder: status %d: %s", code, out)
+		}
+	}()
+	// Wait until the slot is taken.
+	for i := 0; len(s.slots) == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if len(s.slots) != 1 {
+		t.Fatal("slot holder never acquired")
+	}
+
+	code, out := post(t, h, fmt.Sprintf(`{"n":3,"on":%s,"timeout_ms":50}`, pointsJSON(oddParity(3))))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("queued request: status %d, want 504: %s", code, out)
+	}
+
+	close(gate)
+	wg.Wait()
+	if code, out := post(t, h, body); code != http.StatusOK {
+		t.Fatalf("post-timeout request: status %d (slot leaked?): %s", code, out)
+	}
+	if got := len(s.slots); got != 0 {
+		t.Errorf("slots in use after drain: %d", got)
+	}
+}
+
+// TestGracefulShutdownDrains: Shutdown must refuse new work (via the
+// draining flag) yet complete the in-flight request.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := New(testConfig())
+	gate := make(chan struct{})
+	s.testHookAfterAcquire = func(ctx context.Context) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := fmt.Sprintf(`{"n":3,"on":%s}`, pointsJSON(oddParity(3)))
+	type result struct {
+		code int
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/minimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		resp.Body.Close()
+		inflight <- result{code: resp.StatusCode}
+	}()
+	for i := 0; len(s.slots) == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	s.SetDraining(true)
+	resp, err := http.Post(srv.URL+"/v1/minimize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server accepted new work: status %d", resp.StatusCode)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Config.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Shutdown begin draining
+	close(gate)
+
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", r.err)
+	}
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request got status %d during shutdown", r.code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestStatszAndHealthz(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+	body := fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(oddParity(4)))
+	post(t, h, body)
+	post(t, h, body)
+
+	code, out := get(t, h, "/healthz")
+	if code != http.StatusOK || !strings.Contains(out, `"ok"`) {
+		t.Fatalf("healthz: %d %s", code, out)
+	}
+
+	code, out = get(t, h, "/statsz")
+	if code != http.StatusOK {
+		t.Fatalf("statsz: status %d", code)
+	}
+	var st Statsz
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("bad statsz JSON: %v", err)
+	}
+	if st.Served != 2 {
+		t.Errorf("served = %d, want 2", st.Served)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.Runs == nil || len(st.Runs.Reports) != 1 {
+		t.Fatalf("statsz run history: %+v", st.Runs)
+	}
+	if st.Runs.Schema != "spp-stats-run/v1" {
+		t.Errorf("run schema = %q", st.Runs.Schema)
+	}
+	if rep := st.Runs.Reports[0]; rep.Schema != "spp-stats/v1" || len(rep.Phases) == 0 {
+		t.Errorf("cold-run report missing phases: %+v", rep)
+	}
+}
+
+func TestMinimizeStatsInResponse(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+	code, out := post(t, h, fmt.Sprintf(`{"n":4,"on":%s,"stats":true}`, pointsJSON(oddParity(4))))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, out)
+	}
+	res := decodeResp(t, out)
+	if res.Stats == nil || res.Stats.Schema != "spp-stats/v1" {
+		t.Fatalf("response stats missing: %+v", res.Stats)
+	}
+}
+
+func TestMinimizeBadRequests(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown field", `{"n":3,"on":[1],"frobnicate":true}`},
+		{"two sources", `{"n":3,"on":[1],"bench":"adr4"}`},
+		{"no source", `{}`},
+		{"empty batch", `{"requests":[]}`},
+		{"point out of range", `{"n":3,"on":[8]}`},
+		{"empty on", `{"n":3,"on":[]}`},
+		{"bad algorithm", `{"n":3,"on":[1],"algorithm":"magic"}`},
+		{"k out of range", `{"n":3,"on":[1],"algorithm":"sppk","k":7}`},
+		{"unknown bench", `{"bench":"no-such-bench"}`},
+		{"bad output", `{"bench":"adr4","output":99}`},
+		{"n too large", `{"n":40,"on":[1]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := post(t, h, tc.body)
+			if code != http.StatusBadRequest {
+				t.Errorf("status %d, want 400: %s", code, out)
+			}
+		})
+	}
+	if code, _ := get(t, h, "/v1/minimize"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET minimize: %d, want 405", code)
+	}
+}
+
+func TestMinimizeBenchSource(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+	code, out := post(t, h, `{"bench":"adr4","output":0}`)
+	if code != http.StatusOK {
+		t.Fatalf("bench request: status %d: %s", code, out)
+	}
+	res := decodeResp(t, out)
+	if res.Literals == 0 || res.Form == "" {
+		t.Errorf("bench result empty: %+v", res)
+	}
+}

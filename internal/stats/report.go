@@ -8,8 +8,10 @@ import (
 	"time"
 )
 
-// Schema identifies the JSON layout of a single-run Report. Documented
-// in DESIGN.md (ablation 10); bump on breaking changes.
+// Schema identifies the JSON layout of a single-run Report. The
+// normative field-by-field description (and the deterministic-vs-sched
+// counter contract) lives in docs/stats-schema.md, with the recorder's
+// sharding design in DESIGN.md (ablation 10); bump on breaking changes.
 const Schema = "spp-stats/v1"
 
 // PhaseTime is one phase's aggregate wall time.
@@ -167,7 +169,8 @@ type RunReport struct {
 	Reports []*Report `json:"reports"`
 }
 
-// RunSchema identifies the JSON layout of a RunReport.
+// RunSchema identifies the JSON layout of a RunReport; see
+// docs/stats-schema.md.
 const RunSchema = "spp-stats-run/v1"
 
 // NewRunReport wraps reports (nil entries are dropped).

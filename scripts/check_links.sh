@@ -1,0 +1,27 @@
+#!/bin/sh
+# check_links.sh — the docs gate: every relative markdown link
+# ([text](path) where path is not a URL or pure #anchor) in the repo's
+# documentation must point at an existing file or directory. Fails
+# listing the dead links.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for md in *.md docs/*.md; do
+	[ -f "$md" ] || continue
+	base=$(dirname "$md")
+	# Pull out link targets: [..](target). Markdown images and inline
+	# code are rare enough in this repo that the simple pattern serves.
+	for target in $(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//'); do
+		case "$target" in
+		http://* | https://* | mailto:* | \#*) continue ;;
+		esac
+		path=${target%%#*} # strip anchors
+		[ -n "$path" ] || continue
+		if [ ! -e "$base/$path" ] && [ ! -e "$path" ]; then
+			echo "check-links: $md -> $target (missing)" >&2
+			status=1
+		fi
+	done
+done
+exit $status

@@ -1,0 +1,38 @@
+#!/bin/sh
+# pkgdoc_check.sh — the godoc gate run by `make check`.
+#
+# Every library package (root + internal/*) must carry a canonical
+# `// Package <name> ...` comment, and every main package (cmd/*,
+# examples/*) must have a doc comment immediately preceding its package
+# clause in at least one file. Fails listing the offenders.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	name=$(go list -f '{{.Name}}' "$dir")
+	if [ "$name" != "main" ]; then
+		if ! grep -q "^// Package $name " "$dir"/*.go; then
+			echo "pkgdoc-check: $dir lacks a '// Package $name ...' comment" >&2
+			status=1
+		fi
+		continue
+	fi
+	ok=0
+	for f in "$dir"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		if awk '
+			/^package / { if (prev ~ /^\/\//) found = 1; exit }
+			{ prev = $0 }
+			END { exit !found }
+		' "$f"; then
+			ok=1
+			break
+		fi
+	done
+	if [ "$ok" -eq 0 ]; then
+		echo "pkgdoc-check: $dir lacks a doc comment on its package clause" >&2
+		status=1
+	fi
+done
+exit $status

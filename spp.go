@@ -27,6 +27,7 @@
 package spp
 
 import (
+	"context"
 	"io"
 	"strings"
 	"time"
@@ -109,6 +110,13 @@ func (d *Design) Output(i int) *Function { return &Function{f: d.m.Output(i)} }
 // Options tune minimization. The zero value (or a nil pointer) selects
 // literal-count cost, greedy covering and generous generation limits.
 type Options struct {
+	// Ctx, when non-nil, cancels the whole minimization: construction
+	// and covering poll it at phase boundaries and inside their hot
+	// loops, and the ctx error (context.Canceled or DeadlineExceeded)
+	// is returned in place of ErrBudget. Unlike MaxDuration, which only
+	// bounds EPPP construction, a context deadline bounds wall clock
+	// across every phase — it is what serving layers should use.
+	Ctx context.Context
 	// MaxDuration bounds EPPP construction wall-clock time (0 = none).
 	MaxDuration time.Duration
 	// MaxCandidates caps the number of pseudoproducts generated
@@ -143,6 +151,7 @@ func (o *Options) toCore() core.Options {
 		return core.Options{}
 	}
 	opts := core.Options{
+		Ctx:           o.Ctx,
 		MaxDuration:   o.MaxDuration,
 		MaxCandidates: o.MaxCandidates,
 		CoverExact:    o.ExactCover,

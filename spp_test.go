@@ -1,6 +1,8 @@
 package spp_test
 
 import (
+	"context"
+	"errors"
 	"math/bits"
 	"strings"
 	"testing"
@@ -164,5 +166,21 @@ func TestFunctionBDDAndHasDC(t *testing.T) {
 	dc := spp.NewWithDC(3, []uint64{1}, []uint64{2})
 	if !dc.HasDC() {
 		t.Fatal("HasDC missed the DC set")
+	}
+}
+
+func TestOptionsCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := spp.Minimize(parity(8), &spp.Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	res, err := spp.Minimize(parity(4), &spp.Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Form.String() != "(x0⊕x1⊕x2⊕x3)" {
+		t.Fatalf("live ctx changed the result: %v", res.Form)
 	}
 }
