@@ -42,6 +42,8 @@ func main() {
 		historySize = flag.Int("history", 32, "recent cold runs kept for /statsz")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 		statsPath   = flag.String("stats", "", "write the final run report (JSON) here on shutdown, - for stdout")
+		maxBody     = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+		maxBatch    = flag.Int("max-batch", 64, "max requests per batch envelope")
 	)
 	core := harness.DefaultConfig()
 	core.BindFlags(flag.CommandLine)
@@ -54,6 +56,8 @@ func main() {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		HistorySize:    *historySize,
+		MaxBodyBytes:   *maxBody,
+		MaxBatch:       *maxBatch,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -63,7 +67,17 @@ func main() {
 	}
 	fmt.Printf("sppserve: listening on %s\n", ln.Addr())
 
-	srv := &http.Server{Handler: svc.Handler()}
+	// Header/read deadlines cap slowloris-style connections; the body
+	// itself is already size-capped by the service (-max-body).
+	// ReadTimeout covers only reading the request, not the handler, so
+	// it can be far shorter than -max-timeout; no WriteTimeout because
+	// responses may legitimately take up to -max-timeout to compute.
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

@@ -17,6 +17,7 @@
 package fcache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -66,10 +67,27 @@ const tieBreakWork = 1 << 22
 // best effort (equal inputs still get equal keys, some equivalent
 // inputs may not).
 func Canonicalize(f *bfunc.Func) (Key, []int, *bfunc.Func) {
-	class := refineClasses(f)
-	perm := tieBreak(f, class)
+	k, perm, canon, _ := CanonicalizeCtx(context.Background(), f)
+	return k, perm, canon
+}
+
+// CanonicalizeCtx is Canonicalize with cancellation: the refinement
+// rounds and the tie-break enumeration poll ctx and abort with its
+// error, so a per-request deadline bounds canonicalization of large or
+// adversarial inputs. On error the other return values are unusable.
+// Cancellation never yields a truncated key — truncation by the
+// (deterministic) work budget does not report an error.
+func CanonicalizeCtx(ctx context.Context, f *bfunc.Func) (Key, []int, *bfunc.Func, error) {
+	class, err := refineClasses(ctx, f)
+	if err != nil {
+		return Key{}, nil, nil, err
+	}
+	perm, err := tieBreak(ctx, f, class)
+	if err != nil {
+		return Key{}, nil, nil, err
+	}
 	canon := applyPerm(f, perm)
-	return keyOf(canon), perm, canon
+	return keyOf(canon), perm, canon, nil
 }
 
 // KeyOf returns the cache key of f without canonicalizing: equal
@@ -85,14 +103,22 @@ func KeyOf(f *bfunc.Func) Key { return keyOf(f) }
 // classes that hash apart. Equivalent-under-permutation inputs produce
 // identical class structures. The initial uniform class makes round one
 // equivalent to the classic per-weight bit-count signature.
-func refineClasses(f *bfunc.Func) []int {
+func refineClasses(ctx context.Context, f *bfunc.Func) ([]int, error) {
 	n := f.N()
 	class := make([]int, n)
 	nclasses := 1
 	for iter := 0; iter < n; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		varSigs := make([][]uint64, n)
+		cancelled := false
 		collect := func(pts []uint64, tag byte) {
-			for _, p := range pts {
+			for j, p := range pts {
+				if j&1023 == 1023 && ctx.Err() != nil {
+					cancelled = true
+					return
+				}
 				h := pointHash(p, n, class, tag)
 				for i := 0; i < n; i++ {
 					if p&bitvec.VarMask(n, i) != 0 {
@@ -103,6 +129,9 @@ func refineClasses(f *bfunc.Func) []int {
 		}
 		collect(f.On(), 1)
 		collect(f.DC(), 2)
+		if cancelled {
+			return nil, ctx.Err()
+		}
 		varHash := make([]uint64, n)
 		for i := 0; i < n; i++ {
 			sort.Slice(varSigs[i], func(a, b int) bool { return varSigs[i][a] < varSigs[i][b] })
@@ -132,14 +161,14 @@ func refineClasses(f *bfunc.Func) []int {
 		}
 		nnext++
 		if nnext == nclasses {
-			return class
+			return class, nil
 		}
 		class, nclasses = next, nnext
 		if nclasses == n {
-			return class
+			return class, nil
 		}
 	}
-	return class
+	return class, nil
 }
 
 // pointHash hashes a point's invariant view: its ON/DC tag plus the
@@ -174,8 +203,11 @@ func hashSeq(seed uint64, vals []uint64) uint64 {
 // stays under tieBreakWork) and keep the one whose permuted (ON, DC)
 // point lists are lexicographically smallest. If the class structure is
 // too ambiguous to afford enumeration, members keep their original
-// relative order — deterministic, but not permutation-invariant.
-func tieBreak(f *bfunc.Func, class []int) []int {
+// relative order — deterministic, but not permutation-invariant. The
+// walk itself meters the work actually spent, so even a wrong estimate
+// cannot exceed the budget; ctx cancellation aborts with an error
+// rather than a (nondeterministically) truncated permutation.
+func tieBreak(ctx context.Context, f *bfunc.Func, class []int) ([]int, error) {
 	n := f.N()
 	groups := make([][]int, 0, n)
 	byClass := map[int][]int{}
@@ -188,6 +220,7 @@ func tieBreak(f *bfunc.Func, class []int) []int {
 	}
 	sort.Ints(classes)
 	ambiguous := false
+	overBudget := false
 	candidates := 1
 	pts := f.OnCount() + len(f.DC())
 	if pts == 0 {
@@ -198,10 +231,12 @@ func tieBreak(f *bfunc.Func, class []int) []int {
 		groups = append(groups, g)
 		if len(g) > 1 {
 			ambiguous = true
-			for k := 2; k <= len(g); k++ {
+			// Once over budget, stop multiplying: candidates stays
+			// bounded (no overflow) and the flag cannot be unset.
+			for k := 2; k <= len(g) && !overBudget; k++ {
 				candidates *= k
 				if candidates > tieBreakWork/pts {
-					candidates = tieBreakWork // poison: force fallback
+					overBudget = true
 				}
 			}
 		}
@@ -220,54 +255,74 @@ func tieBreak(f *bfunc.Func, class []int) []int {
 		}
 		return perm
 	}
-	if !ambiguous || candidates > tieBreakWork/pts {
-		return layout()
+	if !ambiguous || overBudget {
+		return layout(), nil
 	}
 
 	best := layout()
 	bestOn, bestDC := mapPoints(f, best)
 	perm := make([]int, n)
-	var walk func(gi, pos int)
-	walk = func(gi, pos int) {
+	work, leaves := 0, 0
+	var ctxErr error
+	var walk func(gi, pos int) bool // false stops the enumeration
+	walk = func(gi, pos int) bool {
 		if gi == len(groups) {
+			leaves++
+			if leaves&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return false
+				}
+			}
+			work += pts
+			if work > tieBreakWork {
+				return false // hard cap: the estimate undercounted
+			}
 			on, dc := mapPoints(f, perm)
 			if lessPoints(on, dc, bestOn, bestDC) {
 				copy(best, perm)
 				bestOn, bestDC = on, dc
 			}
-			return
+			return true
 		}
 		g := groups[gi]
-		permuteGroup(g, func(assign []int) {
+		return permuteGroup(g, func(assign []int) bool {
 			for k, v := range assign {
 				perm[v] = pos + k
 			}
-			walk(gi+1, pos+len(g))
+			return walk(gi+1, pos+len(g))
 		})
 	}
 	walk(0, 0)
-	return best
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return best, nil
 }
 
-// permuteGroup calls fn with every ordering of g (Heap's algorithm).
-func permuteGroup(g []int, fn func([]int)) {
+// permuteGroup calls fn with every ordering of g (Heap's algorithm)
+// until fn returns false; it reports whether the enumeration ran to
+// completion.
+func permuteGroup(g []int, fn func([]int) bool) bool {
 	a := append([]int(nil), g...)
-	var rec func(k int)
-	rec = func(k int) {
+	var rec func(k int) bool
+	rec = func(k int) bool {
 		if k == 1 {
-			fn(a)
-			return
+			return fn(a)
 		}
 		for i := 0; i < k; i++ {
-			rec(k - 1)
+			if !rec(k - 1) {
+				return false
+			}
 			if k%2 == 0 {
 				a[i], a[k-1] = a[k-1], a[i]
 			} else {
 				a[0], a[k-1] = a[k-1], a[0]
 			}
 		}
+		return true
 	}
-	rec(len(a))
+	return rec(len(a))
 }
 
 func mapPoints(f *bfunc.Func, perm []int) (on, dc []uint64) {

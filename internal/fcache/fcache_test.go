@@ -1,8 +1,10 @@
 package fcache
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/bfunc"
 	"repro/internal/bitvec"
@@ -150,6 +152,71 @@ func TestCanonicalizeRandomPermutations(t *testing.T) {
 				t.Fatalf("trial %d: canonical forms differ for equivalent inputs", trial)
 			}
 		}
+	}
+}
+
+// TestTieBreakBudgetSinglePoint: a single-point function over many
+// variables makes every variable ambiguous (13! candidate orderings)
+// while pts==1 made the old poison-value budget check a no-op, so
+// Canonicalize enumerated the full factorial. The budget fallback must
+// kick in and return instantly — and deterministically.
+func TestTieBreakBudgetSinglePoint(t *testing.T) {
+	for _, f := range []*bfunc.Func{
+		bfunc.New(13, []uint64{0}),
+		bfunc.New(30, []uint64{0}),
+		bfunc.New(20, []uint64{1}),
+	} {
+		start := time.Now()
+		k1, perm, canon := Canonicalize(f)
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("n=%d: Canonicalize took %v; budget fallback did not trigger", f.N(), elapsed)
+		}
+		if got := permFunc(f, perm); !got.Equal(canon) {
+			t.Errorf("n=%d: perm does not map f onto canon", f.N())
+		}
+		if k2, _, _ := Canonicalize(f); k2 != k1 {
+			t.Errorf("n=%d: budget fallback is nondeterministic", f.N())
+		}
+	}
+}
+
+// TestTieBreakWalkWorkCap: many small ambiguous classes keep the
+// estimated candidate count within budget, yet the walk must still be
+// bounded by its own work meter and stay fast.
+func TestTieBreakWalkWorkCap(t *testing.T) {
+	// 8 fully symmetric variables: 8! = 40320 candidates over 4 points,
+	// well under budget — the walk runs to completion and stays exact.
+	on := []uint64{0b00000011, 0b00001100, 0b00110000, 0b11000000}
+	f := bfunc.New(8, on)
+	start := time.Now()
+	k0, _, canon := Canonicalize(f)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("walk took %v", elapsed)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5; i++ {
+		g := permFunc(f, rng.Perm(8))
+		if kg, _, canonG := Canonicalize(g); kg != k0 || !canonG.Equal(canon) {
+			t.Fatal("permuted symmetric function changed key")
+		}
+	}
+}
+
+// TestCanonicalizeCtxCancelled: a cancelled context aborts
+// canonicalization with its error instead of returning a truncated
+// (and so nondeterministic) key.
+func TestCanonicalizeCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := CanonicalizeCtx(ctx, bfunc.New(4, []uint64{1, 2, 4, 8})); err != context.Canceled {
+		t.Errorf("CanonicalizeCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	k, perm, canon, err := CanonicalizeCtx(context.Background(), bfunc.New(4, []uint64{1, 2, 4, 8}))
+	if err != nil || perm == nil || canon == nil {
+		t.Fatalf("CanonicalizeCtx on live ctx failed: %v", err)
+	}
+	if k2, _, _ := Canonicalize(bfunc.New(4, []uint64{1, 2, 4, 8})); k2 != k {
+		t.Error("CanonicalizeCtx and Canonicalize disagree")
 	}
 }
 

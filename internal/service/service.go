@@ -16,9 +16,9 @@
 //
 // Two requests whose functions differ only by an input-variable
 // permutation or by DC-set spelling hit the same cache entry: the
-// function is canonicalized (fcache.Canonicalize) before the key
-// lookup, and the cached canonical-space form is mapped back through
-// the inverse permutation on the way out.
+// function is canonicalized (fcache.CanonicalizeCtx, under the request
+// deadline) before the key lookup, and the cached canonical-space form
+// is mapped back through the inverse permutation on the way out.
 package service
 
 import (
@@ -62,6 +62,12 @@ type Config struct {
 	// HistorySize is how many recent cold-run reports /statsz returns.
 	// Default 32.
 	HistorySize int
+	// MaxBodyBytes caps the /v1/minimize request body; oversized bodies
+	// get 413. Default 8 MiB.
+	MaxBodyBytes int64
+	// MaxBatch caps the number of requests in one batch envelope.
+	// Default 64.
+	MaxBatch int
 }
 
 // Request is one minimization job. Exactly one function source must be
@@ -116,9 +122,16 @@ type Response struct {
 	status int // HTTP status for single-request responses
 }
 
-// batchResponse wraps the per-item results of a batch request.
+// batchResponse wraps the per-item results of a batch request. Errors
+// that fail the batch as a whole (queue-wait timeout, oversized batch)
+// are reported in the top-level Error with an empty Results, so batch
+// clients always get the {"results": ...} shape back. (Errors raised
+// before the body is parsed — draining, malformed JSON, oversized body
+// — cannot know the request shape and use the single-response
+// envelope, whose top-level "error" field matches this one.)
 type batchResponse struct {
 	Results []Response `json:"results"`
+	Error   string     `json:"error,omitempty"`
 }
 
 // Statsz is the /statsz payload: service counters plus the recent-run
@@ -178,6 +191,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.HistorySize <= 0 {
 		cfg.HistorySize = 32
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
 	}
 	if cfg.Core.PerOutput == 0 && cfg.Core.MaxCandidates == 0 {
 		cfg.Core = harness.DefaultConfig()
@@ -250,11 +269,17 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, Response{Error: "server draining"})
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var env envelope
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&env); err != nil {
-		writeJSON(w, http.StatusBadRequest, Response{Error: "bad request: " + err.Error()})
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, Response{Error: "bad request: " + err.Error()})
 		return
 	}
 	batch := env.Requests != nil
@@ -262,8 +287,21 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	if !batch {
 		reqs = []Request{env.Request}
 	}
+	// Whole-batch failures from here on keep the batch response shape.
+	batchFail := func(status int, msg string) {
+		if batch {
+			writeJSON(w, status, batchResponse{Results: []Response{}, Error: msg})
+		} else {
+			writeJSON(w, status, Response{Error: msg})
+		}
+	}
 	if len(reqs) == 0 {
-		writeJSON(w, http.StatusBadRequest, Response{Error: "empty batch"})
+		batchFail(http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(reqs) > s.cfg.MaxBatch {
+		batchFail(http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), s.cfg.MaxBatch))
 		return
 	}
 
@@ -283,7 +321,7 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.slots }()
 	case <-ctx.Done():
 		s.errors.Add(1)
-		writeJSON(w, statusFor(ctx.Err()), Response{Error: "queue wait: " + ctx.Err().Error()})
+		batchFail(statusFor(ctx.Err()), "queue wait: "+ctx.Err().Error())
 		return
 	}
 	if s.testHookAfterAcquire != nil {
@@ -335,7 +373,13 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 		return fail(http.StatusBadRequest, err)
 	}
 
-	key, perm, canon := fcache.Canonicalize(f)
+	// Canonicalization honors the request deadline: its class
+	// refinement and tie-break costs grow with n and point count, and
+	// an admission slot must not outlive its request's budget.
+	key, perm, canon, err := fcache.CanonicalizeCtx(ctx, f)
+	if err != nil {
+		return fail(statusFor(err), err)
+	}
 	key = key.Derive(s.optionTag(q, alg))
 	inv := fcache.InversePerm(perm)
 

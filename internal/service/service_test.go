@@ -197,6 +197,70 @@ func TestMinimizeDeadline504(t *testing.T) {
 	}
 }
 
+// TestMinimizeSinglePointManyVars: regression for the fcache tie-break
+// budget bypass — {"n":13,"on":[0]} used to enumerate 13! variable
+// orderings inside its admission slot, wedging the server. It must now
+// answer promptly.
+func TestMinimizeSinglePointManyVars(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+	start := time.Now()
+	code, out := post(t, h, `{"n":13,"on":[0]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, out)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("single-point request took %v; tie-break budget not enforced", elapsed)
+	}
+	if res := decodeResp(t, out); res.NumTerms != 1 {
+		t.Errorf("single-minterm function minimized to %d terms: %s", res.NumTerms, res.Form)
+	}
+}
+
+func TestMinimizeBodyTooLarge(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBodyBytes = 256
+	s := New(cfg)
+	h := s.Handler()
+	code, out := post(t, h, fmt.Sprintf(`{"n":8,"on":%s}`, pointsJSON(oddParity(8))))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", code, out)
+	}
+	if res := decodeResp(t, out); res.Error == "" {
+		t.Error("413 response carries no error message")
+	}
+	// A request that fits still works.
+	if code, out := post(t, h, `{"n":3,"on":[1,2,4,7]}`); code != http.StatusOK {
+		t.Errorf("small request after 413: status %d: %s", code, out)
+	}
+}
+
+func TestMinimizeBatchTooLarge(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 2
+	s := New(cfg)
+	h := s.Handler()
+	item := fmt.Sprintf(`{"n":3,"on":%s}`, pointsJSON(oddParity(3)))
+	body := fmt.Sprintf(`{"requests":[%s,%s,%s]}`, item, item, item)
+	code, out := post(t, h, body)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", code, out)
+	}
+	var br batchResponse
+	if err := json.Unmarshal([]byte(out), &br); err != nil {
+		t.Fatalf("oversized-batch error is not batch-shaped: %v\n%s", err, out)
+	}
+	if br.Error == "" || len(br.Results) != 0 {
+		t.Errorf("batch error envelope = %+v", br)
+	}
+	if !strings.Contains(out, `"results"`) {
+		t.Errorf("batch error response missing results key: %s", out)
+	}
+	if code, _ := post(t, h, fmt.Sprintf(`{"requests":[%s,%s]}`, item, item)); code != http.StatusOK {
+		t.Errorf("batch at the limit refused: status %d", code)
+	}
+}
+
 // TestQueueDeadlineDoesNotLeakSlot: a request that times out while
 // waiting for admission must not consume a slot — afterwards the full
 // gate width is still available.
@@ -242,6 +306,53 @@ func TestQueueDeadlineDoesNotLeakSlot(t *testing.T) {
 	}
 	if got := len(s.slots); got != 0 {
 		t.Errorf("slots in use after drain: %d", got)
+	}
+}
+
+// TestBatchQueueTimeoutShape: a batch whose deadline expires while
+// waiting for an admission slot must get the batch {"results": ...}
+// envelope back, not a bare single-request Response.
+func TestBatchQueueTimeoutShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxConcurrent = 1
+	s := New(cfg)
+	gate := make(chan struct{})
+	s.testHookAfterAcquire = func(ctx context.Context) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+	}
+	h := s.Handler()
+	on := pointsJSON(oddParity(3))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, h, fmt.Sprintf(`{"n":3,"on":%s}`, on))
+	}()
+	defer func() { close(gate); wg.Wait() }()
+	for i := 0; len(s.slots) == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if len(s.slots) != 1 {
+		t.Fatal("slot holder never acquired")
+	}
+
+	code, out := post(t, h, fmt.Sprintf(`{"requests":[{"n":3,"on":%s,"timeout_ms":50}]}`, on))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("queued batch: status %d, want 504: %s", code, out)
+	}
+	if !strings.Contains(out, `"results"`) {
+		t.Fatalf("batch queue timeout lost the batch envelope: %s", out)
+	}
+	var br batchResponse
+	if err := json.Unmarshal([]byte(out), &br); err != nil {
+		t.Fatalf("bad batch JSON: %v\n%s", err, out)
+	}
+	if br.Error == "" || len(br.Results) != 0 {
+		t.Errorf("batch timeout envelope = %+v", br)
 	}
 }
 
