@@ -3,16 +3,28 @@
 # detector (the parallel EPPP engine is exercised with forced worker
 # counts even on single-core hosts).
 
-.PHONY: check check-race fmt-check pkgdoc-check docs-check server-smoke bench-eppp bench-cover bench bench-smoke fuzz-smoke
+.PHONY: check check-race artifact-check fmt-check pkgdoc-check docs-check server-smoke bench-eppp bench-cover bench bench-serve bench-serve-smoke bench-smoke fuzz-smoke
 
-check: fmt-check pkgdoc-check docs-check
+check: fmt-check pkgdoc-check docs-check artifact-check
 	go vet ./...
 	go build ./...
 	go test ./...
 
+# The serving hot path (coalescing group, sharded cache, concurrent
+# batch pool) is correctness-critical under concurrency: run its
+# packages under -race explicitly even if the full-suite invocation
+# ever gets narrowed.
 check-race:
 	go vet ./...
+	go test -race ./internal/fcache ./internal/service
 	go test -race ./...
+
+# Per-PR working artifacts (REVIEW.md, and ISSUE.md outside a PR
+# branch) must not ship: REVIEW.md is review scratch space and is
+# deleted before merge. See CONTRIBUTING.md.
+artifact-check:
+	@if [ -f REVIEW.md ]; then \
+		echo "REVIEW.md is per-PR scratch and must be deleted before merge"; exit 1; fi
 
 # gofmt gate: fails listing the offending files (gofmt -l exits 0 even
 # when files need formatting, so the failure has to be scripted).
@@ -46,6 +58,17 @@ bench-cover:
 
 bench:
 	go test -run '^$$' -bench . -benchmem .
+
+# Closed-loop serving benchmark: current hot path (coalescing, sharded
+# cache, slot-free hits) vs the LegacySerial baseline under stampede
+# and drifting-zipf mixes; writes BENCH_serve.json.
+bench-serve:
+	go run ./cmd/sppload -out BENCH_serve.json
+
+# Small fast sppload run for CI: exercises both modes end to end
+# without asserting throughput ratios (shared runners are too noisy).
+bench-serve-smoke:
+	go run ./cmd/sppload -quick -out /tmp/bench_serve_smoke.json
 
 # CI smoke tiers: every benchmark once (compile + one iteration catches
 # bit-rot without benchmarking anything), and a short fuzz run of the

@@ -1,0 +1,356 @@
+// Command sppload is a closed-loop load benchmark for the minimization
+// service: it drives an in-process httptest server with concurrent
+// clients and compares the current serving path (request coalescing,
+// sharded cache, slot-free hits, concurrent batch items) against the
+// pre-coalescing baseline (service.Config.LegacySerial) at equal
+// admission width.
+//
+// Two scenarios run in both modes:
+//
+//	stampede — every client requests the same cold key at once, for a
+//	           series of fresh keys: the pathological thundering herd.
+//	           The headline number is duplicate_computes: identical
+//	           concurrent requests that each ran the engines. Coalescing
+//	           drives it to 0; the baseline computes once per client.
+//	zipf     — a zipf-distributed repeat-heavy key mix, the steady-state
+//	           shape of real traffic. The headline number is
+//	           throughput_rps: slot-free cache hits and coalesced
+//	           waiters let hot keys be served at client concurrency
+//	           instead of admission width.
+//
+// Results are written as JSON (default BENCH_serve.json) with per-run
+// throughput, p50/p99 latency, coalesce rate and duplicate-compute
+// counts, plus baseline-vs-current speedup summaries.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+type runResult struct {
+	Scenario   string `json:"scenario"`
+	Mode       string `json:"mode"`
+	Clients    int    `json:"clients"`
+	Requests   int    `json:"requests"`
+	UniqueKeys int    `json:"unique_keys"`
+
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+
+	// CoalesceRate is coalesce_waiters / served: the share of requests
+	// answered by riding a concurrent identical computation.
+	CoalesceRate float64 `json:"coalesce_rate"`
+	// DuplicateComputes counts engine runs beyond one per distinct
+	// function: cache_misses - unique_keys. The coalescing path keeps
+	// this at 0.
+	DuplicateComputes int64 `json:"duplicate_computes"`
+
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	CoalesceWaiters int64 `json:"coalesce_waiters"`
+	Errors          int64 `json:"errors"`
+}
+
+type report struct {
+	Schema    string            `json:"schema"`
+	Generated string            `json:"generated"`
+	Config    map[string]any    `json:"config"`
+	Results   []runResult       `json:"results"`
+	Summary   map[string]string `json:"summary"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
+	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
+	keys := flag.Int("keys", 40, "distinct functions in the zipf mix")
+	requests := flag.Int("requests", 400, "total requests in the zipf scenario")
+	rounds := flag.Int("rounds", 10, "cold keys in the stampede scenario")
+	maxConcurrent := flag.Int("max-concurrent", 8, "zipf-scenario admission width, equal for both modes")
+	zipfS := flag.Float64("zipf-s", 1.2, "zipf skew (s > 1)")
+	nvars := flag.Int("nvars", 9, "variables per benchmark function")
+	onBase := flag.Int("on-base", 128, "smallest ON-set size")
+	window := flag.Int("window", 32, "zipf requests between hot-set shifts")
+	quick := flag.Bool("quick", false, "small fast run for CI smoke")
+	flag.Parse()
+
+	if *quick {
+		*clients, *keys, *requests, *rounds, *window = 4, 10, 64, 3, 16
+	}
+
+	bodies := makeBodies(max(*keys, *rounds), *nvars, *onBase, 2)
+	modes := []struct {
+		name   string
+		legacy bool
+	}{
+		{"baseline", true},
+		{"current", false},
+	}
+
+	rep := report{
+		Schema:    "spp-bench-serve/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Config: map[string]any{
+			"clients":        *clients,
+			"keys":           *keys,
+			"requests":       *requests,
+			"rounds":         *rounds,
+			"max_concurrent": *maxConcurrent,
+			"zipf_s":         *zipfS,
+			"window":         *window,
+			"nvars":          *nvars,
+			"on_base":        *onBase,
+			"quick":          *quick,
+		},
+		Summary: map[string]string{},
+	}
+
+	for _, m := range modes {
+		// The stampede runs at admission width == clients in both
+		// modes, so duplicate computes measure coalescing rather than
+		// admission-gate serialization.
+		res := runStampede(m.name, m.legacy, *clients, *clients, *rounds, bodies)
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-9s %-8s  %7.1f req/s  p50 %6.2fms  p99 %7.2fms  dup-computes %3d  coalesce %4.0f%%\n",
+			res.Scenario, res.Mode, res.ThroughputRPS, res.P50MS, res.P99MS,
+			res.DuplicateComputes, 100*res.CoalesceRate)
+	}
+	for _, m := range modes {
+		res := runZipf(m.name, m.legacy, *maxConcurrent, *clients, *requests, *keys, *window, *zipfS, bodies)
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-9s %-8s  %7.1f req/s  p50 %6.2fms  p99 %7.2fms  dup-computes %3d  coalesce %4.0f%%\n",
+			res.Scenario, res.Mode, res.ThroughputRPS, res.P50MS, res.P99MS,
+			res.DuplicateComputes, 100*res.CoalesceRate)
+	}
+
+	for _, scenario := range []string{"stampede", "zipf"} {
+		base, cur := find(rep.Results, scenario, "baseline"), find(rep.Results, scenario, "current")
+		if base != nil && cur != nil && base.ThroughputRPS > 0 {
+			rep.Summary[scenario+"_speedup"] = fmt.Sprintf("%.2fx", cur.ThroughputRPS/base.ThroughputRPS)
+			rep.Summary[scenario+"_duplicate_computes"] = fmt.Sprintf("%d -> %d", base.DuplicateComputes, cur.DuplicateComputes)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sppload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "sppload:", err)
+		os.Exit(1)
+	}
+	for k, v := range rep.Summary {
+		fmt.Printf("summary %s = %s\n", k, v)
+	}
+}
+
+// makeBodies builds count distinct request bodies whose functions are
+// pairwise P-inequivalent (distinct ON-set sizes cannot permute onto
+// each other), so each body occupies its own cache key. The ON sets are
+// pseudo-random over nvars variables and sized to make each cold
+// compute take real engine time — a cache hit must be measurably
+// cheaper than a compute for the scenarios to mean anything.
+func makeBodies(count, nvars, onBase, onStep int) []string {
+	rng := rand.New(rand.NewSource(1))
+	space := 1 << nvars
+	bodies := make([]string, count)
+	for i := range bodies {
+		size := onBase + i*onStep
+		if size > space/2 {
+			size = space / 2
+		}
+		seen := make(map[int]bool)
+		pts := make([]string, 0, size)
+		for len(pts) < size {
+			p := rng.Intn(space)
+			if !seen[p] {
+				seen[p] = true
+				pts = append(pts, fmt.Sprint(p))
+			}
+		}
+		bodies[i] = fmt.Sprintf(`{"n":%d,"on":[%s]}`, nvars, strings.Join(pts, ","))
+	}
+	return bodies
+}
+
+func newServer(legacy bool, maxConcurrent int) (*httptest.Server, func() service.Statsz) {
+	cfg := service.Config{
+		Core:          harness.DefaultConfig(),
+		MaxConcurrent: maxConcurrent,
+		CacheSize:     1024,
+		LegacySerial:  legacy,
+	}
+	srv := service.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	statsz := func() service.Statsz {
+		resp, err := http.Get(ts.URL + "/statsz")
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		var st service.Statsz
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			panic(err)
+		}
+		return st
+	}
+	return ts, statsz
+}
+
+func post(client *http.Client, url, body string) (time.Duration, bool) {
+	start := time.Now()
+	resp, err := client.Post(url+"/v1/minimize", "application/json", strings.NewReader(body))
+	if err != nil {
+		return time.Since(start), false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return time.Since(start), resp.StatusCode == http.StatusOK
+}
+
+// runStampede fires all clients at the same cold key simultaneously,
+// once per round with a fresh key each round.
+func runStampede(mode string, legacy bool, maxConcurrent, clients, rounds int, bodies []string) runResult {
+	ts, statsz := newServer(legacy, maxConcurrent)
+	defer ts.Close()
+	client := &http.Client{}
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		body := bodies[r]
+		begin := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-begin
+				d, _ := post(client, ts.URL, body)
+				mu.Lock()
+				lats = append(lats, d)
+				mu.Unlock()
+			}()
+		}
+		close(begin)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	st := statsz()
+	return summarize("stampede", mode, clients, rounds, lats, elapsed, st)
+}
+
+// runZipf is the steady-state closed loop: each client draws its next
+// key from a zipf distribution as soon as the previous request
+// completes. The hot set drifts — every window requests the whole key
+// distribution shifts by one — so the mix stays repeat-heavy while new
+// hot keys keep arriving cold at all clients at once, the way real
+// traffic rolls its working set. (On every shift, the baseline computes
+// the new hot key once per concurrent client; coalescing computes it
+// once.)
+func runZipf(mode string, legacy bool, maxConcurrent, clients, requests, keys, window int, s float64, bodies []string) runResult {
+	ts, statsz := newServer(legacy, maxConcurrent)
+	defer ts.Close()
+	client := &http.Client{}
+
+	perClient := requests / clients
+	var mu sync.Mutex
+	var lats []time.Duration
+	touched := make(map[int]bool)
+	var total int
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			zipf := rand.NewZipf(rng, s, 1, uint64(keys-1))
+			for i := 0; i < perClient; i++ {
+				mu.Lock()
+				shift := total / window
+				total++
+				mu.Unlock()
+				// Hot key (draw 0) is the newest key; larger draws walk
+				// back into older, already-warm keys.
+				k := ((shift-int(zipf.Uint64()))%len(bodies) + len(bodies)) % len(bodies)
+				d, _ := post(client, ts.URL, bodies[k])
+				mu.Lock()
+				lats = append(lats, d)
+				touched[k] = true
+				mu.Unlock()
+			}
+		}(int64(c + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := statsz()
+	return summarize("zipf", mode, clients, len(touched), lats, elapsed, st)
+}
+
+func summarize(scenario, mode string, clients, uniqueKeys int, lats []time.Duration, elapsed time.Duration, st service.Statsz) runResult {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := min(int(p*float64(len(lats))), len(lats)-1)
+		return float64(lats[i].Microseconds()) / 1000
+	}
+	rate := 0.0
+	if st.Served > 0 {
+		rate = float64(st.CoalesceWaiters) / float64(st.Served)
+	}
+	return runResult{
+		Scenario:          scenario,
+		Mode:              mode,
+		Clients:           clients,
+		Requests:          len(lats),
+		UniqueKeys:        uniqueKeys,
+		ElapsedMS:         float64(elapsed.Microseconds()) / 1000,
+		ThroughputRPS:     float64(len(lats)) / elapsed.Seconds(),
+		P50MS:             pct(0.50),
+		P99MS:             pct(0.99),
+		CoalesceRate:      rate,
+		DuplicateComputes: st.CacheMisses - int64(uniqueKeys),
+		CacheHits:         st.CacheHits,
+		CacheMisses:       st.CacheMisses,
+		CoalesceWaiters:   st.CoalesceWaiters,
+		Errors:            st.Errors,
+	}
+}
+
+func find(rs []runResult, scenario, mode string) *runResult {
+	for i := range rs {
+		if rs[i].Scenario == scenario && rs[i].Mode == mode {
+			return &rs[i]
+		}
+	}
+	return nil
+}

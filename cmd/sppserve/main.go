@@ -35,8 +35,10 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		maxConc     = flag.Int("max-concurrent", 2, "admission gate width: requests (or batches) in flight at once")
+		maxConc     = flag.Int("max-concurrent", 2, "admission gate width: engine computes in flight at once (cache hits and coalesced waiters are not gated)")
+		batchWork   = flag.Int("batch-workers", 4, "batch items processed concurrently per request (1 = serial)")
 		cacheSize   = flag.Int("cache-size", 256, "canonical-function result cache capacity (entries)")
+		cacheShards = flag.Int("cache-shards", 0, "result cache shard count, rounded to a power of two (0 = automatic)")
 		defTimeout  = flag.Duration("default-timeout", 30*time.Second, "per-request deadline when the request sets none")
 		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied timeouts")
 		historySize = flag.Int("history", 32, "recent cold runs kept for /statsz")
@@ -52,7 +54,9 @@ func main() {
 	svc := service.New(service.Config{
 		Core:           core,
 		MaxConcurrent:  *maxConc,
+		BatchWorkers:   *batchWork,
 		CacheSize:      *cacheSize,
+		CacheShards:    *cacheShards,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		HistorySize:    *historySize,

@@ -1,0 +1,141 @@
+package fcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome reports how a Group.Do call was resolved.
+type Outcome uint8
+
+const (
+	// Led: this call was elected leader and ran fn itself.
+	Led Outcome = iota
+	// Joined: this call waited on a concurrent leader for the same key
+	// and received its (successful) result.
+	Joined
+	// Detached: this call's context expired before a result arrived.
+	// The leader keeps computing; other waiters are unaffected.
+	Detached
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Led:
+		return "led"
+	case Joined:
+		return "joined"
+	case Detached:
+		return "detached"
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// flight is one in-progress leader computation plus its waiters.
+type flight[V any] struct {
+	done    chan struct{} // closed after val/err are set
+	waiters atomic.Int64
+	val     V
+	err     error
+}
+
+// Group coalesces concurrent identical requests: calls to Do with the
+// same key while a computation for that key is in flight wait for the
+// leader instead of recomputing. Unlike x/sync/singleflight it is
+// context-aware and failure-isolated:
+//
+//   - the leader runs fn under its *own* context only — a waiter
+//     abandoning the flight (client gone, deadline hit) never cancels
+//     or otherwise poisons the leader or the other waiters;
+//   - a waiter whose context expires detaches with its own context
+//     error, not the leader's eventual result;
+//   - a leader error is never broadcast: the failure belongs to the
+//     leader's budget, so each live waiter retries — re-checking its
+//     own context — and one of them is elected the next leader.
+//
+// The zero Group is ready to use.
+type Group[V any] struct {
+	mu      sync.Mutex
+	flights map[Key]*flight[V]
+}
+
+// Do executes fn for k, coalescing with any in-flight call for the same
+// key. The leader's fn receives a live count of waiters currently
+// coalesced onto it (detached waiters leave the count; informational).
+// The
+// leader's (value, error) is returned with Outcome Led; waiters get the
+// leader's value with Joined on success, retry on leader failure, and
+// (zero, ctx.Err()) with Detached when their own context dies first.
+//
+// fn runs exactly as often as leaders are elected: once if it succeeds
+// or if no waiter outlives a failure, more if failures leave live
+// waiters behind. Callers that cache fn's result should re-check their
+// cache before calling Do.
+func (g *Group[V]) Do(ctx context.Context, k Key, fn func(waiters func() int64) (V, error)) (V, Outcome, error) {
+	var zero V
+	for {
+		if err := ctx.Err(); err != nil {
+			return zero, Detached, err
+		}
+		g.mu.Lock()
+		if g.flights == nil {
+			g.flights = make(map[Key]*flight[V])
+		}
+		f, ok := g.flights[k]
+		if !ok {
+			f = &flight[V]{done: make(chan struct{})}
+			g.flights[k] = f
+			g.mu.Unlock()
+			g.lead(k, f, fn)
+			return f.val, Led, f.err
+		}
+		f.waiters.Add(1)
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err == nil {
+				return f.val, Joined, nil
+			}
+			// Leader failed under its own budget; retry (and maybe
+			// lead). The loop re-checks this waiter's context first.
+		case <-ctx.Done():
+			f.waiters.Add(-1)
+			return zero, Detached, ctx.Err()
+		}
+	}
+}
+
+// Waiters reports how many callers are currently coalesced onto the
+// in-flight computation for k, or 0 when no flight is active. Exposed
+// for observability and deterministic tests.
+func (g *Group[V]) Waiters(k Key) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[k]; ok {
+		return f.waiters.Load()
+	}
+	return 0
+}
+
+// lead runs fn and publishes the flight's result. The flight is removed
+// from the map before done is closed, so by the time any waiter (or any
+// later caller) observes the result, a fresh call for the same key will
+// start a fresh flight. A panicking fn is unregistered too — it must
+// not wedge every future call for the key — and the panic is rethrown
+// with the flight failed.
+func (g *Group[V]) lead(k Key, f *flight[V], fn func(waiters func() int64) (V, error)) {
+	finished := false
+	defer func() {
+		if !finished {
+			f.err = fmt.Errorf("fcache: leader panicked for key %s", k)
+		}
+		g.mu.Lock()
+		delete(g.flights, k)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = fn(f.waiters.Load)
+	finished = true
+}

@@ -1,0 +1,225 @@
+package fcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCoalesces: N concurrent calls for one key elect exactly one
+// leader; everyone gets the leader's value.
+func TestGroupCoalesces(t *testing.T) {
+	var g Group[int]
+	k := hashKey(1)
+	const callers = 16
+
+	var computes atomic.Int64
+	enter := make(chan struct{}) // leader entered fn
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, callers)
+	values := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, oc, err := g.Do(context.Background(), k, func(waiters func() int64) (int, error) {
+				computes.Add(1)
+				close(enter)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			outcomes[i], values[i] = oc, v
+		}(i)
+	}
+	<-enter
+	// Give waiters a moment to pile onto the flight, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	led, joined := 0, 0
+	for i := range outcomes {
+		if values[i] != 42 {
+			t.Errorf("caller %d got %d, want 42", i, values[i])
+		}
+		switch outcomes[i] {
+		case Led:
+			led++
+		case Joined:
+			joined++
+		default:
+			t.Errorf("caller %d outcome %v", i, outcomes[i])
+		}
+	}
+	if led != 1 || joined != callers-1 {
+		t.Errorf("led=%d joined=%d, want 1/%d", led, joined, callers-1)
+	}
+}
+
+// TestGroupWaiterDetach: a waiter whose context expires detaches with
+// its own error; the leader finishes undisturbed.
+func TestGroupWaiterDetach(t *testing.T) {
+	var g Group[int]
+	k := hashKey(2)
+	enter := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), k, func(func() int64) (int, error) {
+			close(enter)
+			<-release
+			return 7, nil
+		})
+		leaderDone <- err
+	}()
+	<-enter
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, oc, err := g.Do(ctx, k, func(func() int64) (int, error) {
+		t.Error("waiter computed despite live leader")
+		return 0, nil
+	})
+	if oc != Detached || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter outcome %v err %v, want Detached/deadline", oc, err)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader poisoned by waiter detach: %v", err)
+	}
+}
+
+// TestGroupLeaderErrorNotBroadcast: waiters never receive the leader's
+// error; a live waiter retries and becomes the next leader.
+func TestGroupLeaderErrorNotBroadcast(t *testing.T) {
+	var g Group[int]
+	k := hashKey(3)
+	boom := errors.New("leader budget exhausted")
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, oc, err := g.Do(context.Background(), k, func(func() int64) (int, error) {
+			calls.Add(1)
+			close(enter)
+			<-release
+			return 0, boom
+		})
+		if oc != Led || !errors.Is(err, boom) {
+			t.Errorf("first leader: outcome %v err %v", oc, err)
+		}
+	}()
+	<-enter
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, oc, err := g.Do(context.Background(), k, func(func() int64) (int, error) {
+			calls.Add(1)
+			return 99, nil
+		})
+		if err != nil || v != 99 || oc != Led {
+			t.Errorf("retrying waiter: v=%d outcome %v err %v, want 99/Led/nil", v, oc, err)
+		}
+	}()
+	close(release)
+	<-leaderDone
+	<-waiterDone
+	if got := calls.Load(); got != 2 {
+		t.Errorf("fn ran %d times, want 2 (failed leader + retried waiter)", got)
+	}
+}
+
+// TestGroupDeadContextNeverLeads: a call whose context is already done
+// must not be elected leader.
+func TestGroupDeadContextNeverLeads(t *testing.T) {
+	var g Group[int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, oc, err := g.Do(ctx, hashKey(4), func(func() int64) (int, error) {
+		t.Error("fn ran with dead context")
+		return 0, nil
+	})
+	if oc != Detached || !errors.Is(err, context.Canceled) {
+		t.Errorf("outcome %v err %v, want Detached/Canceled", oc, err)
+	}
+}
+
+// TestGroupPanicUnblocks: a panicking leader must not wedge future
+// calls for the key.
+func TestGroupPanicUnblocks(t *testing.T) {
+	var g Group[int]
+	k := hashKey(5)
+	func() {
+		defer func() { recover() }()
+		g.Do(context.Background(), k, func(func() int64) (int, error) { panic("kaboom") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, oc, err := g.Do(context.Background(), k, func(func() int64) (int, error) { return 5, nil })
+		if v != 5 || oc != Led || err != nil {
+			t.Errorf("post-panic Do: v=%d oc=%v err=%v", v, oc, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do wedged after leader panic")
+	}
+}
+
+// TestGroupWaiterCount: the leader observes how many waiters coalesced
+// onto its flight.
+func TestGroupWaiterCount(t *testing.T) {
+	var g Group[int]
+	k := hashKey(6)
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	seen := make(chan int64, 1)
+
+	go g.Do(context.Background(), k, func(waiters func() int64) (int, error) {
+		close(enter)
+		<-release
+		seen <- waiters()
+		return 0, nil
+	})
+	<-enter
+	const extra = 4
+	var wg sync.WaitGroup
+	for i := 0; i < extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Do(context.Background(), k, func(func() int64) (int, error) { return 0, nil })
+		}()
+	}
+	// Wait for all waiters to register before releasing the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiters(k) != extra {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never registered: %d", g.Waiters(k))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if got := <-seen; got != extra {
+		t.Errorf("leader saw %d waiters, want %d", got, extra)
+	}
+	wg.Wait()
+}

@@ -236,7 +236,7 @@ func TestKeyDerive(t *testing.T) {
 }
 
 func TestLRUCache(t *testing.T) {
-	c := New[int](2)
+	c := NewSharded[int](2, 1) // single shard: exact global LRU
 	k := func(b byte) Key {
 		var k Key
 		k[0] = b
@@ -267,14 +267,20 @@ func TestLRUCache(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
 	}
-	hits, misses := c.Stats()
-	if hits != 4 || misses != 2 {
-		t.Errorf("Stats = %d hits, %d misses; want 4, 2", hits, misses)
+	st := c.Stats()
+	if st.Hits != 4 || st.Misses != 2 {
+		t.Errorf("Stats = %d hits, %d misses; want 4, 2", st.Hits, st.Misses)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("Stats evictions = %d, want 1", st.Evictions)
+	}
+	if st.Shards != 1 {
+		t.Errorf("Stats shards = %d, want 1", st.Shards)
 	}
 }
 
 func TestLRUCacheEvictionOrder(t *testing.T) {
-	c := New[int](3)
+	c := NewSharded[int](3, 1)
 	k := func(b byte) Key {
 		var k Key
 		k[0] = b

@@ -1,15 +1,32 @@
 package fcache
 
-import "sync"
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+)
 
-// Cache is a thread-safe fixed-capacity LRU cache keyed by Key. The
-// zero value is not usable; construct with New.
+// Cache is a thread-safe fixed-capacity LRU cache keyed by Key, split
+// into power-of-two shards so concurrent lookups on different keys
+// never contend on one mutex. Each shard is an independent LRU list
+// with its own lock and hit/miss/eviction counters; Stats aggregates
+// them. Keys are SHA-256 outputs (see Canonicalize), so the low 64 bits
+// spread uniformly over the shards. The zero value is not usable;
+// construct with New or NewSharded.
 type Cache[V any] struct {
-	mu           sync.Mutex
-	max          int
-	items        map[Key]*node[V]
-	head, tail   *node[V] // head = most recently used
-	hits, misses uint64
+	shards []shard[V]
+	mask   uint64
+}
+
+// shard is one independently locked LRU. Recency is tracked per shard:
+// eviction picks the least recently used entry of the full shard, which
+// approximates global LRU when keys hash uniformly.
+type shard[V any] struct {
+	mu                      sync.Mutex
+	max                     int
+	items                   map[Key]*node[V]
+	head, tail              *node[V] // head = most recently used
+	hits, misses, evictions uint64
 }
 
 type node[V any] struct {
@@ -18,93 +35,173 @@ type node[V any] struct {
 	prev, next *node[V]
 }
 
-// New returns an empty cache holding at most max entries (max ≥ 1).
+// Stats is the aggregate of the per-shard counters, taken shard by
+// shard (each shard's triple is internally consistent; the aggregate is
+// exact whenever the cache is quiescent).
+type Stats struct {
+	Hits, Misses uint64
+	// Evictions counts capacity evictions plus entries discarded by a
+	// failed GetIf validation.
+	Evictions uint64
+	// Shards is the shard count the cache was built with.
+	Shards int
+}
+
+// New returns an empty cache holding at most (approximately) max
+// entries (max ≥ 1), sharded for the current GOMAXPROCS. Capacity is
+// divided evenly: each shard holds at most ceil(max/shards) entries, so
+// the total can exceed max by up to shards-1 when keys hash unevenly.
 func New[V any](max int) *Cache[V] {
+	return NewSharded[V](max, 0)
+}
+
+// NewSharded is New with an explicit shard count, rounded up to a power
+// of two and capped at max (so every shard holds at least one entry)
+// and at 256. shards <= 0 selects the default: the smallest power of
+// two >= GOMAXPROCS, capped at 64. NewSharded(max, 1) is an exact
+// single-list LRU.
+func NewSharded[V any](max, shards int) *Cache[V] {
 	if max < 1 {
 		max = 1
 	}
-	return &Cache[V]{max: max, items: make(map[Key]*node[V], max)}
+	if shards <= 0 {
+		shards = min(runtime.GOMAXPROCS(0), 64)
+	}
+	shards = nextPow2(min(shards, max, 256))
+	perShard := (max + shards - 1) / shards
+	c := &Cache[V]{shards: make([]shard[V], shards), mask: uint64(shards - 1)}
+	for i := range c.shards {
+		c.shards[i].max = perShard
+		c.shards[i].items = make(map[Key]*node[V], perShard)
+	}
+	return c
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (c *Cache[V]) shardOf(k Key) *shard[V] {
+	return &c.shards[binary.LittleEndian.Uint64(k[:8])&c.mask]
 }
 
 // Get returns the value for k and marks it most recently used.
 func (c *Cache[V]) Get(k Key) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n, ok := c.items[k]
+	return c.GetIf(k, nil)
+}
+
+// GetIf is Get with an admission check: a present entry is returned (and
+// counted as a hit) only if valid accepts it. A present entry that fails
+// validation is evicted and counted as a miss plus an eviction — the
+// caller observed a key collision, and keeping the colliding entry would
+// make every future lookup of either function a recompute that still
+// counts as a "hit". A nil valid accepts everything.
+func (c *Cache[V]) GetIf(k Key, valid func(V) bool) (V, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.items[k]
 	if !ok {
-		c.misses++
+		s.misses++
 		var zero V
 		return zero, false
 	}
-	c.hits++
-	c.moveToFront(n)
+	if valid != nil && !valid(n.val) {
+		s.misses++
+		s.evictions++
+		s.unlink(n)
+		delete(s.items, k)
+		var zero V
+		return zero, false
+	}
+	s.hits++
+	s.moveToFront(n)
 	return n.val, true
 }
 
 // Put inserts or replaces the value for k, marking it most recently
-// used and evicting the least recently used entry if over capacity.
+// used and evicting the shard's least recently used entry if the shard
+// is over capacity.
 func (c *Cache[V]) Put(k Key, v V) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if n, ok := c.items[k]; ok {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.items[k]; ok {
 		n.val = v
-		c.moveToFront(n)
+		s.moveToFront(n)
 		return
 	}
 	n := &node[V]{key: k, val: v}
-	c.items[k] = n
-	c.pushFront(n)
-	if len(c.items) > c.max {
-		lru := c.tail
-		c.unlink(lru)
-		delete(c.items, lru.key)
+	s.items[k] = n
+	s.pushFront(n)
+	if len(s.items) > s.max {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.items, lru.key)
+		s.evictions++
 	}
 }
 
-// Len returns the number of cached entries.
+// Len returns the number of cached entries across all shards.
 func (c *Cache[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.items)
+		s.mu.Unlock()
+	}
+	return total
 }
 
-// Stats returns the cumulative hit and miss counts.
-func (c *Cache[V]) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+// Stats returns the aggregated per-shard counters.
+func (c *Cache[V]) Stats() Stats {
+	st := Stats{Shards: len(c.shards)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		s.mu.Unlock()
+	}
+	return st
 }
 
-func (c *Cache[V]) pushFront(n *node[V]) {
+func (s *shard[V]) pushFront(n *node[V]) {
 	n.prev = nil
-	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
 	}
 }
 
-func (c *Cache[V]) unlink(n *node[V]) {
+func (s *shard[V]) unlink(n *node[V]) {
 	if n.prev != nil {
 		n.prev.next = n.next
 	} else {
-		c.head = n.next
+		s.head = n.next
 	}
 	if n.next != nil {
 		n.next.prev = n.prev
 	} else {
-		c.tail = n.prev
+		s.tail = n.prev
 	}
 	n.prev, n.next = nil, nil
 }
 
-func (c *Cache[V]) moveToFront(n *node[V]) {
-	if c.head == n {
+func (s *shard[V]) moveToFront(n *node[V]) {
+	if s.head == n {
 		return
 	}
-	c.unlink(n)
-	c.pushFront(n)
+	s.unlink(n)
+	s.pushFront(n)
 }

@@ -1,0 +1,175 @@
+package fcache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// hashKey builds a realistic (uniformly distributed) key like the ones
+// Canonicalize emits, so shard selection is exercised for real.
+func hashKey(i int) Key {
+	return Key(sha256.Sum256([]byte(fmt.Sprintf("key-%d", i))))
+}
+
+func TestShardedCacheBasics(t *testing.T) {
+	c := NewSharded[int](1024, 8)
+	if got := c.Stats().Shards; got != 8 {
+		t.Fatalf("shards = %d, want 8", got)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		c.Put(hashKey(i), i)
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d, want %d", c.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := c.Get(hashKey(i)); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != n || st.Misses != 0 || st.Evictions != 0 {
+		t.Errorf("Stats = %+v, want %d hits only", st, n)
+	}
+}
+
+func TestShardedCacheCapacity(t *testing.T) {
+	// Capacity splits per shard: total entries never exceed
+	// shards*ceil(max/shards), and overflow shows up as evictions.
+	c := NewSharded[int](64, 4)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		c.Put(hashKey(i), i)
+	}
+	if got := c.Len(); got > 64 {
+		t.Errorf("Len = %d after %d inserts, want <= 64", got, n)
+	}
+	st := c.Stats()
+	if st.Evictions != uint64(n-c.Len()) {
+		t.Errorf("evictions = %d, want %d (inserted %d, kept %d)",
+			st.Evictions, n-c.Len(), n, c.Len())
+	}
+}
+
+func TestShardCountSelection(t *testing.T) {
+	cases := []struct {
+		max, shards, want int
+	}{
+		{1024, 1, 1},
+		{1024, 3, 4}, // rounded up to a power of two
+		{1024, 8, 8},
+		{2, 16, 2}, // capped at capacity
+		{1, 16, 1},
+		{1 << 20, 500, 256}, // hard cap
+	}
+	for _, tc := range cases {
+		c := NewSharded[int](tc.max, tc.shards)
+		if got := c.Stats().Shards; got != tc.want {
+			t.Errorf("NewSharded(%d, %d): shards = %d, want %d", tc.max, tc.shards, got, tc.want)
+		}
+	}
+	if got := New[int](1024).Stats().Shards; got < 1 || got&(got-1) != 0 {
+		t.Errorf("New default shards = %d, want a power of two >= 1", got)
+	}
+}
+
+// TestGetIfCollisionEviction pins the hit/miss accounting bugfix: an
+// entry rejected by the validator must count as a miss (not a hit) and
+// must be evicted, so the colliding slot is free for the recomputed
+// entry.
+func TestGetIfCollisionEviction(t *testing.T) {
+	c := NewSharded[string](8, 1)
+	k := hashKey(1)
+	c.Put(k, "wrong-function")
+
+	v, ok := c.GetIf(k, func(s string) bool { return s == "right-function" })
+	if ok {
+		t.Fatalf("GetIf accepted a rejected entry: %q", v)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Errorf("after rejected hit: hits=%d misses=%d, want 0/1", st.Hits, st.Misses)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("rejected entry not evicted: evictions=%d", st.Evictions)
+	}
+	if c.Len() != 0 {
+		t.Errorf("mismatched entry still cached: Len=%d", c.Len())
+	}
+
+	// The recomputed entry takes the slot and validates from then on.
+	c.Put(k, "right-function")
+	if v, ok := c.GetIf(k, func(s string) bool { return s == "right-function" }); !ok || v != "right-function" {
+		t.Fatalf("replacement entry not served: %q,%v", v, ok)
+	}
+	st = c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("final stats hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines; run under
+// -race this is the shard-locking regression test. The final counter
+// check also guards torn counters: every Get is exactly one hit or one
+// miss.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewSharded[int](256, 8)
+	const (
+		goroutines = 32
+		opsEach    = 2000
+		keyspace   = 300 // > capacity: forces evictions too
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				k := hashKey((seed*31 + i) % keyspace)
+				if i%3 == 0 {
+					c.Put(k, i)
+				} else {
+					c.GetIf(k, func(int) bool { return true })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	var gets uint64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < opsEach; i++ {
+			if i%3 != 0 {
+				gets++
+			}
+		}
+	}
+	if st.Hits+st.Misses != gets {
+		t.Errorf("hits(%d)+misses(%d) = %d, want %d gets", st.Hits, st.Misses, st.Hits+st.Misses, gets)
+	}
+	if c.Len() > 256+7 { // per-shard rounding can exceed max by shards-1
+		t.Errorf("Len = %d exceeds capacity bound", c.Len())
+	}
+}
+
+func BenchmarkCacheParallelGet(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := NewSharded[int](4096, shards)
+			for i := 0; i < 4096; i++ {
+				c.Put(hashKey(i), i)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					c.Get(hashKey(i % 4096))
+					i++
+				}
+			})
+		})
+	}
+}

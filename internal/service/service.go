@@ -1,9 +1,10 @@
 // Package service implements the long-running SPP minimization HTTP
 // service behind cmd/sppserve: a JSON API over the core pipeline with a
-// canonical-function result cache (internal/fcache), a bounded
-// admission gate, per-request deadlines plumbed as context into the
-// engines, and an observability endpoint serving the spp-stats/v1
-// reports of recent runs.
+// sharded canonical-function result cache (internal/fcache), request
+// coalescing for concurrent identical misses, a bounded admission gate
+// around the compute path, per-request deadlines plumbed as context
+// into the engines, and an observability endpoint serving the
+// spp-stats/v1 reports of recent runs.
 //
 // Endpoints:
 //
@@ -19,6 +20,17 @@
 // function is canonicalized (fcache.CanonicalizeCtx, under the request
 // deadline) before the key lookup, and the cached canonical-space form
 // is mapped back through the inverse permutation on the way out.
+//
+// The serving hot path is built so that only actual engine runs occupy
+// admission slots. A request resolves and canonicalizes its function,
+// then: a cache hit returns immediately (no slot); a miss enters a
+// per-key singleflight (fcache.Group) where one leader takes a slot and
+// computes under its own deadline while identical concurrent requests
+// wait slot-free for the broadcast result, detaching with their own
+// 504/499 when their deadline dies first. Batch items run through a
+// bounded per-batch worker pool (Config.BatchWorkers), so intra-batch
+// duplicates coalesce exactly like cross-request ones. See
+// ARCHITECTURE.md "The serving path" for the state machine.
 package service
 
 import (
@@ -49,11 +61,19 @@ type Config struct {
 	// with the table harness so sppserve and spptables read the same
 	// flags.
 	Core harness.Config
-	// MaxConcurrent is the admission-gate width: how many requests (or
-	// batches) may occupy the pipeline at once. Default 2.
+	// MaxConcurrent is the admission-gate width: how many engine runs
+	// may occupy the pipeline at once. Cache hits and coalesced waiters
+	// do not consume slots. Default 2.
 	MaxConcurrent int
 	// CacheSize is the canonical-function LRU capacity. Default 256.
 	CacheSize int
+	// CacheShards overrides the result-cache shard count (rounded to a
+	// power of two; 0 = automatic, see fcache.NewSharded).
+	CacheShards int
+	// BatchWorkers bounds how many items of one batch run concurrently
+	// (each compute still needs an admission slot). 1 = strictly
+	// serial. Default 4.
+	BatchWorkers int
 	// DefaultTimeout applies to requests that set no timeout_ms.
 	// Default 30s.
 	DefaultTimeout time.Duration
@@ -68,6 +88,13 @@ type Config struct {
 	// MaxBatch caps the number of requests in one batch envelope.
 	// Default 64.
 	MaxBatch int
+	// LegacySerial restores the pre-coalescing serving path: one
+	// admission slot around the whole request (cache hits included),
+	// strictly serial batch items, no request coalescing, and a
+	// single-shard cache unless CacheShards overrides it. It exists as
+	// the measured baseline for cmd/sppload and for regression tests;
+	// production servers leave it off.
+	LegacySerial bool
 }
 
 // Request is one minimization job. Exactly one function source must be
@@ -92,11 +119,16 @@ type Request struct {
 	FactorCost bool `json:"factor_cost,omitempty"`
 
 	// TimeoutMS bounds this request's wall clock, queue wait included;
-	// 0 means the server default. Capped at Config.MaxTimeout.
+	// 0 means the server default. Capped at Config.MaxTimeout. Batch
+	// items are additionally bounded by the batch deadline (the max of
+	// the items' timeouts).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// NoCache bypasses the result cache (still populates it).
+	// NoCache bypasses the result cache and the coalescing group — the
+	// result is always freshly computed, never served from (or as) a
+	// shared in-flight result. It still populates the cache.
 	NoCache bool `json:"no_cache,omitempty"`
-	// Stats embeds this run's spp-stats/v1 report in the response.
+	// Stats embeds this run's spp-stats/v1 report in the response
+	// (cold computes only; cached and coalesced responses ran nothing).
 	Stats bool `json:"stats,omitempty"`
 }
 
@@ -106,44 +138,86 @@ type envelope struct {
 	Requests []Request `json:"requests,omitempty"`
 }
 
+// outcome classifies how one request was resolved, for the coherent
+// counter update in record. The zero value is outcomeError so every
+// failure path defaults safely.
+type outcome uint8
+
+const (
+	outcomeError     outcome = iota // failed (bad request, budget, expiry, ...)
+	outcomeHit                      // served from the result cache
+	outcomeComputed                 // ran the engines (leader or NoCache)
+	outcomeCoalesced                // served from a concurrent leader's flight
+	outcomeDetached                 // waiter expired before the leader finished
+)
+
 // Response is the result of one Request.
 type Response struct {
-	Form         string        `json:"form,omitempty"`
-	Literals     int           `json:"literals"`
-	NumTerms     int           `json:"num_terms"`
-	EPPP         int           `json:"eppp,omitempty"`
-	CoverOptimal bool          `json:"cover_optimal"`
-	Cached       bool          `json:"cached"`
-	Key          string        `json:"key,omitempty"`
-	ElapsedNS    int64         `json:"elapsed_ns"`
-	Stats        *stats.Report `json:"stats,omitempty"`
-	Error        string        `json:"error,omitempty"`
+	Form         string `json:"form,omitempty"`
+	Literals     int    `json:"literals"`
+	NumTerms     int    `json:"num_terms"`
+	EPPP         int    `json:"eppp,omitempty"`
+	CoverOptimal bool   `json:"cover_optimal"`
+	Cached       bool   `json:"cached"`
+	// Coalesced marks a response served by waiting on a concurrent
+	// identical request's computation rather than by cache lookup or a
+	// fresh run (such responses also report Cached, since they were
+	// served without computing).
+	Coalesced bool          `json:"coalesced,omitempty"`
+	Key       string        `json:"key,omitempty"`
+	ElapsedNS int64         `json:"elapsed_ns"`
+	Stats     *stats.Report `json:"stats,omitempty"`
+	Error     string        `json:"error,omitempty"`
 
-	status int // HTTP status for single-request responses
+	status  int     // HTTP status for single-request responses
+	outcome outcome // counter classification, see record
 }
 
 // batchResponse wraps the per-item results of a batch request. Errors
-// that fail the batch as a whole (queue-wait timeout, oversized batch)
-// are reported in the top-level Error with an empty Results, so batch
-// clients always get the {"results": ...} shape back. (Errors raised
-// before the body is parsed — draining, malformed JSON, oversized body
-// — cannot know the request shape and use the single-response
-// envelope, whose top-level "error" field matches this one.)
+// that fail the batch as a whole (oversized/empty batch) are reported
+// in the top-level Error with an empty Results, so batch clients always
+// get the {"results": ...} shape back; per-item failures (deadlines
+// included) are reported on the items themselves. (Errors raised before
+// the body is parsed — draining, malformed JSON, oversized body —
+// cannot know the request shape and use the single-response envelope,
+// whose top-level "error" field matches this one.)
 type batchResponse struct {
 	Results []Response `json:"results"`
 	Error   string     `json:"error,omitempty"`
 }
 
 // Statsz is the /statsz payload: service counters plus the recent-run
-// report ring (docs/stats-schema.md documents the run schema).
+// report ring (docs/stats-schema.md documents the run schema). The
+// request counters are written under one lock in a single critical
+// section per request and snapshotted under the same lock, so every
+// snapshot — even mid-traffic — satisfies
+//
+//	Served == CacheHits + CacheMisses + CoalesceWaiters
+//
+// exactly, with CoalesceDetached <= Errors.
 type Statsz struct {
-	Served      int64            `json:"served"`
-	CacheHits   int64            `json:"cache_hits"`
-	CacheMisses int64            `json:"cache_misses"`
-	Errors      int64            `json:"errors"`
-	InFlight    int              `json:"in_flight"`
-	Draining    bool             `json:"draining"`
-	Runs        *stats.RunReport `json:"runs"`
+	Served int64 `json:"served"`
+	// CacheHits counts requests served from the result cache;
+	// CacheMisses counts requests that ran the engines (flight leaders
+	// and no_cache requests).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Errors      int64 `json:"errors"`
+	// CoalesceWaiters counts requests served by joining a concurrent
+	// identical request's in-flight computation; CoalesceDetached
+	// counts waiters whose own deadline expired first (also included
+	// in Errors).
+	CoalesceWaiters  int64 `json:"coalesce_waiters"`
+	CoalesceDetached int64 `json:"coalesce_detached"`
+	// Cache-internal counters, aggregated over the LRU shards. These
+	// count raw cache operations (a request may probe more than once on
+	// collision or retry), unlike the request-level counters above.
+	CacheEvictions int64            `json:"cache_evictions"`
+	CacheShards    int              `json:"cache_shards"`
+	CacheLen       int              `json:"cache_len"`
+	InFlight       int              `json:"in_flight"`
+	Draining       bool             `json:"draining"`
+	Runs           *stats.RunReport `json:"runs"`
 }
 
 // cacheEntry is a canonical-space result. canon is kept for an Equal
@@ -155,21 +229,33 @@ type cacheEntry struct {
 	coverOptimal bool
 }
 
+// counters is the coherent request-counter block: every field is
+// written under Server.statsMu in a single critical section per
+// request, so any locked snapshot is internally consistent.
+type counters struct {
+	served, errors    int64
+	hits, misses      int64
+	waiters, detached int64
+}
+
 // Server is the minimization service. Create with New; expose with
 // Handler.
 type Server struct {
-	cfg   Config
-	cache *fcache.Cache[cacheEntry]
-	slots chan struct{}
+	cfg     Config
+	cache   *fcache.Cache[cacheEntry]
+	flights fcache.Group[cacheEntry]
+	slots   chan struct{}
 
-	served, errors atomic.Int64
-	draining       atomic.Bool
+	statsMu sync.Mutex
+	ctr     counters
+
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	history []*stats.Report // ring, oldest first
 	runSeq  int64
 
-	// testHookAfterAcquire, when set, runs after a request takes its
+	// testHookAfterAcquire, when set, runs after a compute takes its
 	// admission slot and before minimization — tests use it to hold
 	// slots open deterministically.
 	testHookAfterAcquire func(ctx context.Context)
@@ -182,6 +268,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 256
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = 4
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 30 * time.Second
@@ -201,9 +290,13 @@ func New(cfg Config) *Server {
 	if cfg.Core.PerOutput == 0 && cfg.Core.MaxCandidates == 0 {
 		cfg.Core = harness.DefaultConfig()
 	}
+	shards := cfg.CacheShards
+	if shards == 0 && cfg.LegacySerial {
+		shards = 1
+	}
 	return &Server{
 		cfg:   cfg,
-		cache: fcache.New[cacheEntry](cfg.CacheSize),
+		cache: fcache.NewSharded[cacheEntry](cfg.CacheSize, shards),
 		slots: make(chan struct{}, cfg.MaxConcurrent),
 	}
 }
@@ -229,6 +322,30 @@ func (s *Server) FinalReport() *stats.RunReport {
 	return stats.NewRunReport(s.history...)
 }
 
+// record folds one request outcome into the coherent counter block.
+// Exactly one call per processed request keeps the Statsz invariant
+// (served == hits + misses + waiters) true under any interleaving.
+func (s *Server) record(o outcome) {
+	s.statsMu.Lock()
+	switch o {
+	case outcomeHit:
+		s.ctr.served++
+		s.ctr.hits++
+	case outcomeComputed:
+		s.ctr.served++
+		s.ctr.misses++
+	case outcomeCoalesced:
+		s.ctr.served++
+		s.ctr.waiters++
+	case outcomeDetached:
+		s.ctr.errors++
+		s.ctr.detached++
+	default:
+		s.ctr.errors++
+	}
+	s.statsMu.Unlock()
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -245,18 +362,26 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	hits, misses := s.cache.Stats()
 	s.mu.Lock()
 	runs := stats.NewRunReport(s.history...)
 	s.mu.Unlock()
+	cst := s.cache.Stats()
+	s.statsMu.Lock()
+	ctr := s.ctr // one coherent snapshot of all request counters
+	s.statsMu.Unlock()
 	writeJSON(w, http.StatusOK, Statsz{
-		Served:      s.served.Load(),
-		CacheHits:   int64(hits),
-		CacheMisses: int64(misses),
-		Errors:      s.errors.Load(),
-		InFlight:    len(s.slots),
-		Draining:    s.draining.Load(),
-		Runs:        runs,
+		Served:           ctr.served,
+		CacheHits:        ctr.hits,
+		CacheMisses:      ctr.misses,
+		Errors:           ctr.errors,
+		CoalesceWaiters:  ctr.waiters,
+		CoalesceDetached: ctr.detached,
+		CacheEvictions:   int64(cst.Evictions),
+		CacheShards:      cst.Shards,
+		CacheLen:         s.cache.Len(),
+		InFlight:         len(s.slots),
+		Draining:         s.draining.Load(),
+		Runs:             runs,
 	})
 }
 
@@ -305,10 +430,9 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The deadline covers the whole request, queue wait included. A
-	// batch shares one deadline (the max of its items' requests) and
-	// one admission slot, so intra-batch duplicates hit the cache
-	// without re-queueing.
+	// The batch deadline is the max of its items' timeouts; each item
+	// additionally runs under its own (shorter or equal) deadline. Both
+	// cover queue wait.
 	var timeout time.Duration
 	for _, q := range reqs {
 		timeout = max(timeout, s.timeout(q))
@@ -316,27 +440,62 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	select {
-	case s.slots <- struct{}{}:
-		defer func() { <-s.slots }()
-	case <-ctx.Done():
-		s.errors.Add(1)
-		batchFail(statusFor(ctx.Err()), "queue wait: "+ctx.Err().Error())
-		return
-	}
-	if s.testHookAfterAcquire != nil {
-		s.testHookAfterAcquire(ctx)
-	}
-
 	results := make([]Response, len(reqs))
-	for i, q := range reqs {
-		results[i] = s.process(ctx, q)
-		if results[i].Error != "" {
-			s.errors.Add(1)
+	if s.cfg.LegacySerial {
+		// Pre-coalescing path: one slot around everything, cache hits
+		// included; items strictly serial; whole batch fails on queue
+		// timeout.
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			s.record(outcomeError)
+			batchFail(statusFor(ctx.Err()), "queue wait: "+ctx.Err().Error())
+			return
+		}
+		if s.testHookAfterAcquire != nil {
+			s.testHookAfterAcquire(ctx)
+		}
+		for i, q := range reqs {
+			results[i] = s.process(ctx, q)
+			s.record(results[i].outcome)
+		}
+	} else {
+		workers := min(s.cfg.BatchWorkers, len(reqs))
+		runItem := func(i int) {
+			itemCtx, itemCancel := context.WithTimeout(ctx, s.timeout(reqs[i]))
+			results[i] = s.process(itemCtx, reqs[i])
+			itemCancel()
+			s.record(results[i].outcome)
+		}
+		if workers <= 1 {
+			for i := range reqs {
+				runItem(i)
+			}
 		} else {
-			s.served.Add(1)
+			// Bounded per-batch pool; results land at their item index,
+			// so ordering stays deterministic no matter who finishes
+			// first. Intra-batch duplicates coalesce via the flight
+			// group instead of relying on serial ordering.
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						runItem(i)
+					}
+				}()
+			}
+			for i := range reqs {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
 		}
 	}
+
 	if batch {
 		writeJSON(w, http.StatusOK, batchResponse{Results: results})
 		return
@@ -358,44 +517,164 @@ func (s *Server) timeout(q Request) time.Duration {
 }
 
 // process runs one request: resolve the function, canonicalize, try
-// the cache, minimize on miss, permute the form back.
+// the cache, and on miss either lead or join a coalesced computation.
+// In LegacySerial mode the caller already holds the admission slot and
+// no coalescing happens.
 func (s *Server) process(ctx context.Context, q Request) Response {
 	start := time.Now()
-	fail := func(status int, err error) Response {
-		return Response{Error: err.Error(), status: status, ElapsedNS: time.Since(start).Nanoseconds()}
+	elapsed := func() int64 { return time.Since(start).Nanoseconds() }
+	fail := func(status int, err error, oc outcome) Response {
+		return Response{Error: err.Error(), status: status, outcome: oc, ElapsedNS: elapsed()}
 	}
+	// failErr maps an in-flight failure to its HTTP status. The
+	// request's own expiry wins over whatever error it surfaced as: an
+	// engine abort that races the deadline must report 504 (or the
+	// 499-style client cancel), never a blanket 500 — and never shadow
+	// a real 4xx (bad request, budget) with the expiry status.
+	failErr := func(err error) Response {
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			if ce := ctx.Err(); ce != nil {
+				status = statusFor(ce)
+			}
+		}
+		return fail(status, err, outcomeError)
+	}
+
 	f, err := resolveFunction(q)
 	if err != nil {
-		return fail(http.StatusBadRequest, err)
+		return fail(http.StatusBadRequest, err, outcomeError)
 	}
 	alg, err := normalizeAlgorithm(q, f.N())
 	if err != nil {
-		return fail(http.StatusBadRequest, err)
+		return fail(http.StatusBadRequest, err, outcomeError)
 	}
 
 	// Canonicalization honors the request deadline: its class
-	// refinement and tie-break costs grow with n and point count, and
-	// an admission slot must not outlive its request's budget.
+	// refinement and tie-break costs grow with n and point count. It
+	// runs before (and outside) the admission slot — its work is
+	// bounded by fcache's tie-break budget, and keeping it off the
+	// slot lets cache hits complete without queueing at all.
 	key, perm, canon, err := fcache.CanonicalizeCtx(ctx, f)
 	if err != nil {
-		return fail(statusFor(err), err)
+		return failErr(err)
 	}
 	key = key.Derive(s.optionTag(q, alg))
 	inv := fcache.InversePerm(perm)
+	sameCanon := func(e cacheEntry) bool { return e.canon.Equal(canon) }
 
-	if !q.NoCache {
-		if e, ok := s.cache.Get(key); ok && e.canon.Equal(canon) {
-			form := permuteForm(e.form, inv)
-			return Response{
-				Form:         form.String(),
-				Literals:     form.Literals(),
-				NumTerms:     form.NumTerms(),
-				EPPP:         e.eppp,
-				CoverOptimal: e.coverOptimal,
-				Cached:       true,
-				Key:          key.String(),
-				ElapsedNS:    time.Since(start).Nanoseconds(),
+	served := func(e cacheEntry, coalesced bool) Response {
+		form := permuteForm(e.form, inv)
+		oc := outcomeHit
+		if coalesced {
+			oc = outcomeCoalesced
+		}
+		return Response{
+			Form:         form.String(),
+			Literals:     form.Literals(),
+			NumTerms:     form.NumTerms(),
+			EPPP:         e.eppp,
+			CoverOptimal: e.coverOptimal,
+			Cached:       true,
+			Coalesced:    coalesced,
+			Key:          key.String(),
+			ElapsedNS:    elapsed(),
+			outcome:      oc,
+		}
+	}
+	computed := func(e cacheEntry, rep *stats.Report) Response {
+		form := permuteForm(e.form, inv)
+		out := Response{
+			Form:         form.String(),
+			Literals:     form.Literals(),
+			NumTerms:     form.NumTerms(),
+			EPPP:         e.eppp,
+			CoverOptimal: e.coverOptimal,
+			Key:          key.String(),
+			ElapsedNS:    elapsed(),
+			outcome:      outcomeComputed,
+		}
+		if q.Stats {
+			out.Stats = rep
+		}
+		return out
+	}
+
+	// acquireSlot: in the legacy path the handler already holds the
+	// (single) slot for the whole request.
+	acquireSlot := !s.cfg.LegacySerial
+
+	if q.NoCache {
+		// A forced fresh compute neither reads the cache nor joins a
+		// flight, and its result is not broadcast; it still populates
+		// the cache for later requests.
+		e, rep, err := s.compute(ctx, q, alg, key, canon, acquireSlot, nil)
+		if err != nil {
+			return failErr(err)
+		}
+		return computed(e, rep)
+	}
+
+	if e, ok := s.cache.GetIf(key, sameCanon); ok {
+		return served(e, false)
+	}
+
+	if s.cfg.LegacySerial {
+		e, rep, err := s.compute(ctx, q, alg, key, canon, false, nil)
+		if err != nil {
+			return failErr(err)
+		}
+		return computed(e, rep)
+	}
+
+	// Coalesce: one leader computes under its own budget; identical
+	// concurrent requests wait slot-free and share the result.
+	var leaderRep *stats.Report
+	e, oc, err := s.flights.Do(ctx, key, func(waiters func() int64) (cacheEntry, error) {
+		e, rep, err := s.compute(ctx, q, alg, key, canon, true, waiters)
+		leaderRep = rep
+		return e, err
+	})
+	switch oc {
+	case fcache.Led:
+		if err != nil {
+			return failErr(err)
+		}
+		return computed(e, leaderRep)
+	case fcache.Joined:
+		if !e.canon.Equal(canon) {
+			// Key collision against a concurrent leader's different
+			// function: compute this one directly. (The stored-entry
+			// collision case is handled by GetIf, which evicts.)
+			e, rep, err := s.compute(ctx, q, alg, key, canon, true, nil)
+			if err != nil {
+				return failErr(err)
 			}
+			return computed(e, rep)
+		}
+		return served(e, true)
+	default: // fcache.Detached: this waiter's own deadline expired
+		return fail(statusFor(err), fmt.Errorf("coalesced wait: %w", err), outcomeDetached)
+	}
+}
+
+// compute runs one minimization — under an admission slot when
+// acquireSlot is set — and populates the cache. waiters, when non-nil,
+// reports how many coalesced requests were riding on this run at
+// completion (recorded as the serve.flight_waiters sched counter).
+func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcache.Key, canon *bfunc.Func, acquireSlot bool, waiters func() int64) (cacheEntry, *stats.Report, error) {
+	if acquireSlot {
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			return cacheEntry{}, nil, fmt.Errorf("queue wait: %w", ctx.Err())
+		}
+		if s.testHookAfterAcquire != nil {
+			s.testHookAfterAcquire(ctx)
+		}
+		if err := ctx.Err(); err != nil {
+			return cacheEntry{}, nil, err
 		}
 	}
 
@@ -409,6 +688,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 	}
 
 	var res *core.Result
+	var err error
 	switch alg.name {
 	case "exact":
 		res, err = core.MinimizeExact(canon, opts)
@@ -418,13 +698,13 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 		res, err = core.Heuristic(canon, alg.k, opts)
 	}
 	if err != nil {
-		return fail(statusFor(err), err)
+		return cacheEntry{}, nil, err
 	}
 	// A deadline that expires inside the covering search yields a valid
 	// but truncated form (cover.Exact degrades to its incumbent). Serve
 	// nothing rather than cache a deadline-shaped result.
-	if ctx.Err() != nil {
-		return fail(statusFor(ctx.Err()), ctx.Err())
+	if err := ctx.Err(); err != nil {
+		return cacheEntry{}, nil, err
 	}
 
 	s.mu.Lock()
@@ -432,33 +712,28 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 	rep := rec.Report(fmt.Sprintf("serve/%d/%s", s.runSeq, alg.name))
 	rep.Workers = s.cfg.Core.Workers
 	rep.CoverWorkers = s.cfg.Core.CoverWorkers
+	if waiters != nil {
+		if w := waiters(); w > 0 {
+			if rep.Sched == nil {
+				rep.Sched = make(map[string]int64)
+			}
+			rep.Sched["serve.flight_waiters"] = w
+		}
+	}
 	s.history = append(s.history, rep)
 	if len(s.history) > s.cfg.HistorySize {
 		s.history = s.history[1:]
 	}
 	s.mu.Unlock()
 
-	s.cache.Put(key, cacheEntry{
+	e := cacheEntry{
 		canon:        canon,
 		form:         res.Form,
 		eppp:         res.Build.EPPP,
 		coverOptimal: res.CoverOptimal,
-	})
-
-	form := permuteForm(res.Form, inv)
-	out := Response{
-		Form:         form.String(),
-		Literals:     form.Literals(),
-		NumTerms:     form.NumTerms(),
-		EPPP:         res.Build.EPPP,
-		CoverOptimal: res.CoverOptimal,
-		Key:          key.String(),
-		ElapsedNS:    time.Since(start).Nanoseconds(),
 	}
-	if q.Stats {
-		out.Stats = rep
-	}
-	return out
+	s.cache.Put(key, e)
+	return e, rep, nil
 }
 
 type algorithm struct {

@@ -160,11 +160,15 @@ func TestMinimizeBatch(t *testing.T) {
 	if len(br.Results) != 3 {
 		t.Fatalf("got %d results, want 3", len(br.Results))
 	}
-	if br.Results[0].Cached {
-		t.Error("first batch item claims cached")
+	// Items 0 and 1 are identical; with concurrent batch workers either
+	// one may lead the computation, but exactly one computes and the
+	// other is served from its flight or the cache.
+	if br.Results[0].Cached == br.Results[1].Cached {
+		t.Errorf("duplicate items: cached = %v/%v, want exactly one computed",
+			br.Results[0].Cached, br.Results[1].Cached)
 	}
-	if !br.Results[1].Cached {
-		t.Error("duplicate batch item missed the cache (should share the slot and hit)")
+	if br.Results[0].Form != br.Results[1].Form {
+		t.Error("duplicate items disagree on the form")
 	}
 	if br.Results[2].Cached || br.Results[2].Form == br.Results[0].Form {
 		t.Error("distinct batch item wrongly shared a result")
@@ -309,9 +313,12 @@ func TestQueueDeadlineDoesNotLeakSlot(t *testing.T) {
 	}
 }
 
-// TestBatchQueueTimeoutShape: a batch whose deadline expires while
-// waiting for an admission slot must get the batch {"results": ...}
-// envelope back, not a bare single-request Response.
+// TestBatchQueueTimeoutShape: batch items that expire before being
+// served fail inside the HTTP-200 batch envelope, item by item — a
+// deadline is a per-item outcome now, not a whole-batch one. Two
+// flavors with one saturated slot: an item identical to the in-flight
+// request joins its flight and detaches on its own deadline; a distinct
+// item times out waiting for the admission slot.
 func TestBatchQueueTimeoutShape(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxConcurrent = 1
@@ -340,19 +347,23 @@ func TestBatchQueueTimeoutShape(t *testing.T) {
 		t.Fatal("slot holder never acquired")
 	}
 
-	code, out := post(t, h, fmt.Sprintf(`{"requests":[{"n":3,"on":%s,"timeout_ms":50}]}`, on))
-	if code != http.StatusGatewayTimeout {
-		t.Fatalf("queued batch: status %d, want 504: %s", code, out)
-	}
-	if !strings.Contains(out, `"results"`) {
-		t.Fatalf("batch queue timeout lost the batch envelope: %s", out)
+	body := fmt.Sprintf(`{"requests":[{"n":3,"on":%s,"timeout_ms":50},{"n":3,"on":[1,2],"timeout_ms":50}]}`, on)
+	code, out := post(t, h, body)
+	if code != http.StatusOK {
+		t.Fatalf("batch with expiring items: status %d, want 200 envelope: %s", code, out)
 	}
 	var br batchResponse
 	if err := json.Unmarshal([]byte(out), &br); err != nil {
 		t.Fatalf("bad batch JSON: %v\n%s", err, out)
 	}
-	if br.Error == "" || len(br.Results) != 0 {
-		t.Errorf("batch timeout envelope = %+v", br)
+	if br.Error != "" || len(br.Results) != 2 {
+		t.Fatalf("batch envelope = %+v, want 2 per-item results and no batch error", br)
+	}
+	if e := br.Results[0].Error; !strings.Contains(e, "coalesced wait") || !strings.Contains(e, "deadline") {
+		t.Errorf("duplicate item error = %q, want coalesced-wait deadline", e)
+	}
+	if e := br.Results[1].Error; !strings.Contains(e, "queue wait") || !strings.Contains(e, "deadline") {
+		t.Errorf("distinct item error = %q, want queue-wait deadline", e)
 	}
 }
 
