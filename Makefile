@@ -3,7 +3,7 @@
 # detector (the parallel EPPP engine is exercised with forced worker
 # counts even on single-core hosts).
 
-.PHONY: check check-race artifact-check fmt-check pkgdoc-check docs-check server-smoke bench-eppp bench-cover bench bench-serve bench-serve-smoke bench-smoke fuzz-smoke
+.PHONY: check check-race artifact-check fmt-check pkgdoc-check docs-check server-smoke bench-eppp bench-cover bench bench-serve bench-serve-smoke bench-delta bench-delta-smoke bench-smoke fuzz-smoke fuzz-delta-smoke
 
 check: fmt-check pkgdoc-check docs-check artifact-check
 	go vet ./...
@@ -70,6 +70,16 @@ bench-serve:
 bench-serve-smoke:
 	go run ./cmd/sppload -quick -out /tmp/bench_serve_smoke.json
 
+# Incremental re-minimization benchmark: a 100-edit random walk per
+# run, warm delta chaining vs full cold re-submissions on identical
+# edit scripts; writes BENCH_delta.json with the edit_loop_speedup
+# summary.
+bench-delta:
+	go run ./cmd/sppload -scenario edit-loop -out BENCH_delta.json
+
+bench-delta-smoke:
+	go run ./cmd/sppload -scenario edit-loop -quick -out /tmp/bench_delta_smoke.json
+
 # CI smoke tiers: every benchmark once (compile + one iteration catches
 # bit-rot without benchmarking anything), and a short fuzz run of the
 # exact-cover round-trip property.
@@ -78,3 +88,8 @@ bench-smoke:
 
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzExactRoundTrip$$' -fuzztime 20s ./internal/cover
+
+# Short fuzz of delta-vs-cold byte identity: random function + edit
+# script, resumed result must match a cold warm-engine run exactly.
+fuzz-delta-smoke:
+	go test -run '^$$' -fuzz '^FuzzDeltaEquivalence$$' -fuzztime 20s ./internal/core

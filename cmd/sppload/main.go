@@ -21,6 +21,16 @@
 // Results are written as JSON (default BENCH_serve.json) with per-run
 // throughput, p50/p99 latency, coalesce rate and duplicate-compute
 // counts, plus baseline-vs-current speedup summaries.
+//
+// A third scenario, selected with -scenario edit-loop, benchmarks the
+// incremental re-minimization path instead: every client owns a
+// distinct base function and random-walks it, changing -edit-k minterms
+// per step. Warm mode chains delta requests ({"base": ..., "add": ...,
+// "remove": ...}) against a -warm-cache server; cold mode re-submits
+// the full edited function each step. Both modes walk identical edit
+// scripts, so they minimize the same functions. Results go to
+// BENCH_delta.json (spp-bench-delta/v1) with an edit_loop_speedup
+// summary.
 package main
 
 import (
@@ -76,7 +86,8 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "", "output JSON path (- for stdout; default BENCH_serve.json, or BENCH_delta.json for -scenario edit-loop)")
+	scenario := flag.String("scenario", "serve", "benchmark scenario: serve (stampede+zipf) or edit-loop (delta vs cold re-submits)")
 	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
 	keys := flag.Int("keys", 40, "distinct functions in the zipf mix")
 	requests := flag.Int("requests", 400, "total requests in the zipf scenario")
@@ -86,8 +97,26 @@ func main() {
 	nvars := flag.Int("nvars", 9, "variables per benchmark function")
 	onBase := flag.Int("on-base", 128, "smallest ON-set size")
 	window := flag.Int("window", 32, "zipf requests between hot-set shifts")
+	edits := flag.Int("edits", 25, "edit-loop steps per client")
+	editK := flag.Int("edit-k", 2, "minterms changed per edit-loop step (alternating add/remove)")
 	quick := flag.Bool("quick", false, "small fast run for CI smoke")
 	flag.Parse()
+
+	if *scenario == "edit-loop" {
+		if *quick {
+			*clients, *edits = 2, 6
+		} else if *clients == 8 {
+			*clients = 4 // default: 4 clients x 25 edits = a 100-edit loop
+		}
+		if *out == "" {
+			*out = "BENCH_delta.json"
+		}
+		runEditLoopScenario(*out, *clients, *edits, *editK, *nvars, *onBase, *quick)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_serve.json"
+	}
 
 	if *quick {
 		*clients, *keys, *requests, *rounds, *window = 4, 10, 64, 3, 16
@@ -353,4 +382,299 @@ func find(rs []runResult, scenario, mode string) *runResult {
 		}
 	}
 	return nil
+}
+
+// --- edit-loop scenario -------------------------------------------------
+
+type editResult struct {
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"`
+	Clients  int    `json:"clients"`
+	// Edits is the total number of edit steps across all clients (the
+	// initial full submissions are excluded from the latencies).
+	Edits int `json:"edits"`
+	EditK int `json:"edit_k"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+	EditsPerS float64 `json:"edits_per_s"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+
+	DeltaWarm     int64 `json:"delta_warm"`
+	DeltaCold     int64 `json:"delta_cold_fallback"`
+	DeltaBaseMiss int64 `json:"delta_base_miss"`
+	CacheBytes    int64 `json:"cache_bytes"`
+	Errors        int64 `json:"errors"`
+}
+
+type deltaReport struct {
+	Schema    string            `json:"schema"`
+	Generated string            `json:"generated"`
+	Config    map[string]any    `json:"config"`
+	Results   []editResult      `json:"results"`
+	Summary   map[string]string `json:"summary"`
+}
+
+func runEditLoopScenario(out string, clients, edits, editK, nvars, onBase int, quick bool) {
+	onSets := makeOnSets(clients, nvars, onBase, 2)
+	rep := deltaReport{
+		Schema:    "spp-bench-delta/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Config: map[string]any{
+			"clients": clients,
+			"edits":   edits,
+			"edit_k":  editK,
+			"nvars":   nvars,
+			"on_base": onBase,
+			"quick":   quick,
+		},
+		Summary: map[string]string{},
+	}
+
+	for _, warm := range []bool{false, true} {
+		res := runEditLoop(warm, clients, edits, editK, nvars, onSets)
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("edit-loop %-5s  %6.1f edits/s  p50 %6.2fms  p99 %7.2fms  warm %3d  fallback %d  base-miss %d\n",
+			res.Mode, res.EditsPerS, res.P50MS, res.P99MS,
+			res.DeltaWarm, res.DeltaCold, res.DeltaBaseMiss)
+	}
+
+	cold, warm := &rep.Results[0], &rep.Results[1]
+	if warm.ElapsedMS > 0 {
+		rep.Summary["edit_loop_speedup"] = fmt.Sprintf("%.2fx", cold.ElapsedMS/warm.ElapsedMS)
+		rep.Summary["edit_loop_p50"] = fmt.Sprintf("%.2fms -> %.2fms", cold.P50MS, warm.P50MS)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sppload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "sppload:", err)
+		os.Exit(1)
+	}
+	for k, v := range rep.Summary {
+		fmt.Printf("summary %s = %s\n", k, v)
+	}
+}
+
+// runEditLoop walks every client's function through `edits` random
+// steps of editK minterm changes. Both modes replay identical edit
+// scripts (same per-client seeds); only the request shape differs:
+// warm mode chains deltas on base_key, cold mode re-submits the full
+// ON set. Only the edit steps are timed.
+func runEditLoop(warm bool, clients, edits, editK, nvars int, onSets [][]int) editResult {
+	cfg := service.Config{
+		Core:          harness.DefaultConfig(),
+		MaxConcurrent: clients,
+		CacheSize:     4096,
+		// Big enough for every client's current warm chain head with
+		// room to spare; old generations get evicted, keeping the live
+		// heap (and so GC pressure) bounded during long walks.
+		CacheBytes: 512 << 20,
+		WarmCache:  warm,
+	}
+	srv := service.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{}
+
+	mode := "cold"
+	if warm {
+		mode = "warm"
+	}
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	var errs int64
+	// All clients submit their base function up front (untimed in both
+	// modes — it is setup, not part of the edit loop), then rendezvous
+	// so the timer covers exactly the edit phase.
+	var seeded sync.WaitGroup
+	seeded.Add(clients)
+	begin := make(chan struct{})
+	var start time.Time
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c + 1)))
+			on := make(map[int]bool, len(onSets[c]))
+			for _, p := range onSets[c] {
+				on[p] = true
+			}
+			space := 1 << nvars
+
+			// Initial full submission; in warm mode it seeds the warm
+			// state and yields the base_key to chain on.
+			_, code, resp := postResp(client, ts.URL, fullBody(nvars, on))
+			seeded.Done()
+			if code != http.StatusOK {
+				mu.Lock()
+				errs++
+				mu.Unlock()
+				return
+			}
+			base := resp.BaseKey
+			<-begin
+
+			for i := 0; i < edits; i++ {
+				var adds, removes []int
+				for j := 0; j < editK; j++ {
+					if j%2 == 0 { // add a random OFF point
+						for {
+							p := rng.Intn(space)
+							if !on[p] {
+								on[p] = true
+								adds = append(adds, p)
+								break
+							}
+						}
+					} else { // remove a random ON point
+						var pts []int
+						for p := range on {
+							pts = append(pts, p)
+						}
+						sort.Ints(pts)
+						p := pts[rng.Intn(len(pts))]
+						delete(on, p)
+						removes = append(removes, p)
+					}
+				}
+
+				var body string
+				if warm {
+					body = deltaBody(base, adds, removes)
+				} else {
+					body = fullBody(nvars, on)
+				}
+				d, code, resp := postResp(client, ts.URL, body)
+				if warm && code == http.StatusConflict {
+					// Base evicted: fall back to a full submission and
+					// resume chaining from its key.
+					d2, code2, resp2 := postResp(client, ts.URL, fullBody(nvars, on))
+					d, code, resp = d+d2, code2, resp2
+				}
+				mu.Lock()
+				lats = append(lats, d)
+				if code != http.StatusOK {
+					errs++
+				}
+				mu.Unlock()
+				if warm && resp.BaseKey != "" {
+					base = resp.BaseKey
+				}
+			}
+		}(c)
+	}
+	seeded.Wait()
+	start = time.Now()
+	close(begin)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var st service.Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		panic(err)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := min(int(p*float64(len(lats))), len(lats)-1)
+		return float64(lats[i].Microseconds()) / 1000
+	}
+	return editResult{
+		Scenario:      "edit-loop",
+		Mode:          mode,
+		Clients:       clients,
+		Edits:         len(lats),
+		EditK:         editK,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+		EditsPerS:     float64(len(lats)) / elapsed.Seconds(),
+		P50MS:         pct(0.50),
+		P99MS:         pct(0.99),
+		DeltaWarm:     st.DeltaWarm,
+		DeltaCold:     st.DeltaCold,
+		DeltaBaseMiss: st.DeltaBaseMiss,
+		CacheBytes:    st.CacheBytes,
+		Errors:        errs + st.Errors,
+	}
+}
+
+// makeOnSets builds count pairwise P-inequivalent pseudo-random ON
+// sets (distinct sizes), as int slices, mirroring makeBodies.
+func makeOnSets(count, nvars, onBase, onStep int) [][]int {
+	rng := rand.New(rand.NewSource(7))
+	space := 1 << nvars
+	sets := make([][]int, count)
+	for i := range sets {
+		size := onBase + i*onStep
+		if size > space/2 {
+			size = space / 2
+		}
+		seen := make(map[int]bool)
+		for len(sets[i]) < size {
+			p := rng.Intn(space)
+			if !seen[p] {
+				seen[p] = true
+				sets[i] = append(sets[i], p)
+			}
+		}
+	}
+	return sets
+}
+
+func fullBody(nvars int, on map[int]bool) string {
+	pts := make([]int, 0, len(on))
+	for p := range on {
+		pts = append(pts, p)
+	}
+	sort.Ints(pts)
+	strs := make([]string, len(pts))
+	for i, p := range pts {
+		strs[i] = fmt.Sprint(p)
+	}
+	return fmt.Sprintf(`{"n":%d,"on":[%s]}`, nvars, strings.Join(strs, ","))
+}
+
+func deltaBody(base string, adds, removes []int) string {
+	j := func(pts []int) string {
+		strs := make([]string, len(pts))
+		for i, p := range pts {
+			strs[i] = fmt.Sprint(p)
+		}
+		return "[" + strings.Join(strs, ",") + "]"
+	}
+	return fmt.Sprintf(`{"base":%q,"add":%s,"remove":%s}`, base, j(adds), j(removes))
+}
+
+// postResp posts a body and decodes the JSON response envelope.
+func postResp(client *http.Client, url, body string) (time.Duration, int, service.Response) {
+	start := time.Now()
+	resp, err := client.Post(url+"/v1/minimize", "application/json", strings.NewReader(body))
+	if err != nil {
+		return time.Since(start), 0, service.Response{}
+	}
+	defer resp.Body.Close()
+	var r service.Response
+	_ = json.NewDecoder(resp.Body).Decode(&r)
+	io.Copy(io.Discard, resp.Body)
+	return time.Since(start), resp.StatusCode, r
 }

@@ -8,6 +8,8 @@
 //	curl -s -d '{"bench":"adr4"}' localhost:8080/v1/minimize
 //	curl -s -d '{"requests":[{"n":3,"on":[1,2,4,7]},{"bench":"life"}]}' \
 //	    localhost:8080/v1/minimize
+//	curl -s -d '{"base":"<base_key>","add":[5],"remove":[24]}' \
+//	    localhost:8080/v1/minimize          # with -warm-cache
 //	curl -s localhost:8080/statsz
 //
 // Minimization bounds share flag names with spptables (-budget,
@@ -38,7 +40,10 @@ func main() {
 		maxConc     = flag.Int("max-concurrent", 2, "admission gate width: engine computes in flight at once (cache hits and coalesced waiters are not gated)")
 		batchWork   = flag.Int("batch-workers", 4, "batch items processed concurrently per request (1 = serial)")
 		cacheSize   = flag.Int("cache-size", 256, "canonical-function result cache capacity (entries)")
+		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "result cache capacity in payload bytes (warm states charge their real footprint; 0 = unbounded)")
 		cacheShards = flag.Int("cache-shards", 0, "result cache shard count, rounded to a power of two (0 = automatic)")
+		warmCache   = flag.Bool("warm-cache", false, "retain warm EPPP state for exact runs and accept delta requests against it")
+		maxDirty    = flag.Float64("delta-max-dirty", 0.25, "delta requests whose churn exceeds this fraction of the base care set fall back to a cold run")
 		defTimeout  = flag.Duration("default-timeout", 30*time.Second, "per-request deadline when the request sets none")
 		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on request-supplied timeouts")
 		historySize = flag.Int("history", 32, "recent cold runs kept for /statsz")
@@ -56,7 +61,10 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		BatchWorkers:   *batchWork,
 		CacheSize:      *cacheSize,
+		CacheBytes:     *cacheBytes,
 		CacheShards:    *cacheShards,
+		WarmCache:      *warmCache,
+		DeltaMaxDirty:  *maxDirty,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		HistorySize:    *historySize,

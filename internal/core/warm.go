@@ -1,0 +1,801 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bfunc"
+	"repro/internal/cover"
+	"repro/internal/pcube"
+	"repro/internal/ptrie"
+	"repro/internal/stats"
+)
+
+// This file implements warm-state minimization: a cold run that
+// snapshots its reusable intermediates (MinimizeExactWarm) and a resume
+// path that patches the snapshot under a small ON/DC-set edit instead
+// of rebuilding it (ResumeExact).
+//
+// The snapshot leans on a structural fact of Algorithm 2: level k of
+// the construction is exactly the set of degree-k pseudocubes contained
+// in the care set. (Induction: any degree-(k+1) pseudocube splits along
+// each canonical direction into two same-structure halves inside care,
+// so it is generated; conversely every union of two care-contained
+// pseudocubes is care-contained.) The level sets are therefore pure
+// functions of the care set — independent of generation history — and a
+// care edit changes them in a local way:
+//
+//   - an entry dies iff it contains a removed care point;
+//   - the new entries at level k are exactly the degree-k pseudocubes
+//     containing at least one added point, and each is the union of a
+//     new level-(k-1) half with a surviving (or earlier-new) half in
+//     the same structure group — so they are reachable by unioning new
+//     members against their group only;
+//   - the discard marks of Algorithm 2 step 2 are maintained as counts
+//     (partners that discard me), so a dying partner's contribution can
+//     be retracted and a new partner's added without re-unioning the
+//     whole group.
+//
+// Byte-identity of the patched result requires a candidate order that
+// is itself history-independent, so the warm engines emit candidates in
+// canonical order: levels ascending, structure groups in trie path-key
+// order, entries within a group by complement vector. This differs from
+// BuildEPPP's generation order (insertion order within groups), which
+// is why warm capture is a separate code path: MinimizeExact and every
+// pinned table number stay untouched, and "cold run" in the delta
+// engine's correctness bar means MinimizeExactWarm.
+
+// WarmState is the reusable intermediate state of one warm exact
+// minimization: the per-level structure groups (with discard counts and
+// point signatures for cheap invalidation) and the ON points covered by
+// each covering candidate. It is immutable — ResumeExact copies the
+// groups it dirties and shares the rest — so one WarmState may serve
+// many concurrent resumes.
+type WarmState struct {
+	n      int
+	f      *bfunc.Func
+	cost   CostKind
+	levels []warmLevel
+	// covered maps every covering candidate (all of them, including
+	// candidates that cover only don't-cares) to the sorted ON points
+	// it covers. Keys are CEX pointers: survivors keep their identity
+	// across resumes, so patched point lists are found by pointer.
+	covered map[*pcube.CEX][]uint64
+	bytes   int64
+}
+
+// N returns the input arity of the snapshotted function.
+func (ws *WarmState) N() int { return ws.n }
+
+// Function returns the snapshotted function.
+func (ws *WarmState) Function() *bfunc.Func { return ws.f }
+
+// Bytes estimates the retained footprint of the warm state, the weight
+// size-aware caches should charge it.
+func (ws *WarmState) Bytes() int64 { return ws.bytes }
+
+type warmLevel struct {
+	groups []*warmGroup // sorted by trie path key
+}
+
+type warmGroup struct {
+	path string
+	sig  uint64 // OR of entry signatures
+	// entries are sorted by complement vector (unique within a group),
+	// the canonical within-group order.
+	entries []warmEntry
+}
+
+type warmEntry struct {
+	cex *pcube.CEX
+	sig uint64 // OR of pointSig over the entry's points
+	// markCnt counts same-group partners p with cost(union(e,p)) <=
+	// cost(e); the entry is a covering candidate iff markCnt == 0.
+	markCnt int32
+}
+
+// pointSig hashes a point into a 64-bit signature bit. Group and entry
+// signatures are ORs of point signatures, so sig&removedSig == 0 proves
+// no removed point touches the entry; a nonzero intersection is
+// confirmed with exact Contains checks.
+func pointSig(p uint64) uint64 {
+	return 1 << ((p * 0x9E3779B97F4A7C15) >> 58)
+}
+
+// Delta is an edit script against a warm state's function. Points move
+// between the ON, DC and OFF sets:
+//
+//	AddOn:    OFF or DC point becomes ON;
+//	RemoveOn: ON point becomes OFF (or DC when also in AddDC);
+//	AddDC:    OFF point (including one just removed from ON) becomes DC;
+//	RemoveDC: DC point becomes OFF (or ON when also in AddOn).
+//
+// Validation is strict — adding a point that is already ON, or removing
+// one that is not, is an error — so silent no-op edits cannot mask
+// client bookkeeping bugs.
+type Delta struct {
+	AddOn, RemoveOn, AddDC, RemoveDC []uint64
+}
+
+// apply validates d against f and returns the edited function plus the
+// care churn (points entering or leaving ON ∪ DC).
+func (d Delta) apply(f *bfunc.Func) (*bfunc.Func, int, error) {
+	n := f.N()
+	limit := uint64(1) << uint(n)
+	dedup := func(name string, pts []uint64) (map[uint64]bool, error) {
+		m := make(map[uint64]bool, len(pts))
+		for _, p := range pts {
+			if p >= limit {
+				return nil, fmt.Errorf("core: %s point %d outside B^%d", name, p, n)
+			}
+			m[p] = true
+		}
+		return m, nil
+	}
+	addOn, err := dedup("add", d.AddOn)
+	if err != nil {
+		return nil, 0, err
+	}
+	rmOn, err := dedup("remove", d.RemoveOn)
+	if err != nil {
+		return nil, 0, err
+	}
+	addDC, err := dedup("dc_add", d.AddDC)
+	if err != nil {
+		return nil, 0, err
+	}
+	rmDC, err := dedup("dc_remove", d.RemoveDC)
+	if err != nil {
+		return nil, 0, err
+	}
+	for p := range addOn {
+		if rmOn[p] {
+			return nil, 0, fmt.Errorf("core: point %d both added to and removed from ON", p)
+		}
+		if f.IsOn(p) {
+			return nil, 0, fmt.Errorf("core: add point %d already in ON-set", p)
+		}
+	}
+	for p := range rmOn {
+		if !f.IsOn(p) {
+			return nil, 0, fmt.Errorf("core: remove point %d not in ON-set", p)
+		}
+	}
+	for p := range rmDC {
+		if addDC[p] {
+			return nil, 0, fmt.Errorf("core: point %d both added to and removed from DC", p)
+		}
+		if !f.IsDC(p) {
+			return nil, 0, fmt.Errorf("core: dc_remove point %d not in DC-set", p)
+		}
+	}
+	on := make([]uint64, 0, f.OnCount()+len(addOn))
+	for _, p := range f.On() {
+		if !rmOn[p] {
+			on = append(on, p)
+		}
+	}
+	for p := range addOn {
+		on = append(on, p)
+	}
+	dc := make([]uint64, 0, len(f.DC())+len(addDC))
+	for _, p := range f.DC() {
+		// An ON-add of a DC point moves it; an explicit dc_remove drops it.
+		if !rmDC[p] && !addOn[p] {
+			dc = append(dc, p)
+		}
+	}
+	for p := range addDC {
+		if f.IsDC(p) {
+			return nil, 0, fmt.Errorf("core: dc_add point %d already in DC-set", p)
+		}
+		if f.IsOn(p) && !rmOn[p] {
+			return nil, 0, fmt.Errorf("core: dc_add point %d is in the ON-set", p)
+		}
+		if addOn[p] {
+			return nil, 0, fmt.Errorf("core: point %d both added to ON and DC", p)
+		}
+		dc = append(dc, p)
+	}
+	edited := bfunc.NewDC(n, on, dc)
+	churn := len(diffSorted(f.Care(), edited.Care())) + len(diffSorted(edited.Care(), f.Care()))
+	return edited, churn, nil
+}
+
+// Apply returns the function d edits ws's snapshot into, without
+// resuming; callers use it to inspect or size an edit before paying for
+// the resume.
+func (ws *WarmState) Apply(d Delta) (*bfunc.Func, error) {
+	edited, _, err := d.apply(ws.f)
+	return edited, err
+}
+
+// Churn returns the care-set churn of d against ws's snapshot: the
+// number of points entering or leaving ON ∪ DC. Serving layers compare
+// it against a dirty-fraction threshold to decide warm resume vs cold
+// rerun.
+func (ws *WarmState) Churn(d Delta) (int, error) {
+	_, churn, err := d.apply(ws.f)
+	return churn, err
+}
+
+// diffSorted returns the elements of a (sorted) not present in b
+// (sorted).
+func diffSorted(a, b []uint64) []uint64 {
+	var out []uint64
+	j := 0
+	for _, p := range a {
+		for j < len(b) && b[j] < p {
+			j++
+		}
+		if j >= len(b) || b[j] != p {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// intersectSorted returns the elements present in both sorted slices.
+func intersectSorted(a, b []uint64) []uint64 {
+	var out []uint64
+	j := 0
+	for _, p := range a {
+		for j < len(b) && b[j] < p {
+			j++
+		}
+		if j < len(b) && b[j] == p {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MinimizeExactWarm is MinimizeExact with warm-state capture: the same
+// partition-trie EPPP construction and covering, but emitting covering
+// candidates in canonical order (levels ascending, groups by trie path
+// key, entries by complement vector) and returning a WarmState that
+// ResumeExact can patch under a small edit. The form is equivalent to
+// MinimizeExact's — same candidate set, same cost — but may differ
+// textually where the covering heuristic broke a tie by candidate
+// order. Capture forces the EPPP build serial (the discard counts are
+// tallied inline); Options.CoverWorkers still parallelizes covering.
+func MinimizeExactWarm(f *bfunc.Func, opts Options) (*Result, *WarmState, error) {
+	set, ws, err := buildEPPPWarm(f, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	form, covered, coverTime, optimal, err := warmSelectCover(f, set.Candidates, nil, coverPatch{}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws.covered = covered
+	ws.computeBytes()
+	return &Result{Form: form, Build: set.Stats, CoverTime: coverTime, CoverOptimal: optimal}, ws, nil
+}
+
+// buildEPPPWarm is the serial Algorithm 2 loop of BuildEPPP with
+// MarkCnt bookkeeping, canonical candidate emission and per-level group
+// capture.
+func buildEPPPWarm(f *bfunc.Func, opts Options) (*EPPPSet, *WarmState, error) {
+	defer opts.Stats.Phase(stats.PhaseEPPP)()
+	start := time.Now()
+	n := f.N()
+	b := newBudget(opts)
+	bst := BuildStats{}
+	ws := &WarmState{n: n, f: f, cost: opts.Cost}
+
+	cur := ptrie.New(n)
+	for _, p := range f.Care() {
+		cur.Insert(pcube.FromPoint(n, p))
+	}
+	if !b.spend(cur.Len()) {
+		return nil, nil, b.failure()
+	}
+
+	var candidates []*pcube.CEX
+	var pts []uint64
+	for level := 0; cur.Len() > 0; level++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, nil, err
+		}
+		bst.LevelSizes = append(bst.LevelSizes, cur.Len())
+		bst.Groups = append(bst.Groups, cur.NumGroups())
+		if opts.Stats != nil {
+			opts.Stats.Add(stats.CtrTrieNodes, int64(cur.NumInternalNodes()))
+		}
+		next := ptrie.New(n)
+		wl := warmLevel{}
+		overBudget := false
+		cur.PathGroups(func(path []byte, entries []*ptrie.Entry) bool {
+			for i := 0; i < len(entries); i++ {
+				for j := i + 1; j < len(entries); j++ {
+					u := pcube.Union(entries[i].CEX, entries[j].CEX)
+					bst.Unions++
+					h := opts.Cost.of(u)
+					if h <= opts.Cost.of(entries[i].CEX) {
+						entries[i].MarkCnt++
+					}
+					if h <= opts.Cost.of(entries[j].CEX) {
+						entries[j].MarkCnt++
+					}
+					if _, fresh := next.Insert(u); fresh {
+						if !b.spend(1) {
+							overBudget = true
+							return false
+						}
+					}
+				}
+			}
+			// Capture the group canonically: entries by complement
+			// vector, with point signatures for delta invalidation.
+			g := &warmGroup{path: string(path), entries: make([]warmEntry, len(entries))}
+			for i, e := range entries {
+				var sig uint64
+				pts = e.CEX.AppendPoints(pts[:0])
+				for _, p := range pts {
+					sig |= pointSig(p)
+				}
+				g.entries[i] = warmEntry{cex: e.CEX, sig: sig, markCnt: e.MarkCnt}
+				g.sig |= sig
+			}
+			sort.Slice(g.entries, func(a, b int) bool {
+				return g.entries[a].cex.CompVector() < g.entries[b].cex.CompVector()
+			})
+			wl.groups = append(wl.groups, g)
+			return true
+		})
+		if overBudget {
+			return nil, nil, b.failure()
+		}
+		ws.levels = append(ws.levels, wl)
+		for _, g := range wl.groups {
+			for i := range g.entries {
+				if g.entries[i].markCnt == 0 {
+					candidates = append(candidates, g.entries[i].cex)
+				}
+			}
+		}
+		bst.Candidates += cur.Len()
+		bst.Fresh += int64(next.Len())
+		cur = next
+	}
+	bst.EPPP = len(candidates)
+	bst.BuildTime = time.Since(start)
+	recordBuild(opts.Stats, &bst)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: bst}, ws, nil
+}
+
+// ResumeExact patches ws under the edit d and returns the minimization
+// of the edited function plus a fresh WarmState for it. The result is
+// byte-identical to MinimizeExactWarm on the edited function (same
+// form, same candidate order, same statistics-bearing candidate set);
+// only BuildStats.Unions/Fresh and the timings reflect the smaller
+// incremental work. ws is not modified: dirtied groups are copied,
+// clean ones shared, so concurrent resumes from one snapshot are safe.
+//
+// The edit must keep the cost model: resuming with a different
+// Options.Cost than the snapshot was built under is an error.
+func ResumeExact(ws *WarmState, d Delta, opts Options) (*Result, *WarmState, error) {
+	if ws == nil {
+		return nil, nil, errors.New("core: nil warm state")
+	}
+	if opts.Cost != ws.cost {
+		return nil, nil, fmt.Errorf("core: warm state built with cost kind %d, resume requested %d", ws.cost, opts.Cost)
+	}
+	edited, _, err := d.apply(ws.f)
+	if err != nil {
+		return nil, nil, err
+	}
+	set, nws, err := resumeEPPP(ws, edited, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	patch := coverPatch{
+		removedOn: diffSorted(ws.f.On(), edited.On()),
+		dcToOn:    intersectSorted(edited.On(), ws.f.DC()),
+	}
+	form, covered, coverTime, optimal, err := warmSelectCover(edited, set.Candidates, ws.covered, patch, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	nws.covered = covered
+	nws.computeBytes()
+	return &Result{Form: form, Build: set.Stats, CoverTime: coverTime, CoverOptimal: optimal}, nws, nil
+}
+
+// resumer carries the per-resume state threaded through group patching.
+type resumer struct {
+	opts       Options
+	b          *budget
+	bst        *BuildStats
+	removed    []uint64 // care points that left, sorted
+	removedSig uint64
+	// next-level accumulation: fresh unions keyed by structure path,
+	// deduped by full CEX key. Every fresh union contains an added care
+	// point, so it can never collide with a surviving old entry.
+	nextIncoming map[string][]*pcube.CEX
+	nextSeen     map[string]bool
+	pathBuf      []byte
+	ptsBuf       []uint64
+	overBudget   bool
+}
+
+func (r *resumer) sigOf(c *pcube.CEX) uint64 {
+	r.ptsBuf = c.AppendPoints(r.ptsBuf[:0])
+	var sig uint64
+	for _, p := range r.ptsBuf {
+		sig |= pointSig(p)
+	}
+	return sig
+}
+
+// emit routes a fresh union to its next-level structure group. Reports
+// false when the generation budget is exhausted.
+func (r *resumer) emit(u *pcube.CEX) bool {
+	k := u.Key()
+	if r.nextSeen[k] {
+		return true
+	}
+	r.nextSeen[k] = true
+	r.pathBuf = ptrie.PathKey(u, r.pathBuf[:0])
+	path := string(r.pathBuf)
+	r.nextIncoming[path] = append(r.nextIncoming[path], u)
+	r.bst.Fresh++
+	if !r.b.spend(1) {
+		r.overBudget = true
+		return false
+	}
+	return true
+}
+
+// dies reports whether entry e contains a removed care point, using the
+// signature as a negative filter before the exact membership checks.
+func (r *resumer) dies(e *warmEntry) bool {
+	if e.sig&r.removedSig == 0 {
+		return false
+	}
+	for _, p := range r.removed {
+		if e.cex.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// patchGroup rebuilds one dirty group: drops entries that die, retracts
+// their mark contributions from survivors, then folds the new members
+// in one at a time — unioning each against the current entries exactly
+// once per unordered pair, updating both sides' mark counts and
+// emitting every union to the next level. Returns nil when the group
+// empties. g may have no entries (a group that exists only after the
+// edit).
+func (r *resumer) patchGroup(g *warmGroup, news []*pcube.CEX) *warmGroup {
+	entries := make([]warmEntry, 0, len(g.entries)+len(news))
+	var dead []warmEntry
+	for _, e := range g.entries {
+		if r.dies(&e) {
+			dead = append(dead, e)
+		} else {
+			entries = append(entries, e)
+		}
+	}
+	for _, d := range dead {
+		for i := range entries {
+			u := pcube.Union(entries[i].cex, d.cex)
+			r.bst.Unions++
+			if r.opts.Cost.of(u) <= r.opts.Cost.of(entries[i].cex) {
+				entries[i].markCnt--
+			}
+		}
+	}
+	for _, x := range news {
+		xe := warmEntry{cex: x, sig: r.sigOf(x)}
+		hx := r.opts.Cost.of(x)
+		for i := range entries {
+			u := pcube.Union(entries[i].cex, x)
+			r.bst.Unions++
+			h := r.opts.Cost.of(u)
+			if h <= r.opts.Cost.of(entries[i].cex) {
+				entries[i].markCnt++
+			}
+			if h <= hx {
+				xe.markCnt++
+			}
+			if !r.emit(u) {
+				return nil
+			}
+		}
+		// Insert in canonical (complement vector) position.
+		cv := x.CompVector()
+		at := sort.Search(len(entries), func(i int) bool {
+			return entries[i].cex.CompVector() > cv
+		})
+		entries = append(entries, warmEntry{})
+		copy(entries[at+1:], entries[at:])
+		entries[at] = xe
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	ng := &warmGroup{path: g.path, entries: entries}
+	for i := range entries {
+		ng.sig |= entries[i].sig
+	}
+	return ng
+}
+
+// resumeEPPP recomputes the level structure of ws for the edited
+// function, touching only groups whose signatures intersect the removed
+// points or that receive new members.
+func resumeEPPP(ws *WarmState, edited *bfunc.Func, opts Options) (*EPPPSet, *WarmState, error) {
+	defer opts.Stats.Phase(stats.PhaseEPPP)()
+	start := time.Now()
+	n := ws.n
+	bst := BuildStats{}
+	r := &resumer{
+		opts:    opts,
+		b:       newBudget(opts),
+		bst:     &bst,
+		removed: diffSorted(ws.f.Care(), edited.Care()),
+	}
+	for _, p := range r.removed {
+		r.removedSig |= pointSig(p)
+	}
+	added := diffSorted(edited.Care(), ws.f.Care())
+	if !r.b.spend(len(added)) {
+		return nil, nil, r.b.failure()
+	}
+
+	nws := &WarmState{n: n, f: edited, cost: ws.cost}
+	var candidates []*pcube.CEX
+
+	// incoming: new entries for the current level, keyed by path.
+	incoming := map[string][]*pcube.CEX{}
+	for _, p := range added {
+		c := pcube.FromPoint(n, p)
+		r.pathBuf = ptrie.PathKey(c, r.pathBuf[:0])
+		incoming[string(r.pathBuf)] = append(incoming[string(r.pathBuf)], c)
+	}
+	bst.Fresh += int64(len(added))
+
+	for lev := 0; ; lev++ {
+		var old []*warmGroup
+		if lev < len(ws.levels) {
+			old = ws.levels[lev].groups
+		}
+		if len(old) == 0 && len(incoming) == 0 {
+			break
+		}
+		if err := opts.ctxErr(); err != nil {
+			return nil, nil, err
+		}
+		r.nextIncoming = map[string][]*pcube.CEX{}
+		r.nextSeen = map[string]bool{}
+
+		// New-group paths in canonical order, merged against the (path
+		// sorted) old groups below.
+		paths := make([]string, 0, len(incoming))
+		for p := range incoming {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+
+		outGroups := make([]*warmGroup, 0, len(old)+len(incoming))
+		pi := 0
+		appendGroup := func(g *warmGroup) {
+			if g != nil {
+				outGroups = append(outGroups, g)
+			}
+		}
+		for _, g := range old {
+			for pi < len(paths) && paths[pi] < g.path {
+				appendGroup(r.patchGroup(&warmGroup{path: paths[pi]}, incoming[paths[pi]]))
+				pi++
+			}
+			var news []*pcube.CEX
+			if pi < len(paths) && paths[pi] == g.path {
+				news = incoming[paths[pi]]
+				pi++
+			}
+			if len(news) == 0 && g.sig&r.removedSig == 0 {
+				// Clean: shared with the previous generation, unions at
+				// the next level already present in the old snapshot.
+				outGroups = append(outGroups, g)
+				continue
+			}
+			appendGroup(r.patchGroup(g, news))
+		}
+		for pi < len(paths) {
+			appendGroup(r.patchGroup(&warmGroup{path: paths[pi]}, incoming[paths[pi]]))
+			pi++
+		}
+		if r.overBudget {
+			return nil, nil, r.b.failure()
+		}
+
+		size := 0
+		for _, g := range outGroups {
+			size += len(g.entries)
+			for i := range g.entries {
+				if g.entries[i].markCnt == 0 {
+					candidates = append(candidates, g.entries[i].cex)
+				}
+			}
+		}
+		if size > 0 {
+			nws.levels = append(nws.levels, warmLevel{groups: outGroups})
+			bst.LevelSizes = append(bst.LevelSizes, size)
+			bst.Groups = append(bst.Groups, len(outGroups))
+			bst.Candidates += size
+		}
+		incoming = r.nextIncoming
+	}
+	bst.EPPP = len(candidates)
+	bst.BuildTime = time.Since(start)
+	recordBuild(opts.Stats, &bst)
+	return &EPPPSet{N: n, Candidates: candidates, Stats: bst}, nws, nil
+}
+
+// coverPatch carries the ON-set part of an edit into the covering
+// patch: points that left the ON-set, and points that moved DC → ON
+// (the only added ON points an old candidate can contain — candidates
+// live inside the old care set, which freshly-ON OFF points were not
+// in).
+type coverPatch struct {
+	removedOn []uint64
+	dcToOn    []uint64
+}
+
+// patchPoints updates one candidate's covered-ON list under the patch.
+// The old list is shared (and returned as-is) when nothing changes.
+func patchPoints(old []uint64, c *pcube.CEX, patch coverPatch) []uint64 {
+	var adds []uint64
+	for _, p := range patch.dcToOn {
+		if c.Contains(p) {
+			adds = append(adds, p)
+		}
+	}
+	drops := len(intersectSorted(old, patch.removedOn))
+	if len(adds) == 0 && drops == 0 {
+		return old
+	}
+	out := make([]uint64, 0, len(old)-drops+len(adds))
+	i, j := 0, 0
+	rm := patch.removedOn
+	for _, p := range old {
+		for i < len(rm) && rm[i] < p {
+			i++
+		}
+		if i < len(rm) && rm[i] == p {
+			continue
+		}
+		for j < len(adds) && adds[j] < p {
+			out = append(out, adds[j])
+			j++
+		}
+		out = append(out, p)
+	}
+	out = append(out, adds[j:]...)
+	return out
+}
+
+// warmSelectCover is the covering step shared by MinimizeExactWarm
+// (prev == nil: every candidate's ON intersection computed fresh) and
+// ResumeExact (prev: carried lists patched, only new candidates
+// computed). Both paths build the same instance for the same candidate
+// list, which is what makes resume byte-identical to a cold warm run.
+// Returns the form plus the per-candidate covered-ON map for the next
+// snapshot.
+func warmSelectCover(f *bfunc.Func, candidates []*pcube.CEX, prev map[*pcube.CEX][]uint64, patch coverPatch, opts Options) (Form, map[*pcube.CEX][]uint64, time.Duration, bool, error) {
+	start := time.Now()
+	n := f.N()
+	covered := make(map[*pcube.CEX][]uint64, len(candidates))
+	if f.OnCount() == 0 {
+		return Form{N: n}, covered, time.Since(start), true, nil
+	}
+	if f.IsConstantOne() {
+		one := &pcube.CEX{N: n, Canon: allMask(n)}
+		return Form{N: n, Terms: []*pcube.CEX{one}}, covered, time.Since(start), true, nil
+	}
+	if err := opts.ctxErr(); err != nil {
+		return Form{}, nil, 0, false, err
+	}
+
+	on := f.On()
+	ix := newPointIndex(n, on)
+	pts := make([][]uint64, len(candidates))
+	var fresh []int
+	stopCols := opts.Stats.Phase(stats.PhaseCoverColumns)
+	for i, c := range candidates {
+		if prev != nil {
+			if old, ok := prev[c]; ok {
+				pts[i] = patchPoints(old, c, patch)
+				continue
+			}
+		}
+		fresh = append(fresh, i)
+	}
+	shardSlice(len(fresh), opts.coverWorkers(), func(_, lo, hi int) {
+		var rows []int
+		var basis []uint64
+		for _, i := range fresh[lo:hi] {
+			rows, basis, _ = candidateRows(candidates[i], on, ix, rows[:0], basis)
+			out := make([]uint64, len(rows))
+			for k, row := range rows {
+				out[k] = on[row]
+			}
+			pts[i] = out
+		}
+	})
+	in := &cover.Instance{NRows: len(on), Cols: make([]cover.Column, 0, len(candidates))}
+	cols := make([]*pcube.CEX, 0, len(candidates))
+	// All column row lists share one backing array: with tens of
+	// thousands of columns, per-column slices dominate allocation (and
+	// then GC) cost on the resume path.
+	total := 0
+	for i := range pts {
+		total += len(pts[i])
+	}
+	backing := make([]int, 0, total)
+	for i, c := range candidates {
+		covered[c] = pts[i]
+		if len(pts[i]) == 0 {
+			continue // covers only don't-cares
+		}
+		start := len(backing)
+		for _, p := range pts[i] {
+			backing = append(backing, ix.lookup(p))
+		}
+		rows := backing[start:len(backing):len(backing)]
+		in.Cols = append(in.Cols, cover.Column{Cost: opts.Cost.of(c), Rows: rows})
+		cols = append(cols, c)
+	}
+	stopCols()
+	if err := in.Validate(); err != nil {
+		return Form{}, nil, 0, false, fmt.Errorf("core: candidate set does not cover ON-set: %v", err)
+	}
+	if err := opts.ctxErr(); err != nil {
+		return Form{}, nil, 0, false, err
+	}
+	var res cover.Result
+	if opts.CoverExact {
+		res = cover.Exact(in, cover.ExactOptions{
+			MaxNodes: opts.CoverMaxNodes,
+			Workers:  opts.coverWorkers(),
+			Stats:    opts.Stats,
+			Ctx:      opts.Ctx,
+		})
+	} else {
+		res = cover.GreedyStats(in, opts.Stats)
+	}
+	form := Form{N: n}
+	for _, j := range res.Picked {
+		form.Terms = append(form.Terms, cols[j])
+	}
+	return form, covered, time.Since(start), res.Optimal, nil
+}
+
+// computeBytes estimates the retained footprint: group and entry
+// bookkeeping, the CEX expressions kept alive, and the covered-ON
+// lists. Sizes are struct-layout estimates, deliberately on the
+// charged-too-much side.
+func (ws *WarmState) computeBytes() {
+	b := int64(192)
+	b += int64(len(ws.f.On())+len(ws.f.DC())) * 8
+	for _, wl := range ws.levels {
+		for _, g := range wl.groups {
+			b += 64 + int64(len(g.path))
+			for i := range g.entries {
+				c := g.entries[i].cex
+				// entry + CEX header + factors + key/skey strings.
+				b += 32 + 96 + int64(len(c.Factors))*25
+			}
+		}
+	}
+	for _, pts := range ws.covered {
+		b += 56 + int64(len(pts))*8
+	}
+	ws.bytes = b
+}

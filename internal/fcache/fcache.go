@@ -21,6 +21,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"hash/fnv"
 	"io"
 	"sort"
@@ -35,6 +36,20 @@ type Key [32]byte
 
 // String returns the key as lowercase hex.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes the 64-hex-digit form produced by Key.String. It is
+// how serving layers turn a client-supplied base key (an opaque token
+// from an earlier response) back into a cache key.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if hex.DecodedLen(len(s)) != len(k) {
+		return Key{}, fmt.Errorf("fcache: key must be %d hex digits, got %d characters", 2*len(k), len(s))
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return Key{}, fmt.Errorf("fcache: bad key: %v", err)
+	}
+	return k, nil
+}
 
 // Derive returns a key that mixes in a tag describing result-affecting
 // options (e.g. "k=2;exact=true"), so the same function minimized under

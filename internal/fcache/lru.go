@@ -16,6 +16,10 @@ import (
 type Cache[V any] struct {
 	shards []shard[V]
 	mask   uint64
+	// weigh, when non-nil, charges each entry its payload weight in
+	// bytes; eviction then enforces the byte budget in addition to the
+	// entry count. Weights are computed once at Put time.
+	weigh func(V) int64
 }
 
 // shard is one independently locked LRU. Recency is tracked per shard:
@@ -24,14 +28,18 @@ type Cache[V any] struct {
 type shard[V any] struct {
 	mu                      sync.Mutex
 	max                     int
+	maxBytes                int64 // 0 = unlimited
+	bytes                   int64 // sum of resident entry weights
 	items                   map[Key]*node[V]
 	head, tail              *node[V] // head = most recently used
 	hits, misses, evictions uint64
+	rejected                uint64
 }
 
 type node[V any] struct {
 	key        Key
 	val        V
+	weight     int64
 	prev, next *node[V]
 }
 
@@ -43,6 +51,11 @@ type Stats struct {
 	// Evictions counts capacity evictions plus entries discarded by a
 	// failed GetIf validation.
 	Evictions uint64
+	// Rejected counts Put calls dropped because a single entry outweighed
+	// its shard's whole byte budget (weighted caches only).
+	Rejected uint64
+	// Bytes is the resident payload weight (weighted caches; 0 otherwise).
+	Bytes int64
 	// Shards is the shard count the cache was built with.
 	Shards int
 }
@@ -61,6 +74,17 @@ func New[V any](max int) *Cache[V] {
 // two >= GOMAXPROCS, capped at 64. NewSharded(max, 1) is an exact
 // single-list LRU.
 func NewSharded[V any](max, shards int) *Cache[V] {
+	return NewWeighted[V](max, 0, shards, nil)
+}
+
+// NewWeighted is NewSharded with size-aware eviction: weigh reports each
+// entry's payload weight in bytes, and eviction keeps every shard within
+// both its entry budget and its share of maxBytes (ceil(maxBytes/shards);
+// 0 or a nil weigh disables the byte limit). An entry outweighing a whole
+// shard's byte budget is rejected at Put rather than flushing the shard,
+// and counted in Stats.Rejected. Weights are computed once at insert, so
+// values must not grow while cached.
+func NewWeighted[V any](max int, maxBytes int64, shards int, weigh func(V) int64) *Cache[V] {
 	if max < 1 {
 		max = 1
 	}
@@ -69,9 +93,14 @@ func NewSharded[V any](max, shards int) *Cache[V] {
 	}
 	shards = nextPow2(min(shards, max, 256))
 	perShard := (max + shards - 1) / shards
-	c := &Cache[V]{shards: make([]shard[V], shards), mask: uint64(shards - 1)}
+	var perShardBytes int64
+	if maxBytes > 0 && weigh != nil {
+		perShardBytes = (maxBytes + int64(shards) - 1) / int64(shards)
+	}
+	c := &Cache[V]{shards: make([]shard[V], shards), mask: uint64(shards - 1), weigh: weigh}
 	for i := range c.shards {
 		c.shards[i].max = perShard
+		c.shards[i].maxBytes = perShardBytes
 		c.shards[i].items = make(map[Key]*node[V], perShard)
 	}
 	return c
@@ -114,6 +143,7 @@ func (c *Cache[V]) GetIf(k Key, valid func(V) bool) (V, bool) {
 		s.misses++
 		s.evictions++
 		s.unlink(n)
+		s.bytes -= n.weight
 		delete(s.items, k)
 		var zero V
 		return zero, false
@@ -124,23 +154,44 @@ func (c *Cache[V]) GetIf(k Key, valid func(V) bool) (V, bool) {
 }
 
 // Put inserts or replaces the value for k, marking it most recently
-// used and evicting the shard's least recently used entry if the shard
-// is over capacity.
+// used and evicting least recently used entries while the shard is over
+// its entry or byte capacity.
 func (c *Cache[V]) Put(k Key, v V) {
+	var w int64
+	if c.weigh != nil {
+		w = c.weigh(v)
+	}
 	s := c.shardOf(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n, ok := s.items[k]; ok {
-		n.val = v
-		s.moveToFront(n)
+	if s.maxBytes > 0 && w > s.maxBytes {
+		// The entry alone would flush the whole shard; dropping it is
+		// strictly better for every other caller. If it replaces a
+		// resident entry, that entry is stale now — evict it.
+		s.rejected++
+		if n, ok := s.items[k]; ok {
+			s.unlink(n)
+			s.bytes -= n.weight
+			delete(s.items, k)
+			s.evictions++
+		}
 		return
 	}
-	n := &node[V]{key: k, val: v}
-	s.items[k] = n
-	s.pushFront(n)
-	if len(s.items) > s.max {
+	if n, ok := s.items[k]; ok {
+		s.bytes += w - n.weight
+		n.val = v
+		n.weight = w
+		s.moveToFront(n)
+	} else {
+		n := &node[V]{key: k, val: v, weight: w}
+		s.items[k] = n
+		s.bytes += w
+		s.pushFront(n)
+	}
+	for len(s.items) > s.max || (s.maxBytes > 0 && s.bytes > s.maxBytes) {
 		lru := s.tail
 		s.unlink(lru)
+		s.bytes -= lru.weight
 		delete(s.items, lru.key)
 		s.evictions++
 	}
@@ -167,6 +218,8 @@ func (c *Cache[V]) Stats() Stats {
 		st.Hits += s.hits
 		st.Misses += s.misses
 		st.Evictions += s.evictions
+		st.Rejected += s.rejected
+		st.Bytes += s.bytes
 		s.mu.Unlock()
 	}
 	return st

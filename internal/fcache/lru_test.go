@@ -173,3 +173,95 @@ func BenchmarkCacheParallelGet(b *testing.B) {
 		})
 	}
 }
+
+func TestWeightedEviction(t *testing.T) {
+	// Single shard, generous entry cap: eviction must be driven by the
+	// byte budget alone.
+	c := NewWeighted[int](1024, 100, 1, func(v int) int64 { return int64(v) })
+	c.Put(hashKey(1), 40)
+	c.Put(hashKey(2), 40)
+	if st := c.Stats(); st.Bytes != 80 || st.Evictions != 0 {
+		t.Fatalf("Stats = %+v, want 80 bytes, no evictions", st)
+	}
+	// 40+40+40 = 120 > 100: the least recently used entry (key 1) goes.
+	c.Put(hashKey(3), 40)
+	st := c.Stats()
+	if st.Bytes != 80 || st.Evictions != 1 {
+		t.Fatalf("Stats = %+v, want 80 bytes after 1 eviction", st)
+	}
+	if _, ok := c.Get(hashKey(1)); ok {
+		t.Fatal("LRU entry should have been evicted by byte pressure")
+	}
+	for _, k := range []int{2, 3} {
+		if _, ok := c.Get(hashKey(k)); !ok {
+			t.Fatalf("entry %d should have survived", k)
+		}
+	}
+	// One big entry can push out several small ones.
+	c.Put(hashKey(4), 90)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after a 90-byte insert", c.Len())
+	}
+}
+
+func TestWeightedReplaceAdjustsBytes(t *testing.T) {
+	c := NewWeighted[int](10, 100, 1, func(v int) int64 { return int64(v) })
+	k := hashKey(1)
+	c.Put(k, 60)
+	c.Put(k, 20) // replacement must not double-count
+	if st := c.Stats(); st.Bytes != 20 {
+		t.Fatalf("Bytes = %d, want 20 after replace", st.Bytes)
+	}
+	c.Put(k, 80)
+	if st := c.Stats(); st.Bytes != 80 {
+		t.Fatalf("Bytes = %d, want 80 after growing replace", st.Bytes)
+	}
+}
+
+func TestWeightedOversizedRejected(t *testing.T) {
+	c := NewWeighted[int](10, 100, 1, func(v int) int64 { return int64(v) })
+	c.Put(hashKey(1), 30)
+	c.Put(hashKey(2), 500) // outweighs the whole shard: rejected
+	if _, ok := c.Get(hashKey(2)); ok {
+		t.Fatal("oversized entry should have been rejected")
+	}
+	if _, ok := c.Get(hashKey(1)); !ok {
+		t.Fatal("resident entry should not have been flushed by a rejected Put")
+	}
+	st := c.Stats()
+	if st.Rejected != 1 || st.Bytes != 30 {
+		t.Fatalf("Stats = %+v, want 1 rejection, 30 bytes", st)
+	}
+	// An oversized replacement evicts the stale resident value.
+	c.Put(hashKey(1), 500)
+	if _, ok := c.Get(hashKey(1)); ok {
+		t.Fatal("stale entry must not survive an oversized replacement")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Rejected != 2 || st.Evictions != 1 {
+		t.Fatalf("Stats = %+v, want empty cache, 2 rejections, 1 eviction", st)
+	}
+}
+
+func TestWeightedGetIfEvictionAccounting(t *testing.T) {
+	c := NewWeighted[int](10, 100, 1, func(v int) int64 { return int64(v) })
+	c.Put(hashKey(1), 60)
+	if _, ok := c.GetIf(hashKey(1), func(int) bool { return false }); ok {
+		t.Fatal("validation failure must miss")
+	}
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Fatalf("Bytes = %d, want 0 after validation eviction", st.Bytes)
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	k := hashKey(7)
+	got, err := ParseKey(k.String())
+	if err != nil || got != k {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "abc", k.String() + "00", "zz" + k.String()[2:]} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) should fail", bad)
+		}
+	}
+}

@@ -42,6 +42,11 @@ type Entry struct {
 	// use it for the "discarded by a cheaper union" flag of Algorithm 2
 	// step 2.
 	Mark bool
+	// MarkCnt is caller-owned scratch like Mark, but counting: the warm
+	// engine stores how many same-group partners discard this entry
+	// (Mark ⇔ MarkCnt > 0), so a later delta can retract exactly the
+	// contributions of partners that died with removed care points.
+	MarkCnt int32
 }
 
 // Trie is a partition trie over B^n.
@@ -224,6 +229,24 @@ func (t *Trie) visitPathGroups(nd *node, path []byte, visit func([]byte, []*Entr
 		}
 	}
 	return true
+}
+
+// PathKey computes, without a trie, the path key a trie would file c
+// under: the (kind, label) byte sequence PathGroups reports for c's
+// structure group. Two CEX have equal path keys iff they have equal
+// structure, and string comparison of path keys orders structures the
+// way PathGroups visits them — which is what lets the warm delta
+// engine splice groups that appear only after an edit into the DFS
+// position a cold build would have given them.
+func PathKey(c *pcube.CEX, dst []byte) []byte {
+	n := c.N
+	for _, f := range c.Factors {
+		dst = append(dst, byte(ncNode), byte(bitvec.LowestVar(f.Vars&^c.Canon, n)))
+		for _, v := range bitvec.Vars(f.Vars&c.Canon, n) {
+			dst = append(dst, byte(cNode), byte(v))
+		}
+	}
+	return dst
 }
 
 // Entries visits every stored entry.

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// BenchmarkDeltaLoop measures the warm delta path end to end: one
+// seeded base function, then a chain of single-swap edits, each resumed
+// from the previous response's base_key. Compare against
+// BenchmarkColdSubmit (full re-submission per edit) to see the
+// edit-loop speedup the warm engine buys.
+func BenchmarkDeltaLoop(b *testing.B) {
+	cfg := testConfig()
+	cfg.WarmCache = true
+	cfg.CacheBytes = 512 << 20
+	s := New(cfg)
+	h := s.Handler()
+	on, space := benchOnSet(9, 128)
+	_, body := post(b, h, fmt.Sprintf(`{"n":9,"on":[%s]}`, joinPoints(on)))
+	base := decodeResp(b, body).BaseKey
+	if base == "" {
+		b.Fatal("no base_key from seed")
+	}
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		add, rem := swapPoints(rng, on, space)
+		code, body := post(b, h, fmt.Sprintf(`{"base":%q,"add":[%d],"remove":[%d]}`, base, add, rem))
+		if code != 200 {
+			b.Fatalf("status %d: %s", code, body)
+		}
+		base = decodeResp(b, body).BaseKey
+	}
+}
+
+// BenchmarkColdSubmit is the cold counterpart: each iteration submits
+// the full edited function, missing the cache.
+func BenchmarkColdSubmit(b *testing.B) {
+	s := New(testConfig())
+	h := s.Handler()
+	on, space := benchOnSet(9, 128)
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swapPoints(rng, on, space)
+		code, body := post(b, h, fmt.Sprintf(`{"n":9,"on":[%s]}`, joinPoints(on)))
+		if code != 200 {
+			b.Fatalf("status %d: %s", code, body)
+		}
+	}
+}
+
+// swapPoints turns one random OFF point ON and one other ON point OFF,
+// mutating on in place.
+func swapPoints(rng *rand.Rand, on map[int]bool, space int) (add, rem int) {
+	for {
+		p := rng.Intn(space)
+		if !on[p] {
+			add = p
+			on[p] = true
+			break
+		}
+	}
+	for p := range on {
+		if p != add {
+			rem = p
+			delete(on, p)
+			break
+		}
+	}
+	return add, rem
+}
+
+func benchOnSet(n, size int) (map[int]bool, int) {
+	rng := rand.New(rand.NewSource(3))
+	space := 1 << n
+	on := make(map[int]bool, size)
+	for len(on) < size {
+		on[rng.Intn(space)] = true
+	}
+	return on, space
+}
+
+func joinPoints(on map[int]bool) string {
+	pts := make([]string, 0, len(on))
+	for p := range on {
+		pts = append(pts, fmt.Sprint(p))
+	}
+	return strings.Join(pts, ",")
+}

@@ -1,0 +1,293 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/core"
+)
+
+func warmConfig() Config {
+	cfg := testConfig()
+	cfg.WarmCache = true
+	return cfg
+}
+
+func TestDeltaUnknownBase409(t *testing.T) {
+	s := New(warmConfig())
+	h := s.Handler()
+	unknown := strings.Repeat("ab", 32)
+	code, body := post(t, h, fmt.Sprintf(`{"base":%q,"add":[0]}`, unknown))
+	if code != 409 {
+		t.Fatalf("status = %d, want 409\n%s", code, body)
+	}
+	r := decodeResp(t, body)
+	if r.Code != "cold_run_required" {
+		t.Fatalf("code = %q, want cold_run_required\n%s", r.Code, body)
+	}
+	if r.Error == "" {
+		t.Fatal("expected a human-readable error alongside the code")
+	}
+}
+
+func TestDeltaWarmCacheDisabled409(t *testing.T) {
+	s := New(testConfig()) // WarmCache off
+	h := s.Handler()
+	code, body := post(t, h, fmt.Sprintf(`{"base":%q,"add":[0]}`, strings.Repeat("00", 32)))
+	if code != 409 {
+		t.Fatalf("status = %d, want 409\n%s", code, body)
+	}
+	if r := decodeResp(t, body); r.Code != "cold_run_required" {
+		t.Fatalf("code = %q, want cold_run_required", r.Code)
+	}
+}
+
+func TestDeltaBadRequests(t *testing.T) {
+	s := New(warmConfig())
+	h := s.Handler()
+
+	// Seed a real base to exercise the post-lookup validations.
+	code, body := post(t, h, fmt.Sprintf(`{"n":5,"on":%s}`, pointsJSON(oddParity(5))))
+	if code != 200 {
+		t.Fatalf("seed: status %d\n%s", code, body)
+	}
+	base := decodeResp(t, body).BaseKey
+	if base == "" {
+		t.Fatal("warm server must advertise base_key on a computed response")
+	}
+
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed key", `{"base":"zz","add":[0]}`},
+		{"function source too", fmt.Sprintf(`{"base":%q,"n":5,"on":[1],"add":[0]}`, base)},
+		{"no_cache", fmt.Sprintf(`{"base":%q,"add":[0],"no_cache":true}`, base)},
+		{"wrong algorithm", fmt.Sprintf(`{"base":%q,"add":[0],"algorithm":"naive"}`, base)},
+		{"option mismatch", fmt.Sprintf(`{"base":%q,"add":[0],"exact_cover":true}`, base)},
+		{"point out of range", fmt.Sprintf(`{"base":%q,"add":[32]}`, base)},
+		{"add already ON", fmt.Sprintf(`{"base":%q,"add":[1]}`, base)},
+		{"remove not ON", fmt.Sprintf(`{"base":%q,"remove":[0]}`, base)},
+	}
+	for _, tc := range cases {
+		code, body := post(t, h, tc.body)
+		if code != 400 {
+			t.Errorf("%s: status = %d, want 400\n%s", tc.name, code, body)
+		}
+		if r := decodeResp(t, body); r.Code == "cold_run_required" {
+			t.Errorf("%s: must not be classified cold_run_required", tc.name)
+		}
+	}
+}
+
+func TestDeltaTrivialEmptyOn(t *testing.T) {
+	s := New(warmConfig())
+	h := s.Handler()
+	on := []uint64{3, 5}
+	code, body := post(t, h, fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(on)))
+	if code != 200 {
+		t.Fatalf("seed: status %d\n%s", code, body)
+	}
+	base := decodeResp(t, body).BaseKey
+
+	code, body = post(t, h, fmt.Sprintf(`{"base":%q,"remove":[3,5]}`, base))
+	if code != 200 {
+		t.Fatalf("status = %d, want 200\n%s", code, body)
+	}
+	r := decodeResp(t, body)
+	if r.Delta != "trivial" || r.Form != "0" || r.Literals != 0 || r.NumTerms != 0 {
+		t.Fatalf("want trivial zero result, got %+v", r)
+	}
+
+	_, stats := get(t, h, "/statsz")
+	var sz Statsz
+	if err := json.Unmarshal([]byte(stats), &sz); err != nil {
+		t.Fatal(err)
+	}
+	if sz.DeltaTrivial != 1 {
+		t.Fatalf("delta_trivial = %d, want 1", sz.DeltaTrivial)
+	}
+	// The trivial path must not have entered the engine: exactly one
+	// run (the seed) in the history.
+	if sz.Runs == nil || len(sz.Runs.Reports) != 1 {
+		t.Fatalf("trivial delta must not add an engine run, history: %+v", sz.Runs)
+	}
+}
+
+func TestDeltaWarmResumeAndChain(t *testing.T) {
+	s := New(warmConfig())
+	h := s.Handler()
+	on := oddParity(5)
+	code, body := post(t, h, fmt.Sprintf(`{"n":5,"on":%s}`, pointsJSON(on)))
+	if code != 200 {
+		t.Fatalf("seed: status %d\n%s", code, body)
+	}
+	base := decodeResp(t, body).BaseKey
+
+	// Edit: one OFF point turns ON (churn 1/16, well under the 0.25
+	// default) and one ON point leaves.
+	code, body = post(t, h, fmt.Sprintf(`{"base":%q,"add":[0],"remove":[1]}`, base))
+	if code != 200 {
+		t.Fatalf("delta: status %d\n%s", code, body)
+	}
+	r := decodeResp(t, body)
+	if r.Delta != "warm" {
+		t.Fatalf("delta = %q, want warm\n%s", r.Delta, body)
+	}
+	if r.BaseKey == "" || r.BaseKey == base {
+		t.Fatalf("resumed response must advertise the edited function's own base_key, got %q", r.BaseKey)
+	}
+	if r.Cached {
+		t.Fatal("first resume must be a fresh compute")
+	}
+
+	// The returned form must exactly describe the edited function.
+	edited := editedParity(5, []uint64{0}, []uint64{1})
+	verifyForm(t, 5, r.Form, edited)
+
+	// The identical delta again: served from cache, byte-identical.
+	code, body2 := post(t, h, fmt.Sprintf(`{"base":%q,"add":[0],"remove":[1]}`, base))
+	if code != 200 {
+		t.Fatalf("repeat delta: status %d\n%s", code, body2)
+	}
+	r2 := decodeResp(t, body2)
+	if !r2.Cached || r2.Delta != "warm" {
+		t.Fatalf("repeat delta should hit the warm cache, got %+v", r2)
+	}
+	if r2.Form != r.Form {
+		t.Fatalf("cached delta form differs:\nfirst  %s\nsecond %s", r.Form, r2.Form)
+	}
+
+	// Chain a second edit off the resumed state's key.
+	code, body3 := post(t, h, fmt.Sprintf(`{"base":%q,"remove":[0]}`, r.BaseKey))
+	if code != 200 {
+		t.Fatalf("chained delta: status %d\n%s", code, body3)
+	}
+	r3 := decodeResp(t, body3)
+	if r3.Delta != "warm" {
+		t.Fatalf("chained delta = %q, want warm", r3.Delta)
+	}
+	verifyForm(t, 5, r3.Form, editedParity(5, nil, []uint64{1}))
+
+	_, stats := get(t, h, "/statsz")
+	var sz Statsz
+	if err := json.Unmarshal([]byte(stats), &sz); err != nil {
+		t.Fatal(err)
+	}
+	if sz.DeltaWarm != 2 {
+		t.Fatalf("delta_warm = %d, want 2", sz.DeltaWarm)
+	}
+	if sz.CacheBytes <= 0 {
+		t.Fatal("cache_bytes must report the resident warm-state footprint")
+	}
+	if sz.Served != sz.CacheHits+sz.CacheMisses+sz.CoalesceWaiters {
+		t.Fatalf("statsz invariant broken: %+v", sz)
+	}
+}
+
+func TestDeltaColdFallback(t *testing.T) {
+	cfg := warmConfig()
+	cfg.DeltaMaxDirty = 0.01
+	s := New(cfg)
+	h := s.Handler()
+	code, body := post(t, h, fmt.Sprintf(`{"n":5,"on":%s}`, pointsJSON(oddParity(5))))
+	if code != 200 {
+		t.Fatalf("seed: status %d\n%s", code, body)
+	}
+	base := decodeResp(t, body).BaseKey
+
+	// churn 1/16 > 0.01: must fall back to a cold run, still 200.
+	code, body = post(t, h, fmt.Sprintf(`{"base":%q,"add":[0]}`, base))
+	if code != 200 {
+		t.Fatalf("status = %d, want 200\n%s", code, body)
+	}
+	r := decodeResp(t, body)
+	if r.Delta != "cold" {
+		t.Fatalf("delta = %q, want cold\n%s", r.Delta, body)
+	}
+	if r.Key == "" {
+		t.Fatal("cold fallback goes through the canonical path and must report its key")
+	}
+	if r.BaseKey == "" {
+		t.Fatal("cold fallback on a warm server must advertise a fresh base_key")
+	}
+	verifyForm(t, 5, r.Form, editedParity(5, []uint64{0}, nil))
+
+	_, stats := get(t, h, "/statsz")
+	var sz Statsz
+	if err := json.Unmarshal([]byte(stats), &sz); err != nil {
+		t.Fatal(err)
+	}
+	if sz.DeltaCold != 1 {
+		t.Fatalf("delta_cold_fallback = %d, want 1", sz.DeltaCold)
+	}
+}
+
+func TestDeltaEquivalentToFullSubmission(t *testing.T) {
+	// A delta-resumed result and an independent full submission of the
+	// edited function may canonicalize differently (so the textual
+	// forms can differ), but cost and correctness must agree.
+	s := New(warmConfig())
+	h := s.Handler()
+	on := oddParity(4)
+	_, body := post(t, h, fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(on)))
+	base := decodeResp(t, body).BaseKey
+
+	code, body := post(t, h, fmt.Sprintf(`{"base":%q,"add":[0]}`, base))
+	if code != 200 {
+		t.Fatalf("delta: %d\n%s", code, body)
+	}
+	warm := decodeResp(t, body)
+
+	edited := editedParity(4, []uint64{0}, nil)
+	code, body = post(t, h, fmt.Sprintf(`{"n":4,"on":%s,"no_cache":true}`, pointsJSON(edited.On())))
+	if code != 200 {
+		t.Fatalf("full: %d\n%s", code, body)
+	}
+	full := decodeResp(t, body)
+	if warm.Literals != full.Literals || warm.NumTerms != full.NumTerms || warm.EPPP != full.EPPP {
+		t.Fatalf("delta result diverges from full submission:\nwarm %+v\nfull %+v", warm, full)
+	}
+	verifyForm(t, 4, warm.Form, edited)
+	verifyForm(t, 4, full.Form, edited)
+}
+
+func TestWarmOffNoBaseKey(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+	_, body := post(t, h, fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(oddParity(4))))
+	if r := decodeResp(t, body); r.BaseKey != "" {
+		t.Fatalf("base_key must be absent with WarmCache off, got %q", r.BaseKey)
+	}
+}
+
+// editedParity returns n-variable odd parity with add turned ON and
+// remove turned OFF.
+func editedParity(n int, add, remove []uint64) *bfunc.Func {
+	drop := map[uint64]bool{}
+	for _, p := range remove {
+		drop[p] = true
+	}
+	var on []uint64
+	for _, p := range oddParity(n) {
+		if !drop[p] {
+			on = append(on, p)
+		}
+	}
+	on = append(on, add...)
+	return bfunc.New(n, on)
+}
+
+// verifyForm parses a response form and checks it computes fn exactly.
+func verifyForm(t *testing.T, n int, form string, fn *bfunc.Func) {
+	t.Helper()
+	parsed, err := core.ParseForm(n, form)
+	if err != nil {
+		t.Fatalf("response form %q does not parse: %v", form, err)
+	}
+	if err := parsed.Verify(fn); err != nil {
+		t.Fatalf("response form %q wrong: %v", form, err)
+	}
+}

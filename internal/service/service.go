@@ -88,6 +88,21 @@ type Config struct {
 	// MaxBatch caps the number of requests in one batch envelope.
 	// Default 64.
 	MaxBatch int
+	// CacheBytes bounds the result cache's resident payload bytes
+	// (entries are charged their estimated footprint, warm states
+	// included, and evicted LRU-first past the budget). Default 256 MiB.
+	CacheBytes int64
+	// WarmCache retains a warm engine state alongside every exact
+	// result, keyed by the exact (request-space) function, enabling the
+	// delta request path. Exact computes then run the warm engine —
+	// same cost, canonical candidate order, serial EPPP build — so that
+	// full and delta results are mutually byte-identical. Off by
+	// default.
+	WarmCache bool
+	// DeltaMaxDirty is the care-set churn fraction above which a delta
+	// request falls back to a cold run instead of patching the warm
+	// state. Default 0.25.
+	DeltaMaxDirty float64
 	// LegacySerial restores the pre-coalescing serving path: one
 	// admission slot around the whole request (cache hits included),
 	// strictly serial batch items, no request coalescing, and a
@@ -117,6 +132,18 @@ type Request struct {
 
 	ExactCover bool `json:"exact_cover,omitempty"`
 	FactorCost bool `json:"factor_cost,omitempty"`
+
+	// Base, when set, makes this a delta request: the function is the
+	// base entry's function (identified by a base_key from an earlier
+	// response) edited by Add/Remove/DcAdd/DcRemove, minimized by
+	// patching the retained warm state. No other function source may be
+	// set. Requires Config.WarmCache; an unknown or evicted base yields
+	// 409 with code "cold_run_required".
+	Base     string   `json:"base,omitempty"`
+	Add      []uint64 `json:"add,omitempty"`
+	Remove   []uint64 `json:"remove,omitempty"`
+	DcAdd    []uint64 `json:"dc_add,omitempty"`
+	DcRemove []uint64 `json:"dc_remove,omitempty"`
 
 	// TimeoutMS bounds this request's wall clock, queue wait included;
 	// 0 means the server default. Capped at Config.MaxTimeout. Batch
@@ -163,11 +190,23 @@ type Response struct {
 	// identical request's computation rather than by cache lookup or a
 	// fresh run (such responses also report Cached, since they were
 	// served without computing).
-	Coalesced bool          `json:"coalesced,omitempty"`
-	Key       string        `json:"key,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Key       string `json:"key,omitempty"`
+	// BaseKey is the token delta requests chain on: the warm-state
+	// cache key of this response's exact function. Present when the
+	// server retains warm state for it; it may be evicted later, in
+	// which case a delta against it returns 409 "cold_run_required".
+	BaseKey string `json:"base_key,omitempty"`
+	// Delta reports how a delta request was satisfied: "warm" (patched
+	// resume), "cold" (fallback full run), or "trivial" (edit emptied
+	// the ON-set; no engine ran).
+	Delta     string        `json:"delta,omitempty"`
 	ElapsedNS int64         `json:"elapsed_ns"`
 	Stats     *stats.Report `json:"stats,omitempty"`
 	Error     string        `json:"error,omitempty"`
+	// Code is a machine-readable error discriminator (currently
+	// "cold_run_required" on 409).
+	Code string `json:"code,omitempty"`
 
 	status  int     // HTTP status for single-request responses
 	outcome outcome // counter classification, see record
@@ -209,24 +248,75 @@ type Statsz struct {
 	// in Errors).
 	CoalesceWaiters  int64 `json:"coalesce_waiters"`
 	CoalesceDetached int64 `json:"coalesce_detached"`
+	// Delta-path counters: warm resumes computed, cold fallbacks (churn
+	// over -delta-max-dirty), base-key misses (409), and edits that
+	// emptied the ON-set (served trivially, no engine).
+	DeltaWarm     int64 `json:"delta_warm"`
+	DeltaCold     int64 `json:"delta_cold_fallback"`
+	DeltaBaseMiss int64 `json:"delta_base_miss"`
+	DeltaTrivial  int64 `json:"delta_trivial"`
 	// Cache-internal counters, aggregated over the LRU shards. These
 	// count raw cache operations (a request may probe more than once on
 	// collision or retry), unlike the request-level counters above.
-	CacheEvictions int64            `json:"cache_evictions"`
-	CacheShards    int              `json:"cache_shards"`
-	CacheLen       int              `json:"cache_len"`
-	InFlight       int              `json:"in_flight"`
-	Draining       bool             `json:"draining"`
-	Runs           *stats.RunReport `json:"runs"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	// CacheBytes is the resident payload weight of the result cache
+	// (forms, canonical functions and retained warm states);
+	// CacheRejected counts entries too large for a shard's byte budget
+	// to ever admit.
+	CacheBytes    int64            `json:"cache_bytes"`
+	CacheRejected int64            `json:"cache_rejected"`
+	CacheShards   int              `json:"cache_shards"`
+	CacheLen      int              `json:"cache_len"`
+	InFlight      int              `json:"in_flight"`
+	Draining      bool             `json:"draining"`
+	Runs          *stats.RunReport `json:"runs"`
 }
 
-// cacheEntry is a canonical-space result. canon is kept for an Equal
-// check on hit, so even a SHA-256 collision cannot serve a wrong form.
+// cacheEntry is one result-cache value, living in one of two disjoint
+// key spaces of the same LRU:
+//
+//   - canonical entries (key = canonical key ⊕ option tag): canon is
+//     kept for an Equal check on hit, so even a SHA-256 collision
+//     cannot serve a wrong form; the warm fields are nil.
+//   - warm entries (key = exact-function key ⊕ "warm;" ⊕ option tag):
+//     fn is the submitter's request-space function, perm its map into
+//     the canonical space the form and warm state live in, and warm
+//     the resumable engine state. canon is nil.
+//
+// Warm entries are keyed by the exact function — not the canonical
+// class — because delta edits arrive in the client's variable order and
+// permuted-equivalent clients must not chain on each other's keys.
 type cacheEntry struct {
 	canon        *bfunc.Func
 	form         core.Form
 	eppp         int
 	coverOptimal bool
+
+	fn   *bfunc.Func
+	perm []int
+	warm *core.WarmState
+	tag  string
+}
+
+// entryWeight estimates an entry's resident footprint for the
+// size-aware cache: point sets, form terms, and the warm state's own
+// accounting.
+func entryWeight(e cacheEntry) int64 {
+	w := int64(256)
+	if e.canon != nil {
+		w += int64(len(e.canon.On())+len(e.canon.DC())) * 8
+	}
+	if e.fn != nil {
+		w += int64(len(e.fn.On())+len(e.fn.DC())) * 8
+	}
+	w += int64(len(e.perm)) * 8
+	for _, t := range e.form.Terms {
+		w += 64 + int64(len(t.Factors))*25
+	}
+	if e.warm != nil {
+		w += e.warm.Bytes()
+	}
+	return w
 }
 
 // counters is the coherent request-counter block: every field is
@@ -236,6 +326,9 @@ type counters struct {
 	served, errors    int64
 	hits, misses      int64
 	waiters, detached int64
+
+	deltaWarm, deltaCold        int64
+	deltaBaseMiss, deltaTrivial int64
 }
 
 // Server is the minimization service. Create with New; expose with
@@ -287,6 +380,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
 	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 256 << 20
+	}
+	if cfg.DeltaMaxDirty <= 0 {
+		cfg.DeltaMaxDirty = 0.25
+	}
 	if cfg.Core.PerOutput == 0 && cfg.Core.MaxCandidates == 0 {
 		cfg.Core = harness.DefaultConfig()
 	}
@@ -296,7 +395,7 @@ func New(cfg Config) *Server {
 	}
 	return &Server{
 		cfg:   cfg,
-		cache: fcache.NewSharded[cacheEntry](cfg.CacheSize, shards),
+		cache: fcache.NewWeighted(cfg.CacheSize, cfg.CacheBytes, shards, entryWeight),
 		slots: make(chan struct{}, cfg.MaxConcurrent),
 	}
 }
@@ -346,6 +445,15 @@ func (s *Server) record(o outcome) {
 	s.statsMu.Unlock()
 }
 
+// bumpDelta increments one delta-path counter under the same lock as
+// the coherent block (the delta counters are informational and not part
+// of the served invariant).
+func (s *Server) bumpDelta(field *int64) {
+	s.statsMu.Lock()
+	*field++
+	s.statsMu.Unlock()
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -376,7 +484,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Errors:           ctr.errors,
 		CoalesceWaiters:  ctr.waiters,
 		CoalesceDetached: ctr.detached,
+		DeltaWarm:        ctr.deltaWarm,
+		DeltaCold:        ctr.deltaCold,
+		DeltaBaseMiss:    ctr.deltaBaseMiss,
+		DeltaTrivial:     ctr.deltaTrivial,
 		CacheEvictions:   int64(cst.Evictions),
+		CacheBytes:       cst.Bytes,
+		CacheRejected:    int64(cst.Rejected),
 		CacheShards:      cst.Shards,
 		CacheLen:         s.cache.Len(),
 		InFlight:         len(s.slots),
@@ -541,6 +655,9 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 		return fail(status, err, outcomeError)
 	}
 
+	if q.Base != "" {
+		return s.processDelta(ctx, q)
+	}
 	f, err := resolveFunction(q)
 	if err != nil {
 		return fail(http.StatusBadRequest, err, outcomeError)
@@ -559,9 +676,29 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 	if err != nil {
 		return failErr(err)
 	}
-	key = key.Derive(s.optionTag(q, alg))
+	tag := s.optionTag(q, alg)
+	key = key.Derive(tag)
 	inv := fcache.InversePerm(perm)
 	sameCanon := func(e cacheEntry) bool { return e.canon.Equal(canon) }
+
+	// Warm-enabled exact runs retain a resumable engine state under the
+	// exact-function key and advertise it as base_key for delta
+	// requests. Permuted-equivalent requests share the canonical entry
+	// but get their own base_key (or none, until they compute cold).
+	warmRun := s.cfg.WarmCache && alg.name == "exact"
+	var warmKey fcache.Key
+	if warmRun {
+		warmKey = fcache.KeyOf(f).Derive("warm;" + tag)
+	}
+	baseKeyIfRetained := func() string {
+		if !warmRun {
+			return ""
+		}
+		if e, ok := s.cache.Get(warmKey); ok && e.warm != nil && e.fn.Equal(f) {
+			return warmKey.String()
+		}
+		return ""
+	}
 
 	served := func(e cacheEntry, coalesced bool) Response {
 		form := permuteForm(e.form, inv)
@@ -578,6 +715,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 			Cached:       true,
 			Coalesced:    coalesced,
 			Key:          key.String(),
+			BaseKey:      baseKeyIfRetained(),
 			ElapsedNS:    elapsed(),
 			outcome:      oc,
 		}
@@ -594,6 +732,9 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 			ElapsedNS:    elapsed(),
 			outcome:      outcomeComputed,
 		}
+		if warmRun {
+			out.BaseKey = warmKey.String()
+		}
 		if q.Stats {
 			out.Stats = rep
 		}
@@ -608,7 +749,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 		// A forced fresh compute neither reads the cache nor joins a
 		// flight, and its result is not broadcast; it still populates
 		// the cache for later requests.
-		e, rep, err := s.compute(ctx, q, alg, key, canon, acquireSlot, nil)
+		e, rep, err := s.compute(ctx, q, alg, key, f, perm, canon, acquireSlot, nil)
 		if err != nil {
 			return failErr(err)
 		}
@@ -620,7 +761,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 	}
 
 	if s.cfg.LegacySerial {
-		e, rep, err := s.compute(ctx, q, alg, key, canon, false, nil)
+		e, rep, err := s.compute(ctx, q, alg, key, f, perm, canon, false, nil)
 		if err != nil {
 			return failErr(err)
 		}
@@ -631,7 +772,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 	// concurrent requests wait slot-free and share the result.
 	var leaderRep *stats.Report
 	e, oc, err := s.flights.Do(ctx, key, func(waiters func() int64) (cacheEntry, error) {
-		e, rep, err := s.compute(ctx, q, alg, key, canon, true, waiters)
+		e, rep, err := s.compute(ctx, q, alg, key, f, perm, canon, true, waiters)
 		leaderRep = rep
 		return e, err
 	})
@@ -646,7 +787,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 			// Key collision against a concurrent leader's different
 			// function: compute this one directly. (The stored-entry
 			// collision case is handled by GetIf, which evicts.)
-			e, rep, err := s.compute(ctx, q, alg, key, canon, true, nil)
+			e, rep, err := s.compute(ctx, q, alg, key, f, perm, canon, true, nil)
 			if err != nil {
 				return failErr(err)
 			}
@@ -662,7 +803,10 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 // acquireSlot is set — and populates the cache. waiters, when non-nil,
 // reports how many coalesced requests were riding on this run at
 // completion (recorded as the serve.flight_waiters sched counter).
-func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcache.Key, canon *bfunc.Func, acquireSlot bool, waiters func() int64) (cacheEntry, *stats.Report, error) {
+// With WarmCache on, exact runs go through the warm engine and
+// additionally store a resumable warm entry under the exact-function
+// key.
+func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcache.Key, f *bfunc.Func, perm []int, canon *bfunc.Func, acquireSlot bool, waiters func() int64) (cacheEntry, *stats.Report, error) {
 	if acquireSlot {
 		select {
 		case s.slots <- struct{}{}:
@@ -679,22 +823,20 @@ func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcac
 	}
 
 	rec := stats.New()
-	opts := s.cfg.Core.CoreOptions()
-	opts.Ctx = ctx
-	opts.Stats = rec
-	opts.CoverExact = q.ExactCover
-	if q.FactorCost {
-		opts.Cost = core.CostFactors
-	}
+	opts := s.coreOptions(ctx, q, rec)
+	warmRun := s.cfg.WarmCache && alg.name == "exact"
 
 	var res *core.Result
+	var ws *core.WarmState
 	var err error
-	switch alg.name {
-	case "exact":
+	switch {
+	case warmRun:
+		res, ws, err = core.MinimizeExactWarm(canon, opts)
+	case alg.name == "exact":
 		res, err = core.MinimizeExact(canon, opts)
-	case "naive":
+	case alg.name == "naive":
 		res, err = core.MinimizeNaive(canon, opts)
-	case "sppk":
+	default: // sppk
 		res, err = core.Heuristic(canon, alg.k, opts)
 	}
 	if err != nil {
@@ -707,9 +849,49 @@ func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcac
 		return cacheEntry{}, nil, err
 	}
 
+	rep := s.recordRun(rec, alg.name, waiters)
+
+	e := cacheEntry{
+		canon:        canon,
+		form:         res.Form,
+		eppp:         res.Build.EPPP,
+		coverOptimal: res.CoverOptimal,
+	}
+	s.cache.Put(key, e)
+	if warmRun {
+		tag := s.optionTag(q, alg)
+		s.cache.Put(fcache.KeyOf(f).Derive("warm;"+tag), cacheEntry{
+			form:         res.Form,
+			eppp:         res.Build.EPPP,
+			coverOptimal: res.CoverOptimal,
+			fn:           f,
+			perm:         perm,
+			warm:         ws,
+			tag:          tag,
+		})
+	}
+	return e, rep, nil
+}
+
+// coreOptions assembles the engine options for one request.
+func (s *Server) coreOptions(ctx context.Context, q Request, rec *stats.Recorder) core.Options {
+	opts := s.cfg.Core.CoreOptions()
+	opts.Ctx = ctx
+	opts.Stats = rec
+	opts.CoverExact = q.ExactCover
+	if q.FactorCost {
+		opts.Cost = core.CostFactors
+	}
+	return opts
+}
+
+// recordRun files one engine run's report into the /statsz history
+// ring.
+func (s *Server) recordRun(rec *stats.Recorder, name string, waiters func() int64) *stats.Report {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.runSeq++
-	rep := rec.Report(fmt.Sprintf("serve/%d/%s", s.runSeq, alg.name))
+	rep := rec.Report(fmt.Sprintf("serve/%d/%s", s.runSeq, name))
 	rep.Workers = s.cfg.Core.Workers
 	rep.CoverWorkers = s.cfg.Core.CoverWorkers
 	if waiters != nil {
@@ -724,15 +906,275 @@ func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcac
 	if len(s.history) > s.cfg.HistorySize {
 		s.history = s.history[1:]
 	}
-	s.mu.Unlock()
+	return rep
+}
+
+// processDelta serves a delta request: resolve the base warm entry,
+// validate and translate the edit into the base's canonical space, and
+// either serve trivially (ON-set emptied), fall back to a cold run
+// (churn above DeltaMaxDirty, with the fallback re-entering process as
+// an explicit-minterm request), or resume the warm state — under the
+// same admission gate and coalescing machinery as full requests, keyed
+// by the edited function's own warm key so identical concurrent deltas
+// coalesce.
+func (s *Server) processDelta(ctx context.Context, q Request) Response {
+	start := time.Now()
+	elapsed := func() int64 { return time.Since(start).Nanoseconds() }
+	fail := func(status int, code string, err error, oc outcome) Response {
+		return Response{Error: err.Error(), Code: code, status: status, outcome: oc, ElapsedNS: elapsed()}
+	}
+	coldRequired := func(why string) Response {
+		s.bumpDelta(&s.ctr.deltaBaseMiss)
+		return fail(http.StatusConflict, "cold_run_required",
+			fmt.Errorf("delta base unavailable (%s): resubmit the full function", why), outcomeError)
+	}
+
+	if q.N != 0 || len(q.On) > 0 || len(q.Dc) > 0 || q.Bench != "" || q.PLA != "" {
+		return fail(http.StatusBadRequest, "", errors.New("delta request must not carry a function source"), outcomeError)
+	}
+	if q.NoCache {
+		return fail(http.StatusBadRequest, "", errors.New("no_cache is incompatible with delta requests (the base lives in the cache)"), outcomeError)
+	}
+	if q.Algorithm != "" && q.Algorithm != "exact" {
+		return fail(http.StatusBadRequest, "", fmt.Errorf("delta requests support algorithm \"exact\", not %q", q.Algorithm), outcomeError)
+	}
+	alg := algorithm{name: "exact"}
+	if !s.cfg.WarmCache {
+		return coldRequired("warm cache disabled")
+	}
+	bkey, err := fcache.ParseKey(q.Base)
+	if err != nil {
+		return fail(http.StatusBadRequest, "", err, outcomeError)
+	}
+	// Plain Get, not GetIf: a canonical key passed as base must not
+	// evict the (perfectly valid) canonical entry it points at.
+	base, ok := s.cache.Get(bkey)
+	if !ok || base.warm == nil || base.fn == nil {
+		return coldRequired("unknown or evicted base key")
+	}
+	if tag := s.optionTag(q, alg); tag != base.tag {
+		return fail(http.StatusBadRequest, "",
+			fmt.Errorf("delta options (%s) differ from the base entry's (%s)", tag, base.tag), outcomeError)
+	}
+
+	n := base.fn.N()
+	limit := uint64(1) << uint(n)
+	mapPts := func(pts []uint64) ([]uint64, error) {
+		if len(pts) == 0 {
+			return nil, nil
+		}
+		out := make([]uint64, len(pts))
+		for i, p := range pts {
+			if p >= limit {
+				return nil, fmt.Errorf("delta point %d outside B^%d", p, n)
+			}
+			out[i] = bitvec.PermutePoint(p, n, base.perm)
+		}
+		return out, nil
+	}
+	var cd core.Delta
+	var mapErr error
+	if cd.AddOn, mapErr = mapPts(q.Add); mapErr == nil {
+		if cd.RemoveOn, mapErr = mapPts(q.Remove); mapErr == nil {
+			if cd.AddDC, mapErr = mapPts(q.DcAdd); mapErr == nil {
+				cd.RemoveDC, mapErr = mapPts(q.DcRemove)
+			}
+		}
+	}
+	if mapErr != nil {
+		return fail(http.StatusBadRequest, "", mapErr, outcomeError)
+	}
+	editedCanon, err := base.warm.Apply(cd)
+	if err != nil {
+		return fail(http.StatusBadRequest, "", err, outcomeError)
+	}
+
+	// An edit that empties the ON-set is the constant-0 function: serve
+	// it without entering the engine (and without caching — there is no
+	// warm state to retain for it, and nothing to chain a delta on).
+	if editedCanon.OnCount() == 0 {
+		s.bumpDelta(&s.ctr.deltaTrivial)
+		return Response{
+			Form:         "0",
+			CoverOptimal: true,
+			Delta:        "trivial",
+			ElapsedNS:    elapsed(),
+			outcome:      outcomeComputed,
+		}
+	}
+
+	// The edited function in the client's (request) variable space: the
+	// base entry's perm maps request→canonical, so invert it.
+	inv := fcache.InversePerm(base.perm)
+	invPts := func(pts []uint64) []uint64 {
+		out := make([]uint64, len(pts))
+		for i, p := range pts {
+			out[i] = bitvec.PermutePoint(p, n, inv)
+		}
+		return out
+	}
+	edited := bfunc.NewDC(n, invPts(editedCanon.On()), invPts(editedCanon.DC()))
+
+	churn, err := base.warm.Churn(cd)
+	if err != nil {
+		return fail(http.StatusBadRequest, "", err, outcomeError)
+	}
+	care := len(base.fn.On()) + len(base.fn.DC())
+	if care < 1 {
+		care = 1
+	}
+	if float64(churn)/float64(care) > s.cfg.DeltaMaxDirty {
+		// Too dirty to patch profitably: rerun cold on the edited
+		// function. Warm entries only exist for functions small enough
+		// to respell as explicit minterms, which resolveFunction caps
+		// at n ≤ 30.
+		if n > 30 {
+			return coldRequired("edit too large to patch and function too wide to respell")
+		}
+		s.bumpDelta(&s.ctr.deltaCold)
+		resp := s.process(ctx, Request{
+			N: n, On: edited.On(), Dc: edited.DC(),
+			ExactCover: q.ExactCover, FactorCost: q.FactorCost,
+			TimeoutMS: q.TimeoutMS, Stats: q.Stats,
+		})
+		resp.Delta = "cold"
+		resp.ElapsedNS = elapsed()
+		return resp
+	}
+
+	wkey := fcache.KeyOf(edited).Derive("warm;" + base.tag)
+	validEdited := func(e cacheEntry) bool { return e.warm != nil && e.fn != nil && e.fn.Equal(edited) }
+	servedDelta := func(e cacheEntry, coalesced bool) Response {
+		form := permuteForm(e.form, fcache.InversePerm(e.perm))
+		oc := outcomeHit
+		if coalesced {
+			oc = outcomeCoalesced
+		}
+		return Response{
+			Form:         form.String(),
+			Literals:     form.Literals(),
+			NumTerms:     form.NumTerms(),
+			EPPP:         e.eppp,
+			CoverOptimal: e.coverOptimal,
+			Cached:       true,
+			Coalesced:    coalesced,
+			BaseKey:      wkey.String(),
+			Delta:        "warm",
+			ElapsedNS:    elapsed(),
+			outcome:      oc,
+		}
+	}
+	computedDelta := func(e cacheEntry, rep *stats.Report) Response {
+		form := permuteForm(e.form, fcache.InversePerm(e.perm))
+		out := Response{
+			Form:         form.String(),
+			Literals:     form.Literals(),
+			NumTerms:     form.NumTerms(),
+			EPPP:         e.eppp,
+			CoverOptimal: e.coverOptimal,
+			BaseKey:      wkey.String(),
+			Delta:        "warm",
+			ElapsedNS:    elapsed(),
+			outcome:      outcomeComputed,
+		}
+		if q.Stats {
+			out.Stats = rep
+		}
+		return out
+	}
+	failErr := func(err error) Response {
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			if ce := ctx.Err(); ce != nil {
+				status = statusFor(ce)
+			}
+		}
+		return fail(status, "", err, outcomeError)
+	}
+
+	if e, ok := s.cache.GetIf(wkey, validEdited); ok {
+		return servedDelta(e, false)
+	}
+
+	if s.cfg.LegacySerial {
+		e, rep, err := s.computeDelta(ctx, q, base, cd, edited, wkey, false, nil)
+		if err != nil {
+			return failErr(err)
+		}
+		s.bumpDelta(&s.ctr.deltaWarm)
+		return computedDelta(e, rep)
+	}
+
+	var leaderRep *stats.Report
+	e, oc, err := s.flights.Do(ctx, wkey, func(waiters func() int64) (cacheEntry, error) {
+		e, rep, err := s.computeDelta(ctx, q, base, cd, edited, wkey, true, waiters)
+		leaderRep = rep
+		return e, err
+	})
+	switch oc {
+	case fcache.Led:
+		if err != nil {
+			return failErr(err)
+		}
+		s.bumpDelta(&s.ctr.deltaWarm)
+		return computedDelta(e, leaderRep)
+	case fcache.Joined:
+		if !validEdited(e) {
+			// Warm-key collision against a different in-flight function:
+			// resume directly for this request.
+			e, rep, err := s.computeDelta(ctx, q, base, cd, edited, wkey, true, nil)
+			if err != nil {
+				return failErr(err)
+			}
+			s.bumpDelta(&s.ctr.deltaWarm)
+			return computedDelta(e, rep)
+		}
+		return servedDelta(e, true)
+	default: // fcache.Detached
+		return fail(statusFor(err), "", fmt.Errorf("coalesced wait: %w", err), outcomeDetached)
+	}
+}
+
+// computeDelta resumes the base warm state under the translated delta —
+// holding an admission slot like any engine run — and stores the new
+// warm entry for the edited function.
+func (s *Server) computeDelta(ctx context.Context, q Request, base cacheEntry, cd core.Delta, edited *bfunc.Func, wkey fcache.Key, acquireSlot bool, waiters func() int64) (cacheEntry, *stats.Report, error) {
+	if acquireSlot {
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			return cacheEntry{}, nil, fmt.Errorf("queue wait: %w", ctx.Err())
+		}
+		if s.testHookAfterAcquire != nil {
+			s.testHookAfterAcquire(ctx)
+		}
+		if err := ctx.Err(); err != nil {
+			return cacheEntry{}, nil, err
+		}
+	}
+
+	rec := stats.New()
+	res, nws, err := core.ResumeExact(base.warm, cd, s.coreOptions(ctx, q, rec))
+	if err != nil {
+		return cacheEntry{}, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return cacheEntry{}, nil, err
+	}
+
+	rep := s.recordRun(rec, "delta", waiters)
 
 	e := cacheEntry{
-		canon:        canon,
 		form:         res.Form,
 		eppp:         res.Build.EPPP,
 		coverOptimal: res.CoverOptimal,
+		fn:           edited,
+		perm:         base.perm,
+		warm:         nws,
+		tag:          base.tag,
 	}
-	s.cache.Put(key, e)
+	s.cache.Put(wkey, e)
 	return e, rep, nil
 }
 

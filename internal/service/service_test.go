@@ -31,7 +31,7 @@ func testConfig() Config {
 	}
 }
 
-func post(t *testing.T, h http.Handler, body string) (int, string) {
+func post(t testing.TB, h http.Handler, body string) (int, string) {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodPost, "/v1/minimize", strings.NewReader(body))
 	w := httptest.NewRecorder()
@@ -39,7 +39,7 @@ func post(t *testing.T, h http.Handler, body string) (int, string) {
 	return w.Code, w.Body.String()
 }
 
-func get(t *testing.T, h http.Handler, path string) (int, string) {
+func get(t testing.TB, h http.Handler, path string) (int, string) {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodGet, path, nil)
 	w := httptest.NewRecorder()
@@ -47,7 +47,7 @@ func get(t *testing.T, h http.Handler, path string) (int, string) {
 	return w.Code, w.Body.String()
 }
 
-func decodeResp(t *testing.T, body string) Response {
+func decodeResp(t testing.TB, body string) Response {
 	t.Helper()
 	var r Response
 	if err := json.Unmarshal([]byte(body), &r); err != nil {

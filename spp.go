@@ -263,6 +263,94 @@ func MinimizeNaive(f *Function, opts *Options) (*Result, error) {
 	return fromCore(r), nil
 }
 
+// WarmState is the reusable intermediate state of one warm
+// minimization: the partition-trie level structure with per-entry point
+// signatures and discard counts, plus the ON points covered by each
+// candidate. Resume patches it under a small edit instead of
+// recomputing; the snapshot itself is immutable, so one WarmState can
+// serve concurrent Resume calls.
+type WarmState struct {
+	ws *core.WarmState
+}
+
+// N returns the input arity of the snapshotted function.
+func (w *WarmState) N() int { return w.ws.N() }
+
+// Bytes estimates the retained footprint of the snapshot — what a
+// size-aware cache should charge for keeping it.
+func (w *WarmState) Bytes() int64 { return w.ws.Bytes() }
+
+// Delta is an edit script against a warm state's function: point moves
+// between the ON, DC and OFF sets. Edits are validated strictly (adding
+// an already-ON point or removing an absent one is an error); the legal
+// compound moves are ON→DC (RemoveOn + AddDC) and DC→ON (AddOn alone).
+type Delta struct {
+	// AddOn turns OFF or DC points ON.
+	AddOn []uint64
+	// RemoveOn turns ON points OFF (or DC when also listed in AddDC).
+	RemoveOn []uint64
+	// AddDC turns OFF points (including ones being removed from ON)
+	// into don't-cares.
+	AddDC []uint64
+	// RemoveDC turns DC points OFF.
+	RemoveDC []uint64
+}
+
+func (d Delta) toCore() core.Delta {
+	return core.Delta{AddOn: d.AddOn, RemoveOn: d.RemoveOn, AddDC: d.AddDC, RemoveDC: d.RemoveDC}
+}
+
+// Apply returns the function the delta edits the snapshot into, without
+// resuming.
+func (w *WarmState) Apply(d Delta) (*Function, error) {
+	f, err := w.ws.Apply(d.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Function{f: f}, nil
+}
+
+// Churn returns the number of points the delta moves into or out of the
+// care set (ON ∪ DC) — the "dirtiness" serving layers compare against a
+// threshold when choosing warm resume vs cold rerun.
+func (w *WarmState) Churn(d Delta) (int, error) {
+	return w.ws.Churn(d.toCore())
+}
+
+// MinimizeWarm is Minimize capturing a WarmState for later Resume
+// calls. It emits covering candidates in a canonical order (independent
+// of generation history), so the returned form can differ textually
+// from Minimize's where the covering heuristic broke a tie by candidate
+// order — the literal cost is the same, and all warm results
+// (MinimizeWarm and Resume alike) are mutually byte-identical for equal
+// functions. EPPP construction runs serially while capturing;
+// Options.CoverWorkers still parallelizes covering.
+func MinimizeWarm(f *Function, opts *Options) (*Result, *WarmState, error) {
+	r, ws, err := core.MinimizeExactWarm(f.f, opts.toCore())
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromCore(r), &WarmState{ws: ws}, nil
+}
+
+// Resume minimizes the edited function by patching the warm state: only
+// structure groups whose point signatures intersect the changed
+// minterms are re-unioned, and the covering instance is patched rather
+// than rebuilt. The result — form, candidate set and order — is
+// byte-identical to MinimizeWarm on the edited function, at a fraction
+// of the cost when the edit is small. Returns a fresh WarmState for the
+// edited function; the input state is untouched and remains valid.
+//
+// Options must request the same cost model (FactorCost) the snapshot
+// was built under; Ctx, budgets and worker counts may differ freely.
+func Resume(w *WarmState, d Delta, opts *Options) (*Result, *WarmState, error) {
+	r, nws, err := core.ResumeExact(w.ws, d.toCore(), opts.toCore())
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromCore(r), &WarmState{ws: nws}, nil
+}
+
 // SPResult is a two-level minimization outcome.
 type SPResult struct {
 	// Literals and NumTerms are the paper's #L and #P.

@@ -1,0 +1,73 @@
+package spp_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestWarmResumeRoundTrip(t *testing.T) {
+	f := spp.NewWithDC(5, []uint64{1, 2, 3, 8, 9, 17, 24}, []uint64{30})
+	res, ws, err := spp.MinimizeWarm(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Form.Verify(f); err != nil {
+		t.Fatalf("warm form invalid: %v", err)
+	}
+	if ws.N() != 5 || ws.Bytes() <= 0 {
+		t.Fatalf("warm state: N=%d Bytes=%d", ws.N(), ws.Bytes())
+	}
+
+	d := spp.Delta{AddOn: []uint64{5, 30}, RemoveOn: []uint64{24}, AddDC: []uint64{24}}
+	if churn, err := ws.Churn(d); err != nil || churn != 1 {
+		// Point 5 enters care; 30 (DC→ON) and 24 (ON→DC) stay inside it.
+		t.Fatalf("churn = %d, %v; want 1", churn, err)
+	}
+	edited, err := ws.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, nws, err := spp.Resume(ws, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err := spp.MinimizeWarm(edited, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Form.String() != cold.Form.String() {
+		t.Fatalf("resume not byte-identical to cold warm run:\nwarm %s\ncold %s", warm.Form, cold.Form)
+	}
+	if err := warm.Form.Verify(edited); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chain a second edit from the resumed state.
+	warm2, _, err := spp.Resume(nws, spp.Delta{RemoveOn: []uint64{5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited2, err := nws.Apply(spp.Delta{RemoveOn: []uint64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm2.Form.Verify(edited2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmResumeValidation(t *testing.T) {
+	f := spp.New(4, []uint64{1, 2})
+	_, ws, err := spp.MinimizeWarm(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := spp.Resume(ws, spp.Delta{AddOn: []uint64{1}}, nil); err == nil {
+		t.Fatal("adding an already-ON point must fail")
+	}
+	if _, _, err := spp.Resume(ws, spp.Delta{AddOn: []uint64{3}}, &spp.Options{FactorCost: true}); err == nil {
+		t.Fatal("cost-model mismatch must fail")
+	}
+}
