@@ -78,7 +78,7 @@ bench-delta:
 	go run ./cmd/sppload -scenario edit-loop -out BENCH_delta.json
 
 bench-delta-smoke:
-	go run ./cmd/sppload -scenario edit-loop -quick -out /tmp/bench_delta_smoke.json
+	go run ./cmd/sppload -scenario edit-loop -quick -assert-cover-split -out /tmp/bench_delta_smoke.json
 
 # CI smoke tiers: every benchmark once (compile + one iteration catches
 # bit-rot without benchmarking anything), and a short fuzz run of the

@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/service"
+	"repro/internal/stats"
 )
 
 type runResult struct {
@@ -100,6 +101,7 @@ func main() {
 	edits := flag.Int("edits", 25, "edit-loop steps per client")
 	editK := flag.Int("edit-k", 2, "minterms changed per edit-loop step (alternating add/remove)")
 	quick := flag.Bool("quick", false, "small fast run for CI smoke")
+	assertCoverSplit := flag.Bool("assert-cover-split", false, "edit-loop only: exit 1 unless the warm per-run covering time beats cold (CI regression gate)")
 	flag.Parse()
 
 	if *scenario == "edit-loop" {
@@ -111,7 +113,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_delta.json"
 		}
-		runEditLoopScenario(*out, *clients, *edits, *editK, *nvars, *onBase, *quick)
+		runEditLoopScenario(*out, *clients, *edits, *editK, *nvars, *onBase, *quick, *assertCoverSplit)
 		return
 	}
 	if *out == "" {
@@ -403,8 +405,20 @@ type editResult struct {
 	DeltaWarm     int64 `json:"delta_warm"`
 	DeltaCold     int64 `json:"delta_cold_fallback"`
 	DeltaBaseMiss int64 `json:"delta_base_miss"`
-	CacheBytes    int64 `json:"cache_bytes"`
-	Errors        int64 `json:"errors"`
+	// DeltaCoverReused / DeltaCoverResolved split the warm resumes by
+	// covering outcome: served entirely from the previous cover snapshot
+	// vs. partially re-solved.
+	DeltaCoverReused   int64 `json:"delta_cover_reused"`
+	DeltaCoverResolved int64 `json:"delta_cover_resolved"`
+	CacheBytes         int64 `json:"cache_bytes"`
+	Errors             int64 `json:"errors"`
+
+	// CoverMSMean is the mean covering-phase wall time ("cover.*" phases
+	// summed) per edit-phase engine run: delta resumes in warm mode, full
+	// re-minimizations in cold mode. Seed submissions are excluded.
+	CoverMSMean float64 `json:"cover_ms_mean"`
+	// CoverRuns is how many engine runs CoverMSMean averages over.
+	CoverRuns int `json:"cover_runs"`
 }
 
 type deltaReport struct {
@@ -415,7 +429,7 @@ type deltaReport struct {
 	Summary   map[string]string `json:"summary"`
 }
 
-func runEditLoopScenario(out string, clients, edits, editK, nvars, onBase int, quick bool) {
+func runEditLoopScenario(out string, clients, edits, editK, nvars, onBase int, quick, assertCoverSplit bool) {
 	onSets := makeOnSets(clients, nvars, onBase, 2)
 	rep := deltaReport{
 		Schema:    "spp-bench-delta/v1",
@@ -434,15 +448,19 @@ func runEditLoopScenario(out string, clients, edits, editK, nvars, onBase int, q
 	for _, warm := range []bool{false, true} {
 		res := runEditLoop(warm, clients, edits, editK, nvars, onSets)
 		rep.Results = append(rep.Results, res)
-		fmt.Printf("edit-loop %-5s  %6.1f edits/s  p50 %6.2fms  p99 %7.2fms  warm %3d  fallback %d  base-miss %d\n",
-			res.Mode, res.EditsPerS, res.P50MS, res.P99MS,
-			res.DeltaWarm, res.DeltaCold, res.DeltaBaseMiss)
+		fmt.Printf("edit-loop %-5s  %6.1f edits/s  p50 %6.2fms  p99 %7.2fms  cover %7.2fms/run  warm %3d (replay %d)  fallback %d  base-miss %d\n",
+			res.Mode, res.EditsPerS, res.P50MS, res.P99MS, res.CoverMSMean,
+			res.DeltaWarm, res.DeltaCoverReused, res.DeltaCold, res.DeltaBaseMiss)
 	}
 
 	cold, warm := &rep.Results[0], &rep.Results[1]
 	if warm.ElapsedMS > 0 {
 		rep.Summary["edit_loop_speedup"] = fmt.Sprintf("%.2fx", cold.ElapsedMS/warm.ElapsedMS)
 		rep.Summary["edit_loop_p50"] = fmt.Sprintf("%.2fms -> %.2fms", cold.P50MS, warm.P50MS)
+	}
+	if cold.CoverMSMean > 0 && warm.CoverMSMean > 0 {
+		rep.Summary["edit_loop_cover_speedup"] = fmt.Sprintf("%.2fx", cold.CoverMSMean/warm.CoverMSMean)
+		rep.Summary["edit_loop_cover_split"] = fmt.Sprintf("%.3fms -> %.3fms per run", cold.CoverMSMean, warm.CoverMSMean)
 	}
 
 	var w io.Writer = os.Stdout
@@ -464,6 +482,57 @@ func runEditLoopScenario(out string, clients, edits, editK, nvars, onBase int, q
 	for k, v := range rep.Summary {
 		fmt.Printf("summary %s = %s\n", k, v)
 	}
+	if assertCoverSplit {
+		// Regression gate: a warm resume must spend strictly less time in
+		// the covering phases than a cold run of the same edit.
+		switch {
+		case cold.CoverMSMean <= 0 || warm.CoverMSMean <= 0:
+			fmt.Fprintf(os.Stderr, "sppload: cover-split assertion failed: missing cover phase data (cold %.3fms over %d runs, warm %.3fms over %d runs)\n",
+				cold.CoverMSMean, cold.CoverRuns, warm.CoverMSMean, warm.CoverRuns)
+			os.Exit(1)
+		case warm.CoverMSMean >= cold.CoverMSMean:
+			fmt.Fprintf(os.Stderr, "sppload: cover-split assertion failed: warm cover %.3fms/run >= cold %.3fms/run\n",
+				warm.CoverMSMean, cold.CoverMSMean)
+			os.Exit(1)
+		}
+	}
+}
+
+// coverSeconds sums the wall time of the covering phases ("cover.*")
+// in one run report.
+func coverSeconds(rep *stats.Report) float64 {
+	var s float64
+	for _, p := range rep.Phases {
+		if strings.HasPrefix(p.Phase, "cover.") {
+			s += p.Seconds
+		}
+	}
+	return s
+}
+
+// editCoverStats aggregates the per-run covering time over the
+// edit-phase engine runs in the /statsz history: delta resumes in warm
+// mode, everything after the per-client seed submissions in cold mode.
+func editCoverStats(st service.Statsz, warm bool, clients int) (runs int, meanMS float64) {
+	if st.Runs == nil {
+		return 0, 0
+	}
+	var total float64
+	for i, rep := range st.Runs.Reports {
+		if warm {
+			if !strings.HasSuffix(rep.Name, "/delta") {
+				continue
+			}
+		} else if i < clients { // seed submissions, untimed setup
+			continue
+		}
+		total += coverSeconds(rep)
+		runs++
+	}
+	if runs == 0 {
+		return 0, 0
+	}
+	return runs, total * 1000 / float64(runs)
 }
 
 // runEditLoop walks every client's function through `edits` random
@@ -481,6 +550,10 @@ func runEditLoop(warm bool, clients, edits, editK, nvars int, onSets [][]int) ed
 		// heap (and so GC pressure) bounded during long walks.
 		CacheBytes: 512 << 20,
 		WarmCache:  warm,
+		// Retain every engine run of the scenario (seeds + edits + a few
+		// cold fallbacks) so the cover-phase split can be aggregated from
+		// the /statsz history afterwards.
+		HistorySize: clients*(edits+2) + 8,
 	}
 	srv := service.New(cfg)
 	ts := httptest.NewServer(srv.Handler())
@@ -600,21 +673,27 @@ func runEditLoop(warm bool, clients, edits, editK, nvars int, onSets [][]int) ed
 		i := min(int(p*float64(len(lats))), len(lats)-1)
 		return float64(lats[i].Microseconds()) / 1000
 	}
+	coverRuns, coverMean := editCoverStats(st, warm, clients)
+	debugPhaseMeans(st, warm, clients, mode)
 	return editResult{
-		Scenario:      "edit-loop",
-		Mode:          mode,
-		Clients:       clients,
-		Edits:         len(lats),
-		EditK:         editK,
-		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
-		EditsPerS:     float64(len(lats)) / elapsed.Seconds(),
-		P50MS:         pct(0.50),
-		P99MS:         pct(0.99),
-		DeltaWarm:     st.DeltaWarm,
-		DeltaCold:     st.DeltaCold,
-		DeltaBaseMiss: st.DeltaBaseMiss,
-		CacheBytes:    st.CacheBytes,
-		Errors:        errs + st.Errors,
+		Scenario:           "edit-loop",
+		Mode:               mode,
+		Clients:            clients,
+		Edits:              len(lats),
+		EditK:              editK,
+		ElapsedMS:          float64(elapsed.Microseconds()) / 1000,
+		EditsPerS:          float64(len(lats)) / elapsed.Seconds(),
+		P50MS:              pct(0.50),
+		P99MS:              pct(0.99),
+		DeltaWarm:          st.DeltaWarm,
+		DeltaCold:          st.DeltaCold,
+		DeltaBaseMiss:      st.DeltaBaseMiss,
+		DeltaCoverReused:   st.DeltaCoverReused,
+		DeltaCoverResolved: st.DeltaCoverResolved,
+		CacheBytes:         st.CacheBytes,
+		Errors:             errs + st.Errors,
+		CoverMSMean:        coverMean,
+		CoverRuns:          coverRuns,
 	}
 }
 
@@ -677,4 +756,31 @@ func postResp(client *http.Client, url, body string) (time.Duration, int, servic
 	_ = json.NewDecoder(resp.Body).Decode(&r)
 	io.Copy(io.Discard, resp.Body)
 	return time.Since(start), resp.StatusCode, r
+}
+
+// debugPhaseMeans prints per-phase mean milliseconds over the selected
+// edit-phase runs when SPPLOAD_DEBUG_PHASES is set.
+func debugPhaseMeans(st service.Statsz, warm bool, clients int, mode string) {
+	if os.Getenv("SPPLOAD_DEBUG_PHASES") == "" || st.Runs == nil {
+		return
+	}
+	sums := map[string]float64{}
+	runs := 0
+	for i, rep := range st.Runs.Reports {
+		if warm {
+			if !strings.HasSuffix(rep.Name, "/delta") {
+				continue
+			}
+		} else if i < clients {
+			continue
+		}
+		runs++
+		for _, p := range rep.Phases {
+			sums[p.Phase] += p.Seconds
+		}
+	}
+	fmt.Printf("DEBUG %s: %d runs\n", mode, runs)
+	for k, v := range sums {
+		fmt.Printf("DEBUG   %-16s %8.3f ms/run\n", k, v*1000/float64(runs))
+	}
 }

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/cover"
+)
+
+// deltaFromBits builds a valid edit script from a fuzz-supplied point
+// mask: each set bit of bits moves that point between the ON / DC / OFF
+// classes, with the direction drawn from rng.
+func deltaFromBits(rng *rand.Rand, fn *bfunc.Func, bits uint64) Delta {
+	var d Delta
+	for p := uint64(0); p < 1<<uint(fn.N()); p++ {
+		if bits&(1<<p) == 0 {
+			continue
+		}
+		switch {
+		case fn.IsOn(p):
+			d.RemoveOn = append(d.RemoveOn, p)
+			if rng.Intn(2) == 0 {
+				d.AddDC = append(d.AddDC, p)
+			}
+		case fn.IsDC(p):
+			if rng.Intn(2) == 0 {
+				d.AddOn = append(d.AddOn, p)
+			} else {
+				d.RemoveDC = append(d.RemoveDC, p)
+			}
+		default:
+			if rng.Intn(2) == 0 {
+				d.AddOn = append(d.AddOn, p)
+			} else {
+				d.AddDC = append(d.AddDC, p)
+			}
+		}
+	}
+	return d
+}
+
+// FuzzIncrementalCover drives the incremental covering layer against
+// the cold oracle: every resume's patched cover — certified greedy
+// replay, heap continuation, or seeded exact search — must be
+// byte-identical to a cold warm-engine run on the edited function.
+// Chains two edits so the snapshot written by one resume feeds the
+// next, and flips between the greedy and exact solver paths (including
+// parallel exact, which takes the warm branch-and-bound seed).
+func FuzzIncrementalCover(f *testing.F) {
+	f.Add(uint64(0x9e37), uint64(0x3c5a), uint64(0x0180), uint64(0x41), uint64(0x212))
+	f.Add(uint64(7), uint64(0xffff), uint64(0), uint64(0x8001), uint64(0x18))
+	f.Add(uint64(3), uint64(0x00ff), uint64(0xff00), uint64(0x1111), uint64(0x2222))
+	f.Add(uint64(1), uint64(0xaaaa), uint64(0x5555), uint64(0xf), uint64(0xf0))
+	f.Fuzz(func(t *testing.T, seed, onBits, dcBits, editBits, editBits2 uint64) {
+		const n = 4 // 16-point space: every mask bit is a point
+		var on, dc []uint64
+		for p := uint64(0); p < 1<<n; p++ {
+			switch {
+			case onBits&(1<<p) != 0:
+				on = append(on, p)
+			case dcBits&(1<<p) != 0:
+				dc = append(dc, p)
+			}
+		}
+		fn := bfunc.NewDC(n, on, dc)
+		opts := Options{}
+		if seed&1 != 0 {
+			opts = Options{CoverExact: true, CoverMaxNodes: 1 << 16}
+			if seed&2 != 0 {
+				opts.CoverWorkers = 4 // parallel exact: warm seeding active
+			}
+		}
+		res, ws, err := MinimizeExactWarm(fn, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CoverReused {
+			t.Fatal("cold run reported a reused cover")
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		for _, bits := range []uint64{editBits, editBits2} {
+			d := deltaFromBits(rng, ws.f, bits)
+			ws = requireResumeMatchesCold(t, ws, d, opts)
+		}
+	})
+}
+
+func TestResumeExactCoverSeeded(t *testing.T) {
+	// With parallel workers the exact solver takes the warm-seed path:
+	// the previous solution's cost becomes the incumbent bound and its
+	// picks lead the root branch order. Identity against cold must hold
+	// across chained resumes.
+	rng := rand.New(rand.NewSource(13))
+	opts := Options{CoverExact: true, CoverMaxNodes: 1 << 20, CoverWorkers: 4}
+	for trial := 0; trial < 4; trial++ {
+		f := randomFunc(rng, 5, 0.35, true)
+		_, ws, err := MinimizeExactWarm(f, opts)
+		if err != nil {
+			t.Fatalf("trial %d: cold build: %v", trial, err)
+		}
+		for step := 0; step < 2; step++ {
+			d := randomDelta(rng, ws.f, 2+step)
+			ws = requireResumeMatchesCold(t, ws, d, opts)
+		}
+	}
+}
+
+func TestResumeConcurrentSharedSnapshot(t *testing.T) {
+	// Eight concurrent resumes from ONE canonical snapshot: every
+	// goroutine replays (and, on the exact path, seeds from) the same
+	// immutable coverSnap. Must neither race nor diverge from the cold
+	// oracle. Run under -race via make check-race.
+	for _, tc := range []struct {
+		name string
+		n    int
+		opts Options
+	}{
+		{"greedy", 6, Options{CoverWorkers: 4}},
+		// Byte-identity of the exact path is only guaranteed when the
+		// search completes, so the exact case stays small enough that the
+		// node budget is never exhausted (asserted on the cold runs below).
+		{"exact", 5, Options{CoverExact: true, CoverMaxNodes: 1 << 20, CoverWorkers: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(21))
+			f := randomFunc(rng, tc.n, 0.3, true)
+			_, ws, err := MinimizeExactWarm(f, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type job struct {
+				d    Delta
+				want string
+			}
+			jobs := make([]job, 8)
+			for i := range jobs {
+				d := randomDelta(rng, f, 1+i%4)
+				edited, err := ws.Apply(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, _, err := MinimizeExactWarm(edited, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.opts.CoverExact && !cold.CoverOptimal {
+					t.Fatalf("job %d: exact search exhausted its node budget; shrink the case", i)
+				}
+				jobs[i] = job{d: d, want: cold.Form.String()}
+			}
+			var wg sync.WaitGroup
+			errs := make([]string, len(jobs))
+			for i := range jobs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					res, _, err := ResumeExact(ws, jobs[i].d, tc.opts)
+					if err != nil {
+						errs[i] = err.Error()
+						return
+					}
+					if got := res.Form.String(); got != jobs[i].want {
+						errs[i] = "form mismatch: got " + got + " want " + jobs[i].want
+					}
+				}(i)
+			}
+			wg.Wait()
+			for i, e := range errs {
+				if e != "" {
+					t.Errorf("job %d: %s", i, e)
+				}
+			}
+		})
+	}
+}
+
+func TestCoverReusedFlag(t *testing.T) {
+	// A resume whose edit empties the ON-set is served trivially from
+	// the warm state and reports CoverReused; cold runs never do.
+	f := bfunc.New(4, []uint64{3, 5})
+	res, ws, err := MinimizeExactWarm(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoverReused {
+		t.Fatal("cold run reported a reused cover")
+	}
+	res2, _, err := ResumeExact(ws, Delta{RemoveOn: []uint64{3, 5}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.CoverReused {
+		t.Fatal("trivial resume did not report a reused cover")
+	}
+}
+
+func TestPtSetRepresentations(t *testing.T) {
+	// Dense bitset below the gate, hash set above — same behavior.
+	for _, n := range []int{4, densePtSetMaxVars + 1} {
+		s := newPtSet(n)
+		if n <= densePtSetMaxVars && s.dense == nil {
+			t.Fatalf("n=%d: expected dense representation", n)
+		}
+		if n > densePtSetMaxVars && s.m == nil {
+			t.Fatalf("n=%d: expected sparse representation", n)
+		}
+		if !s.add(3) || s.add(3) {
+			t.Fatalf("n=%d: add dedup broken", n)
+		}
+		s.addAll([]uint64{1, 3, 7})
+		if s.count != 3 {
+			t.Fatalf("n=%d: count: got %d want 3", n, s.count)
+		}
+		if !s.has(7) || s.has(2) {
+			t.Fatalf("n=%d: membership broken", n)
+		}
+		if got := s.countNew([]uint64{0, 1, 2, 3}); got != 2 {
+			t.Fatalf("n=%d: countNew: got %d want 2", n, got)
+		}
+	}
+}
+
+func TestPtCountsRepresentations(t *testing.T) {
+	for _, n := range []int{4, densePtSetMaxVars + 1} {
+		c := newPtCounts(n)
+		c.inc(5)
+		c.inc(5)
+		c.inc(9)
+		c.dec(5)
+		if got := c.get(5); got != 1 {
+			t.Fatalf("n=%d: get(5): got %d want 1", n, got)
+		}
+		if got := c.get(9); got != 1 {
+			t.Fatalf("n=%d: get(9): got %d want 1", n, got)
+		}
+		if got := c.get(0); got != 0 {
+			t.Fatalf("n=%d: get(0): got %d want 0", n, got)
+		}
+	}
+}
+
+func TestStrictlyBetterNoCol(t *testing.T) {
+	cases := []struct {
+		a, b cover.Key
+		want bool
+	}{
+		{cover.Key{Cost: 1, NW: 4}, cover.Key{Cost: 1, NW: 3}, true},  // better ratio
+		{cover.Key{Cost: 1, NW: 3}, cover.Key{Cost: 1, NW: 4}, false}, // worse ratio
+		{cover.Key{Cost: 2, NW: 4}, cover.Key{Cost: 1, NW: 2}, true},  // equal ratio, more rows
+		{cover.Key{Cost: 1, NW: 2}, cover.Key{Cost: 2, NW: 4}, false}, // equal ratio, fewer rows
+		{cover.Key{Cost: 3, NW: 5}, cover.Key{Cost: 3, NW: 5}, false}, // exact tie
+	}
+	for i, tc := range cases {
+		if got := strictlyBetterNoCol(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: strictlyBetterNoCol(%v, %v) = %v want %v", i, tc.a, tc.b, got, tc.want)
+		}
+	}
+	// minNoCol prefers its first argument on ties.
+	a, b := cover.Key{Cost: 3, NW: 5, Col: 1}, cover.Key{Cost: 3, NW: 5, Col: 2}
+	if got := minNoCol(a, b); got.Col != 1 {
+		t.Errorf("minNoCol tie: got col %d want 1", got.Col)
+	}
+	if got := minNoCol(b, cover.Key{Cost: 1, NW: 4}); got.Cost != 1 {
+		t.Errorf("minNoCol: expected the strictly better key to win")
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/bfunc"
-	"repro/internal/cover"
 	"repro/internal/pcube"
 	"repro/internal/ptrie"
 	"repro/internal/stats"
@@ -58,12 +57,21 @@ type WarmState struct {
 	f      *bfunc.Func
 	cost   CostKind
 	levels []warmLevel
-	// covered maps every covering candidate (all of them, including
-	// candidates that cover only don't-cares) to the sorted ON points
-	// it covers. Keys are CEX pointers: survivors keep their identity
-	// across resumes, so patched point lists are found by pointer.
-	covered map[*pcube.CEX][]uint64
-	bytes   int64
+	// cands is this generation's candidate list in canonical emission
+	// order, and candPts its aligned sorted covered-ON point lists
+	// (empty for candidates covering only don't-cares). Survivors keep
+	// their CEX pointer identity across resumes, and surviving
+	// candidates keep their relative order, so the next resume
+	// re-associates point lists by a single monotone merge against this
+	// list instead of a per-candidate map lookup. Both are nil when the
+	// covering step short-circuited trivially (nothing was computed).
+	cands   []*pcube.CEX
+	candPts [][]uint64
+	// cover is the solved cover state: the greedy pick trace (replayed
+	// on resume) or the exact solution (seeded into the next B&B). Nil
+	// when the covering step short-circuited trivially.
+	cover *coverSnap
+	bytes int64
 }
 
 // N returns the input arity of the snapshotted function.
@@ -94,6 +102,16 @@ type warmEntry struct {
 	// markCnt counts same-group partners p with cost(union(e,p)) <=
 	// cost(e); the entry is a covering candidate iff markCnt == 0.
 	markCnt int32
+	// prevCand records whether the entry was a covering candidate in
+	// the generation that owns (created or last patched) its group. In
+	// every committed WarmState the invariant prevCand == (markCnt ==
+	// 0) holds — clean groups shared across generations keep it because
+	// their mark counts never change. During a resume, patchGroup's
+	// value copies carry the previous generation's bit while the new
+	// mark counts are computed, which is exactly what candidate
+	// emission needs to merge survivors against the previous candidate
+	// list; the owning generation re-normalizes the bit afterwards.
+	prevCand bool
 }
 
 // pointSig hashes a point into a 64-bit signature bit. Group and entry
@@ -266,13 +284,17 @@ func MinimizeExactWarm(f *bfunc.Func, opts Options) (*Result, *WarmState, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	form, covered, coverTime, optimal, err := warmSelectCover(f, set.Candidates, nil, coverPatch{}, opts)
+	out, err := warmSelectCover(f, set.Candidates, nil, nil, nil, coverPatch{}, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	ws.covered = covered
+	if out.pts != nil {
+		ws.cands, ws.candPts = set.Candidates, out.pts
+	}
+	ws.cover = out.snap
 	ws.computeBytes()
-	return &Result{Form: form, Build: set.Stats, CoverTime: coverTime, CoverOptimal: optimal}, ws, nil
+	return &Result{Form: out.form, Build: set.Stats, CoverTime: out.time,
+		CoverOptimal: out.optimal, CoverReused: out.reused}, ws, nil
 }
 
 // buildEPPPWarm is the serial Algorithm 2 loop of BuildEPPP with
@@ -337,7 +359,7 @@ func buildEPPPWarm(f *bfunc.Func, opts Options) (*EPPPSet, *WarmState, error) {
 				for _, p := range pts {
 					sig |= pointSig(p)
 				}
-				g.entries[i] = warmEntry{cex: e.CEX, sig: sig, markCnt: e.MarkCnt}
+				g.entries[i] = warmEntry{cex: e.CEX, sig: sig, markCnt: e.MarkCnt, prevCand: e.MarkCnt == 0}
 				g.sig |= sig
 			}
 			sort.Slice(g.entries, func(a, b int) bool {
@@ -388,7 +410,7 @@ func ResumeExact(ws *WarmState, d Delta, opts Options) (*Result, *WarmState, err
 	if err != nil {
 		return nil, nil, err
 	}
-	set, nws, err := resumeEPPP(ws, edited, opts)
+	set, nws, meta, err := resumeEPPP(ws, edited, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -396,13 +418,17 @@ func ResumeExact(ws *WarmState, d Delta, opts Options) (*Result, *WarmState, err
 		removedOn: diffSorted(ws.f.On(), edited.On()),
 		dcToOn:    intersectSorted(edited.On(), ws.f.DC()),
 	}
-	form, covered, coverTime, optimal, err := warmSelectCover(edited, set.Candidates, ws.covered, patch, opts)
+	out, err := warmSelectCover(edited, set.Candidates, meta, ws.candPts, ws.cover, patch, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	nws.covered = covered
+	if out.pts != nil {
+		nws.cands, nws.candPts = set.Candidates, out.pts
+	}
+	nws.cover = out.snap
 	nws.computeBytes()
-	return &Result{Form: form, Build: set.Stats, CoverTime: coverTime, CoverOptimal: optimal}, nws, nil
+	return &Result{Form: out.form, Build: set.Stats, CoverTime: out.time,
+		CoverOptimal: out.optimal, CoverReused: out.reused}, nws, nil
 }
 
 // resumer carries the per-resume state threaded through group patching.
@@ -526,10 +552,22 @@ func (r *resumer) patchGroup(g *warmGroup, news []*pcube.CEX) *warmGroup {
 	return ng
 }
 
+// resumeMeta is the per-candidate bookkeeping resumeEPPP hands the
+// covering patch, aligned with the emitted candidate list: each
+// candidate's point signature (OR of pointSig over its cube's points,
+// for cheap "untouched by this edit" proofs) and, for survivors that
+// were candidates of the previous generation, the index of their
+// covered-ON list in that generation's candPts (-1 for candidates with
+// no carried list).
+type resumeMeta struct {
+	sigs   []uint64
+	oldIdx []int32
+}
+
 // resumeEPPP recomputes the level structure of ws for the edited
 // function, touching only groups whose signatures intersect the removed
 // points or that receive new members.
-func resumeEPPP(ws *WarmState, edited *bfunc.Func, opts Options) (*EPPPSet, *WarmState, error) {
+func resumeEPPP(ws *WarmState, edited *bfunc.Func, opts Options) (*EPPPSet, *WarmState, *resumeMeta, error) {
 	defer opts.Stats.Phase(stats.PhaseEPPP)()
 	start := time.Now()
 	n := ws.n
@@ -545,11 +583,20 @@ func resumeEPPP(ws *WarmState, edited *bfunc.Func, opts Options) (*EPPPSet, *War
 	}
 	added := diffSorted(edited.Care(), ws.f.Care())
 	if !r.b.spend(len(added)) {
-		return nil, nil, r.b.failure()
+		return nil, nil, nil, r.b.failure()
 	}
 
 	nws := &WarmState{n: n, f: edited, cost: ws.cost}
 	var candidates []*pcube.CEX
+	meta := &resumeMeta{}
+	// Cursor into the previous generation's candidate list for the
+	// monotone survivor merge in the emission loop below. Surviving
+	// candidates keep their relative order (levels ascending, groups by
+	// unchanged path, entries by unchanged complement vector), so each
+	// prevCand entry matches at or after the cursor; the skipped
+	// positions are candidates that died or got marked.
+	oldCands := ws.cands
+	cursor := 0
 
 	// incoming: new entries for the current level, keyed by path.
 	incoming := map[string][]*pcube.CEX{}
@@ -569,7 +616,7 @@ func resumeEPPP(ws *WarmState, edited *bfunc.Func, opts Options) (*EPPPSet, *War
 			break
 		}
 		if err := opts.ctxErr(); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		r.nextIncoming = map[string][]*pcube.CEX{}
 		r.nextSeen = map[string]bool{}
@@ -583,10 +630,12 @@ func resumeEPPP(ws *WarmState, edited *bfunc.Func, opts Options) (*EPPPSet, *War
 		sort.Strings(paths)
 
 		outGroups := make([]*warmGroup, 0, len(old)+len(incoming))
+		var owned []*warmGroup // groups patchGroup built: this generation may write to them
 		pi := 0
 		appendGroup := func(g *warmGroup) {
 			if g != nil {
 				outGroups = append(outGroups, g)
+				owned = append(owned, g)
 			}
 		}
 		for _, g := range old {
@@ -612,16 +661,43 @@ func resumeEPPP(ws *WarmState, edited *bfunc.Func, opts Options) (*EPPPSet, *War
 			pi++
 		}
 		if r.overBudget {
-			return nil, nil, r.b.failure()
+			return nil, nil, nil, r.b.failure()
 		}
 
 		size := 0
 		for _, g := range outGroups {
 			size += len(g.entries)
 			for i := range g.entries {
-				if g.entries[i].markCnt == 0 {
-					candidates = append(candidates, g.entries[i].cex)
+				e := &g.entries[i]
+				if e.markCnt != 0 {
+					continue
 				}
+				idx := int32(-1)
+				if e.prevCand {
+					// Was a candidate last generation: advance the merge
+					// cursor to its position in the old list. The bounds
+					// guard only fires when the old list is absent (the
+					// previous cover short-circuited trivially); falling
+					// back to -1 just rebuilds the list fresh.
+					for cursor < len(oldCands) && oldCands[cursor] != e.cex {
+						cursor++
+					}
+					if cursor < len(oldCands) {
+						idx = int32(cursor)
+						cursor++
+					}
+				}
+				candidates = append(candidates, e.cex)
+				meta.sigs = append(meta.sigs, e.sig)
+				meta.oldIdx = append(meta.oldIdx, idx)
+			}
+		}
+		// Restore the committed-state invariant prevCand == (markCnt ==
+		// 0) on the groups this generation owns; shared groups already
+		// satisfy it.
+		for _, g := range owned {
+			for i := range g.entries {
+				g.entries[i].prevCand = g.entries[i].markCnt == 0
 			}
 		}
 		if size > 0 {
@@ -635,7 +711,7 @@ func resumeEPPP(ws *WarmState, edited *bfunc.Func, opts Options) (*EPPPSet, *War
 	bst.EPPP = len(candidates)
 	bst.BuildTime = time.Since(start)
 	recordBuild(opts.Stats, &bst)
-	return &EPPPSet{N: n, Candidates: candidates, Stats: bst}, nws, nil
+	return &EPPPSet{N: n, Candidates: candidates, Stats: bst}, nws, meta, nil
 }
 
 // coverPatch carries the ON-set part of an edit into the covering
@@ -649,8 +725,10 @@ type coverPatch struct {
 }
 
 // patchPoints updates one candidate's covered-ON list under the patch.
-// The old list is shared (and returned as-is) when nothing changes.
-func patchPoints(old []uint64, c *pcube.CEX, patch coverPatch) []uint64 {
+// The old list is shared (and returned as-is, changed == false) when
+// nothing changes — which is also how the replay layer learns which
+// columns the patch dirtied.
+func patchPoints(old []uint64, c *pcube.CEX, patch coverPatch) (_ []uint64, changed bool) {
 	var adds []uint64
 	for _, p := range patch.dcToOn {
 		if c.Contains(p) {
@@ -659,7 +737,7 @@ func patchPoints(old []uint64, c *pcube.CEX, patch coverPatch) []uint64 {
 	}
 	drops := len(intersectSorted(old, patch.removedOn))
 	if len(adds) == 0 && drops == 0 {
-		return old
+		return old, false
 	}
 	out := make([]uint64, 0, len(old)-drops+len(adds))
 	i, j := 0, 0
@@ -678,103 +756,7 @@ func patchPoints(old []uint64, c *pcube.CEX, patch coverPatch) []uint64 {
 		out = append(out, p)
 	}
 	out = append(out, adds[j:]...)
-	return out
-}
-
-// warmSelectCover is the covering step shared by MinimizeExactWarm
-// (prev == nil: every candidate's ON intersection computed fresh) and
-// ResumeExact (prev: carried lists patched, only new candidates
-// computed). Both paths build the same instance for the same candidate
-// list, which is what makes resume byte-identical to a cold warm run.
-// Returns the form plus the per-candidate covered-ON map for the next
-// snapshot.
-func warmSelectCover(f *bfunc.Func, candidates []*pcube.CEX, prev map[*pcube.CEX][]uint64, patch coverPatch, opts Options) (Form, map[*pcube.CEX][]uint64, time.Duration, bool, error) {
-	start := time.Now()
-	n := f.N()
-	covered := make(map[*pcube.CEX][]uint64, len(candidates))
-	if f.OnCount() == 0 {
-		return Form{N: n}, covered, time.Since(start), true, nil
-	}
-	if f.IsConstantOne() {
-		one := &pcube.CEX{N: n, Canon: allMask(n)}
-		return Form{N: n, Terms: []*pcube.CEX{one}}, covered, time.Since(start), true, nil
-	}
-	if err := opts.ctxErr(); err != nil {
-		return Form{}, nil, 0, false, err
-	}
-
-	on := f.On()
-	ix := newPointIndex(n, on)
-	pts := make([][]uint64, len(candidates))
-	var fresh []int
-	stopCols := opts.Stats.Phase(stats.PhaseCoverColumns)
-	for i, c := range candidates {
-		if prev != nil {
-			if old, ok := prev[c]; ok {
-				pts[i] = patchPoints(old, c, patch)
-				continue
-			}
-		}
-		fresh = append(fresh, i)
-	}
-	shardSlice(len(fresh), opts.coverWorkers(), func(_, lo, hi int) {
-		var rows []int
-		var basis []uint64
-		for _, i := range fresh[lo:hi] {
-			rows, basis, _ = candidateRows(candidates[i], on, ix, rows[:0], basis)
-			out := make([]uint64, len(rows))
-			for k, row := range rows {
-				out[k] = on[row]
-			}
-			pts[i] = out
-		}
-	})
-	in := &cover.Instance{NRows: len(on), Cols: make([]cover.Column, 0, len(candidates))}
-	cols := make([]*pcube.CEX, 0, len(candidates))
-	// All column row lists share one backing array: with tens of
-	// thousands of columns, per-column slices dominate allocation (and
-	// then GC) cost on the resume path.
-	total := 0
-	for i := range pts {
-		total += len(pts[i])
-	}
-	backing := make([]int, 0, total)
-	for i, c := range candidates {
-		covered[c] = pts[i]
-		if len(pts[i]) == 0 {
-			continue // covers only don't-cares
-		}
-		start := len(backing)
-		for _, p := range pts[i] {
-			backing = append(backing, ix.lookup(p))
-		}
-		rows := backing[start:len(backing):len(backing)]
-		in.Cols = append(in.Cols, cover.Column{Cost: opts.Cost.of(c), Rows: rows})
-		cols = append(cols, c)
-	}
-	stopCols()
-	if err := in.Validate(); err != nil {
-		return Form{}, nil, 0, false, fmt.Errorf("core: candidate set does not cover ON-set: %v", err)
-	}
-	if err := opts.ctxErr(); err != nil {
-		return Form{}, nil, 0, false, err
-	}
-	var res cover.Result
-	if opts.CoverExact {
-		res = cover.Exact(in, cover.ExactOptions{
-			MaxNodes: opts.CoverMaxNodes,
-			Workers:  opts.coverWorkers(),
-			Stats:    opts.Stats,
-			Ctx:      opts.Ctx,
-		})
-	} else {
-		res = cover.GreedyStats(in, opts.Stats)
-	}
-	form := Form{N: n}
-	for _, j := range res.Picked {
-		form.Terms = append(form.Terms, cols[j])
-	}
-	return form, covered, time.Since(start), res.Optimal, nil
+	return out, true
 }
 
 // computeBytes estimates the retained footprint: group and entry
@@ -794,8 +776,12 @@ func (ws *WarmState) computeBytes() {
 			}
 		}
 	}
-	for _, pts := range ws.covered {
+	b += int64(len(ws.cands)) * 8
+	for _, pts := range ws.candPts {
 		b += 56 + int64(len(pts))*8
+	}
+	if ws.cover != nil {
+		b += 64 + int64(len(ws.cover.picks))*32 + int64(len(ws.cover.final))*8
 	}
 	ws.bytes = b
 }

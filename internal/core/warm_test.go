@@ -82,6 +82,9 @@ func requireWarmEqual(t *testing.T, got, want *WarmState) {
 				if ge.sig != we.sig {
 					t.Fatalf("level %d group %d entry %d sig mismatch", li, gi, ei)
 				}
+				if ge.prevCand != we.prevCand {
+					t.Fatalf("level %d group %d entry %d prevCand: got %v want %v", li, gi, ei, ge.prevCand, we.prevCand)
+				}
 			}
 		}
 	}
@@ -102,9 +105,9 @@ func requireWarmEqual(t *testing.T, got, want *WarmState) {
 }
 
 func coveredByKey(ws *WarmState) map[string][]uint64 {
-	m := make(map[string][]uint64, len(ws.covered))
-	for c, pts := range ws.covered {
-		m[c.Key()] = pts
+	m := make(map[string][]uint64, len(ws.cands))
+	for i, c := range ws.cands {
+		m[c.Key()] = ws.candPts[i]
 	}
 	return m
 }

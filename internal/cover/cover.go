@@ -19,6 +19,7 @@
 package cover
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -75,35 +76,37 @@ func (in *Instance) Validate() error {
 	return nil
 }
 
-// greedyItem is one heap entry: column col with its cost and a cached
-// (possibly stale) count of rows it would newly cover. Coverage only
+// Key is one lazy-heap entry: column Col with its cost and a cached
+// (possibly stale) count NW of rows it would newly cover. Coverage only
 // grows, so the cached count is an upper bound on the true one and the
-// cached key is an optimistic lower bound in the heap order.
-type greedyItem struct {
-	cost int
-	nw   int
-	col  int
+// cached key is an optimistic lower bound in the heap order. Keys are
+// exported so warm-resume layers can replay and verify pick traces
+// against the exact selection order.
+type Key struct {
+	Cost int
+	NW   int
+	Col  int
 }
 
-// better is the greedy selection order: cost per newly covered row
+// Better is the greedy selection order: cost per newly covered row
 // ascending (compared by integer cross-multiplication, so there is no
 // float rounding and no overflow for any counts that fit an int32),
 // then more new rows first, then lower column index. The index
 // tie-break makes the order total, which keeps the lazy heap — and
 // therefore the whole greedy — deterministic.
-func (a greedyItem) better(b greedyItem) bool {
-	l := int64(a.cost) * int64(b.nw)
-	r := int64(b.cost) * int64(a.nw)
+func (a Key) Better(b Key) bool {
+	l := int64(a.Cost) * int64(b.NW)
+	r := int64(b.Cost) * int64(a.NW)
 	if l != r {
 		return l < r
 	}
-	if a.nw != b.nw {
-		return a.nw > b.nw
+	if a.NW != b.NW {
+		return a.NW > b.NW
 	}
-	return a.col < b.col
+	return a.Col < b.Col
 }
 
-type greedyHeap []greedyItem
+type greedyHeap []Key
 
 func (h greedyHeap) init() {
 	for i := len(h)/2 - 1; i >= 0; i-- {
@@ -119,10 +122,10 @@ func (h greedyHeap) down(i int) {
 			return
 		}
 		m := l
-		if r := l + 1; r < n && h[r].better(h[l]) {
+		if r := l + 1; r < n && h[r].Better(h[l]) {
 			m = r
 		}
-		if !h[m].better(h[i]) {
+		if !h[m].Better(h[i]) {
 			return
 		}
 		h[i], h[m] = h[m], h[i]
@@ -163,36 +166,14 @@ func GreedyStats(in *Instance, rec *stats.Recorder) Result {
 	}
 	bs := in.colBitsets()
 	covered := newBitset(in.NRows)
-	h := make(greedyHeap, 0, len(in.Cols))
-	for j, c := range in.Cols {
-		if len(c.Rows) > 0 {
-			h = append(h, greedyItem{cost: c.Cost, nw: len(c.Rows), col: j})
-		}
-	}
-	h.init()
-	picked := make([]int, 0, 8)
-	remaining := in.NRows
-	var reevals int64
-	for remaining > 0 {
-		if len(h) == 0 {
-			panic("cover: uncoverable row in Greedy (call Validate first)")
-		}
-		top := h[0]
-		nw := covered.countNew(bs[top.col])
-		switch {
-		case nw == 0:
-			h.pop()
-			reevals++
-		case nw != top.nw:
-			h[0].nw = nw
-			h.down(0)
-			reevals++
-		default:
-			h.pop()
-			picked = append(picked, top.col)
-			covered.orWith(bs[top.col])
-			remaining -= nw
-		}
+	picked, reevals, err := LazyGreedy(len(in.Cols), in.NRows,
+		func(j int) int { return in.Cols[j].Cost },
+		func(j int) int { return len(in.Cols[j].Rows) },
+		func(j int) int { return covered.countNew(bs[j]) },
+		func(j int) { covered.orWith(bs[j]) },
+		nil)
+	if err != nil {
+		panic("cover: uncoverable row in Greedy (call Validate first)")
 	}
 	nPicked := len(picked)
 	picked = eliminateRedundant(in, picked)
@@ -207,6 +188,100 @@ func GreedyStats(in *Instance, rec *stats.Recorder) Result {
 		rec.Add(stats.CtrGreedyRedundant, int64(nPicked-len(picked)))
 	}
 	return Result{Picked: picked, Cost: cost}
+}
+
+// GreedyPick is one committed greedy selection as observed by a
+// LazyGreedy onPick hook. Bound is the heap's cached top immediately
+// after the pick was popped: because cached counts are upper bounds,
+// Bound is an optimistic (never pessimistic) lower bound in the Better
+// order on every other column still alive at that step. BoundOK is
+// false when the pick emptied the heap, leaving nothing to bound.
+type GreedyPick struct {
+	Col     int
+	Bound   Key
+	BoundOK bool
+}
+
+// LazyGreedy is the reusable core of the greedy selection loop over an
+// abstract column space: ncols columns identified by index, remaining
+// uncovered rows, per-column cost and initial size accessors, countNew
+// reporting how many uncovered rows column j would newly cover, and
+// commit marking column j's rows covered. It returns the picked columns
+// in selection order (no redundancy elimination, no sorting) and the
+// number of lazy re-evaluations. Columns with size(j) == 0 never enter
+// the heap. The selection sequence is a pure function of the instance —
+// identical to GreedyStats on an equivalent Instance — which is what
+// lets warm-resume layers replay recorded picks against it.
+//
+// An error (rather than GreedyStats's panic) is returned when the heap
+// empties with rows still uncovered, so callers that skipped a
+// Validate pass can surface the uncoverable-row condition.
+func LazyGreedy(ncols, remaining int, cost, size, countNew func(int) int, commit func(int), onPick func(GreedyPick)) ([]int, int64, error) {
+	// Small (cost, size) grids take the bucket-queue engine (bucket.go),
+	// which pops in exactly the same order with O(1) operations. The
+	// grid test is a pure function of the instance, so the engine choice
+	// never perturbs determinism.
+	costMin, costMax, sizeMax := 1<<30, 0, 0
+	live := make([]int32, 0, ncols)
+	sizes := make([]int32, 0, ncols)
+	for j := 0; j < ncols; j++ {
+		if s := size(j); s > 0 {
+			live = append(live, int32(j))
+			sizes = append(sizes, int32(s))
+			if s > sizeMax {
+				sizeMax = s
+			}
+			c := cost(j)
+			if c > costMax {
+				costMax = c
+			}
+			if c < costMin {
+				costMin = c
+			}
+		}
+	}
+	if bucketEnabled && len(live) > 0 && costMin >= 1 {
+		costCap, nwCap := pow2AtLeast(costMax), pow2AtLeast(sizeMax)
+		if costCap*nwCap <= maxBucketRanks {
+			return bucketGreedy(ratioTableFor(costCap, nwCap), live, sizes, remaining, cost, countNew, commit, onPick)
+		}
+	}
+	h := make(greedyHeap, 0, len(live))
+	for k, j := range live {
+		h = append(h, Key{Cost: cost(int(j)), NW: int(sizes[k]), Col: int(j)})
+	}
+	h.init()
+	picks := make([]int, 0, 8)
+	var reevals int64
+	for remaining > 0 {
+		if len(h) == 0 {
+			return nil, reevals, errors.New("cover: columns do not cover all rows")
+		}
+		top := h[0]
+		nw := countNew(top.Col)
+		switch {
+		case nw == 0:
+			h.pop()
+			reevals++
+		case nw != top.NW:
+			h[0].NW = nw
+			h.down(0)
+			reevals++
+		default:
+			h.pop()
+			picks = append(picks, top.Col)
+			commit(top.Col)
+			remaining -= nw
+			if onPick != nil {
+				p := GreedyPick{Col: top.Col}
+				if len(h) > 0 {
+					p.Bound, p.BoundOK = h[0], true
+				}
+				onPick(p)
+			}
+		}
+	}
+	return picks, reevals, nil
 }
 
 // eliminateRedundant drops picked columns (most expensive first) whose

@@ -63,6 +63,24 @@ func (k Key) Derive(tag string) Key {
 	return out
 }
 
+// WarmStateKey derives the cache slot of the shared canonical-space
+// warm state: one heavy snapshot per (canonical function, option tag),
+// no matter how many permuted-equivalent client bases point at it.
+// canonical must be a key from Canonicalize (or a Derive-free KeyOf of
+// an already-canonical function).
+func WarmStateKey(canonical Key, tag string) Key {
+	return canonical.Derive("warmstate;" + tag)
+}
+
+// WarmPointerKey derives the cache slot of a per-client warm pointer
+// entry: keyed by the client's exact (request-space) function key, it
+// carries the client's permutation plus a WarmStateKey reference to the
+// shared canonical snapshot. The "warm;" vs "warmstate;" tag prefixes
+// keep the two keyspaces disjoint for every tag.
+func WarmPointerKey(exact Key, tag string) Key {
+	return exact.Derive("warm;" + tag)
+}
+
 // tieBreakWork bounds the point-mapping work spent enumerating
 // permutations inside ambiguous variable classes. Small functions get
 // thousands of candidates; huge ON sets fall back to a deterministic

@@ -235,6 +235,30 @@ func TestKeyDerive(t *testing.T) {
 	}
 }
 
+// The shared-warm-state and per-client-pointer keyspaces must stay
+// disjoint for every tag — a pointer entry colliding with a state entry
+// would hand a client another client's permutation bookkeeping.
+func TestWarmKeyspacesDisjoint(t *testing.T) {
+	f := bfunc.New(3, []uint64{1, 2, 4})
+	k, _, _ := Canonicalize(f)
+	for _, tag := range []string{"", "alg=exact;k=2", "state;x"} {
+		sk, pk := WarmStateKey(k, tag), WarmPointerKey(k, tag)
+		if sk == pk {
+			t.Errorf("tag %q: state and pointer keys collide", tag)
+		}
+		if sk == k || pk == k {
+			t.Errorf("tag %q: warm key equals base key", tag)
+		}
+		if sk != WarmStateKey(k, tag) || pk != WarmPointerKey(k, tag) {
+			t.Errorf("tag %q: warm keys not deterministic", tag)
+		}
+	}
+	// A crafted tag must not alias one keyspace into the other.
+	if WarmPointerKey(k, "state;x") == WarmStateKey(k, "x") {
+		t.Error("pointer tag aliases into the state keyspace")
+	}
+}
+
 func TestLRUCache(t *testing.T) {
 	c := NewSharded[int](2, 1) // single shard: exact global LRU
 	k := func(b byte) Key {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/bfunc"
+	"repro/internal/bitvec"
 	"repro/internal/core"
 )
 
@@ -260,6 +261,86 @@ func TestWarmOffNoBaseKey(t *testing.T) {
 	_, body := post(t, h, fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(oddParity(4))))
 	if r := decodeResp(t, body); r.BaseKey != "" {
 		t.Fatalf("base_key must be absent with WarmCache off, got %q", r.BaseKey)
+	}
+}
+
+// TestDeltaCanonicalSharing: the warm snapshot is stored once in
+// canonical space and shared across permuted-equivalent bases. A client
+// submitting a permuted version of an already-solved function must get
+// a base_key minted from the canonical snapshot without any engine run,
+// and a delta against that minted key must resume warm.
+func TestDeltaCanonicalSharing(t *testing.T) {
+	s := New(warmConfig())
+	h := s.Handler()
+
+	// Asymmetric function so the permutation genuinely moves points.
+	on := []uint64{0b0001, 0b0011, 0b0111, 0b1111, 0b1000}
+	code, body := post(t, h, fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(on)))
+	if code != 200 {
+		t.Fatalf("seed: status %d\n%s", code, body)
+	}
+	seedKey := decodeResp(t, body).BaseKey
+	if seedKey == "" {
+		t.Fatal("seed must advertise a base_key")
+	}
+
+	// Permute x0<->x3, x1<->x2 (bit reversal over 4 bits).
+	perm := []int{3, 2, 1, 0}
+	pon := make([]uint64, len(on))
+	for i, p := range on {
+		pon[i] = bitvec.PermutePoint(p, 4, perm)
+	}
+	code, body = post(t, h, fmt.Sprintf(`{"n":4,"on":%s}`, pointsJSON(pon)))
+	if code != 200 {
+		t.Fatalf("permuted: status %d\n%s", code, body)
+	}
+	pr := decodeResp(t, body)
+	if !pr.Cached {
+		t.Fatal("permuted-equivalent request missed the canonical cache")
+	}
+	if pr.BaseKey == "" {
+		t.Fatal("canonical snapshot hit must mint a base_key for the permuted client")
+	}
+	if pr.BaseKey == seedKey {
+		t.Fatal("minted base_key must be per-client, not the seed client's key")
+	}
+
+	// Delta against the minted key: warm resume through the shared
+	// canonical snapshot, no cold run.
+	// One-point edit: churn 1/5 stays under the 0.25 dirty limit (the
+	// care set here is just the five ON points).
+	code, body = post(t, h, fmt.Sprintf(`{"base":%q,"add":[0]}`, pr.BaseKey))
+	if code != 200 {
+		t.Fatalf("delta: status %d\n%s", code, body)
+	}
+	dr := decodeResp(t, body)
+	if dr.Delta != "warm" {
+		t.Fatalf("delta = %q, want warm\n%s", dr.Delta, body)
+	}
+	edited := []uint64{8, 12, 14, 15, 1, 0} // pon with 0 added
+	verifyForm(t, 4, dr.Form, bfunc.New(4, edited))
+
+	_, stats := get(t, h, "/statsz")
+	var sz Statsz
+	if err := json.Unmarshal([]byte(stats), &sz); err != nil {
+		t.Fatal(err)
+	}
+	if sz.DeltaWarm != 1 {
+		t.Fatalf("delta_warm = %d, want 1", sz.DeltaWarm)
+	}
+	// Every warm resume is classified as either fully replayed from the
+	// cover snapshot or partially re-solved.
+	if sz.DeltaCoverReused+sz.DeltaCoverResolved != sz.DeltaWarm {
+		t.Fatalf("delta_cover_reused (%d) + delta_cover_resolved (%d) != delta_warm (%d)",
+			sz.DeltaCoverReused, sz.DeltaCoverResolved, sz.DeltaWarm)
+	}
+	// Engine runs: the seed and the resume. The permuted submission was
+	// served entirely from the canonical cache.
+	if sz.Runs == nil || len(sz.Runs.Reports) != 2 {
+		t.Fatalf("want exactly 2 engine runs (seed + resume), history: %+v", sz.Runs)
+	}
+	if sz.Served != sz.CacheHits+sz.CacheMisses+sz.CoalesceWaiters {
+		t.Fatalf("statsz invariant broken: %+v", sz)
 	}
 }
 

@@ -255,6 +255,13 @@ type Statsz struct {
 	DeltaCold     int64 `json:"delta_cold_fallback"`
 	DeltaBaseMiss int64 `json:"delta_base_miss"`
 	DeltaTrivial  int64 `json:"delta_trivial"`
+	// Cover-phase split of the warm resumes: DeltaCoverReused counts
+	// resumes whose covering solution was served entirely by replaying
+	// the snapshot's pick trace; DeltaCoverResolved counts resumes that
+	// had to re-enter greedy/B&B selection for part of the cover.
+	// Reused + Resolved == DeltaWarm for greedy-cover workloads.
+	DeltaCoverReused   int64 `json:"delta_cover_reused"`
+	DeltaCoverResolved int64 `json:"delta_cover_resolved"`
 	// Cache-internal counters, aggregated over the LRU shards. These
 	// count raw cache operations (a request may probe more than once on
 	// collision or retry), unlike the request-level counters above.
@@ -272,30 +279,42 @@ type Statsz struct {
 	Runs          *stats.RunReport `json:"runs"`
 }
 
-// cacheEntry is one result-cache value, living in one of two disjoint
-// key spaces of the same LRU:
+// cacheEntry is one result-cache value, living in one of three
+// disjoint key spaces of the same LRU:
 //
 //   - canonical entries (key = canonical key ⊕ option tag): canon is
 //     kept for an Equal check on hit, so even a SHA-256 collision
-//     cannot serve a wrong form; the warm fields are nil.
-//   - warm entries (key = exact-function key ⊕ "warm;" ⊕ option tag):
+//     cannot serve a wrong form; every warm field is nil/zero.
+//   - warm state entries (key = fcache.WarmStateKey of the canonical
+//     function): warm is the resumable engine state, form/eppp/
+//     coverOptimal the canonical-space result it produced. One heavy
+//     snapshot per canonical class — every permuted-equivalent client
+//     shares it, so a fleet of equivalent functions charges
+//     -cache-bytes once.
+//   - warm pointer entries (key = fcache.WarmPointerKey of the exact
+//     request-space function — the base_key clients chain deltas on):
 //     fn is the submitter's request-space function, perm its map into
-//     the canonical space the form and warm state live in, and warm
-//     the resumable engine state. canon is nil.
+//     the canonical space the form and warm state live in, and warmRef
+//     the state entry's key (hasWarmRef set). warm itself is nil —
+//     pointers are thin.
 //
-// Warm entries are keyed by the exact function — not the canonical
+// Pointer entries are keyed by the exact function — not the canonical
 // class — because delta edits arrive in the client's variable order and
-// permuted-equivalent clients must not chain on each other's keys.
+// permuted-equivalent clients must not chain on each other's keys; the
+// per-client permutation lives in the pointer and is applied at the
+// edges, while the snapshot behind it is shared.
 type cacheEntry struct {
 	canon        *bfunc.Func
 	form         core.Form
 	eppp         int
 	coverOptimal bool
 
-	fn   *bfunc.Func
-	perm []int
-	warm *core.WarmState
-	tag  string
+	fn         *bfunc.Func
+	perm       []int
+	warm       *core.WarmState
+	tag        string
+	warmRef    fcache.Key
+	hasWarmRef bool
 }
 
 // entryWeight estimates an entry's resident footprint for the
@@ -327,8 +346,9 @@ type counters struct {
 	hits, misses      int64
 	waiters, detached int64
 
-	deltaWarm, deltaCold        int64
-	deltaBaseMiss, deltaTrivial int64
+	deltaWarm, deltaCold                int64
+	deltaBaseMiss, deltaTrivial         int64
+	deltaCoverReused, deltaCoverResolve int64
 }
 
 // Server is the minimization service. Create with New; expose with
@@ -478,24 +498,26 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	ctr := s.ctr // one coherent snapshot of all request counters
 	s.statsMu.Unlock()
 	writeJSON(w, http.StatusOK, Statsz{
-		Served:           ctr.served,
-		CacheHits:        ctr.hits,
-		CacheMisses:      ctr.misses,
-		Errors:           ctr.errors,
-		CoalesceWaiters:  ctr.waiters,
-		CoalesceDetached: ctr.detached,
-		DeltaWarm:        ctr.deltaWarm,
-		DeltaCold:        ctr.deltaCold,
-		DeltaBaseMiss:    ctr.deltaBaseMiss,
-		DeltaTrivial:     ctr.deltaTrivial,
-		CacheEvictions:   int64(cst.Evictions),
-		CacheBytes:       cst.Bytes,
-		CacheRejected:    int64(cst.Rejected),
-		CacheShards:      cst.Shards,
-		CacheLen:         s.cache.Len(),
-		InFlight:         len(s.slots),
-		Draining:         s.draining.Load(),
-		Runs:             runs,
+		Served:             ctr.served,
+		CacheHits:          ctr.hits,
+		CacheMisses:        ctr.misses,
+		Errors:             ctr.errors,
+		CoalesceWaiters:    ctr.waiters,
+		CoalesceDetached:   ctr.detached,
+		DeltaWarm:          ctr.deltaWarm,
+		DeltaCold:          ctr.deltaCold,
+		DeltaBaseMiss:      ctr.deltaBaseMiss,
+		DeltaTrivial:       ctr.deltaTrivial,
+		DeltaCoverReused:   ctr.deltaCoverReused,
+		DeltaCoverResolved: ctr.deltaCoverResolve,
+		CacheEvictions:     int64(cst.Evictions),
+		CacheBytes:         cst.Bytes,
+		CacheRejected:      int64(cst.Rejected),
+		CacheShards:        cst.Shards,
+		CacheLen:           s.cache.Len(),
+		InFlight:           len(s.slots),
+		Draining:           s.draining.Load(),
+		Runs:               runs,
 	})
 }
 
@@ -681,20 +703,37 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 	inv := fcache.InversePerm(perm)
 	sameCanon := func(e cacheEntry) bool { return e.canon.Equal(canon) }
 
-	// Warm-enabled exact runs retain a resumable engine state under the
-	// exact-function key and advertise it as base_key for delta
-	// requests. Permuted-equivalent requests share the canonical entry
-	// but get their own base_key (or none, until they compute cold).
+	// Warm-enabled exact runs retain one resumable engine state per
+	// canonical class plus a thin per-client pointer under the
+	// exact-function key, advertised as base_key for delta requests.
+	// Permuted-equivalent requests share the canonical state; a client
+	// without a pointer yet gets one minted on the spot when the shared
+	// state is resident, so equivalent clients can chain deltas without
+	// ever computing cold themselves.
 	warmRun := s.cfg.WarmCache && alg.name == "exact"
 	var warmKey fcache.Key
 	if warmRun {
-		warmKey = fcache.KeyOf(f).Derive("warm;" + tag)
+		warmKey = fcache.WarmPointerKey(fcache.KeyOf(f), tag)
 	}
-	baseKeyIfRetained := func() string {
+	baseKeyIfRetained := func(e cacheEntry) string {
 		if !warmRun {
 			return ""
 		}
-		if e, ok := s.cache.Get(warmKey); ok && e.warm != nil && e.fn.Equal(f) {
+		if pe, ok := s.cache.Get(warmKey); ok && pe.hasWarmRef && pe.fn.Equal(f) {
+			return warmKey.String()
+		}
+		skey := fcache.WarmStateKey(fcache.KeyOf(canon), tag)
+		if se, ok := s.cache.Get(skey); ok && se.warm != nil && se.warm.Function().Equal(canon) {
+			s.cache.Put(warmKey, cacheEntry{
+				form:         e.form,
+				eppp:         e.eppp,
+				coverOptimal: e.coverOptimal,
+				fn:           f,
+				perm:         perm,
+				tag:          tag,
+				warmRef:      skey,
+				hasWarmRef:   true,
+			})
 			return warmKey.String()
 		}
 		return ""
@@ -715,7 +754,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 			Cached:       true,
 			Coalesced:    coalesced,
 			Key:          key.String(),
-			BaseKey:      baseKeyIfRetained(),
+			BaseKey:      baseKeyIfRetained(e),
 			ElapsedNS:    elapsed(),
 			outcome:      oc,
 		}
@@ -860,14 +899,23 @@ func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcac
 	s.cache.Put(key, e)
 	if warmRun {
 		tag := s.optionTag(q, alg)
-		s.cache.Put(fcache.KeyOf(f).Derive("warm;"+tag), cacheEntry{
+		skey := fcache.WarmStateKey(fcache.KeyOf(canon), tag)
+		s.cache.Put(skey, cacheEntry{
+			form:         res.Form,
+			eppp:         res.Build.EPPP,
+			coverOptimal: res.CoverOptimal,
+			warm:         ws,
+			tag:          tag,
+		})
+		s.cache.Put(fcache.WarmPointerKey(fcache.KeyOf(f), tag), cacheEntry{
 			form:         res.Form,
 			eppp:         res.Build.EPPP,
 			coverOptimal: res.CoverOptimal,
 			fn:           f,
 			perm:         perm,
-			warm:         ws,
 			tag:          tag,
+			warmRef:      skey,
+			hasWarmRef:   true,
 		})
 	}
 	return e, rep, nil
@@ -949,13 +997,26 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 	// Plain Get, not GetIf: a canonical key passed as base must not
 	// evict the (perfectly valid) canonical entry it points at.
 	base, ok := s.cache.Get(bkey)
-	if !ok || base.warm == nil || base.fn == nil {
+	if !ok || !base.hasWarmRef || base.fn == nil {
 		return coldRequired("unknown or evicted base key")
 	}
 	if tag := s.optionTag(q, alg); tag != base.tag {
 		return fail(http.StatusBadRequest, "",
 			fmt.Errorf("delta options (%s) differ from the base entry's (%s)", tag, base.tag), outcomeError)
 	}
+	// The pointer names the shared canonical-space snapshot; both can be
+	// evicted independently, and a stale/collided state must never be
+	// resumed — the Equal check pins it to this base's canonical
+	// function before any edit math trusts it.
+	st, ok := s.cache.Get(base.warmRef)
+	if !ok || st.warm == nil {
+		return coldRequired("warm state evicted")
+	}
+	canonBase := permuteFunc(base.fn, base.perm)
+	if !st.warm.Function().Equal(canonBase) {
+		return coldRequired("warm state does not match the base function")
+	}
+	warm := st.warm
 
 	n := base.fn.N()
 	limit := uint64(1) << uint(n)
@@ -984,7 +1045,7 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 	if mapErr != nil {
 		return fail(http.StatusBadRequest, "", mapErr, outcomeError)
 	}
-	editedCanon, err := base.warm.Apply(cd)
+	editedCanon, err := warm.Apply(cd)
 	if err != nil {
 		return fail(http.StatusBadRequest, "", err, outcomeError)
 	}
@@ -1015,7 +1076,7 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 	}
 	edited := bfunc.NewDC(n, invPts(editedCanon.On()), invPts(editedCanon.DC()))
 
-	churn, err := base.warm.Churn(cd)
+	churn, err := warm.Churn(cd)
 	if err != nil {
 		return fail(http.StatusBadRequest, "", err, outcomeError)
 	}
@@ -1042,8 +1103,9 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 		return resp
 	}
 
-	wkey := fcache.KeyOf(edited).Derive("warm;" + base.tag)
-	validEdited := func(e cacheEntry) bool { return e.warm != nil && e.fn != nil && e.fn.Equal(edited) }
+	wkey := fcache.WarmPointerKey(fcache.KeyOf(edited), base.tag)
+	skeyEdited := fcache.WarmStateKey(fcache.KeyOf(editedCanon), base.tag)
+	validEdited := func(e cacheEntry) bool { return e.hasWarmRef && e.fn != nil && e.fn.Equal(edited) }
 	servedDelta := func(e cacheEntry, coalesced bool) Response {
 		form := permuteForm(e.form, fcache.InversePerm(e.perm))
 		oc := outcomeHit
@@ -1095,9 +1157,27 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 	if e, ok := s.cache.GetIf(wkey, validEdited); ok {
 		return servedDelta(e, false)
 	}
+	// No pointer for this client's edited function, but a
+	// permuted-equivalent client (or an equivalent chain) may have left
+	// the shared canonical snapshot of the same edit: mint a thin
+	// pointer at this client's key and serve without resuming.
+	if se, ok := s.cache.Get(skeyEdited); ok && se.warm != nil && se.warm.Function().Equal(editedCanon) {
+		e := cacheEntry{
+			form:         se.form,
+			eppp:         se.eppp,
+			coverOptimal: se.coverOptimal,
+			fn:           edited,
+			perm:         base.perm,
+			tag:          base.tag,
+			warmRef:      skeyEdited,
+			hasWarmRef:   true,
+		}
+		s.cache.Put(wkey, e)
+		return servedDelta(e, false)
+	}
 
 	if s.cfg.LegacySerial {
-		e, rep, err := s.computeDelta(ctx, q, base, cd, edited, wkey, false, nil)
+		e, rep, err := s.computeDelta(ctx, q, base, warm, cd, edited, editedCanon, wkey, false, nil)
 		if err != nil {
 			return failErr(err)
 		}
@@ -1107,7 +1187,7 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 
 	var leaderRep *stats.Report
 	e, oc, err := s.flights.Do(ctx, wkey, func(waiters func() int64) (cacheEntry, error) {
-		e, rep, err := s.computeDelta(ctx, q, base, cd, edited, wkey, true, waiters)
+		e, rep, err := s.computeDelta(ctx, q, base, warm, cd, edited, editedCanon, wkey, true, waiters)
 		leaderRep = rep
 		return e, err
 	})
@@ -1122,7 +1202,7 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 		if !validEdited(e) {
 			// Warm-key collision against a different in-flight function:
 			// resume directly for this request.
-			e, rep, err := s.computeDelta(ctx, q, base, cd, edited, wkey, true, nil)
+			e, rep, err := s.computeDelta(ctx, q, base, warm, cd, edited, editedCanon, wkey, true, nil)
 			if err != nil {
 				return failErr(err)
 			}
@@ -1136,9 +1216,10 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 }
 
 // computeDelta resumes the base warm state under the translated delta —
-// holding an admission slot like any engine run — and stores the new
-// warm entry for the edited function.
-func (s *Server) computeDelta(ctx context.Context, q Request, base cacheEntry, cd core.Delta, edited *bfunc.Func, wkey fcache.Key, acquireSlot bool, waiters func() int64) (cacheEntry, *stats.Report, error) {
+// holding an admission slot like any engine run — and stores the
+// resumed state at the edited function's canonical warm-state key plus
+// a thin pointer entry at wkey for this client to chain on.
+func (s *Server) computeDelta(ctx context.Context, q Request, base cacheEntry, warm *core.WarmState, cd core.Delta, edited, editedCanon *bfunc.Func, wkey fcache.Key, acquireSlot bool, waiters func() int64) (cacheEntry, *stats.Report, error) {
 	if acquireSlot {
 		select {
 		case s.slots <- struct{}{}:
@@ -1155,7 +1236,7 @@ func (s *Server) computeDelta(ctx context.Context, q Request, base cacheEntry, c
 	}
 
 	rec := stats.New()
-	res, nws, err := core.ResumeExact(base.warm, cd, s.coreOptions(ctx, q, rec))
+	res, nws, err := core.ResumeExact(warm, cd, s.coreOptions(ctx, q, rec))
 	if err != nil {
 		return cacheEntry{}, nil, err
 	}
@@ -1164,15 +1245,31 @@ func (s *Server) computeDelta(ctx context.Context, q Request, base cacheEntry, c
 	}
 
 	rep := s.recordRun(rec, "delta", waiters)
+	s.statsMu.Lock()
+	if res.CoverReused {
+		s.ctr.deltaCoverReused++
+	} else {
+		s.ctr.deltaCoverResolve++
+	}
+	s.statsMu.Unlock()
 
+	skey := fcache.WarmStateKey(fcache.KeyOf(editedCanon), base.tag)
+	s.cache.Put(skey, cacheEntry{
+		form:         res.Form,
+		eppp:         res.Build.EPPP,
+		coverOptimal: res.CoverOptimal,
+		warm:         nws,
+		tag:          base.tag,
+	})
 	e := cacheEntry{
 		form:         res.Form,
 		eppp:         res.Build.EPPP,
 		coverOptimal: res.CoverOptimal,
 		fn:           edited,
 		perm:         base.perm,
-		warm:         nws,
 		tag:          base.tag,
+		warmRef:      skey,
+		hasWarmRef:   true,
 	}
 	s.cache.Put(wkey, e)
 	return e, rep, nil
@@ -1265,6 +1362,20 @@ func pickOutput(m *bfunc.Multi, idx int) (*bfunc.Func, error) {
 		return nil, fmt.Errorf("output %d outside [0, %d)", idx, m.NOutputs())
 	}
 	return m.Output(idx), nil
+}
+
+// permuteFunc maps a request-space function into canonical space under
+// perm (perm[i] is the canonical variable for request variable i).
+func permuteFunc(f *bfunc.Func, perm []int) *bfunc.Func {
+	n := f.N()
+	mapAll := func(pts []uint64) []uint64 {
+		out := make([]uint64, len(pts))
+		for i, p := range pts {
+			out[i] = bitvec.PermutePoint(p, n, perm)
+		}
+		return out
+	}
+	return bfunc.NewDC(n, mapAll(f.On()), mapAll(f.DC()))
 }
 
 // permuteForm maps a canonical-space form back to request-variable

@@ -109,7 +109,8 @@ func TestCounterClassification(t *testing.T) {
 	det := []Counter{CtrCandidates, CtrEPPP, CtrUnions, CtrFresh, CtrComparisons,
 		CtrCoverColumns, CtrCoverDCOnly, CtrCoverGray, CtrCoverContains,
 		CtrGreedyPicks, CtrGreedyReevals, CtrGreedyRedundant,
-		CtrReduceEssential, CtrReduceRowDom, CtrReduceColDom}
+		CtrReduceEssential, CtrReduceRowDom, CtrReduceColDom,
+		CtrCoverReplayed, CtrCoverResolved, CtrCoverDirty}
 	sched := []Counter{CtrBudgetRefunds, CtrTrieNodes, CtrExactNodes,
 		CtrExactBoundPrunes, CtrExactLBPrunes, CtrExactRootBranches}
 	for _, c := range det {
