@@ -3,12 +3,24 @@
 # detector (the parallel EPPP engine is exercised with forced worker
 # counts even on single-core hosts).
 
-.PHONY: check check-race artifact-check fmt-check pkgdoc-check docs-check server-smoke bench-eppp bench-cover bench bench-serve bench-serve-smoke bench-delta bench-delta-smoke bench-smoke fuzz-smoke fuzz-delta-smoke
+.PHONY: check check-race lint artifact-check fmt-check pkgdoc-check docs-check server-smoke jobs-crash-smoke bench-eppp bench-cover bench bench-serve bench-serve-smoke bench-delta bench-delta-smoke bench-jobs bench-jobs-smoke bench-smoke fuzz-smoke fuzz-delta-smoke
+
+# Pinned linter versions, fetched on demand by `go run` (network
+# required; CI runs these in the `lint` job, they are not part of the
+# offline tier-1 `check`).
+STATICCHECK_VERSION := 2025.1.1
+GOVULNCHECK_VERSION := v1.1.4
 
 check: fmt-check pkgdoc-check docs-check artifact-check
 	go vet ./...
 	go build ./...
 	go test ./...
+
+# Static analysis beyond vet, plus the known-vulnerability scan. Both
+# versions are pinned so CI cannot drift under a release.
+lint:
+	go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	go run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # The serving hot path (coalescing group, sharded cache, concurrent
 # batch pool) is correctness-critical under concurrency: run its
@@ -46,6 +58,13 @@ docs-check:
 server-smoke:
 	sh scripts/server_smoke.sh
 
+# Kill-and-replay gate for the async job tier: submit jobs, SIGKILL the
+# server mid-drain, restart on the same journal, and assert every
+# accepted job reaches a terminal state exactly once with the replay
+# warming the result cache (statsz jobs_replayed > 0).
+jobs-crash-smoke:
+	sh scripts/jobs_crash_smoke.sh
+
 # Parallel EPPP speedup curve; writes BENCH_eppp.json (ops/sec and
 # speedup vs serial per worker count).
 bench-eppp:
@@ -65,10 +84,13 @@ bench:
 bench-serve:
 	go run ./cmd/sppload -out BENCH_serve.json
 
-# Small fast sppload run for CI: exercises both modes end to end
-# without asserting throughput ratios (shared runners are too noisy).
+# Small fast sppload run for CI: exercises both modes end to end.
+# Throughput ratios are not asserted (shared runners are too noisy),
+# but duplicate computes are load-independent: the run is gated against
+# the checked-in baseline, failing if the coalescing path regresses.
 bench-serve-smoke:
-	go run ./cmd/sppload -quick -out /tmp/bench_serve_smoke.json
+	go run ./cmd/sppload -quick -out /tmp/bench_serve_smoke.json \
+		-baseline BENCH_serve.json -assert-dup-computes
 
 # Incremental re-minimization benchmark: a 100-edit random walk per
 # run, warm delta chaining vs full cold re-submissions on identical
@@ -77,8 +99,20 @@ bench-serve-smoke:
 bench-delta:
 	go run ./cmd/sppload -scenario edit-loop -out BENCH_delta.json
 
+# The quick edit-loop run asserts the warm/cold covering split and,
+# against the checked-in baseline, that the covering speedup keeps at
+# least a third of the recorded ratio.
 bench-delta-smoke:
-	go run ./cmd/sppload -scenario edit-loop -quick -assert-cover-split -out /tmp/bench_delta_smoke.json
+	go run ./cmd/sppload -scenario edit-loop -quick -assert-cover-split \
+		-baseline BENCH_delta.json -out /tmp/bench_delta_smoke.json
+
+# Async job tier closed-loop benchmark: submit-to-done latency per
+# priority class; merges a "jobs" section into BENCH_serve.json.
+bench-jobs:
+	go run ./cmd/sppload -scenario jobs -out BENCH_serve.json
+
+bench-jobs-smoke:
+	go run ./cmd/sppload -scenario jobs -quick -out /tmp/bench_jobs_smoke.json
 
 # CI smoke tiers: every benchmark once (compile + one iteration catches
 # bit-rot without benchmarking anything), and a short fuzz run of the

@@ -31,9 +31,23 @@
 // scripts, so they minimize the same functions. Results go to
 // BENCH_delta.json (spp-bench-delta/v1) with an edit_loop_speedup
 // summary.
+//
+// A fourth scenario, -scenario jobs, drives the async job tier: each
+// closed-loop client owns a priority class, submits jobs through POST
+// /v1/jobs and long-polls each to a terminal state, recording
+// submit-to-done latency per class. The results merge into the
+// existing BENCH_serve.json (a "jobs" section plus jobs_* summary
+// keys) rather than replacing the serve results.
+//
+// With -baseline pointing at a checked-in report, sppload doubles as a
+// CI regression gate: -assert-dup-computes fails the serve scenario if
+// the current mode's duplicate computes exceed the baseline's, and
+// -assert-cover-split additionally fails the edit-loop if the warm
+// covering speedup collapses below a third of the baseline's.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -83,7 +97,26 @@ type report struct {
 	Generated string            `json:"generated"`
 	Config    map[string]any    `json:"config"`
 	Results   []runResult       `json:"results"`
+	Jobs      []jobRunResult    `json:"jobs,omitempty"`
 	Summary   map[string]string `json:"summary"`
+}
+
+// jobRunResult is one priority class's slice of the jobs scenario:
+// closed-loop submit-to-done latency through the async tier.
+type jobRunResult struct {
+	Scenario string `json:"scenario"` // always "jobs"
+	Priority string `json:"priority"`
+	Jobs     int    `json:"jobs"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+	JobsPerS  float64 `json:"jobs_per_s"`
+	// Submit-to-done wall time: 202 accept through the terminal state
+	// observed by the poller, queue wait included.
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+
+	Failed int `json:"failed"`
 }
 
 func main() {
@@ -102,6 +135,8 @@ func main() {
 	editK := flag.Int("edit-k", 2, "minterms changed per edit-loop step (alternating add/remove)")
 	quick := flag.Bool("quick", false, "small fast run for CI smoke")
 	assertCoverSplit := flag.Bool("assert-cover-split", false, "edit-loop only: exit 1 unless the warm per-run covering time beats cold (CI regression gate)")
+	baseline := flag.String("baseline", "", "checked-in report to gate against (BENCH_serve.json for serve, BENCH_delta.json for edit-loop)")
+	assertDup := flag.Bool("assert-dup-computes", false, "serve only: exit 1 if current-mode duplicate computes exceed the -baseline report's (CI regression gate)")
 	flag.Parse()
 
 	if *scenario == "edit-loop" {
@@ -113,7 +148,22 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_delta.json"
 		}
-		runEditLoopScenario(*out, *clients, *edits, *editK, *nvars, *onBase, *quick, *assertCoverSplit)
+		runEditLoopScenario(*out, *clients, *edits, *editK, *nvars, *onBase, *quick, *assertCoverSplit, *baseline)
+		return
+	}
+	if *scenario == "jobs" {
+		if *quick {
+			*clients, *requests = 3, 18
+		} else if *requests == 400 {
+			// The zipf default would mean 400 distinct cold computes
+			// growing to the ON-size cap; 60 keeps the full run in
+			// tens of seconds while still loading every class.
+			*requests = 60
+		}
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		runJobsScenario(*out, *clients, *requests, *maxConcurrent, *nvars, *onBase, *quick)
 		return
 	}
 	if *out == "" {
@@ -196,6 +246,50 @@ func main() {
 	for k, v := range rep.Summary {
 		fmt.Printf("summary %s = %s\n", k, v)
 	}
+
+	if *assertDup {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "sppload: -assert-dup-computes needs -baseline")
+			os.Exit(1)
+		}
+		base, err := loadServeReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sppload: baseline:", err)
+			os.Exit(1)
+		}
+		failed := false
+		for _, scenario := range []string{"stampede", "zipf"} {
+			want := find(base.Results, scenario, "current")
+			got := find(rep.Results, scenario, "current")
+			if want == nil || got == nil {
+				continue
+			}
+			if got.DuplicateComputes > want.DuplicateComputes {
+				fmt.Fprintf(os.Stderr, "sppload: dup-computes assertion failed: %s current %d > baseline %d\n",
+					scenario, got.DuplicateComputes, want.DuplicateComputes)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// loadServeReport reads a spp-bench-serve/v1 report from disk.
+func loadServeReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Schema != "spp-bench-serve/v1" {
+		return nil, fmt.Errorf("%s: schema %q, want spp-bench-serve/v1", path, rep.Schema)
+	}
+	return &rep, nil
 }
 
 // makeBodies builds count distinct request bodies whose functions are
@@ -386,6 +480,209 @@ func find(rs []runResult, scenario, mode string) *runResult {
 	return nil
 }
 
+// --- jobs scenario ------------------------------------------------------
+
+// runJobsScenario drives the async job tier closed-loop: clients split
+// across the priority classes, each submitting distinct functions via
+// POST /v1/jobs and long-polling every job to a terminal state. The
+// per-class submit-to-done latencies merge into the serve report at
+// `out` (section "jobs" plus jobs_* summary keys); existing serve
+// results in that file are preserved.
+func runJobsScenario(out string, clients, totalJobs, workers, nvars, onBase int, quick bool) {
+	jobsDir, err := os.MkdirTemp("", "sppload-jobs-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sppload:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(jobsDir)
+
+	// Fewer workers than clients keeps a queue standing (closed-loop
+	// clients have one job outstanding each, so queue depth is
+	// clients - workers): without one, priority classes would never
+	// differ.
+	if half := max(clients/2, 1); workers > half {
+		workers = half
+	}
+	cfg := service.Config{
+		Core:          harness.DefaultConfig(),
+		MaxConcurrent: workers,
+		CacheSize:     4096,
+		JobsDir:       jobsDir,
+		JobWorkers:    workers,
+	}
+	srv := service.New(cfg)
+	if _, err := srv.StartJobs(); err != nil {
+		fmt.Fprintln(os.Stderr, "sppload: jobs:", err)
+		os.Exit(1)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{}
+
+	priorities := []string{"interactive", "batch", "bulk"}
+	// Step 1 keeps ON sizes under the space/2 cap (distinct sizes stay
+	// P-inequivalent) so compute cost grows gently across the fleet.
+	bodies := makeBodies(totalJobs, nvars, onBase, 1)
+	perClient := totalJobs / clients
+
+	type sample struct {
+		priority string
+		d        time.Duration
+		failed   bool
+	}
+	var mu sync.Mutex
+	var samples []sample
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			prio := priorities[c%len(priorities)]
+			for i := 0; i < perClient; i++ {
+				// Interleave bodies across clients so every priority
+				// class sees the same ON-size (= compute cost) spread.
+				body := bodies[i*clients+c]
+				// Splice the priority class into the minimize body.
+				jb := fmt.Sprintf(`{"priority":%q,%s`, prio, body[1:])
+				d, failed := submitAndAwaitJob(client, ts.URL, jb)
+				mu.Lock()
+				samples = append(samples, sample{prio, d, failed})
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.StopJobs(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sppload: jobs shutdown:", err)
+		os.Exit(1)
+	}
+
+	rep, err := loadServeReport(out)
+	if err != nil {
+		// No (usable) prior serve report: start a fresh one that carries
+		// only the jobs section.
+		rep = &report{Schema: "spp-bench-serve/v1", Config: map[string]any{}, Summary: map[string]string{}}
+	}
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.Config["jobs_clients"] = clients
+	rep.Config["jobs_total"] = totalJobs
+	rep.Config["jobs_workers"] = workers
+	rep.Config["jobs_quick"] = quick
+	rep.Jobs = nil
+
+	for _, prio := range priorities {
+		var lats []time.Duration
+		failed := 0
+		for _, s := range samples {
+			if s.priority != prio {
+				continue
+			}
+			lats = append(lats, s.d)
+			if s.failed {
+				failed++
+			}
+		}
+		if len(lats) == 0 {
+			continue
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) float64 {
+			i := min(int(p*float64(len(lats))), len(lats)-1)
+			return float64(lats[i].Microseconds()) / 1000
+		}
+		var total time.Duration
+		for _, d := range lats {
+			total += d
+		}
+		res := jobRunResult{
+			Scenario:  "jobs",
+			Priority:  prio,
+			Jobs:      len(lats),
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			JobsPerS:  float64(len(lats)) / elapsed.Seconds(),
+			P50MS:     pct(0.50),
+			P99MS:     pct(0.99),
+			MeanMS:    float64(total.Microseconds()) / 1000 / float64(len(lats)),
+			Failed:    failed,
+		}
+		rep.Jobs = append(rep.Jobs, res)
+		rep.Summary["jobs_p50_"+prio] = fmt.Sprintf("%.2fms", res.P50MS)
+		fmt.Printf("jobs %-11s  %5.1f jobs/s  p50 %7.2fms  p99 %8.2fms  mean %7.2fms  failed %d\n",
+			prio, res.JobsPerS, res.P50MS, res.P99MS, res.MeanMS, res.Failed)
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sppload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "sppload:", err)
+		os.Exit(1)
+	}
+	for _, prio := range priorities {
+		if v, ok := rep.Summary["jobs_p50_"+prio]; ok {
+			fmt.Printf("summary jobs_p50_%s = %s\n", prio, v)
+		}
+	}
+	var totalFailed int
+	for _, r := range rep.Jobs {
+		totalFailed += r.Failed
+	}
+	if totalFailed > 0 {
+		fmt.Fprintf(os.Stderr, "sppload: %d jobs failed\n", totalFailed)
+		os.Exit(1)
+	}
+}
+
+// submitAndAwaitJob submits one job and long-polls it to a terminal
+// state, returning the submit-to-done wall time.
+func submitAndAwaitJob(client *http.Client, url, body string) (time.Duration, bool) {
+	start := time.Now()
+	resp, err := client.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return time.Since(start), true
+	}
+	var st service.JobStatus
+	derr := json.NewDecoder(resp.Body).Decode(&st)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if derr != nil || resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		return time.Since(start), true
+	}
+	for {
+		resp, err := client.Get(url + "/v1/jobs/" + st.ID + "?wait_ms=2000")
+		if err != nil {
+			return time.Since(start), true
+		}
+		var cur service.JobStatus
+		derr := json.NewDecoder(resp.Body).Decode(&cur)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			return time.Since(start), true
+		}
+		switch cur.State {
+		case "done":
+			return time.Since(start), false
+		case "failed":
+			return time.Since(start), true
+		}
+	}
+}
+
 // --- edit-loop scenario -------------------------------------------------
 
 type editResult struct {
@@ -429,7 +726,7 @@ type deltaReport struct {
 	Summary   map[string]string `json:"summary"`
 }
 
-func runEditLoopScenario(out string, clients, edits, editK, nvars, onBase int, quick, assertCoverSplit bool) {
+func runEditLoopScenario(out string, clients, edits, editK, nvars, onBase int, quick, assertCoverSplit bool, baseline string) {
 	onSets := makeOnSets(clients, nvars, onBase, 2)
 	rep := deltaReport{
 		Schema:    "spp-bench-delta/v1",
@@ -495,7 +792,53 @@ func runEditLoopScenario(out string, clients, edits, editK, nvars, onBase int, q
 				warm.CoverMSMean, cold.CoverMSMean)
 			os.Exit(1)
 		}
+		if baseline != "" {
+			// Stronger gate against the checked-in numbers: the current
+			// covering speedup may not collapse below a third of the
+			// recorded one (3x slack absorbs CI machine noise while still
+			// catching a real regression of the incremental path).
+			want, err := loadDeltaCoverSpeedup(baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sppload: baseline:", err)
+				os.Exit(1)
+			}
+			got := cold.CoverMSMean / warm.CoverMSMean
+			if floor := want / 3; got < floor {
+				fmt.Fprintf(os.Stderr, "sppload: cover-split assertion failed: speedup %.2fx below floor %.2fx (baseline %.2fx / 3)\n",
+					got, floor, want)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// loadDeltaCoverSpeedup reads the cold/warm covering speedup out of a
+// checked-in spp-bench-delta/v1 report.
+func loadDeltaCoverSpeedup(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep deltaReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, err
+	}
+	if rep.Schema != "spp-bench-delta/v1" {
+		return 0, fmt.Errorf("%s: schema %q, want spp-bench-delta/v1", path, rep.Schema)
+	}
+	var cold, warm *editResult
+	for i := range rep.Results {
+		switch rep.Results[i].Mode {
+		case "cold":
+			cold = &rep.Results[i]
+		case "warm":
+			warm = &rep.Results[i]
+		}
+	}
+	if cold == nil || warm == nil || warm.CoverMSMean <= 0 {
+		return 0, fmt.Errorf("%s: no usable cold/warm cover data", path)
+	}
+	return cold.CoverMSMean / warm.CoverMSMean, nil
 }
 
 // coverSeconds sums the wall time of the covering phases ("cover.*")

@@ -51,6 +51,11 @@ func main() {
 		statsPath   = flag.String("stats", "", "write the final run report (JSON) here on shutdown, - for stdout")
 		maxBody     = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 		maxBatch    = flag.Int("max-batch", 64, "max requests per batch envelope")
+		jobsDir     = flag.String("jobs-dir", "", "enable the async job tier: journal accepted jobs here (POST /v1/jobs), replay on startup")
+		jobWorkers  = flag.Int("job-workers", 2, "async job worker pool size (each compute still takes an admission slot)")
+		jobRetries  = flag.Int("job-retries", 2, "lease-expiry retries before a job is parked as failed")
+		jobLease    = flag.Duration("job-lease", 30*time.Second, "job lease TTL; a worker that misses heartbeats this long forfeits the job")
+		jobTimeout  = flag.Duration("job-timeout", 10*time.Minute, "cap on a single async job compute")
 	)
 	core := harness.DefaultConfig()
 	core.BindFlags(flag.CommandLine)
@@ -70,7 +75,22 @@ func main() {
 		HistorySize:    *historySize,
 		MaxBodyBytes:   *maxBody,
 		MaxBatch:       *maxBatch,
+		JobsDir:        *jobsDir,
+		JobWorkers:     *jobWorkers,
+		JobRetries:     *jobRetries,
+		JobLeaseTTL:    *jobLease,
+		JobTimeout:     *jobTimeout,
 	})
+
+	if *jobsDir != "" {
+		replay, err := svc.StartJobs()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sppserve: jobs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sppserve: jobs enabled dir=%s workers=%d replayed=%d requeued=%d\n",
+			*jobsDir, *jobWorkers, len(replay.Completed), replay.Requeued)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -109,6 +129,15 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "sppserve: shutdown:", err)
+	}
+	if *jobsDir != "" {
+		// Stop workers after the HTTP drain so late submissions either
+		// got their 503 or made it into the journal. Interrupted jobs
+		// are released, not failed: the journal re-enqueues them on the
+		// next start.
+		if err := svc.StopJobs(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "sppserve: jobs shutdown:", err)
+		}
 	}
 
 	if *statsPath != "" {

@@ -1,0 +1,153 @@
+// Package jobs implements the journaled priority work queue behind the
+// async minimization tier: jobs are accepted into an append-only
+// journal (so a crash after the accept response loses nothing), drained
+// by workers that hold heartbeat-renewed leases, and driven to exactly
+// one terminal state (done or failed) apiece. On startup the journal is
+// replayed: terminal jobs are restored with their results (the serving
+// layer uses them to warm its result cache) and incomplete jobs are
+// re-enqueued, so a kill -9 mid-drain only re-runs work, never loses
+// or duplicates it.
+//
+// The queue orders jobs by priority class — "interactive" before
+// "batch" before "bulk" — and FIFO within a class. A worker that stops
+// heartbeating (stuck, killed, or partitioned from the queue) loses its
+// lease after Options.LeaseTTL; the job is then retried up to
+// Options.MaxRetries times and finally parked as failed with the lease
+// history preserved in its error. Completion racing a lease expiry is
+// resolved by lease tokens: a stale worker's Done/Fail is rejected, so
+// a job can run more than once but terminates exactly once.
+//
+// Journal records are self-contained JSON lines. Replay tolerates a
+// truncated final record (the partial write of a crash); on open the
+// live state is compacted into a fresh journal file and the old files
+// are removed, bounding journal growth across restarts.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// State is a job's lifecycle state. Transitions:
+//
+//	queued -> running           (leased by a worker)
+//	running -> queued           (lease expired or released; retry)
+//	running -> done | failed    (terminal, exactly once)
+//	queued -> failed            (retry cap exhausted at reclaim)
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Priority classes, highest first. Within a class the queue is FIFO.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+	PriorityBulk        = "bulk"
+)
+
+// priorityRank orders the classes; unknown classes are rejected at
+// enqueue.
+var priorityRank = map[string]int{
+	PriorityInteractive: 0,
+	PriorityBatch:       1,
+	PriorityBulk:        2,
+}
+
+// Priorities returns the known classes, highest first.
+func Priorities() []string {
+	ps := make([]string, 0, len(priorityRank))
+	for p := range priorityRank {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return priorityRank[ps[i]] < priorityRank[ps[j]] })
+	return ps
+}
+
+// NormalizePriority maps the empty class to the default ("batch") and
+// rejects unknown ones.
+func NormalizePriority(p string) (string, error) {
+	if p == "" {
+		return PriorityBatch, nil
+	}
+	if _, ok := priorityRank[p]; !ok {
+		return "", fmt.Errorf("jobs: unknown priority %q (want %s, %s or %s)",
+			p, PriorityInteractive, PriorityBatch, PriorityBulk)
+	}
+	return p, nil
+}
+
+// Job is one unit of queued work. Payload and Result are opaque to the
+// queue — the serving layer stores its request and response JSON there —
+// and Warm is an optional side blob the owner uses to rebuild caches at
+// replay. Snapshots returned by the queue are copies; mutating them
+// does not affect queue state.
+type Job struct {
+	ID       string          `json:"id"`
+	Priority string          `json:"priority"`
+	State    State           `json:"state"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Warm     json.RawMessage `json:"warm,omitempty"`
+}
+
+// Options tunes a Queue. Zero values get defaults from Open.
+type Options struct {
+	// Dir holds the journal files; created if absent.
+	Dir string
+	// LeaseTTL is how long a lease survives without a heartbeat before
+	// the job is reclaimed and retried. Default 30s.
+	LeaseTTL time.Duration
+	// MaxRetries caps lease-expiry retries; past it the job is parked
+	// as failed. Default 2 (so a job runs at most 1+2 times).
+	MaxRetries int
+	// KeepDone bounds how many terminal jobs stay queryable (and are
+	// carried through compaction); older ones are dropped oldest-first.
+	// Default 4096.
+	KeepDone int
+	// NoSync skips the per-record fsync. Crash recovery then only
+	// survives process death (the OS page cache persists), not machine
+	// death. Tests use it for speed.
+	NoSync bool
+	// Clock overrides time.Now for lease-expiry tests.
+	Clock func() time.Time
+}
+
+// Stats is a point-in-time counter snapshot. Accepted, Done, Failed and
+// Retried are cumulative over the queue's lifetime including replayed
+// history; Queued and Running are current occupancy.
+type Stats struct {
+	Queued   int
+	Running  int
+	Accepted int64
+	Done     int64
+	Failed   int64
+	Retried  int64
+	// ByPriority counts accepted jobs per priority class.
+	ByPriority map[string]int64
+}
+
+// Replay summarizes what Open reconstructed from the journal.
+type Replay struct {
+	// Completed holds the replayed terminal jobs (done and failed),
+	// journal order, results and warm blobs intact.
+	Completed []Job
+	// Requeued is how many non-terminal jobs went back into the queue
+	// (accepted-but-unstarted and mid-run-at-crash jobs are
+	// indistinguishable without lease journaling — both re-run).
+	Requeued int
+	// Truncated reports that the final journal record was a partial
+	// write (the usual crash shape) and was ignored.
+	Truncated bool
+}

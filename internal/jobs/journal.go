@@ -1,0 +1,187 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// record is one journal line. Records are self-contained: replay needs
+// no state beyond the records themselves, in order.
+//
+//	enq   — job accepted (priority, payload, attempts on compaction)
+//	retry — lease expired, job requeued (attempts updated)
+//	done  — terminal success (result + optional warm blob)
+//	fail  — terminal failure (error preserved)
+type record struct {
+	Op       string          `json:"op"`
+	ID       string          `json:"id"`
+	Priority string          `json:"priority,omitempty"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Warm     json.RawMessage `json:"warm,omitempty"`
+}
+
+// journal is the append-only record log: one active file, numbered so
+// that compaction can write a successor and drop predecessors.
+type journal struct {
+	dir    string
+	f      *os.File
+	w      *bufio.Writer
+	noSync bool
+}
+
+const journalExt = ".journal"
+
+// journalFiles lists the journal files in dir in replay (numeric)
+// order.
+func journalFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		name string
+		n    int
+	}
+	var files []numbered
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, journalExt) {
+			continue
+		}
+		base := strings.TrimSuffix(name, journalExt)
+		n, err := strconv.Atoi(base)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: alien file %q in journal dir %s", name, dir)
+		}
+		files = append(files, numbered{name, n})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	out := make([]string, len(files))
+	for i, f := range files {
+		out[i] = f.name
+	}
+	return out, nil
+}
+
+func journalNum(name string) int {
+	n, _ := strconv.Atoi(strings.TrimSuffix(name, journalExt))
+	return n
+}
+
+// replayJournal reads every journal file in dir in order and returns
+// the records. A final record cut short by a crash — no trailing
+// newline, or bytes that do not decode — is tolerated and reported via
+// truncated; an undecodable record anywhere else is corruption and
+// errors out.
+func replayJournal(dir string) (recs []record, truncated bool, err error) {
+	files, err := journalFiles(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	for fi, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, false, err
+		}
+		off := 0
+		for off < len(data) {
+			nl := bytes.IndexByte(data[off:], '\n')
+			partial := nl < 0
+			var line []byte
+			if partial {
+				line = data[off:]
+				off = len(data)
+			} else {
+				line = data[off : off+nl]
+				off += nl + 1
+			}
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var rec record
+			if derr := json.Unmarshal(line, &rec); derr != nil || rec.Op == "" || rec.ID == "" {
+				// Only the very last bytes of the very last file may be a
+				// crash-truncated partial write.
+				if fi == len(files)-1 && off == len(data) {
+					return recs, true, nil
+				}
+				return nil, false, fmt.Errorf("jobs: corrupt journal record in %s: %q", name, line)
+			}
+			if partial {
+				// Decoded, but the newline never made it: treat as a
+				// completed write (the record is whole) — this only
+				// happens at the tail.
+				recs = append(recs, rec)
+				return recs, true, nil
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs, false, nil
+}
+
+// openJournal starts a fresh journal file numbered after the given
+// predecessors.
+func openJournal(dir string, after []string, noSync bool) (*journal, error) {
+	next := 0
+	if len(after) > 0 {
+		next = journalNum(after[len(after)-1]) + 1
+	}
+	name := filepath.Join(dir, fmt.Sprintf("%08d%s", next, journalExt))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{dir: dir, f: f, w: bufio.NewWriter(f), noSync: noSync}, nil
+}
+
+// append writes one record durably (flushed, and fsynced unless
+// NoSync).
+func (j *journal) append(rec record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(data); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if !j.noSync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// removeFiles deletes the named journal files (after a successful
+// compaction).
+func removeFiles(dir string, names []string) error {
+	for _, name := range names {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,558 @@
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by queue operations after Close.
+var ErrClosed = errors.New("jobs: queue closed")
+
+// job is the queue-internal state behind a Job snapshot.
+type job struct {
+	Job
+	seq    uint64    // enqueue order, FIFO tiebreak within a priority
+	index  int       // heap index; -1 when not queued
+	token  int       // lease generation; stale leases are rejected
+	expiry time.Time // lease deadline while running
+	final  chan struct{}
+}
+
+// Queue is the journaled priority work queue. Open it with Open; every
+// method is safe for concurrent use. Journal appends happen inside the
+// critical section, so the in-memory state never runs ahead of the
+// durable log.
+type Queue struct {
+	mu      sync.Mutex
+	opts    Options
+	jobs    map[string]*job
+	pq      jobHeap
+	running map[string]*job
+	wake    chan struct{} // closed+replaced to broadcast "queue changed"
+	log     *journal
+	seq     uint64
+	closed  bool
+
+	terminal []string // terminal job IDs, oldest first, for KeepDone trimming
+
+	accepted, done, failed, retried int64
+	byPriority                      map[string]int64
+}
+
+func (q *Queue) now() time.Time {
+	if q.opts.Clock != nil {
+		return q.opts.Clock()
+	}
+	return time.Now()
+}
+
+// Open creates or recovers a queue in opts.Dir: the journal is
+// replayed, terminal jobs are restored (and reported in Replay for
+// cache warming), non-terminal ones re-enqueued, and the live state is
+// compacted into a fresh journal file.
+func Open(opts Options) (*Queue, *Replay, error) {
+	if opts.Dir == "" {
+		return nil, nil, errors.New("jobs: Options.Dir is required")
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 30 * time.Second
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	} else if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	}
+	if opts.KeepDone <= 0 {
+		opts.KeepDone = 4096
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+
+	recs, truncated, err := replayJournal(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &Queue{
+		opts:       opts,
+		jobs:       make(map[string]*job),
+		running:    make(map[string]*job),
+		wake:       make(chan struct{}),
+		byPriority: make(map[string]int64),
+	}
+	rep := &Replay{Truncated: truncated}
+	var order []string // journal appearance order of accepted jobs
+	for _, rec := range recs {
+		switch rec.Op {
+		case "enq":
+			if _, dup := q.jobs[rec.ID]; dup {
+				return nil, nil, fmt.Errorf("jobs: duplicate enqueue of %s in journal", rec.ID)
+			}
+			prio, err := NormalizePriority(rec.Priority)
+			if err != nil {
+				return nil, nil, err
+			}
+			q.seq++
+			q.jobs[rec.ID] = &job{
+				Job: Job{
+					ID:       rec.ID,
+					Priority: prio,
+					State:    StateQueued,
+					Payload:  rec.Payload,
+					Attempts: rec.Attempts,
+				},
+				seq:   q.seq,
+				index: -1,
+				final: make(chan struct{}),
+			}
+			order = append(order, rec.ID)
+			q.accepted++
+			q.byPriority[prio]++
+		case "retry":
+			j := q.jobs[rec.ID]
+			if j == nil || j.State.Terminal() {
+				return nil, nil, fmt.Errorf("jobs: retry record for unknown or terminal job %s", rec.ID)
+			}
+			j.Attempts = rec.Attempts
+			q.retried++
+		case "done", "fail":
+			j := q.jobs[rec.ID]
+			if j == nil {
+				return nil, nil, fmt.Errorf("jobs: terminal record for unknown job %s", rec.ID)
+			}
+			if j.State.Terminal() {
+				return nil, nil, fmt.Errorf("jobs: job %s reached a terminal state twice in the journal", rec.ID)
+			}
+			if rec.Op == "done" {
+				j.State = StateDone
+				j.Result = rec.Result
+				j.Warm = rec.Warm
+				q.done++
+			} else {
+				j.State = StateFailed
+				j.Error = rec.Error
+				q.failed++
+			}
+			close(j.final)
+			q.terminal = append(q.terminal, rec.ID)
+		default:
+			return nil, nil, fmt.Errorf("jobs: unknown journal op %q", rec.Op)
+		}
+	}
+	// Requeue survivors in their original order and collect the replay
+	// summary before trimming.
+	for _, id := range order {
+		j := q.jobs[id]
+		if j.State.Terminal() {
+			rep.Completed = append(rep.Completed, j.Job)
+		} else {
+			heap.Push(&q.pq, j)
+			rep.Requeued++
+		}
+	}
+	q.trimTerminalLocked()
+
+	// Compact: the live state becomes a fresh journal file; the replayed
+	// files are removed only after the compacted one is durable.
+	old, err := journalFiles(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := openJournal(opts.Dir, old, opts.NoSync)
+	if err != nil {
+		return nil, nil, err
+	}
+	q.log = log
+	for _, id := range order {
+		j, ok := q.jobs[id]
+		if !ok {
+			continue // trimmed terminal job: dropped from the compacted log too
+		}
+		if err := q.appendStateLocked(j); err != nil {
+			log.close()
+			return nil, nil, err
+		}
+	}
+	if err := removeFiles(opts.Dir, old); err != nil {
+		log.close()
+		return nil, nil, err
+	}
+	return q, rep, nil
+}
+
+// appendStateLocked writes the records that reconstruct j from
+// scratch: an enqueue (with its attempt count) plus its terminal record
+// if it has one.
+func (q *Queue) appendStateLocked(j *job) error {
+	if err := q.log.append(record{
+		Op: "enq", ID: j.ID, Priority: j.Priority,
+		Payload: j.Payload, Attempts: j.Attempts,
+	}); err != nil {
+		return err
+	}
+	switch j.State {
+	case StateDone:
+		return q.log.append(record{Op: "done", ID: j.ID, Result: j.Result, Warm: j.Warm})
+	case StateFailed:
+		return q.log.append(record{Op: "fail", ID: j.ID, Error: j.Error})
+	}
+	return nil
+}
+
+// trimTerminalLocked drops terminal jobs beyond KeepDone, oldest
+// first.
+func (q *Queue) trimTerminalLocked() {
+	for len(q.terminal) > q.opts.KeepDone {
+		delete(q.jobs, q.terminal[0])
+		q.terminal = q.terminal[1:]
+	}
+}
+
+// broadcastLocked wakes every Lease waiter.
+func (q *Queue) broadcastLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// Enqueue journals and queues a new job. The returned snapshot carries
+// the assigned ID. The journal write happens before the job becomes
+// visible, so an accepted job is always recoverable.
+func (q *Queue) Enqueue(priority string, payload json.RawMessage) (Job, error) {
+	prio, err := NormalizePriority(priority)
+	if err != nil {
+		return Job{}, err
+	}
+	var rnd [4]byte
+	if _, err := rand.Read(rnd[:]); err != nil {
+		return Job{}, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, ErrClosed
+	}
+	q.seq++
+	id := fmt.Sprintf("j-%d-%s", q.seq, hex.EncodeToString(rnd[:]))
+	if err := q.log.append(record{Op: "enq", ID: id, Priority: prio, Payload: payload}); err != nil {
+		return Job{}, fmt.Errorf("jobs: journal: %w", err)
+	}
+	j := &job{
+		Job: Job{
+			ID:       id,
+			Priority: prio,
+			State:    StateQueued,
+			Payload:  payload,
+		},
+		seq:   q.seq,
+		index: -1,
+		final: make(chan struct{}),
+	}
+	q.jobs[id] = j
+	heap.Push(&q.pq, j)
+	q.accepted++
+	q.byPriority[prio]++
+	q.broadcastLocked()
+	return j.Job, nil
+}
+
+// Get returns a snapshot of the job and its 1-based queue position
+// (0 when not queued).
+func (q *Queue) Get(id string) (Job, int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, 0, false
+	}
+	return j.Job, q.positionLocked(j), true
+}
+
+// positionLocked counts queued jobs ahead of j (same-or-higher
+// priority, earlier sequence) plus one; 0 if j is not queued.
+func (q *Queue) positionLocked(j *job) int {
+	if j.index < 0 {
+		return 0
+	}
+	pos := 1
+	for _, other := range q.pq {
+		if other != j && jobLess(other, j) {
+			pos++
+		}
+	}
+	return pos
+}
+
+// Watch returns a channel closed when the job reaches a terminal
+// state (already closed if it has). Watching allocates nothing and
+// spawns nothing, so long-poll handlers can select on it against their
+// request context without leaking anything on cancellation.
+func (q *Queue) Watch(id string) (<-chan struct{}, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.final, true
+}
+
+// Stats snapshots the counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	by := make(map[string]int64, len(q.byPriority))
+	for k, v := range q.byPriority {
+		by[k] = v
+	}
+	return Stats{
+		Queued:     len(q.pq),
+		Running:    len(q.running),
+		Accepted:   q.accepted,
+		Done:       q.done,
+		Failed:     q.failed,
+		Retried:    q.retried,
+		ByPriority: by,
+	}
+}
+
+// Close stops the queue: blocked Lease calls return ErrClosed and the
+// journal file is closed. Jobs in flight keep their in-memory state
+// (their late Done/Fail is rejected); everything durable is already in
+// the journal.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	q.broadcastLocked()
+	return q.log.close()
+}
+
+// Lease blocks until a job is available (or ctx ends, or the queue
+// closes) and returns it leased to the caller: the job is running, and
+// the caller must Heartbeat the lease within LeaseTTL intervals until
+// it resolves it with Done, Fail or Release. An expired lease is
+// reclaimed and retried; the stale holder's late calls report false.
+func (q *Queue) Lease(ctx context.Context) (*Lease, error) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if err := q.reclaimLocked(); err != nil {
+			q.mu.Unlock()
+			return nil, err
+		}
+		if len(q.pq) > 0 {
+			j := heap.Pop(&q.pq).(*job)
+			j.State = StateRunning
+			j.token++
+			j.expiry = q.now().Add(q.opts.LeaseTTL)
+			q.running[j.ID] = j
+			l := &Lease{Job: j.Job, q: q, id: j.ID, token: j.token}
+			q.mu.Unlock()
+			return l, nil
+		}
+		wake := q.wake
+		var expire <-chan time.Time
+		var timer *time.Timer
+		if next, ok := q.nextExpiryLocked(); ok {
+			d := next.Sub(q.now())
+			if d < 0 {
+				d = 0
+			}
+			timer = time.NewTimer(d)
+			expire = timer.C
+		}
+		q.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return nil, ctx.Err()
+		case <-wake:
+		case <-expire:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// nextExpiryLocked returns the earliest lease deadline among running
+// jobs.
+func (q *Queue) nextExpiryLocked() (time.Time, bool) {
+	var next time.Time
+	for _, j := range q.running {
+		if next.IsZero() || j.expiry.Before(next) {
+			next = j.expiry
+		}
+	}
+	return next, !next.IsZero()
+}
+
+// reclaimLocked expires dead leases: each reclaimed job either goes
+// back into the queue (journaled as a retry) or, past MaxRetries, is
+// parked as failed.
+func (q *Queue) reclaimLocked() error {
+	now := q.now()
+	for id, j := range q.running {
+		if j.expiry.After(now) {
+			continue
+		}
+		delete(q.running, id)
+		j.Attempts++
+		q.retried++
+		if j.Attempts > q.opts.MaxRetries {
+			j.State = StateFailed
+			j.Error = fmt.Sprintf("lease expired %d times (worker died or stalled); retry cap %d exhausted",
+				j.Attempts, q.opts.MaxRetries)
+			if err := q.log.append(record{Op: "fail", ID: id, Error: j.Error}); err != nil {
+				return fmt.Errorf("jobs: journal: %w", err)
+			}
+			q.failed++
+			q.terminal = append(q.terminal, id)
+			q.trimTerminalLocked()
+			close(j.final)
+			continue
+		}
+		if err := q.log.append(record{Op: "retry", ID: id, Attempts: j.Attempts}); err != nil {
+			return fmt.Errorf("jobs: journal: %w", err)
+		}
+		j.State = StateQueued
+		heap.Push(&q.pq, j)
+		q.broadcastLocked()
+	}
+	return nil
+}
+
+// Lease is a worker's claim on one job. All methods are safe for
+// concurrent use with the queue; each reports whether the lease still
+// held (false means the job was reclaimed — stop working on it, any
+// result is discarded).
+type Lease struct {
+	// Job is the leased job snapshot (payload included).
+	Job Job
+
+	q     *Queue
+	id    string
+	token int
+}
+
+// holderLocked returns the internal job iff the lease still holds it.
+func (l *Lease) holderLocked() *job {
+	j := l.q.jobs[l.id]
+	if j == nil || j.State != StateRunning || j.token != l.token {
+		return nil
+	}
+	return j
+}
+
+// Heartbeat extends the lease by LeaseTTL.
+func (l *Lease) Heartbeat() bool {
+	l.q.mu.Lock()
+	defer l.q.mu.Unlock()
+	j := l.holderLocked()
+	if j == nil {
+		return false
+	}
+	j.expiry = l.q.now().Add(l.q.opts.LeaseTTL)
+	return true
+}
+
+// Done resolves the job as succeeded, journaling the result and the
+// optional warm blob.
+func (l *Lease) Done(result, warm json.RawMessage) bool {
+	return l.resolve(StateDone, result, warm, "")
+}
+
+// Fail resolves the job as failed, preserving the error.
+func (l *Lease) Fail(errMsg string) bool {
+	return l.resolve(StateFailed, nil, nil, errMsg)
+}
+
+func (l *Lease) resolve(state State, result, warm json.RawMessage, errMsg string) bool {
+	l.q.mu.Lock()
+	defer l.q.mu.Unlock()
+	j := l.holderLocked()
+	if j == nil || l.q.closed {
+		return false
+	}
+	rec := record{ID: l.id}
+	if state == StateDone {
+		rec.Op, rec.Result, rec.Warm = "done", result, warm
+	} else {
+		rec.Op, rec.Error = "fail", errMsg
+	}
+	if err := l.q.log.append(rec); err != nil {
+		// The terminal record did not land; keep the job running so the
+		// lease expiry path retries it rather than losing the outcome.
+		return false
+	}
+	delete(l.q.running, l.id)
+	j.State = state
+	j.Result, j.Warm, j.Error = result, warm, errMsg
+	if state == StateDone {
+		l.q.done++
+	} else {
+		l.q.failed++
+	}
+	l.q.terminal = append(l.q.terminal, l.id)
+	l.q.trimTerminalLocked()
+	close(j.final)
+	return true
+}
+
+// Release puts the job back in the queue without burning a retry —
+// the graceful-shutdown path for work interrupted mid-compute. Nothing
+// is journaled: the enqueue record already covers the requeue.
+func (l *Lease) Release() bool {
+	l.q.mu.Lock()
+	defer l.q.mu.Unlock()
+	j := l.holderLocked()
+	if j == nil {
+		return false
+	}
+	delete(l.q.running, l.id)
+	j.State = StateQueued
+	heap.Push(&l.q.pq, j)
+	l.q.broadcastLocked()
+	return true
+}
+
+// jobHeap orders queued jobs by (priority rank, enqueue sequence).
+type jobHeap []*job
+
+func jobLess(a, b *job) bool {
+	ra, rb := priorityRank[a.Priority], priorityRank[b.Priority]
+	if ra != rb {
+		return ra < rb
+	}
+	return a.seq < b.seq
+}
+
+func (h jobHeap) Len() int           { return len(h) }
+func (h jobHeap) Less(i, j int) bool { return jobLess(h[i], h[j]) }
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *jobHeap) Push(x any)        { j := x.(*job); j.index = len(*h); *h = append(*h, j) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,478 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir string, opts Options) (*Queue, *Replay) {
+	t.Helper()
+	opts.Dir = dir
+	opts.NoSync = true
+	q, rep, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { q.Close() })
+	return q, rep
+}
+
+func TestLifecycle(t *testing.T) {
+	q, rep := openTest(t, t.TempDir(), Options{})
+	if rep.Requeued != 0 || len(rep.Completed) != 0 || rep.Truncated {
+		t.Fatalf("fresh dir replay = %+v, want empty", rep)
+	}
+
+	j, err := q.Enqueue("", json.RawMessage(`{"n":3}`))
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if j.Priority != PriorityBatch || j.State != StateQueued {
+		t.Fatalf("enqueued job = %+v", j)
+	}
+	if got, pos, ok := q.Get(j.ID); !ok || got.State != StateQueued || pos != 1 {
+		t.Fatalf("Get = %+v pos=%d ok=%v", got, pos, ok)
+	}
+
+	l, err := q.Lease(context.Background())
+	if err != nil {
+		t.Fatalf("Lease: %v", err)
+	}
+	if l.Job.ID != j.ID {
+		t.Fatalf("leased %s, want %s", l.Job.ID, j.ID)
+	}
+	if got, pos, _ := q.Get(j.ID); got.State != StateRunning || pos != 0 {
+		t.Fatalf("running job = %+v pos=%d", got, pos)
+	}
+	if !l.Heartbeat() {
+		t.Fatal("Heartbeat lost a live lease")
+	}
+
+	ch, ok := q.Watch(j.ID)
+	if !ok {
+		t.Fatal("Watch: unknown job")
+	}
+	select {
+	case <-ch:
+		t.Fatal("watch fired before terminal state")
+	default:
+	}
+	if !l.Done(json.RawMessage(`{"literals":7}`), json.RawMessage(`{"w":1}`)) {
+		t.Fatal("Done rejected a live lease")
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("watch channel not closed at terminal transition")
+	}
+	got, _, _ := q.Get(j.ID)
+	if got.State != StateDone || string(got.Result) != `{"literals":7}` {
+		t.Fatalf("done job = %+v", got)
+	}
+	// Second resolution of any kind must be rejected.
+	if l.Done(nil, nil) || l.Fail("again") {
+		t.Fatal("a second terminal transition was accepted")
+	}
+	st := q.Stats()
+	if st.Done != 1 || st.Accepted != 1 || st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	q, _ := openTest(t, t.TempDir(), Options{})
+	ids := map[string]string{}
+	for _, p := range []string{PriorityBulk, PriorityBatch, PriorityInteractive, PriorityBatch} {
+		j, err := q.Enqueue(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[j.ID] = p
+	}
+	var got []string
+	for range 4 {
+		l, err := q.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ids[l.Job.ID])
+		l.Done(nil, nil)
+	}
+	want := []string{PriorityInteractive, PriorityBatch, PriorityBatch, PriorityBulk}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnknownPriorityRejected(t *testing.T) {
+	q, _ := openTest(t, t.TempDir(), Options{})
+	if _, err := q.Enqueue("urgent", nil); err == nil {
+		t.Fatal("unknown priority accepted")
+	}
+}
+
+func TestLeaseBlocksUntilEnqueue(t *testing.T) {
+	q, _ := openTest(t, t.TempDir(), Options{})
+	leased := make(chan string, 1)
+	go func() {
+		l, err := q.Lease(context.Background())
+		if err != nil {
+			leased <- "err: " + err.Error()
+			return
+		}
+		l.Done(nil, nil)
+		leased <- l.Job.ID
+	}()
+	time.Sleep(20 * time.Millisecond)
+	j, err := q.Enqueue("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-leased:
+		if id != j.ID {
+			t.Fatalf("leased %s, want %s", id, j.ID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Lease never woke on enqueue")
+	}
+}
+
+func TestLeaseCtxCancel(t *testing.T) {
+	q, _ := openTest(t, t.TempDir(), Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := q.Lease(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Lease on empty queue = %v, want deadline", err)
+	}
+}
+
+// TestCrashReplay simulates a crash by reopening the journal dir
+// without closing: done jobs come back terminal with results, the
+// in-flight and queued ones are requeued.
+func TestCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := openTest(t, dir, Options{})
+	jDone, _ := q.Enqueue(PriorityInteractive, json.RawMessage(`{"a":1}`))
+	jRun, _ := q.Enqueue("", json.RawMessage(`{"b":2}`))
+	jQueued, _ := q.Enqueue("", json.RawMessage(`{"c":3}`))
+
+	l, err := q.Lease(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Job.ID != jDone.ID {
+		t.Fatalf("leased %s, want the interactive job", l.Job.ID)
+	}
+	if !l.Done(json.RawMessage(`{"ok":true}`), json.RawMessage(`{"warm":"blob"}`)) {
+		t.Fatal("Done")
+	}
+	if _, err := q.Lease(context.Background()); err != nil { // jRun now mid-compute
+		t.Fatal(err)
+	}
+
+	// kill -9: no Close, just reopen.
+	q2, rep, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer q2.Close()
+	if rep.Truncated {
+		t.Fatal("clean journal reported truncated")
+	}
+	if len(rep.Completed) != 1 || rep.Completed[0].ID != jDone.ID {
+		t.Fatalf("replay completed = %+v", rep.Completed)
+	}
+	if string(rep.Completed[0].Result) != `{"ok":true}` || string(rep.Completed[0].Warm) != `{"warm":"blob"}` {
+		t.Fatalf("replayed result/warm = %s / %s", rep.Completed[0].Result, rep.Completed[0].Warm)
+	}
+	if rep.Requeued != 2 {
+		t.Fatalf("requeued = %d, want 2 (mid-run + queued)", rep.Requeued)
+	}
+	for _, id := range []string{jRun.ID, jQueued.ID} {
+		if got, _, ok := q2.Get(id); !ok || got.State != StateQueued {
+			t.Fatalf("job %s after replay = %+v ok=%v, want queued", id, got, ok)
+		}
+	}
+	if got, _, ok := q2.Get(jDone.ID); !ok || got.State != StateDone {
+		t.Fatalf("done job after replay = %+v ok=%v", got, ok)
+	}
+
+	// Compaction must leave exactly one terminal record per job across
+	// the whole dir.
+	assertSingleTerminalRecords(t, dir)
+}
+
+func TestEmptyJournalDir(t *testing.T) {
+	dir := t.TempDir()
+	q, rep := openTest(t, dir, Options{})
+	if rep.Requeued != 0 || len(rep.Completed) != 0 {
+		t.Fatalf("empty dir replay = %+v", rep)
+	}
+	if _, err := q.Enqueue("", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingDirCreated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "jobs")
+	openTest(t, dir, Options{})
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("journal dir not created: %v", err)
+	}
+}
+
+// TestTruncatedFinalRecord crashes mid-append: the partial last line is
+// ignored and reported, everything before it replays.
+func TestTruncatedFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	whole, _ := json.Marshal(record{Op: "enq", ID: "j-1-aa", Priority: PriorityBatch, Payload: json.RawMessage(`{"n":3}`)})
+	partial := `{"op":"done","id":"j-1-aa","result":{"litera` // cut mid-write
+	content := string(whole) + "\n" + partial
+	if err := os.WriteFile(filepath.Join(dir, "00000000.journal"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q, rep := openTest(t, dir, Options{})
+	if !rep.Truncated {
+		t.Fatal("truncated journal not reported")
+	}
+	if rep.Requeued != 1 || len(rep.Completed) != 0 {
+		t.Fatalf("replay = %+v, want the enqueue to survive and the torn done to be dropped", rep)
+	}
+	if got, _, ok := q.Get("j-1-aa"); !ok || got.State != StateQueued {
+		t.Fatalf("job after truncated replay = %+v ok=%v", got, ok)
+	}
+}
+
+// TestWholeTailWithoutNewline: the record is complete but the newline
+// never landed — it must still replay (and report truncation).
+func TestWholeTailWithoutNewline(t *testing.T) {
+	dir := t.TempDir()
+	whole, _ := json.Marshal(record{Op: "enq", ID: "j-1-bb", Priority: PriorityBulk})
+	if err := os.WriteFile(filepath.Join(dir, "00000000.journal"), whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q, rep := openTest(t, dir, Options{})
+	if !rep.Truncated || rep.Requeued != 1 {
+		t.Fatalf("replay = %+v", rep)
+	}
+	if got, _, ok := q.Get("j-1-bb"); !ok || got.Priority != PriorityBulk {
+		t.Fatalf("job = %+v ok=%v", got, ok)
+	}
+}
+
+func TestCorruptMidJournalRejected(t *testing.T) {
+	dir := t.TempDir()
+	whole, _ := json.Marshal(record{Op: "enq", ID: "j-1-cc"})
+	content := "garbage not json\n" + string(whole) + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "00000000.journal"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir, NoSync: true}); err == nil {
+		t.Fatal("corrupt mid-journal record accepted")
+	}
+}
+
+// TestLeaseExpiryRetryAndPark: a worker that never heartbeats loses the
+// job; after MaxRetries reclaims the job is parked as failed with the
+// lease history in its error.
+func TestLeaseExpiryRetryAndPark(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := openTest(t, dir, Options{LeaseTTL: 10 * time.Millisecond, MaxRetries: 2})
+	j, _ := q.Enqueue("", nil)
+
+	var leases []*Lease
+	for i := 0; i < 3; i++ { // initial + 2 retries
+		l, err := q.Lease(context.Background())
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		if l.Job.ID != j.ID || l.Job.Attempts != i {
+			t.Fatalf("lease %d = %+v", i, l.Job)
+		}
+		leases = append(leases, l)
+		time.Sleep(25 * time.Millisecond) // let the lease die un-heartbeaten
+	}
+	// Third expiry exhausts the cap: the next Lease call reclaims and
+	// parks; it must then block (ctx deadline) because nothing is left.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := q.Lease(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Lease after park = %v, want deadline", err)
+	}
+	got, _, _ := q.Get(j.ID)
+	if got.State != StateFailed || !strings.Contains(got.Error, "lease expired") {
+		t.Fatalf("parked job = %+v", got)
+	}
+	if st := q.Stats(); st.Retried != 3 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// All the stale leases must be inert now.
+	for _, l := range leases {
+		if l.Heartbeat() || l.Done(nil, nil) || l.Fail("x") || l.Release() {
+			t.Fatal("stale lease still live after park")
+		}
+	}
+	// The journal must carry exactly one terminal record.
+	assertSingleTerminalRecords(t, dir)
+}
+
+// TestLeaseExpiryRacesCompletion pins the exactly-once terminal
+// guarantee under the race detector: many workers fight over one job
+// with a tiny TTL, some completing, some stalling past expiry; the job
+// must end terminal exactly once and every loser must see false.
+func TestLeaseExpiryRacesCompletion(t *testing.T) {
+	q, _ := openTest(t, t.TempDir(), Options{LeaseTTL: 2 * time.Millisecond, MaxRetries: 64})
+	j, _ := q.Enqueue("", nil)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	resolved := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+				l, err := q.Lease(ctx)
+				cancel()
+				if err != nil {
+					return // job went terminal (or stalled out): nothing left to lease
+				}
+				// Half the workers stall past the TTL before resolving, so
+				// reclaim races Done on every iteration.
+				if w%2 == 0 {
+					time.Sleep(5 * time.Millisecond)
+				}
+				if l.Done(json.RawMessage(fmt.Sprintf(`{"worker":%d}`, w)), nil) {
+					mu.Lock()
+					resolved++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, _, _ := q.Get(j.ID)
+	if !got.State.Terminal() {
+		t.Fatalf("job never reached a terminal state: %+v", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got.State == StateDone && resolved != 1 {
+		t.Fatalf("Done succeeded %d times, want exactly 1", resolved)
+	}
+	if got.State == StateFailed && resolved != 0 {
+		t.Fatalf("job parked as failed but %d Done calls also succeeded", resolved)
+	}
+}
+
+func TestReleaseRequeuesWithoutRetry(t *testing.T) {
+	q, _ := openTest(t, t.TempDir(), Options{})
+	j, _ := q.Enqueue("", nil)
+	l, err := q.Lease(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Release() {
+		t.Fatal("Release rejected a live lease")
+	}
+	got, pos, _ := q.Get(j.ID)
+	if got.State != StateQueued || got.Attempts != 0 || pos != 1 {
+		t.Fatalf("released job = %+v pos=%d", got, pos)
+	}
+	if l.Done(nil, nil) {
+		t.Fatal("stale lease resolved a released job")
+	}
+	l2, err := q.Lease(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l2.Done(nil, nil) {
+		t.Fatal("re-lease after release could not resolve")
+	}
+}
+
+func TestKeepDoneTrims(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := openTest(t, dir, Options{KeepDone: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, _ := q.Enqueue("", nil)
+		ids = append(ids, j.ID)
+		l, err := q.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Done(nil, nil)
+	}
+	for _, id := range ids[:2] {
+		if _, _, ok := q.Get(id); ok {
+			t.Fatalf("trimmed job %s still queryable", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if got, _, ok := q.Get(id); !ok || got.State != StateDone {
+			t.Fatalf("retained job %s = %+v ok=%v", id, got, ok)
+		}
+	}
+	// Cumulative counters survive trimming.
+	if st := q.Stats(); st.Done != 4 || st.Accepted != 4 {
+		t.Fatalf("stats after trim = %+v", st)
+	}
+}
+
+func TestClosedQueue(t *testing.T) {
+	q, _ := openTest(t, t.TempDir(), Options{})
+	j, _ := q.Enqueue("", nil)
+	l, err := q.Lease(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue("", nil); err != ErrClosed {
+		t.Fatalf("Enqueue after close = %v", err)
+	}
+	if _, err := q.Lease(context.Background()); err != ErrClosed {
+		t.Fatalf("Lease after close = %v", err)
+	}
+	if l.Done(nil, nil) {
+		t.Fatal("Done accepted after close (journal is gone)")
+	}
+	if got, _, _ := q.Get(j.ID); got.State != StateRunning {
+		t.Fatalf("in-flight job after close = %+v", got)
+	}
+}
+
+// assertSingleTerminalRecords scans every journal file in dir and
+// fails if any job ID carries more than one done/fail record — the
+// crash-smoke invariant, checked at the unit level.
+func assertSingleTerminalRecords(t *testing.T, dir string) {
+	t.Helper()
+	recs, _, err := replayJournal(dir)
+	if err != nil {
+		t.Fatalf("replayJournal: %v", err)
+	}
+	seen := map[string]int{}
+	for _, r := range recs {
+		if r.Op == "done" || r.Op == "fail" {
+			seen[r.ID]++
+		}
+	}
+	for id, n := range seen {
+		if n > 1 {
+			t.Fatalf("job %s has %d terminal records in the journal", id, n)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fcache"
 	"repro/internal/harness"
+	"repro/internal/jobs"
 	"repro/internal/pcube"
 	"repro/internal/stats"
 )
@@ -103,6 +104,23 @@ type Config struct {
 	// request falls back to a cold run instead of patching the warm
 	// state. Default 0.25.
 	DeltaMaxDirty float64
+	// JobsDir enables the async job tier when non-empty: POST /v1/jobs
+	// journals work here and a worker pool drains it (see jobs.go and
+	// internal/jobs). The tier starts with StartJobs, not New.
+	JobsDir string
+	// JobWorkers bounds how many jobs compute concurrently (each still
+	// takes an admission slot). Default 2.
+	JobWorkers int
+	// JobRetries caps lease-expiry retries before a job is parked as
+	// failed. Default 2.
+	JobRetries int
+	// JobLeaseTTL is how long a job lease survives without a worker
+	// heartbeat. Default 30s.
+	JobLeaseTTL time.Duration
+	// JobTimeout bounds one job compute (and caps job-supplied
+	// timeout_ms); deliberately much larger than DefaultTimeout.
+	// Default 10m.
+	JobTimeout time.Duration
 	// LegacySerial restores the pre-coalescing serving path: one
 	// admission slot around the whole request (cache hits included),
 	// strictly serial batch items, no request coalescing, and a
@@ -270,13 +288,28 @@ type Statsz struct {
 	// (forms, canonical functions and retained warm states);
 	// CacheRejected counts entries too large for a shard's byte budget
 	// to ever admit.
-	CacheBytes    int64            `json:"cache_bytes"`
-	CacheRejected int64            `json:"cache_rejected"`
-	CacheShards   int              `json:"cache_shards"`
-	CacheLen      int              `json:"cache_len"`
-	InFlight      int              `json:"in_flight"`
-	Draining      bool             `json:"draining"`
-	Runs          *stats.RunReport `json:"runs"`
+	CacheBytes    int64 `json:"cache_bytes"`
+	CacheRejected int64 `json:"cache_rejected"`
+	CacheShards   int   `json:"cache_shards"`
+	CacheLen      int   `json:"cache_len"`
+	InFlight      int   `json:"in_flight"`
+	Draining      bool  `json:"draining"`
+	// Job-tier counters (all zero when the tier is disabled).
+	// JobsQueued/JobsRunning are current occupancy; JobsDone, JobsFailed
+	// and JobsRetried are cumulative including journal-replayed history.
+	// JobsReplayed counts completed jobs whose journaled results
+	// re-warmed fcache at the last StartJobs; JobsRequeued counts the
+	// incomplete jobs it re-enqueued. JobsByPriority counts accepted
+	// jobs per priority class.
+	JobsQueued     int64            `json:"jobs_queued"`
+	JobsRunning    int64            `json:"jobs_running"`
+	JobsDone       int64            `json:"jobs_done"`
+	JobsFailed     int64            `json:"jobs_failed"`
+	JobsRetried    int64            `json:"jobs_retried"`
+	JobsReplayed   int64            `json:"jobs_replayed"`
+	JobsRequeued   int64            `json:"jobs_requeued"`
+	JobsByPriority map[string]int64 `json:"jobs_by_priority,omitempty"`
+	Runs           *stats.RunReport `json:"runs"`
 }
 
 // cacheEntry is one result-cache value, living in one of three
@@ -364,6 +397,16 @@ type Server struct {
 
 	draining atomic.Bool
 
+	// Job tier (nil until StartJobs). jobMu guards the handle; the
+	// queue itself is internally synchronized.
+	jobMu        sync.Mutex
+	jobq         *jobs.Queue
+	jobStopLease context.CancelFunc
+	jobStopHard  context.CancelFunc
+	jobWG        sync.WaitGroup
+	jobsReplayed atomic.Int64
+	jobsRequeued atomic.Int64
+
 	mu      sync.Mutex
 	history []*stats.Report // ring, oldest first
 	runSeq  int64
@@ -406,6 +449,18 @@ func New(cfg Config) *Server {
 	if cfg.DeltaMaxDirty <= 0 {
 		cfg.DeltaMaxDirty = 0.25
 	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.JobRetries <= 0 {
+		cfg.JobRetries = 2
+	}
+	if cfg.JobLeaseTTL <= 0 {
+		cfg.JobLeaseTTL = 30 * time.Second
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
 	if cfg.Core.PerOutput == 0 && cfg.Core.MaxCandidates == 0 {
 		cfg.Core = harness.DefaultConfig()
 	}
@@ -424,6 +479,8 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/minimize", s.handleMinimize)
+	mux.HandleFunc("/v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("/v1/jobs/", s.handleJobGet)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	return mux
@@ -497,6 +554,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.statsMu.Lock()
 	ctr := s.ctr // one coherent snapshot of all request counters
 	s.statsMu.Unlock()
+	var jst jobs.Stats
+	s.jobMu.Lock()
+	if s.jobq != nil {
+		jst = s.jobq.Stats()
+	}
+	s.jobMu.Unlock()
 	writeJSON(w, http.StatusOK, Statsz{
 		Served:             ctr.served,
 		CacheHits:          ctr.hits,
@@ -517,6 +580,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		CacheLen:           s.cache.Len(),
 		InFlight:           len(s.slots),
 		Draining:           s.draining.Load(),
+		JobsQueued:         int64(jst.Queued),
+		JobsRunning:        int64(jst.Running),
+		JobsDone:           jst.Done,
+		JobsFailed:         jst.Failed,
+		JobsRetried:        jst.Retried,
+		JobsReplayed:       s.jobsReplayed.Load(),
+		JobsRequeued:       s.jobsRequeued.Load(),
+		JobsByPriority:     jst.ByPriority,
 		Runs:               runs,
 	})
 }

@@ -1,0 +1,154 @@
+#!/bin/sh
+# jobs_crash_smoke.sh — the kill-and-replay gate for the async job
+# tier, run by the CI `jobs-crash-smoke` job and `make jobs-crash-smoke`:
+#
+#   1. build sppserve and start it with -jobs-dir;
+#   2. submit N jobs (distinct functions, mixed priority classes) via
+#      POST /v1/jobs, all accepted with 202 + id;
+#   3. wait until at least one job is done, then SIGKILL the server
+#      mid-drain — no graceful anything;
+#   4. restart on the same journal dir and assert the replay invariant:
+#      every accepted job reaches a terminal state (here: done), the
+#      journal holds exactly one terminal record per job, and completed
+#      work re-warmed the result cache (statsz jobs_replayed > 0)
+#      instead of recomputing;
+#   5. SIGTERM the second server and confirm a clean exit.
+#
+# Stdlib tools only: the JSON assertions use grep/sed on Go's
+# field-ordered encoding.
+set -eu
+cd "$(dirname "$0")/.."
+
+NJOBS=8
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+	[ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "jobs-crash-smoke: FAIL: $*" >&2
+	echo "--- server log:" >&2
+	cat "$workdir"/server*.err >&2 || true
+	exit 1
+}
+
+# Extract the (first) value of a scalar JSON field from stdin.
+jsonfield() {
+	grep -o "\"$1\": *[^,}]*" | head -n1 | sed 's/^[^:]*: *//; s/"//g'
+}
+
+# mkbody i — a job body over 9 variables whose ON set is drawn from a
+# full-period LCG seeded by i; distinct sizes keep the functions
+# P-inequivalent, so every job computes its own cache entry and takes
+# real engine time (hundreds of ms) rather than hitting the cache.
+mkbody() {
+	awk -v i="$1" 'BEGIN{
+		size = 110 + 2*i
+		printf "{\"priority\":\"%s\",\"n\":9,\"on\":[", \
+			(i%3==0 ? "interactive" : i%3==1 ? "batch" : "bulk")
+		p = (i*37 + 11) % 512; sep = ""; got = 0
+		while (got < size) {
+			# a=5 (1 mod 4) with an odd increment: full period mod 2^k.
+			p = (p*5 + 2*i + 17) % 512
+			if (!(p in seen)) { seen[p]=1; printf "%s%d", sep, p; sep=","; got++ }
+		}
+		printf "]}"
+	}'
+}
+
+start_server() { # start_server <logprefix>
+	"$workdir/sppserve" -addr 127.0.0.1:0 -jobs-dir "$workdir/jobs" -job-workers 2 \
+		>"$workdir/$1.out" 2>"$workdir/$1.err" &
+	server_pid=$!
+	addr=""
+	for _ in $(seq 1 50); do
+		addr=$(sed -n 's/^sppserve: listening on //p' "$workdir/$1.out")
+		[ -n "$addr" ] && break
+		kill -0 "$server_pid" 2>/dev/null || fail "server exited at startup"
+		sleep 0.1
+	done
+	[ -n "$addr" ] || fail "server never reported its address"
+}
+
+echo "jobs-crash-smoke: building"
+go build -o "$workdir/sppserve" ./cmd/sppserve
+
+start_server server1
+echo "jobs-crash-smoke: up at $addr"
+
+echo "jobs-crash-smoke: submitting $NJOBS jobs"
+ids=""
+i=0
+while [ "$i" -lt "$NJOBS" ]; do
+	mkbody "$i" >"$workdir/job$i.json"
+	code=$(curl -sS -o "$workdir/accept$i.json" -w '%{http_code}' \
+		-d @"$workdir/job$i.json" "http://$addr/v1/jobs") || fail "submit job $i"
+	[ "$code" = "202" ] || fail "job $i: status $code, want 202"
+	id=$(jsonfield id <"$workdir/accept$i.json")
+	[ -n "$id" ] || fail "job $i: no id in $(cat "$workdir/accept$i.json")"
+	ids="$ids $id"
+	i=$((i + 1))
+done
+
+# Let the drain start: at least one job must complete so the replay has
+# something to warm the cache from.
+done_before=0
+for _ in $(seq 1 300); do
+	done_before=$(curl -sS "http://$addr/statsz" | jsonfield jobs_done) || done_before=0
+	[ "${done_before:-0}" -ge 1 ] && break
+	sleep 0.1
+done
+[ "${done_before:-0}" -ge 1 ] || fail "no job completed within 30s"
+echo "jobs-crash-smoke: $done_before done, killing server with SIGKILL"
+
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "jobs-crash-smoke: restarting on the same journal"
+start_server server2
+replay_line=$(sed -n 's/^sppserve: jobs enabled //p' "$workdir/server2.out")
+echo "jobs-crash-smoke: $replay_line"
+
+echo "jobs-crash-smoke: waiting for every accepted job to go terminal"
+for id in $ids; do
+	state=""
+	for _ in $(seq 1 120); do
+		curl -sS "http://$addr/v1/jobs/$id?wait_ms=1000" >"$workdir/poll.json" ||
+			fail "poll $id"
+		state=$(jsonfield state <"$workdir/poll.json")
+		[ "$state" = "done" ] || [ "$state" = "failed" ] && break
+	done
+	# These jobs are all valid, so terminal must mean done — a failed
+	# job here is lost or mangled work.
+	[ "$state" = "done" ] || fail "job $id ended as '$state', want done"
+done
+
+curl -sS "http://$addr/statsz" >"$workdir/statsz.json" || fail "statsz"
+replayed=$(jsonfield jobs_replayed <"$workdir/statsz.json")
+jdone=$(jsonfield jobs_done <"$workdir/statsz.json")
+[ "${replayed:-0}" -ge 1 ] || fail "jobs_replayed = $replayed, want >= 1 (replay did not warm the cache)"
+[ "$jdone" = "$NJOBS" ] || fail "jobs_done = $jdone, want $NJOBS"
+
+# Exactly-once: across the whole journal no job may carry more than one
+# terminal record.
+dups=$(cat "$workdir"/jobs/*.journal |
+	grep -e '"op":"done"' -e '"op":"fail"' |
+	grep -o '"id":"[^"]*"' | sort | uniq -d)
+[ -z "$dups" ] || fail "duplicate terminal journal records for: $dups"
+
+echo "jobs-crash-smoke: graceful shutdown"
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+	kill -0 "$server_pid" 2>/dev/null || break
+	sleep 0.1
+done
+kill -0 "$server_pid" 2>/dev/null && fail "server still running 10s after SIGTERM"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "jobs-crash-smoke: PASS (replayed=$replayed, done=$jdone/$NJOBS, no duplicate terminals)"
