@@ -3,7 +3,7 @@
 # detector (the parallel EPPP engine is exercised with forced worker
 # counts even on single-core hosts).
 
-.PHONY: check check-race lint artifact-check fmt-check pkgdoc-check docs-check server-smoke jobs-crash-smoke bench-eppp bench-cover bench bench-serve bench-serve-smoke bench-delta bench-delta-smoke bench-jobs bench-jobs-smoke bench-smoke fuzz-smoke fuzz-delta-smoke
+.PHONY: check check-race lint artifact-check fmt-check pkgdoc-check docs-check server-smoke jobs-crash-smoke bench-eppp bench-cover bench bench-serve bench-serve-smoke bench-delta bench-delta-smoke bench-jobs bench-jobs-smoke bench-forms bench-forms-smoke bench-smoke fuzz-smoke fuzz-delta-smoke
 
 # Pinned linter versions, fetched on demand by `go run` (network
 # required; CI runs these in the `lint` job, they are not part of the
@@ -113,6 +113,16 @@ bench-jobs:
 
 bench-jobs-smoke:
 	go run ./cmd/sppload -scenario jobs -quick -out /tmp/bench_jobs_smoke.json
+
+# Portfolio engine benchmark (docs/forms.md): per-form cold latency and
+# cost, form=auto win rates and race overhead; merges a "form_mix"
+# section into BENCH_serve.json and fails if any auto race misses the
+# best explicit cost (the determinism contract).
+bench-forms:
+	go run ./cmd/sppload -scenario form-mix -out BENCH_serve.json
+
+bench-forms-smoke:
+	go run ./cmd/sppload -scenario form-mix -quick -out /tmp/bench_forms_smoke.json
 
 # CI smoke tiers: every benchmark once (compile + one iteration catches
 # bit-rot without benchmarking anything), and a short fuzz run of the

@@ -39,6 +39,15 @@
 // existing BENCH_serve.json (a "jobs" section plus jobs_* summary
 // keys) rather than replacing the serve results.
 //
+// A fifth scenario, -scenario form-mix, measures the portfolio engine
+// (docs/forms.md): every function is minimized once per explicit form
+// (spp, sop, esop, dsop) on one server, then raced with form=auto on a
+// fresh server. Per-form win rates (from /statsz engine_wins_by_form),
+// mean costs and the race overhead — auto latency over the winning
+// form's own explicit latency — merge into BENCH_serve.json as a
+// "form_mix" section, and every auto cost is checked against the
+// minimum explicit cost (the determinism contract).
+//
 // With -baseline pointing at a checked-in report, sppload doubles as a
 // CI regression gate: -assert-dup-computes fails the serve scenario if
 // the current mode's duplicate computes exceed the baseline's, and
@@ -61,6 +70,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/service"
 	"repro/internal/stats"
@@ -98,7 +108,35 @@ type report struct {
 	Config    map[string]any    `json:"config"`
 	Results   []runResult       `json:"results"`
 	Jobs      []jobRunResult    `json:"jobs,omitempty"`
+	FormMix   []formMixResult   `json:"form_mix,omitempty"`
 	Summary   map[string]string `json:"summary"`
+}
+
+// formMixResult is one form's slice of the form-mix scenario: cold
+// explicit-request latency and cost per backend, plus — on the "auto"
+// row — the race's win share and overhead against the winning form's
+// own explicit latency.
+type formMixResult struct {
+	Scenario string `json:"scenario"` // always "form-mix"
+	Form     string `json:"form"`
+	Requests int    `json:"requests"`
+
+	P50MS        float64 `json:"p50_ms"`
+	MeanMS       float64 `json:"mean_ms"`
+	MeanLiterals float64 `json:"mean_literals"`
+	// WinRate is the share of auto races this backend won (explicit
+	// rows; from /statsz engine_wins_by_form after the auto phase).
+	WinRate float64 `json:"win_rate,omitempty"`
+	// RaceOverhead (auto row only) is mean(auto latency / the winning
+	// form's explicit latency on the same function): the price of
+	// racing everyone versus knowing the right backend in advance.
+	RaceOverhead float64 `json:"race_overhead,omitempty"`
+	// BestCostMatches (auto row only) counts functions whose auto cost
+	// equaled the minimum over the explicit runs — the determinism
+	// contract, which must hold for every function.
+	BestCostMatches int `json:"best_cost_matches,omitempty"`
+
+	Errors int `json:"errors"`
 }
 
 // jobRunResult is one priority class's slice of the jobs scenario:
@@ -121,7 +159,7 @@ type jobRunResult struct {
 
 func main() {
 	out := flag.String("out", "", "output JSON path (- for stdout; default BENCH_serve.json, or BENCH_delta.json for -scenario edit-loop)")
-	scenario := flag.String("scenario", "serve", "benchmark scenario: serve (stampede+zipf) or edit-loop (delta vs cold re-submits)")
+	scenario := flag.String("scenario", "serve", "benchmark scenario: serve (stampede+zipf), edit-loop (delta vs cold re-submits), jobs (async tier) or form-mix (portfolio race win rates and overhead)")
 	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
 	keys := flag.Int("keys", 40, "distinct functions in the zipf mix")
 	requests := flag.Int("requests", 400, "total requests in the zipf scenario")
@@ -149,6 +187,18 @@ func main() {
 			*out = "BENCH_delta.json"
 		}
 		runEditLoopScenario(*out, *clients, *edits, *editK, *nvars, *onBase, *quick, *assertCoverSplit, *baseline)
+		return
+	}
+	if *scenario == "form-mix" {
+		if *quick {
+			*keys, *nvars, *onBase = 5, 7, 24
+		} else if *keys == 40 {
+			*keys = 12 // every key runs once per form plus one auto race
+		}
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		runFormMixScenario(*out, *keys, *nvars, *onBase, *maxConcurrent, *quick)
 		return
 	}
 	if *scenario == "jobs" {
@@ -680,6 +730,173 @@ func submitAndAwaitJob(client *http.Client, url, body string) (time.Duration, bo
 		case "failed":
 			return time.Since(start), true
 		}
+	}
+}
+
+// --- form-mix scenario --------------------------------------------------
+
+// runFormMixScenario benchmarks the portfolio engine. Phase 1 runs
+// every function through each explicit form on one server (each form
+// salts its own cache key, so every request is a cold compute); phase
+// 2 races the same functions with form=auto on a fresh server, so the
+// races never reuse phase 1's entries. The auto cost must equal the
+// per-function minimum over the explicit runs — a violated check fails
+// the benchmark, because it falsifies the determinism contract rather
+// than just slowing it down.
+func runFormMixScenario(out string, keys, nvars, onBase, maxConcurrent int, quick bool) {
+	forms := engine.Names()
+	bodies := makeBodies(keys, nvars, onBase, 2)
+	withForm := func(body, form string) string {
+		return fmt.Sprintf(`{"form":%q,%s`, form, body[1:])
+	}
+
+	// Phase 1: explicit forms, serially for clean latencies.
+	ts, _ := newServer(false, maxConcurrent)
+	client := &http.Client{}
+	lat := make(map[string][]time.Duration, len(forms))
+	cost := make(map[string][]int, len(forms))
+	explicitErrs := map[string]int{}
+	for _, form := range forms {
+		lat[form] = make([]time.Duration, keys)
+		cost[form] = make([]int, keys)
+		for k, body := range bodies {
+			d, code, resp := postResp(client, ts.URL, withForm(body, form))
+			if code != http.StatusOK {
+				explicitErrs[form]++
+				cost[form][k] = -1
+				continue
+			}
+			lat[form][k], cost[form][k] = d, resp.Literals
+		}
+	}
+	ts.Close()
+
+	// Phase 2: auto races on a fresh server.
+	ts, statsz := newServer(false, maxConcurrent)
+	defer ts.Close()
+	autoLat := make([]time.Duration, keys)
+	autoCost := make([]int, keys)
+	autoErrs, bestMatches := 0, 0
+	var overheadSum float64
+	var overheadN int
+	for k, body := range bodies {
+		d, code, resp := postResp(client, ts.URL, withForm(body, "auto"))
+		if code != http.StatusOK {
+			autoErrs++
+			autoCost[k] = -1
+			continue
+		}
+		autoLat[k], autoCost[k] = d, resp.Literals
+
+		// The winner's own explicit latency is the overhead baseline:
+		// racing should cost little more than having known the answer.
+		best, bestForm := -1, ""
+		for _, form := range forms {
+			if c := cost[form][k]; c >= 0 && (best == -1 || c < best) {
+				best, bestForm = c, form
+			}
+		}
+		if best >= 0 && autoCost[k] == best {
+			bestMatches++
+		}
+		if bestForm != "" && lat[bestForm][k] > 0 {
+			overheadSum += float64(d) / float64(lat[bestForm][k])
+			overheadN++
+		}
+	}
+	st := statsz()
+
+	rep, err := loadServeReport(out)
+	if err != nil {
+		rep = &report{Schema: "spp-bench-serve/v1", Config: map[string]any{}, Summary: map[string]string{}}
+	}
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.Config["form_mix_keys"] = keys
+	rep.Config["form_mix_nvars"] = nvars
+	rep.Config["form_mix_on_base"] = onBase
+	rep.Config["form_mix_quick"] = quick
+	rep.FormMix = nil
+
+	row := func(form string, lats []time.Duration, costs []int, errs int) formMixResult {
+		var ok []time.Duration
+		var costSum, costN int
+		for k := range lats {
+			if costs[k] >= 0 {
+				ok = append(ok, lats[k])
+				costSum += costs[k]
+				costN++
+			}
+		}
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		r := formMixResult{Scenario: "form-mix", Form: form, Requests: len(lats), Errors: errs}
+		if len(ok) > 0 {
+			var total time.Duration
+			for _, d := range ok {
+				total += d
+			}
+			r.P50MS = float64(ok[len(ok)/2].Microseconds()) / 1000
+			r.MeanMS = float64(total.Microseconds()) / 1000 / float64(len(ok))
+			r.MeanLiterals = float64(costSum) / float64(costN)
+		}
+		return r
+	}
+
+	races := st.EngineRaces
+	for _, form := range forms {
+		r := row(form, lat[form], cost[form], explicitErrs[form])
+		if races > 0 {
+			r.WinRate = float64(st.EngineWinsByForm[form]) / float64(races)
+		}
+		rep.FormMix = append(rep.FormMix, r)
+		fmt.Printf("form-mix %-5s  p50 %7.2fms  mean %7.2fms  #L %6.1f  wins %4.0f%%  errors %d\n",
+			r.Form, r.P50MS, r.MeanMS, r.MeanLiterals, 100*r.WinRate, r.Errors)
+	}
+	auto := row("auto", autoLat, autoCost, autoErrs)
+	auto.BestCostMatches = bestMatches
+	if overheadN > 0 {
+		auto.RaceOverhead = overheadSum / float64(overheadN)
+	}
+	rep.FormMix = append(rep.FormMix, auto)
+	fmt.Printf("form-mix %-5s  p50 %7.2fms  mean %7.2fms  #L %6.1f  overhead %.2fx  best-cost %d/%d\n",
+		auto.Form, auto.P50MS, auto.MeanMS, auto.MeanLiterals, auto.RaceOverhead, bestMatches, keys-autoErrs)
+
+	rep.Summary["form_mix_race_overhead"] = fmt.Sprintf("%.2fx", auto.RaceOverhead)
+	rep.Summary["form_mix_best_cost"] = fmt.Sprintf("%d/%d", bestMatches, keys-autoErrs)
+	var winParts []string
+	for _, form := range forms {
+		if races > 0 {
+			winParts = append(winParts, fmt.Sprintf("%s %.0f%%", form, 100*float64(st.EngineWinsByForm[form])/float64(races)))
+		}
+	}
+	rep.Summary["form_mix_wins"] = strings.Join(winParts, ", ")
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sppload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "sppload:", err)
+		os.Exit(1)
+	}
+	for _, k := range []string{"form_mix_wins", "form_mix_race_overhead", "form_mix_best_cost"} {
+		fmt.Printf("summary %s = %s\n", k, rep.Summary[k])
+	}
+	if bestMatches != keys-autoErrs {
+		fmt.Fprintf(os.Stderr, "sppload: form-mix: %d/%d auto races missed the best explicit cost\n",
+			keys-autoErrs-bestMatches, keys-autoErrs)
+		os.Exit(1)
+	}
+	if autoErrs > 0 {
+		fmt.Fprintf(os.Stderr, "sppload: form-mix: %d auto races failed\n", autoErrs)
+		os.Exit(1)
 	}
 }
 

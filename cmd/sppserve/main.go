@@ -6,6 +6,7 @@
 //	sppserve -addr 127.0.0.1:8080
 //	curl -s localhost:8080/healthz
 //	curl -s -d '{"bench":"adr4"}' localhost:8080/v1/minimize
+//	curl -s -d '{"bench":"adr4","form":"auto"}' localhost:8080/v1/minimize
 //	curl -s -d '{"requests":[{"n":3,"on":[1,2,4,7]},{"bench":"life"}]}' \
 //	    localhost:8080/v1/minimize
 //	curl -s -d '{"base":"<base_key>","add":[5],"remove":[24]}' \
@@ -27,9 +28,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/service"
 )
@@ -56,10 +59,23 @@ func main() {
 		jobRetries  = flag.Int("job-retries", 2, "lease-expiry retries before a job is parked as failed")
 		jobLease    = flag.Duration("job-lease", 30*time.Second, "job lease TTL; a worker that misses heartbeats this long forfeits the job")
 		jobTimeout  = flag.Duration("job-timeout", 10*time.Minute, "cap on a single async job compute")
+		forms       = flag.String("forms", "", "comma-separated form backends to enable (spp,sop,esop,dsop; empty = all); see docs/forms.md")
 	)
 	core := harness.DefaultConfig()
 	core.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	var formList []string
+	if *forms != "" {
+		formList = strings.Split(*forms, ",")
+		for i := range formList {
+			formList[i] = strings.TrimSpace(formList[i])
+		}
+		if _, err := engine.NewRegistry(formList...); err != nil {
+			fmt.Fprintln(os.Stderr, "sppserve:", err)
+			os.Exit(1)
+		}
+	}
 
 	svc := service.New(service.Config{
 		Core:           core,
@@ -80,6 +96,7 @@ func main() {
 		JobRetries:     *jobRetries,
 		JobLeaseTTL:    *jobLease,
 		JobTimeout:     *jobTimeout,
+		Forms:          formList,
 	})
 
 	if *jobsDir != "" {

@@ -233,6 +233,19 @@ func (m *Manager) FromCEX(c *pcube.CEX) Node {
 	return acc
 }
 
+// Branches exposes node n's decision structure for external
+// traversals: its variable level and the lo (x_level = 0) and hi
+// (x_level = 1) cofactor nodes. Terminals report level == NumVars()
+// with lo == hi == n. The DSOP extraction in internal/dsop walks
+// 1-paths through this accessor.
+func (m *Manager) Branches(n Node) (level int, lo, hi Node) {
+	d := m.nodes[n]
+	if n == Const0 || n == Const1 {
+		return int(d.level), n, n
+	}
+	return int(d.level), d.lo, d.hi
+}
+
 // NodeCount returns the number of internal nodes reachable from n (the
 // size of that function's diagram, excluding terminals).
 func (m *Manager) NodeCount(n Node) int {

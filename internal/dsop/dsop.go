@@ -1,0 +1,176 @@
+// Package dsop implements Disjoint Sum-of-Products (DSOP) extraction:
+// an OR of products in which every pair of products is disjoint (no
+// minterm is covered twice), the form Bernasconi, Ciriani, Luccio and
+// Pagli study in "Compact DSOP and partial DSOP Forms". Disjointness
+// is what makes the OR a free EXOR — a DSOP is simultaneously a valid
+// ESOP — so the form is the bridge between the repo's SOP and AND-EXOR
+// backends and a standard starting point for spectral methods.
+//
+// Cost model: literal count (the paper family's #L), like every other
+// backend in internal/engine. The extraction is heuristic, not
+// minimum: cubes are the 1-paths of a reduced ordered BDD of the
+// function under the natural variable order (two distinct 1-paths
+// disagree on the decision variable where they diverge, so path cubes
+// are pairwise disjoint by construction), followed by a distance-1
+// remerge pass — the union of two disjoint cubes differing in one
+// literal is a single cube covering exactly their union, so merging
+// preserves both disjointness and the covered set while removing
+// 2(k-1) literals per merge. Work is O(paths · n) plus the BDD build;
+// the path count is capped (Options.MaxCubes) because a diagram can
+// hold exponentially many 1-paths.
+package dsop
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/bfunc"
+	"repro/internal/bitvec"
+	"repro/internal/cube"
+)
+
+// ErrTooLarge reports that the function's BDD holds more 1-paths than
+// Options.MaxCubes: the extraction was abandoned, not truncated.
+var ErrTooLarge = errors.New("dsop: 1-path count exceeds the cube budget")
+
+// DefaultMaxCubes bounds the extracted cube count when Options.MaxCubes
+// is zero.
+const DefaultMaxCubes = 1 << 16
+
+// Options tune the extraction.
+type Options struct {
+	// MaxCubes caps the number of BDD 1-paths enumerated; exceeding it
+	// fails with ErrTooLarge (0 = DefaultMaxCubes).
+	MaxCubes int
+	// Ctx, when non-nil, cancels the enumeration between paths.
+	Ctx context.Context
+}
+
+// Result is an extracted DSOP form.
+type Result struct {
+	Form cube.Form
+	// BDDNodes is the diagram size the paths were read from.
+	BDDNodes int
+	// Merged counts distance-1 cube merges applied after extraction.
+	Merged int
+}
+
+// Literals returns the form's literal count (#L).
+func (r *Result) Literals() int { return r.Form.Literals() }
+
+// Minimize extracts a DSOP of the completely specified function f.
+// Don't-care sets are rejected: a DSOP of an incompletely specified
+// function would additionally choose DC assignments, which this
+// extraction does not attempt.
+func Minimize(f *bfunc.Func, opts Options) (*Result, error) {
+	if len(f.DC()) > 0 {
+		return nil, errors.New("dsop: don't-care sets unsupported; specify the function")
+	}
+	maxCubes := opts.MaxCubes
+	if maxCubes <= 0 {
+		maxCubes = DefaultMaxCubes
+	}
+	n := f.N()
+	res := &Result{Form: cube.Form{N: n}}
+	if f.OnCount() == 0 {
+		return res, nil
+	}
+	if f.IsConstantOne() {
+		res.Form.Cubes = []cube.Cube{{}}
+		return res, nil
+	}
+
+	m := bdd.New(n)
+	root := m.FromFunc(f)
+	res.BDDNodes = m.NodeCount(root)
+
+	// Enumerate 1-paths iteratively (explicit stack: node plus the cube
+	// accumulated so far). Levels skipped between a node and its parent
+	// stay absent from the cube's care mask — the path does not
+	// constrain them.
+	type frame struct {
+		node bdd.Node
+		c    cube.Cube
+	}
+	stack := []frame{{node: root}}
+	var cubes []cube.Cube
+	steps := 0
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if steps++; steps&1023 == 0 && opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		switch fr.node {
+		case bdd.Const0:
+			continue
+		case bdd.Const1:
+			if len(cubes) >= maxCubes {
+				return nil, fmt.Errorf("%w (cap %d)", ErrTooLarge, maxCubes)
+			}
+			cubes = append(cubes, fr.c)
+			continue
+		}
+		level, lo, hi := m.Branches(fr.node)
+		mask := bitvec.VarMask(n, level)
+		stack = append(stack,
+			frame{node: lo, c: cube.New(fr.c.Care|mask, fr.c.Val)},
+			frame{node: hi, c: cube.New(fr.c.Care|mask, fr.c.Val|mask)},
+		)
+	}
+
+	res.Form.Cubes, res.Merged = remerge(cubes)
+	return res, nil
+}
+
+// remerge greedily applies distance-1 merges until a fixpoint. Both
+// inputs of a merge are disjoint from every other cube and their union
+// is exactly the merged cube, so the form stays a DSOP of the same
+// function throughout. The pairwise scan is quadratic per pass, which
+// the MaxCubes cap keeps affordable.
+func remerge(cubes []cube.Cube) ([]cube.Cube, int) {
+	merged := 0
+	for {
+		again := false
+		for i := 0; i < len(cubes); i++ {
+			for j := i + 1; j < len(cubes); j++ {
+				m, ok := cube.MergeDistance1(cubes[i], cubes[j])
+				if !ok {
+					continue
+				}
+				cubes[i] = m
+				cubes[j] = cubes[len(cubes)-1]
+				cubes = cubes[:len(cubes)-1]
+				merged++
+				again = true
+				j--
+			}
+		}
+		if !again {
+			break
+		}
+	}
+	sortCubes(cubes)
+	return cubes, merged
+}
+
+// sortCubes orders deterministically by (Care, Val) so the extracted
+// form is independent of enumeration order.
+func sortCubes(cs []cube.Cube) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && less(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func less(a, b cube.Cube) bool {
+	if a.Care != b.Care {
+		return a.Care < b.Care
+	}
+	return a.Val < b.Val
+}

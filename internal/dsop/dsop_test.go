@@ -1,0 +1,148 @@
+package dsop
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/cube"
+)
+
+func randomFunc(rng *rand.Rand, n, onCount int) *bfunc.Func {
+	size := 1 << uint(n)
+	perm := rng.Perm(size)
+	on := make([]uint64, 0, onCount)
+	for _, p := range perm[:onCount] {
+		on = append(on, uint64(p))
+	}
+	return bfunc.New(n, on)
+}
+
+// TestEquivalenceAndDisjointness checks the two defining properties on
+// random functions: the form evaluates identically to f everywhere,
+// and no two cubes share a minterm.
+func TestEquivalenceAndDisjointness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(7)
+		size := 1 << uint(n)
+		f := randomFunc(rng, n, rng.Intn(size+1))
+		res, err := Minimize(f, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for p := uint64(0); p < uint64(size); p++ {
+			if res.Form.Eval(p) != f.IsOn(p) {
+				t.Fatalf("n=%d iter=%d: form disagrees with f at %d\n  form=%v", n, iter, p, res.Form)
+			}
+			covered := 0
+			for _, c := range res.Form.Cubes {
+				if c.Contains(p) {
+					covered++
+				}
+			}
+			if covered > 1 {
+				t.Fatalf("n=%d iter=%d: point %d covered %d times — not disjoint\n  form=%v",
+					n, iter, p, covered, res.Form)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 50; iter++ {
+		n := 3 + rng.Intn(6)
+		f := randomFunc(rng, n, rng.Intn(1<<uint(n)))
+		a, err := Minimize(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Minimize(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Form.String() != b.Form.String() {
+			t.Fatalf("nondeterministic form:\n  a=%v\n  b=%v", a.Form, b.Form)
+		}
+	}
+}
+
+func TestConstants(t *testing.T) {
+	zero := bfunc.New(3, nil)
+	res, err := Minimize(zero, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Form.Cubes) != 0 || res.Form.String() != "0" {
+		t.Fatalf("constant 0: got %v", res.Form)
+	}
+
+	on := make([]uint64, 8)
+	for i := range on {
+		on[i] = uint64(i)
+	}
+	one := bfunc.New(3, on)
+	res, err = Minimize(one, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Form.Cubes) != 1 || res.Form.Cubes[0] != (cube.Cube{}) {
+		t.Fatalf("constant 1: got %v", res.Form)
+	}
+}
+
+func TestRejectsDC(t *testing.T) {
+	f := bfunc.NewDC(3, []uint64{1}, []uint64{2})
+	if _, err := Minimize(f, Options{}); err == nil {
+		t.Fatal("expected an error for a DC set")
+	}
+}
+
+func TestMaxCubes(t *testing.T) {
+	// Odd parity on 6 variables has 32 one-paths and no distance-1
+	// merges, so a cap of 8 must trip.
+	n := 6
+	var on []uint64
+	for p := uint64(0); p < 64; p++ {
+		if popcount(p)%2 == 1 {
+			on = append(on, p)
+		}
+	}
+	f := bfunc.New(n, on)
+	if _, err := Minimize(f, Options{MaxCubes: 8}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	res, err := Minimize(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Form.Cubes) != 32 {
+		t.Fatalf("parity DSOP: want 32 cubes, got %d", len(res.Form.Cubes))
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(3))
+	f := randomFunc(rng, 10, 512)
+	if _, err := Minimize(f, Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		// Cancellation is polled every 1024 steps; tiny traversals can
+		// legitimately finish first. This function's BDD walk is larger
+		// than one poll interval, so a nil error means polling broke.
+		if err == nil {
+			t.Fatal("cancelled context ignored")
+		}
+	}
+}
+
+func popcount(p uint64) int {
+	c := 0
+	for ; p != 0; p &= p - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bfunc"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/dsop"
+	"repro/internal/fprm"
+	"repro/internal/sp"
+)
+
+func randomFunc(rng *rand.Rand, n, onCount int) *bfunc.Func {
+	size := 1 << uint(n)
+	perm := rng.Perm(size)
+	on := make([]uint64, 0, onCount)
+	for _, p := range perm[:onCount] {
+		on = append(on, uint64(p))
+	}
+	return bfunc.New(n, on)
+}
+
+func mustBackend(t *testing.T, name string) Backend {
+	t.Helper()
+	r, err := NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := r.Get(name)
+	if !ok {
+		t.Fatalf("backend %q missing from full registry", name)
+	}
+	return b
+}
+
+// TestOracles asserts each backend through the engine interface is
+// byte-identical (rendered form, cost, term count) to calling the
+// underlying package directly.
+func TestOracles(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	funcs := make([]*bfunc.Func, 0, 12)
+	for i := 0; i < 12; i++ {
+		n := 3 + rng.Intn(5)
+		funcs = append(funcs, randomFunc(rng, n, 1+rng.Intn(1<<uint(n))))
+	}
+
+	t.Run("spp", func(t *testing.T) {
+		b := mustBackend(t, "spp")
+		for _, f := range funcs {
+			got, err := b.Minimize(ctx, f, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.MinimizeExact(f, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Form.String() != want.Form.String() ||
+				got.Form.Literals() != want.Form.Literals() ||
+				got.EPPP != want.Build.EPPP ||
+				got.Optimal != want.CoverOptimal {
+				t.Fatalf("engine spp diverges from core.MinimizeExact:\n  got  %v (#L=%d)\n  want %v (#L=%d)",
+					got.Form, got.Form.Literals(), want.Form, want.Form.Literals())
+			}
+		}
+	})
+
+	t.Run("spp-sppk", func(t *testing.T) {
+		b := mustBackend(t, "spp")
+		f := funcs[0]
+		got, err := b.Minimize(ctx, f, Options{Algorithm: "sppk", K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Heuristic(f, 2, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Form.String() != want.Form.String() {
+			t.Fatalf("engine sppk diverges:\n  got  %v\n  want %v", got.Form, want.Form)
+		}
+	})
+
+	t.Run("sop", func(t *testing.T) {
+		b := mustBackend(t, "sop")
+		for _, f := range funcs {
+			got, err := b.Minimize(ctx, f, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sp.Minimize(f, sp.Options{})
+			wantStr := cube.Form{N: want.Form.N, Cubes: want.Form.Cubes}.String()
+			if got.Form.String() != wantStr ||
+				got.Form.Literals() != want.Form.Literals() ||
+				got.Optimal != want.CoverOptimal {
+				t.Fatalf("engine sop diverges from sp.Minimize:\n  got  %v\n  want %v", got.Form, want.Form)
+			}
+		}
+	})
+
+	t.Run("esop", func(t *testing.T) {
+		b := mustBackend(t, "esop")
+		for _, f := range funcs {
+			got, err := b.Minimize(ctx, f, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fprm.Minimize(f)
+			if got.Form.String() != want.Format(f.N()) ||
+				got.Form.Literals() != want.Literals ||
+				got.Form.NumTerms() != want.NumTerms() {
+				t.Fatalf("engine esop diverges from fprm.Minimize:\n  got  %v\n  want %v",
+					got.Form, want.Format(f.N()))
+			}
+		}
+	})
+
+	t.Run("dsop", func(t *testing.T) {
+		b := mustBackend(t, "dsop")
+		for _, f := range funcs {
+			got, err := b.Minimize(ctx, f, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := dsop.Minimize(f, dsop.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Form.(DSOPForm).F.Cubes, want.Form.Cubes) {
+				t.Fatalf("engine dsop diverges from dsop.Minimize:\n  got  %v\n  want %v", got.Form, want.Form)
+			}
+		}
+	})
+}
+
+// TestFormsEvalAndPermute checks every backend's Form wrapper against
+// the source function, before and after a variable permutation.
+func TestFormsEvalAndPermute(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(12))
+	reg, err := NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 8; iter++ {
+		n := 3 + rng.Intn(4)
+		size := 1 << uint(n)
+		f := randomFunc(rng, n, 1+rng.Intn(size))
+		perm := rng.Perm(n)
+		for _, b := range reg.Backends() {
+			res, err := b.Minimize(ctx, f, Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name(), err)
+			}
+			pf := res.Form.Permute(perm)
+			for p := uint64(0); p < uint64(size); p++ {
+				if res.Form.Eval(p) != f.IsOn(p) {
+					t.Fatalf("%s: form disagrees with f at %d", b.Name(), p)
+				}
+				var q uint64
+				for i := 0; i < n; i++ {
+					if p&(1<<uint(n-1-i)) != 0 {
+						q |= 1 << uint(n-1-perm[i])
+					}
+				}
+				if pf.Eval(q) != f.IsOn(p) {
+					t.Fatalf("%s: permuted form disagrees at π(%d)=%d (perm=%v)", b.Name(), p, q, perm)
+				}
+			}
+			if res.Form.Bytes() <= 0 {
+				t.Fatalf("%s: nonpositive Bytes()", b.Name())
+			}
+		}
+	}
+}
+
+// TestRaceBestCost pins the auto-race determinism contract: the
+// winning cost equals the minimum over per-backend costs, every time.
+func TestRaceBestCost(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(13))
+	reg, err := NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 10; iter++ {
+		n := 3 + rng.Intn(4)
+		f := randomFunc(rng, n, 1+rng.Intn(1<<uint(n)))
+
+		best := -1
+		for _, b := range reg.Backends() {
+			res, err := b.Minimize(ctx, f, Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name(), err)
+			}
+			if best == -1 || res.Form.Literals() < best {
+				best = res.Form.Literals()
+			}
+		}
+
+		var costs []int
+		for rep := 0; rep < 4; rep++ {
+			rr, err := Race(ctx, reg.Backends(), f, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rr.Cancelled != 0 {
+				t.Fatalf("best-cost race cancelled %d backends", rr.Cancelled)
+			}
+			costs = append(costs, rr.Results[rr.Winner].Form.Literals())
+		}
+		for _, c := range costs {
+			if c != best {
+				t.Fatalf("race cost %v, want every run = %d (min over backends)", costs, best)
+			}
+		}
+	}
+}
+
+// TestRaceTarget checks first-acceptable mode: an immediately
+// satisfiable target wins without waiting for slower backends.
+func TestRaceTarget(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(14))
+	f := randomFunc(rng, 6, 40)
+	reg, err := NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target high enough that any backend's answer is acceptable.
+	rr, err := Race(ctx, reg.Backends(), f, Options{Target: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Winner < 0 {
+		t.Fatal("no winner")
+	}
+	if got := rr.Results[rr.Winner].Form.Literals(); got > 1<<20 {
+		t.Fatalf("winner cost %d exceeds target", got)
+	}
+}
+
+func TestEligibility(t *testing.T) {
+	reg, err := NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := bfunc.New(3, []uint64{1, 2})
+	if got := len(reg.Eligible(full)); got != 4 {
+		t.Fatalf("complete function: want 4 eligible backends, got %d", got)
+	}
+	dc := bfunc.NewDC(3, []uint64{1}, []uint64{2})
+	var names []string
+	for _, b := range reg.Eligible(dc) {
+		names = append(names, b.Name())
+	}
+	if !reflect.DeepEqual(names, []string{"spp", "sop"}) {
+		t.Fatalf("DC function: want [spp sop], got %v", names)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg, err := NewRegistry("dsop", "spp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.NamesEnabled(); !reflect.DeepEqual(got, []string{"spp", "dsop"}) {
+		t.Fatalf("want canonical order [spp dsop], got %v", got)
+	}
+	if _, err := NewRegistry("pla"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, ok := reg.Get("sop"); ok {
+		t.Fatal("disabled backend resolvable")
+	}
+}
+
+// TestSaltStability pins the spp salt to the service's historical
+// option tag and checks the other salts are distinct per backend.
+func TestSaltStability(t *testing.T) {
+	reg, err := NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spp, _ := reg.Get("spp")
+	got := spp.Salt(Options{Algorithm: "sppk", K: 3,
+		Core: core.Options{CoverExact: true, Cost: core.CostFactors, MaxCandidates: 7, CoverMaxNodes: 9}})
+	want := "alg=sppk;k=3;xc=true;fc=true;cand=7;nodes=9"
+	if got != want {
+		t.Fatalf("spp salt drifted:\n  got  %q\n  want %q", got, want)
+	}
+	if got := spp.Salt(Options{}); got != "alg=exact;k=0;xc=false;fc=false;cand=0;nodes=0" {
+		t.Fatalf("default spp salt drifted: %q", got)
+	}
+	seen := map[string]string{}
+	for _, b := range reg.Backends() {
+		s := b.Salt(Options{})
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("salt %q shared by %s and %s", s, prev, b.Name())
+		}
+		seen[s] = b.Name()
+	}
+}
+
+func TestESOPRejectsWideAndDC(t *testing.T) {
+	b := mustBackend(t, "esop")
+	dc := bfunc.NewDC(3, []uint64{1}, []uint64{2})
+	if _, err := b.Minimize(context.Background(), dc, Options{}); err == nil {
+		t.Fatal("esop accepted a DC set")
+	}
+	wide := bfunc.New(ESOPMaxVars+1, []uint64{0})
+	_, err := b.Minimize(context.Background(), wide, Options{})
+	if !errors.Is(err, core.ErrBudget) {
+		t.Fatalf("want ErrBudget for %d vars, got %v", ESOPMaxVars+1, err)
+	}
+}
+
+func TestRaceAllFail(t *testing.T) {
+	reg, err := NewRegistry("esop", "dsop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := bfunc.NewDC(3, []uint64{1}, []uint64{2})
+	rr, err := Race(context.Background(), reg.Backends(), dc, Options{})
+	if err == nil {
+		t.Fatal("want error when every backend fails")
+	}
+	if rr.Winner != -1 {
+		t.Fatalf("winner %d on total failure", rr.Winner)
+	}
+}

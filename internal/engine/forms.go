@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/fprm"
+	"repro/internal/pcube"
+)
+
+// SPPForm adapts a sum of pseudoproducts (the paper's form) onto the
+// engine Form interface.
+type SPPForm struct{ F core.Form }
+
+func (s SPPForm) String() string { return s.F.String() }
+
+// Literals reports the SPP #L cost.
+func (s SPPForm) Literals() int { return s.F.Literals() }
+
+// NumTerms reports the pseudoproduct count (#P).
+func (s SPPForm) NumTerms() int { return s.F.NumTerms() }
+
+// Eval reports the form's value on a packed point.
+func (s SPPForm) Eval(p uint64) bool { return s.F.Eval(p) }
+
+// Permute renames variables through pcube.CEX.PermuteVars.
+func (s SPPForm) Permute(perm []int) Form {
+	terms := make([]*pcube.CEX, len(s.F.Terms))
+	for i, t := range s.F.Terms {
+		terms[i] = t.PermuteVars(perm)
+	}
+	return SPPForm{F: core.Form{N: s.F.N, Terms: terms}}
+}
+
+// Bytes estimates the resident footprint (the legacy service cache
+// weight formula for SPP entries).
+func (s SPPForm) Bytes() int64 {
+	var w int64
+	for _, t := range s.F.Terms {
+		w += 64 + int64(len(t.Factors))*25
+	}
+	return w
+}
+
+// SOPForm adapts a plain sum of products.
+type SOPForm struct{ F cube.Form }
+
+func (s SOPForm) String() string { return s.F.String() }
+
+// Literals reports the SOP #L cost.
+func (s SOPForm) Literals() int { return s.F.Literals() }
+
+// NumTerms reports the product count.
+func (s SOPForm) NumTerms() int { return len(s.F.Cubes) }
+
+// Eval reports the form's value on a packed point.
+func (s SOPForm) Eval(p uint64) bool { return s.F.Eval(p) }
+
+// Permute renames variables on every cube's care/value masks.
+func (s SOPForm) Permute(perm []int) Form {
+	return SOPForm{F: permuteCubeForm(s.F, perm)}
+}
+
+// Bytes estimates the resident footprint.
+func (s SOPForm) Bytes() int64 { return 32 + int64(len(s.F.Cubes))*16 }
+
+// DSOPForm adapts a disjoint sum of products. Disjointness makes the
+// sum a valid EXOR, so it renders with ⊕ to make the form class
+// visible; Eval still ORs (equivalent on a DSOP, cheaper).
+type DSOPForm struct{ F cube.Form }
+
+func (d DSOPForm) String() string {
+	if len(d.F.Cubes) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(d.F.Cubes))
+	for i, c := range d.F.Cubes {
+		parts[i] = c.Format(d.F.N)
+	}
+	return strings.Join(parts, " ⊕ ")
+}
+
+// Literals reports the DSOP #L cost.
+func (d DSOPForm) Literals() int { return d.F.Literals() }
+
+// NumTerms reports the product count.
+func (d DSOPForm) NumTerms() int { return len(d.F.Cubes) }
+
+// Eval reports the form's value on a packed point.
+func (d DSOPForm) Eval(p uint64) bool { return d.F.Eval(p) }
+
+// Permute renames variables on every cube's care/value masks.
+func (d DSOPForm) Permute(perm []int) Form {
+	return DSOPForm{F: permuteCubeForm(d.F, perm)}
+}
+
+// Bytes estimates the resident footprint.
+func (d DSOPForm) Bytes() int64 { return 32 + int64(len(d.F.Cubes))*16 }
+
+// permuteCubeForm remaps cube care/value masks (a cube's masks are
+// point sets under bitvec packing, so PermutePoint applies to both)
+// and re-sorts the cubes by (Care, Val). The sort makes the rendered
+// form canonical: the service minimizes in canonical variable order
+// and permutes back out, so without it the cube order would leak the
+// cache's internal variable ordering.
+func permuteCubeForm(f cube.Form, perm []int) cube.Form {
+	cubes := make([]cube.Cube, len(f.Cubes))
+	for i, c := range f.Cubes {
+		cubes[i] = cube.Cube{
+			Care: bitvec.PermutePoint(c.Care, f.N, perm),
+			Val:  bitvec.PermutePoint(c.Val, f.N, perm),
+		}
+	}
+	for i := 1; i < len(cubes); i++ {
+		for j := i; j > 0 && cubeLess(cubes[j], cubes[j-1]); j-- {
+			cubes[j], cubes[j-1] = cubes[j-1], cubes[j]
+		}
+	}
+	return cube.Form{N: f.N, Cubes: cubes}
+}
+
+func cubeLess(a, b cube.Cube) bool {
+	if a.Care != b.Care {
+		return a.Care < b.Care
+	}
+	return a.Val < b.Val
+}
+
+// ESOPForm adapts a fixed-polarity Reed–Muller expression: an EXOR of
+// products in which each variable appears with one global polarity.
+type ESOPForm struct {
+	N        int
+	Polarity uint64
+	// Monomials lists the nonzero spectrum coefficients in ascending
+	// mask order (fprm's output order).
+	Monomials []uint64
+}
+
+func (e ESOPForm) String() string {
+	r := fprm.Result{Polarity: e.Polarity, Monomials: e.Monomials}
+	return r.Format(e.N)
+}
+
+// Literals reports Σ |monomial|, the cost comparable to #L.
+func (e ESOPForm) Literals() int {
+	total := 0
+	for _, m := range e.Monomials {
+		total += bitvec.OnesCount(m)
+	}
+	return total
+}
+
+// NumTerms reports the EXOR-summed product count.
+func (e ESOPForm) NumTerms() int { return len(e.Monomials) }
+
+// Eval reports the form's value on a packed point.
+func (e ESOPForm) Eval(p uint64) bool {
+	r := fprm.Result{Polarity: e.Polarity, Monomials: e.Monomials}
+	return r.Eval(p)
+}
+
+// Permute renames variables on the polarity and monomial masks (all
+// are variable sets under bitvec packing). The monomial list is
+// re-sorted to keep the ascending-mask rendering order canonical.
+func (e ESOPForm) Permute(perm []int) Form {
+	out := ESOPForm{
+		N:         e.N,
+		Polarity:  bitvec.PermutePoint(e.Polarity, e.N, perm),
+		Monomials: make([]uint64, len(e.Monomials)),
+	}
+	for i, m := range e.Monomials {
+		out.Monomials[i] = bitvec.PermutePoint(m, e.N, perm)
+	}
+	sortMasks(out.Monomials)
+	return out
+}
+
+// Bytes estimates the resident footprint.
+func (e ESOPForm) Bytes() int64 { return 48 + int64(len(e.Monomials))*8 }
+
+// sortMasks orders ascending (insertion sort: monomial lists are
+// short and usually nearly sorted).
+func sortMasks(ms []uint64) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j] < ms[j-1]; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}

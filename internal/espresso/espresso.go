@@ -17,6 +17,13 @@
 //	IRREDUNDANT drops cubes whose ON minterms are covered by the rest.
 //
 // The loop runs until an iteration stops improving the literal count.
+//
+// Cost model: the loop minimizes the SOP literal count #L (the sum of
+// care-bit counts over the cover's cubes), the same metric the
+// Brayton–Hachtel–McMullen–Sangiovanni ESPRESSO book optimizes and the
+// one the portfolio engine (internal/engine, docs/forms.md) uses to
+// compare forms across backends. Term count #P falls out as a
+// secondary effect of cube merging, it is never traded against #L.
 package espresso
 
 import (

@@ -10,6 +10,14 @@
 // butterfly transform in O(n·2^n); the best polarity is found
 // exhaustively for narrow functions (2^n polarities) and by greedy
 // bit-flip hill climbing for wide ones.
+//
+// Cost model: a polarity's cost is Σ|monomial| — the literal count of
+// the EXOR expression, each monomial contributing one literal per
+// variable it contains. This is directly comparable to the SOP/SPP #L
+// metric, which is what lets the portfolio engine (internal/engine,
+// docs/forms.md) race the "esop" backend against the others under one
+// cost. Exhaustive search proves the minimum over all 2^n fixed
+// polarities; hill climbing beyond ExhaustiveLimit does not.
 package fprm
 
 import (

@@ -2,6 +2,15 @@
 // incompletely specified single-output Boolean functions. It provides
 // the SP side of the paper's Table 1 comparison and the starting cover
 // for the SPP heuristic (Algorithm 3 step 1).
+//
+// Source algorithm: the classical tabulation method (Quine 1952,
+// McCluskey 1956) — group cubes by the popcount of their value bits
+// and merge distance-1 pairs level by level until no merge applies;
+// the unmerged survivors are exactly the prime implicants (maximal
+// cubes inside ON ∪ DC). Primes are cost-neutral by themselves; the
+// covering step that selects among them (internal/cover, driven by
+// internal/sp) minimizes the literal count #L, the shared cost model
+// of the portfolio engine (docs/forms.md).
 package qm
 
 import (

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bfunc"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fcache"
 )
 
@@ -335,7 +336,7 @@ func TestServiceCollisionRecompute(t *testing.T) {
 
 	// Poison the exact slot the request will probe with a different
 	// function's (empty) result.
-	s.cache.Put(key, cacheEntry{canon: bfunc.New(3, []uint64{0}), form: core.Form{N: 3}})
+	s.cache.Put(key, cacheEntry{canon: bfunc.New(3, []uint64{0}), form: engine.SPPForm{F: core.Form{N: 3}}, kind: "spp"})
 
 	code, out := post(t, h, fmt.Sprintf(`{"n":3,"on":%s}`, pointsJSON(on)))
 	r := decodeResp(t, out)

@@ -1,0 +1,410 @@
+package service
+
+// The portfolio routing layer: the "form" request field selects one
+// backend of internal/engine (or, with form=auto, races every eligible
+// backend under ONE admission slot and one budget). Results cache
+// per-(canonical key, backend salt), so a warm SPP entry never masks a
+// cheaper ESOP answer; the auto verdict additionally caches under its
+// own derived key so repeat auto requests are single-probe hits.
+// docs/forms.md is the normative contract.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/bfunc"
+	"repro/internal/engine"
+	"repro/internal/fcache"
+	"repro/internal/stats"
+)
+
+// normalizeForm resolves the request's form field and enforces the
+// option matrix: algorithm/k and factor_cost belong to the SPP
+// backend, exact_cover to the covering backends (spp, sop, and auto —
+// which races both), accept_literals to the auto race.
+func (s *Server) normalizeForm(q Request) (string, error) {
+	form := q.Form
+	if form == "" {
+		form = "spp"
+	}
+	switch form {
+	case "spp":
+		if q.AcceptLiterals != 0 {
+			return "", fmt.Errorf("accept_literals applies only to form \"auto\"")
+		}
+	case "sop", "esop", "dsop":
+		if q.Algorithm != "" || q.K != 0 {
+			return "", fmt.Errorf("algorithm/k apply only to form \"spp\", not %q", form)
+		}
+		if q.FactorCost {
+			return "", fmt.Errorf("factor_cost applies only to form \"spp\", not %q", form)
+		}
+		if q.ExactCover && form != "sop" {
+			return "", fmt.Errorf("exact_cover applies to forms \"spp\" and \"sop\", not %q", form)
+		}
+		if q.AcceptLiterals != 0 {
+			return "", fmt.Errorf("accept_literals applies only to form \"auto\"")
+		}
+	case "auto":
+		if q.Algorithm != "" || q.K != 0 {
+			return "", fmt.Errorf("algorithm/k apply only to form \"spp\"; auto races the default engines")
+		}
+		if q.FactorCost {
+			// Racing needs one shared cost model; factor cost would score
+			// the SPP entrant on a different axis than its rivals.
+			return "", fmt.Errorf("factor_cost is incompatible with form \"auto\" (the race compares literal counts)")
+		}
+		if q.AcceptLiterals < 0 {
+			return "", fmt.Errorf("accept_literals must be >= 0")
+		}
+	default:
+		return "", fmt.Errorf("unknown form %q (have spp, sop, esop, dsop, auto)", form)
+	}
+	if form != "auto" {
+		if _, ok := s.registry.Get(form); !ok {
+			return "", fmt.Errorf("form %q is disabled on this server (enabled: %s)",
+				form, strings.Join(s.registry.NamesEnabled(), ", "))
+		}
+	}
+	return form, nil
+}
+
+// engineOptions assembles one backend run's options. The SPP entrant
+// of an auto race always runs the exact algorithm (normalizeForm
+// rejects algorithm/k for non-spp forms).
+func (s *Server) engineOptions(ctx context.Context, q Request, rec *stats.Recorder) engine.Options {
+	return engine.Options{
+		Core:   s.coreOptions(ctx, q, rec),
+		Target: q.AcceptLiterals,
+	}
+}
+
+// processEngine serves a non-SPP explicit form or the auto race:
+// canonicalize, probe the per-backend cache keys, and on miss lead or
+// join a coalesced computation, exactly like the SPP path.
+func (s *Server) processEngine(ctx context.Context, q Request, f *bfunc.Func, formName string, start time.Time) Response {
+	elapsed := func() int64 { return time.Since(start).Nanoseconds() }
+	fail := func(status int, err error, oc outcome) Response {
+		return Response{Error: err.Error(), status: status, outcome: oc, ElapsedNS: elapsed()}
+	}
+	failErr := func(err error) Response {
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			if ce := ctx.Err(); ce != nil {
+				status = statusFor(ce)
+			}
+		}
+		return fail(status, err, outcomeError)
+	}
+
+	baseKey, perm, canon, err := fcache.CanonicalizeCtx(ctx, f)
+	if err != nil {
+		return failErr(err)
+	}
+	inv := fcache.InversePerm(perm)
+	sameCanon := func(e cacheEntry) bool { return e.canon.Equal(canon) }
+	engOpts := s.engineOptions(ctx, q, nil)
+
+	respond := func(e cacheEntry, key fcache.Key, cached, coalesced bool, rep *stats.Report) Response {
+		form := e.form.Permute(inv)
+		oc := outcomeComputed
+		if coalesced {
+			oc = outcomeCoalesced
+		} else if cached {
+			oc = outcomeHit
+		}
+		out := Response{
+			Form:         form.String(),
+			Literals:     form.Literals(),
+			NumTerms:     form.NumTerms(),
+			FormKind:     e.kind,
+			EPPP:         e.eppp,
+			CoverOptimal: e.coverOptimal,
+			Cached:       cached || coalesced,
+			Coalesced:    coalesced,
+			Key:          key.String(),
+			ElapsedNS:    elapsed(),
+			outcome:      oc,
+		}
+		if q.Stats && rep != nil {
+			out.Stats = rep
+		}
+		return out
+	}
+
+	if formName == "auto" {
+		return s.processAuto(ctx, q, canon, baseKey, engOpts, respond, fail, failErr)
+	}
+
+	b, _ := s.registry.Get(formName) // normalizeForm already vetted it
+	if !b.SupportsDC() && len(f.DC()) > 0 {
+		return fail(http.StatusBadRequest,
+			fmt.Errorf("form %q requires a completely specified function (drop the dc set)", formName),
+			outcomeError)
+	}
+	key := baseKey.Derive(b.Salt(engOpts))
+
+	if q.NoCache {
+		e, rep, err := s.computeEngine(ctx, b, key, canon, engOpts, !s.cfg.LegacySerial, nil)
+		if err != nil {
+			return failErr(err)
+		}
+		return respond(e, key, false, false, rep)
+	}
+	if e, ok := s.cache.GetIf(key, sameCanon); ok {
+		return respond(e, key, true, false, nil)
+	}
+	if s.cfg.LegacySerial {
+		e, rep, err := s.computeEngine(ctx, b, key, canon, engOpts, false, nil)
+		if err != nil {
+			return failErr(err)
+		}
+		return respond(e, key, false, false, rep)
+	}
+
+	var leaderRep *stats.Report
+	e, oc, err := s.flights.Do(ctx, key, func(waiters func() int64) (cacheEntry, error) {
+		e, rep, err := s.computeEngine(ctx, b, key, canon, engOpts, true, waiters)
+		leaderRep = rep
+		return e, err
+	})
+	switch oc {
+	case fcache.Led:
+		if err != nil {
+			return failErr(err)
+		}
+		return respond(e, key, false, false, leaderRep)
+	case fcache.Joined:
+		if !e.canon.Equal(canon) {
+			e, rep, err := s.computeEngine(ctx, b, key, canon, engOpts, true, nil)
+			if err != nil {
+				return failErr(err)
+			}
+			return respond(e, key, false, false, rep)
+		}
+		return respond(e, key, false, true, nil)
+	default: // fcache.Detached
+		return fail(statusFor(err), fmt.Errorf("coalesced wait: %w", err), outcomeDetached)
+	}
+}
+
+// computeEngine runs one backend under an admission slot and caches
+// the canonical-space result under its salted key.
+func (s *Server) computeEngine(ctx context.Context, b engine.Backend, key fcache.Key, canon *bfunc.Func, engOpts engine.Options, acquireSlot bool, waiters func() int64) (cacheEntry, *stats.Report, error) {
+	if acquireSlot {
+		release, err := s.acquireSlot(ctx)
+		if err != nil {
+			return cacheEntry{}, nil, err
+		}
+		defer release()
+	}
+
+	rec := stats.New()
+	engOpts.Core.Stats = rec
+	res, err := b.Minimize(ctx, canon, engOpts)
+	if err != nil {
+		return cacheEntry{}, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return cacheEntry{}, nil, err
+	}
+
+	rep := s.recordRun(rec, b.Name(), waiters)
+	e := cacheEntry{
+		canon:        canon,
+		form:         res.Form,
+		kind:         b.Name(),
+		eppp:         res.EPPP,
+		coverOptimal: res.Optimal,
+	}
+	s.cache.Put(key, e)
+	return e, rep, nil
+}
+
+// autoTag derives the auto verdict's own cache-key salt: it must
+// change when the set of raced backends or the acceptance mode does,
+// since either changes which entry the verdict may name.
+func autoTag(salts []string, accept int) string {
+	return fmt.Sprintf("form=auto;accept=%d;over=%s", accept, strings.Join(salts, "|"))
+}
+
+// processAuto races the eligible backends. Backends with a cached
+// result for this canonical class skip recomputation — their cached
+// cost joins the comparison — and each fresh result lands under its
+// own per-backend key before the verdict is picked, so the best-cost
+// answer is deterministic whether it came from cache or race. The
+// whole race (all entrant goroutines) runs under ONE admission slot.
+func (s *Server) processAuto(ctx context.Context, q Request, canon *bfunc.Func, baseKey fcache.Key, engOpts engine.Options,
+	respond func(e cacheEntry, key fcache.Key, cached, coalesced bool, rep *stats.Report) Response,
+	fail func(status int, err error, oc outcome) Response,
+	failErr func(err error) Response) Response {
+
+	eligible := s.registry.Eligible(canon)
+	if len(eligible) == 0 {
+		return fail(http.StatusBadRequest,
+			fmt.Errorf("no eligible backends: the function has don't-cares and every enabled form (%s) requires complete specification",
+				strings.Join(s.registry.NamesEnabled(), ", ")), outcomeError)
+	}
+	sameCanon := func(e cacheEntry) bool { return e.canon.Equal(canon) }
+	keys := make([]fcache.Key, len(eligible))
+	salts := make([]string, len(eligible))
+	for i, b := range eligible {
+		salts[i] = b.Salt(engOpts)
+		keys[i] = baseKey.Derive(salts[i])
+	}
+	autoKey := baseKey.Derive(autoTag(salts, q.AcceptLiterals))
+
+	// best picks the deterministic verdict: minimum literal count, ties
+	// to the earliest backend in canonical registry order.
+	best := func(entries []*cacheEntry) int {
+		win := -1
+		for i, e := range entries {
+			if e == nil {
+				continue
+			}
+			if win == -1 || e.form.Literals() < entries[win].form.Literals() {
+				win = i
+			}
+		}
+		return win
+	}
+
+	// raceMissing computes every backend lacking a cached entry and
+	// returns the verdict entry. It runs inside the flight (or directly
+	// for no_cache / legacy / collision paths).
+	raceMissing := func(waiters func() int64) (cacheEntry, error) {
+		entries := make([]*cacheEntry, len(eligible))
+		var missing []engine.Backend
+		var missingIdx []int
+		for i, b := range eligible {
+			if q.NoCache {
+				missing = append(missing, b)
+				missingIdx = append(missingIdx, i)
+				continue
+			}
+			if e, ok := s.cache.GetIf(keys[i], sameCanon); ok {
+				entries[i] = &e
+				continue
+			}
+			missing = append(missing, b)
+			missingIdx = append(missingIdx, i)
+		}
+
+		// First-acceptable mode: a cached entry at or under the target
+		// settles the verdict without racing the missing backends.
+		if q.AcceptLiterals > 0 {
+			for _, e := range entries {
+				if e != nil && e.form.Literals() <= q.AcceptLiterals {
+					missing, missingIdx = nil, nil
+					break
+				}
+			}
+		}
+
+		var raceErr error
+		if len(missing) > 0 {
+			release, err := s.acquireSlot(ctx)
+			if err != nil {
+				return cacheEntry{}, err
+			}
+			rec := stats.New()
+			opts := engOpts
+			opts.Core.Stats = rec
+			rr, err := engine.Race(ctx, missing, canon, opts)
+			release()
+			raceErr = err
+			for j, res := range rr.Results {
+				if res == nil {
+					continue
+				}
+				i := missingIdx[j]
+				e := cacheEntry{
+					canon:        canon,
+					form:         res.Form,
+					kind:         missing[j].Name(),
+					eppp:         res.EPPP,
+					coverOptimal: res.Optimal,
+				}
+				s.cache.Put(keys[i], e)
+				entries[i] = &e
+			}
+			s.recordRun(rec, "auto", waiters)
+			win := best(entries)
+			s.statsMu.Lock()
+			s.ctr.engineRaces++
+			s.ctr.engineCancelled += int64(rr.Cancelled)
+			if win >= 0 {
+				if s.ctr.winsByForm == nil {
+					s.ctr.winsByForm = make(map[string]int64)
+				}
+				s.ctr.winsByForm[entries[win].kind]++
+			}
+			s.statsMu.Unlock()
+		}
+
+		win := best(entries)
+		if win == -1 {
+			if raceErr != nil {
+				return cacheEntry{}, raceErr
+			}
+			return cacheEntry{}, ctx.Err()
+		}
+		verdict := *entries[win]
+		if !q.NoCache {
+			s.cache.Put(autoKey, verdict)
+		}
+		return verdict, nil
+	}
+
+	// keyFor maps the verdict entry back to its backend key for the
+	// response's key field (clients can re-request that form directly).
+	keyFor := func(e cacheEntry) fcache.Key {
+		for i, b := range eligible {
+			if b.Name() == e.kind {
+				return keys[i]
+			}
+		}
+		return autoKey
+	}
+
+	if q.NoCache {
+		e, err := raceMissing(nil)
+		if err != nil {
+			return failErr(err)
+		}
+		return respond(e, keyFor(e), false, false, nil)
+	}
+	if e, ok := s.cache.GetIf(autoKey, sameCanon); ok {
+		return respond(e, keyFor(e), true, false, nil)
+	}
+	if s.cfg.LegacySerial {
+		e, err := raceMissing(nil)
+		if err != nil {
+			return failErr(err)
+		}
+		return respond(e, keyFor(e), false, false, nil)
+	}
+
+	e, oc, err := s.flights.Do(ctx, autoKey, raceMissing)
+	switch oc {
+	case fcache.Led:
+		if err != nil {
+			return failErr(err)
+		}
+		return respond(e, keyFor(e), false, false, nil)
+	case fcache.Joined:
+		if !e.canon.Equal(canon) {
+			e, err := raceMissing(nil)
+			if err != nil {
+				return failErr(err)
+			}
+			return respond(e, keyFor(e), false, false, nil)
+		}
+		return respond(e, keyFor(e), false, true, nil)
+	default: // fcache.Detached
+		return fail(statusFor(err), fmt.Errorf("coalesced wait: %w", err), outcomeDetached)
+	}
+}

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/bfunc"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fcache"
 	"repro/internal/jobs"
 )
@@ -182,7 +183,8 @@ func (s *Server) warmFromJournal(blob json.RawMessage) bool {
 	canon := bfunc.NewDC(wb.N, wb.On, wb.Dc)
 	s.cache.Put(key, cacheEntry{
 		canon:        canon,
-		form:         form,
+		form:         engine.SPPForm{F: form},
+		kind:         "spp",
 		eppp:         wb.EPPP,
 		coverOptimal: wb.CoverOptimal,
 	})
@@ -275,7 +277,10 @@ func (s *Server) executeJob(hardCtx context.Context, lease *jobs.Lease) {
 
 // warmBlobFor captures the canonical-space cache entry behind a
 // successful response so journal replay can re-warm fcache. Responses
-// without a cache key (delta chains) yield no blob.
+// without a cache key (delta chains) yield no blob, and neither do
+// non-SPP entries: the blob stores the form as text re-parsed by
+// core.ParseForm, which only speaks the SPP grammar. Portfolio results
+// simply recompute on replay instead of round-tripping lossily.
 func (s *Server) warmBlobFor(resp Response) json.RawMessage {
 	if resp.Key == "" {
 		return nil
@@ -285,7 +290,7 @@ func (s *Server) warmBlobFor(resp Response) json.RawMessage {
 		return nil
 	}
 	e, ok := s.cache.Get(key)
-	if !ok || e.canon == nil {
+	if !ok || e.canon == nil || e.kind != "spp" {
 		return nil
 	}
 	blob, err := json.Marshal(jobWarmBlob{
@@ -352,13 +357,25 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
 			return
 		}
-		if _, err := normalizeAlgorithm(env.Request, f.N()); err != nil {
+		formName, err := s.normalizeForm(env.Request)
+		if err != nil {
 			writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
 			return
+		}
+		if formName == "spp" {
+			if _, err := normalizeAlgorithm(env.Request, f.N()); err != nil {
+				writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+				return
+			}
 		}
 	} else {
 		if !s.cfg.WarmCache {
 			writeJSON(w, http.StatusBadRequest, Response{Error: "delta jobs need the warm cache (-warm-cache)"})
+			return
+		}
+		if env.Request.Form != "" && env.Request.Form != "spp" {
+			writeJSON(w, http.StatusConflict, Response{Error: fmt.Sprintf(
+				"delta jobs support form \"spp\", not %q: resubmit the full function", env.Request.Form)})
 			return
 		}
 		if _, err := fcache.ParseKey(env.Base); err != nil {

@@ -1,10 +1,11 @@
-// Package service implements the long-running SPP minimization HTTP
-// service behind cmd/sppserve: a JSON API over the core pipeline with a
-// sharded canonical-function result cache (internal/fcache), request
-// coalescing for concurrent identical misses, a bounded admission gate
-// around the compute path, per-request deadlines plumbed as context
-// into the engines, and an observability endpoint serving the
-// spp-stats/v1 reports of recent runs.
+// Package service implements the long-running logic-minimization HTTP
+// service behind cmd/sppserve: a JSON API over the portfolio engine
+// (internal/engine — SPP, SOP, ESOP and DSOP backends behind one
+// interface) with a sharded canonical-function result cache
+// (internal/fcache), request coalescing for concurrent identical
+// misses, a bounded admission gate around the compute path, per-request
+// deadlines plumbed as context into the engines, and an observability
+// endpoint serving the spp-stats/v1 reports of recent runs.
 //
 // Endpoints:
 //
@@ -20,6 +21,9 @@
 // function is canonicalized (fcache.CanonicalizeCtx, under the request
 // deadline) before the key lookup, and the cached canonical-space form
 // is mapped back through the inverse permutation on the way out.
+// Results cache per-(canonical key, backend salt) — docs/forms.md is
+// the normative contract for the "form" request field, including the
+// form=auto portfolio race.
 //
 // The serving hot path is built so that only actual engine runs occupy
 // admission slots. A request resolves and canonicalizes its function,
@@ -48,10 +52,10 @@ import (
 	"repro/internal/bfunc"
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fcache"
 	"repro/internal/harness"
 	"repro/internal/jobs"
-	"repro/internal/pcube"
 	"repro/internal/stats"
 )
 
@@ -121,6 +125,11 @@ type Config struct {
 	// timeout_ms); deliberately much larger than DefaultTimeout.
 	// Default 10m.
 	JobTimeout time.Duration
+	// Forms lists the enabled portfolio backends ("spp", "sop",
+	// "esop", "dsop"); empty enables all of them. Requests naming a
+	// disabled form get 400; form=auto races only the enabled ones.
+	// Unknown names panic in New — a deployment config error.
+	Forms []string
 	// LegacySerial restores the pre-coalescing serving path: one
 	// admission slot around the whole request (cache hits included),
 	// strictly serial batch items, no request coalescing, and a
@@ -143,8 +152,19 @@ type Request struct {
 	PLA    string `json:"pla,omitempty"`
 	Output int    `json:"output,omitempty"`
 
-	// Algorithm selects the engine: "exact" (default), "naive", or
-	// "sppk" (the SPP_k heuristic, degree K).
+	// Form selects the output representation: "spp" (default), "sop",
+	// "esop", "dsop", or "auto" to race every eligible backend and
+	// return the cheapest form by literal count. docs/forms.md is the
+	// normative contract.
+	Form string `json:"form,omitempty"`
+	// AcceptLiterals, with form=auto only, switches the race to
+	// first-acceptable mode: the first backend at or under this literal
+	// count wins immediately and the rest are cancelled. 0 (default)
+	// keeps the deterministic best-cost race.
+	AcceptLiterals int `json:"accept_literals,omitempty"`
+
+	// Algorithm selects the SPP engine (form "spp" only): "exact"
+	// (default), "naive", or "sppk" (the SPP_k heuristic, degree K).
 	Algorithm string `json:"algorithm,omitempty"`
 	K         int    `json:"k,omitempty"`
 
@@ -198,9 +218,12 @@ const (
 
 // Response is the result of one Request.
 type Response struct {
-	Form         string `json:"form,omitempty"`
-	Literals     int    `json:"literals"`
-	NumTerms     int    `json:"num_terms"`
+	Form     string `json:"form,omitempty"`
+	Literals int    `json:"literals"`
+	NumTerms int    `json:"num_terms"`
+	// FormKind names the backend that produced the form ("spp", "sop",
+	// "esop", "dsop") — with form=auto, the race winner.
+	FormKind     string `json:"form_kind,omitempty"`
 	EPPP         int    `json:"eppp,omitempty"`
 	CoverOptimal bool   `json:"cover_optimal"`
 	Cached       bool   `json:"cached"`
@@ -280,6 +303,14 @@ type Statsz struct {
 	// Reused + Resolved == DeltaWarm for greedy-cover workloads.
 	DeltaCoverReused   int64 `json:"delta_cover_reused"`
 	DeltaCoverResolved int64 `json:"delta_cover_resolved"`
+	// Portfolio-engine counters: EngineRaces counts form=auto requests
+	// that actually raced backends (all-cached auto requests are plain
+	// cache hits); EngineWinsByForm tallies which backend won each race
+	// (sums to EngineRaces); EngineCancelled counts backends cut off by
+	// a first-acceptable (accept_literals) early win.
+	EngineRaces      int64            `json:"engine_races"`
+	EngineWinsByForm map[string]int64 `json:"engine_wins_by_form,omitempty"`
+	EngineCancelled  int64            `json:"engine_cancelled"`
 	// Cache-internal counters, aggregated over the LRU shards. These
 	// count raw cache operations (a request may probe more than once on
 	// collision or retry), unlike the request-level counters above.
@@ -337,8 +368,10 @@ type Statsz struct {
 // per-client permutation lives in the pointer and is applied at the
 // edges, while the snapshot behind it is shared.
 type cacheEntry struct {
-	canon        *bfunc.Func
-	form         core.Form
+	canon *bfunc.Func
+	form  engine.Form
+	// kind is the backend tag the form came from ("spp", "sop", ...).
+	kind         string
 	eppp         int
 	coverOptimal bool
 
@@ -362,8 +395,8 @@ func entryWeight(e cacheEntry) int64 {
 		w += int64(len(e.fn.On())+len(e.fn.DC())) * 8
 	}
 	w += int64(len(e.perm)) * 8
-	for _, t := range e.form.Terms {
-		w += 64 + int64(len(t.Factors))*25
+	if e.form != nil {
+		w += e.form.Bytes()
 	}
 	if e.warm != nil {
 		w += e.warm.Bytes()
@@ -382,15 +415,19 @@ type counters struct {
 	deltaWarm, deltaCold                int64
 	deltaBaseMiss, deltaTrivial         int64
 	deltaCoverReused, deltaCoverResolve int64
+
+	engineRaces, engineCancelled int64
+	winsByForm                   map[string]int64
 }
 
 // Server is the minimization service. Create with New; expose with
 // Handler.
 type Server struct {
-	cfg     Config
-	cache   *fcache.Cache[cacheEntry]
-	flights fcache.Group[cacheEntry]
-	slots   chan struct{}
+	cfg      Config
+	registry *engine.Registry
+	cache    *fcache.Cache[cacheEntry]
+	flights  fcache.Group[cacheEntry]
+	slots    chan struct{}
 
 	statsMu sync.Mutex
 	ctr     counters
@@ -468,10 +505,15 @@ func New(cfg Config) *Server {
 	if shards == 0 && cfg.LegacySerial {
 		shards = 1
 	}
+	registry, err := engine.NewRegistry(cfg.Forms...)
+	if err != nil {
+		panic("service: " + err.Error())
+	}
 	return &Server{
-		cfg:   cfg,
-		cache: fcache.NewWeighted(cfg.CacheSize, cfg.CacheBytes, shards, entryWeight),
-		slots: make(chan struct{}, cfg.MaxConcurrent),
+		cfg:      cfg,
+		registry: registry,
+		cache:    fcache.NewWeighted(cfg.CacheSize, cfg.CacheBytes, shards, entryWeight),
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
 	}
 }
 
@@ -553,6 +595,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	cst := s.cache.Stats()
 	s.statsMu.Lock()
 	ctr := s.ctr // one coherent snapshot of all request counters
+	var wins map[string]int64
+	if len(ctr.winsByForm) > 0 {
+		wins = make(map[string]int64, len(ctr.winsByForm))
+		for k, v := range ctr.winsByForm {
+			wins[k] = v
+		}
+	}
 	s.statsMu.Unlock()
 	var jst jobs.Stats
 	s.jobMu.Lock()
@@ -573,6 +622,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		DeltaTrivial:       ctr.deltaTrivial,
 		DeltaCoverReused:   ctr.deltaCoverReused,
 		DeltaCoverResolved: ctr.deltaCoverResolve,
+		EngineRaces:        ctr.engineRaces,
+		EngineWinsByForm:   wins,
+		EngineCancelled:    ctr.engineCancelled,
 		CacheEvictions:     int64(cst.Evictions),
 		CacheBytes:         cst.Bytes,
 		CacheRejected:      int64(cst.Rejected),
@@ -755,6 +807,15 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 	if err != nil {
 		return fail(http.StatusBadRequest, err, outcomeError)
 	}
+	formName, err := s.normalizeForm(q)
+	if err != nil {
+		return fail(http.StatusBadRequest, err, outcomeError)
+	}
+	if formName != "spp" {
+		// Non-SPP forms and the auto race route through the portfolio
+		// engine; the SPP path below keeps its warm-state machinery.
+		return s.processEngine(ctx, q, f, formName, start)
+	}
 	alg, err := normalizeAlgorithm(q, f.N())
 	if err != nil {
 		return fail(http.StatusBadRequest, err, outcomeError)
@@ -797,6 +858,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 		if se, ok := s.cache.Get(skey); ok && se.warm != nil && se.warm.Function().Equal(canon) {
 			s.cache.Put(warmKey, cacheEntry{
 				form:         e.form,
+				kind:         e.kind,
 				eppp:         e.eppp,
 				coverOptimal: e.coverOptimal,
 				fn:           f,
@@ -811,7 +873,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 	}
 
 	served := func(e cacheEntry, coalesced bool) Response {
-		form := permuteForm(e.form, inv)
+		form := e.form.Permute(inv)
 		oc := outcomeHit
 		if coalesced {
 			oc = outcomeCoalesced
@@ -820,6 +882,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 			Form:         form.String(),
 			Literals:     form.Literals(),
 			NumTerms:     form.NumTerms(),
+			FormKind:     e.kind,
 			EPPP:         e.eppp,
 			CoverOptimal: e.coverOptimal,
 			Cached:       true,
@@ -831,11 +894,12 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 		}
 	}
 	computed := func(e cacheEntry, rep *stats.Report) Response {
-		form := permuteForm(e.form, inv)
+		form := e.form.Permute(inv)
 		out := Response{
 			Form:         form.String(),
 			Literals:     form.Literals(),
 			NumTerms:     form.NumTerms(),
+			FormKind:     e.kind,
 			EPPP:         e.eppp,
 			CoverOptimal: e.coverOptimal,
 			Key:          key.String(),
@@ -918,18 +982,11 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 // key.
 func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcache.Key, f *bfunc.Func, perm []int, canon *bfunc.Func, acquireSlot bool, waiters func() int64) (cacheEntry, *stats.Report, error) {
 	if acquireSlot {
-		select {
-		case s.slots <- struct{}{}:
-			defer func() { <-s.slots }()
-		case <-ctx.Done():
-			return cacheEntry{}, nil, fmt.Errorf("queue wait: %w", ctx.Err())
-		}
-		if s.testHookAfterAcquire != nil {
-			s.testHookAfterAcquire(ctx)
-		}
-		if err := ctx.Err(); err != nil {
+		release, err := s.acquireSlot(ctx)
+		if err != nil {
 			return cacheEntry{}, nil, err
 		}
+		defer release()
 	}
 
 	rec := stats.New()
@@ -961,9 +1018,11 @@ func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcac
 
 	rep := s.recordRun(rec, alg.name, waiters)
 
+	form := engine.SPPForm{F: res.Form}
 	e := cacheEntry{
 		canon:        canon,
-		form:         res.Form,
+		form:         form,
+		kind:         "spp",
 		eppp:         res.Build.EPPP,
 		coverOptimal: res.CoverOptimal,
 	}
@@ -972,14 +1031,16 @@ func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcac
 		tag := s.optionTag(q, alg)
 		skey := fcache.WarmStateKey(fcache.KeyOf(canon), tag)
 		s.cache.Put(skey, cacheEntry{
-			form:         res.Form,
+			form:         form,
+			kind:         "spp",
 			eppp:         res.Build.EPPP,
 			coverOptimal: res.CoverOptimal,
 			warm:         ws,
 			tag:          tag,
 		})
 		s.cache.Put(fcache.WarmPointerKey(fcache.KeyOf(f), tag), cacheEntry{
-			form:         res.Form,
+			form:         form,
+			kind:         "spp",
 			eppp:         res.Build.EPPP,
 			coverOptimal: res.CoverOptimal,
 			fn:           f,
@@ -990,6 +1051,24 @@ func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcac
 		})
 	}
 	return e, rep, nil
+}
+
+// acquireSlot takes one admission-gate slot, honoring the context while
+// queued; the returned release must be called when the compute ends.
+func (s *Server) acquireSlot(ctx context.Context) (func(), error) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("queue wait: %w", ctx.Err())
+	}
+	if s.testHookAfterAcquire != nil {
+		s.testHookAfterAcquire(ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		<-s.slots
+		return nil, err
+	}
+	return func() { <-s.slots }, nil
 }
 
 // coreOptions assembles the engine options for one request.
@@ -1053,6 +1132,12 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 	}
 	if q.NoCache {
 		return fail(http.StatusBadRequest, "", errors.New("no_cache is incompatible with delta requests (the base lives in the cache)"), outcomeError)
+	}
+	if q.Form != "" && q.Form != "spp" {
+		// Only the SPP backend retains resumable warm state; other forms
+		// must resubmit the full edited function.
+		return fail(http.StatusConflict, "delta_unsupported_form",
+			fmt.Errorf("delta requests support form \"spp\", not %q: resubmit the full function", q.Form), outcomeError)
 	}
 	if q.Algorithm != "" && q.Algorithm != "exact" {
 		return fail(http.StatusBadRequest, "", fmt.Errorf("delta requests support algorithm \"exact\", not %q", q.Algorithm), outcomeError)
@@ -1128,6 +1213,7 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 		s.bumpDelta(&s.ctr.deltaTrivial)
 		return Response{
 			Form:         "0",
+			FormKind:     "spp",
 			CoverOptimal: true,
 			Delta:        "trivial",
 			ElapsedNS:    elapsed(),
@@ -1178,7 +1264,7 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 	skeyEdited := fcache.WarmStateKey(fcache.KeyOf(editedCanon), base.tag)
 	validEdited := func(e cacheEntry) bool { return e.hasWarmRef && e.fn != nil && e.fn.Equal(edited) }
 	servedDelta := func(e cacheEntry, coalesced bool) Response {
-		form := permuteForm(e.form, fcache.InversePerm(e.perm))
+		form := e.form.Permute(fcache.InversePerm(e.perm))
 		oc := outcomeHit
 		if coalesced {
 			oc = outcomeCoalesced
@@ -1187,6 +1273,7 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 			Form:         form.String(),
 			Literals:     form.Literals(),
 			NumTerms:     form.NumTerms(),
+			FormKind:     e.kind,
 			EPPP:         e.eppp,
 			CoverOptimal: e.coverOptimal,
 			Cached:       true,
@@ -1198,11 +1285,12 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 		}
 	}
 	computedDelta := func(e cacheEntry, rep *stats.Report) Response {
-		form := permuteForm(e.form, fcache.InversePerm(e.perm))
+		form := e.form.Permute(fcache.InversePerm(e.perm))
 		out := Response{
 			Form:         form.String(),
 			Literals:     form.Literals(),
 			NumTerms:     form.NumTerms(),
+			FormKind:     e.kind,
 			EPPP:         e.eppp,
 			CoverOptimal: e.coverOptimal,
 			BaseKey:      wkey.String(),
@@ -1235,6 +1323,7 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 	if se, ok := s.cache.Get(skeyEdited); ok && se.warm != nil && se.warm.Function().Equal(editedCanon) {
 		e := cacheEntry{
 			form:         se.form,
+			kind:         se.kind,
 			eppp:         se.eppp,
 			coverOptimal: se.coverOptimal,
 			fn:           edited,
@@ -1292,18 +1381,11 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 // a thin pointer entry at wkey for this client to chain on.
 func (s *Server) computeDelta(ctx context.Context, q Request, base cacheEntry, warm *core.WarmState, cd core.Delta, edited, editedCanon *bfunc.Func, wkey fcache.Key, acquireSlot bool, waiters func() int64) (cacheEntry, *stats.Report, error) {
 	if acquireSlot {
-		select {
-		case s.slots <- struct{}{}:
-			defer func() { <-s.slots }()
-		case <-ctx.Done():
-			return cacheEntry{}, nil, fmt.Errorf("queue wait: %w", ctx.Err())
-		}
-		if s.testHookAfterAcquire != nil {
-			s.testHookAfterAcquire(ctx)
-		}
-		if err := ctx.Err(); err != nil {
+		release, err := s.acquireSlot(ctx)
+		if err != nil {
 			return cacheEntry{}, nil, err
 		}
+		defer release()
 	}
 
 	rec := stats.New()
@@ -1325,15 +1407,18 @@ func (s *Server) computeDelta(ctx context.Context, q Request, base cacheEntry, w
 	s.statsMu.Unlock()
 
 	skey := fcache.WarmStateKey(fcache.KeyOf(editedCanon), base.tag)
+	form := engine.SPPForm{F: res.Form}
 	s.cache.Put(skey, cacheEntry{
-		form:         res.Form,
+		form:         form,
+		kind:         "spp",
 		eppp:         res.Build.EPPP,
 		coverOptimal: res.CoverOptimal,
 		warm:         nws,
 		tag:          base.tag,
 	})
 	e := cacheEntry{
-		form:         res.Form,
+		form:         form,
+		kind:         "spp",
 		eppp:         res.Build.EPPP,
 		coverOptimal: res.CoverOptimal,
 		fn:           edited,
@@ -1447,16 +1532,6 @@ func permuteFunc(f *bfunc.Func, perm []int) *bfunc.Func {
 		return out
 	}
 	return bfunc.NewDC(n, mapAll(f.On()), mapAll(f.DC()))
-}
-
-// permuteForm maps a canonical-space form back to request-variable
-// space term by term.
-func permuteForm(f core.Form, inv []int) core.Form {
-	terms := make([]*pcube.CEX, len(f.Terms))
-	for i, t := range f.Terms {
-		terms[i] = t.PermuteVars(inv)
-	}
-	return core.Form{N: f.N, Terms: terms}
 }
 
 func statusFor(err error) int {

@@ -2,6 +2,14 @@
 // minimization — Quine–McCluskey prime implicants followed by set
 // covering — providing the SP side of the paper's Table 1/3 comparisons
 // (#PI, #L, #P) and the starting cover of the SPP heuristic.
+//
+// Cost model: the covering step minimizes the literal count #L (sum of
+// care bits over the chosen primes), the paper's primary metric and the
+// shared cost of the portfolio engine's "sop" backend (internal/engine,
+// docs/forms.md). MethodAuto picks the engine by width: exact
+// Quine–McCluskey primes (internal/qm) for narrow functions, the
+// ESPRESSO-style EXPAND/IRREDUNDANT/REDUCE loop (internal/espresso)
+// where QM's tabulation would explode.
 package sp
 
 import (

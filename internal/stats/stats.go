@@ -60,6 +60,19 @@ const (
 	// profiles split patch vs. greedy vs. B&B time.
 	PhaseCoverPatch
 
+	// --- portfolio-engine phases: one per non-SPP backend, so a raced
+	// run's report attributes wall time to the backend that spent it.
+	// The SPP backend keeps its fine-grained phases above.
+
+	// PhaseEngineSOP is one SP (two-level sum-of-products) backend run.
+	PhaseEngineSOP
+	// PhaseEngineESOP is one ESOP (fixed-polarity Reed–Muller) backend
+	// run.
+	PhaseEngineESOP
+	// PhaseEngineDSOP is one DSOP (disjoint sum-of-products) backend
+	// run.
+	PhaseEngineDSOP
+
 	numPhases
 )
 
@@ -75,6 +88,9 @@ var phaseNames = [numPhases]string{
 	PhaseCoverExact:   "cover.exact",
 	PhaseVerify:       "verify",
 	PhaseCoverPatch:   "cover.patch",
+	PhaseEngineSOP:    "engine.sop",
+	PhaseEngineESOP:   "engine.esop",
+	PhaseEngineDSOP:   "engine.dsop",
 }
 
 func (p Phase) String() string {

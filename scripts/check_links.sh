@@ -1,8 +1,10 @@
 #!/bin/sh
 # check_links.sh — the docs gate: every relative markdown link
 # ([text](path) where path is not a URL or pure #anchor) in the repo's
-# documentation must point at an existing file or directory. Fails
-# listing the dead links.
+# documentation must point at an existing file or directory, and every
+# document under docs/ must be linked from at least one other markdown
+# file (an orphaned normative doc is one nobody can find). Fails
+# listing the dead links and orphans.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,5 +25,24 @@ for md in *.md docs/*.md; do
 			status=1
 		fi
 	done
+done
+
+# Orphan gate: each docs/*.md must be referenced by name from some
+# other markdown file in the repo.
+for doc in docs/*.md; do
+	[ -f "$doc" ] || continue
+	linked=0
+	for md in *.md docs/*.md; do
+		[ -f "$md" ] || continue
+		[ "$md" = "$doc" ] && continue
+		if grep -q "$(basename "$doc")" "$md"; then
+			linked=1
+			break
+		fi
+	done
+	if [ "$linked" -eq 0 ]; then
+		echo "check-links: $doc is not linked from any other document" >&2
+		status=1
+	fi
 done
 exit $status

@@ -12,7 +12,17 @@ status=0
 for dir in $(go list -f '{{.Dir}}' ./...); do
 	name=$(go list -f '{{.Name}}' "$dir")
 	if [ "$name" != "main" ]; then
-		if ! grep -q "^// Package $name " "$dir"/*.go; then
+		# Non-test files only: a package comment living in _test.go is
+		# invisible to godoc, so it must not satisfy the gate.
+		ok=0
+		for f in "$dir"/*.go; do
+			case "$f" in *_test.go) continue ;; esac
+			if grep -q "^// Package $name " "$f"; then
+				ok=1
+				break
+			fi
+		done
+		if [ "$ok" -eq 0 ]; then
 			echo "pkgdoc-check: $dir lacks a '// Package $name ...' comment" >&2
 			status=1
 		fi
