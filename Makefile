@@ -3,7 +3,7 @@
 # detector (the parallel EPPP engine is exercised with forced worker
 # counts even on single-core hosts).
 
-.PHONY: check check-race lint artifact-check fmt-check pkgdoc-check docs-check server-smoke jobs-crash-smoke bench-eppp bench-cover bench bench-serve bench-serve-smoke bench-delta bench-delta-smoke bench-jobs bench-jobs-smoke bench-forms bench-forms-smoke bench-smoke fuzz-smoke fuzz-delta-smoke
+.PHONY: check check-race lint artifact-check fmt-check pkgdoc-check docs-check server-smoke jobs-crash-smoke bench-eppp bench-cover bench bench-serve bench-serve-smoke bench-delta bench-delta-smoke bench-jobs bench-jobs-smoke bench-forms bench-forms-smoke bench-overload bench-overload-smoke bench-smoke fuzz-smoke fuzz-delta-smoke
 
 # Pinned linter versions, fetched on demand by `go run` (network
 # required; CI runs these in the `lint` job, they are not part of the
@@ -123,6 +123,19 @@ bench-forms:
 
 bench-forms-smoke:
 	go run ./cmd/sppload -scenario form-mix -quick -out /tmp/bench_forms_smoke.json
+
+# Adaptive-admission benchmark: paired at-capacity vs 4x-overload
+# rounds on a one-slot server; merges an "overload" section into
+# BENCH_serve.json. -assert-goodput-flat is the QoS contract: goodput
+# under overload within 10% of the at-capacity baseline (trimmed
+# paired-round ratio), every 429 carrying Retry-After, sheds decided
+# in under 10ms.
+bench-overload:
+	go run ./cmd/sppload -scenario overload -assert-goodput-flat -out BENCH_serve.json
+
+bench-overload-smoke:
+	go run ./cmd/sppload -scenario overload -quick -assert-goodput-flat \
+		-out /tmp/bench_overload_smoke.json
 
 # CI smoke tiers: every benchmark once (compile + one iteration catches
 # bit-rot without benchmarking anything), and a short fuzz run of the

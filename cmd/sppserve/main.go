@@ -59,7 +59,12 @@ func main() {
 		jobRetries  = flag.Int("job-retries", 2, "lease-expiry retries before a job is parked as failed")
 		jobLease    = flag.Duration("job-lease", 30*time.Second, "job lease TTL; a worker that misses heartbeats this long forfeits the job")
 		jobTimeout  = flag.Duration("job-timeout", 10*time.Minute, "cap on a single async job compute")
+		jobResTTL   = flag.Duration("job-result-ttl", 15*time.Minute, "keep a trimmed terminal job's outcome queryable this long (negative disables)")
 		forms       = flag.String("forms", "", "comma-separated form backends to enable (spp,sop,esop,dsop; empty = all); see docs/forms.md")
+		ftdcDir     = flag.String("ftdc-dir", "", "enable the telemetry ring: sample service counters into crash-tolerant segments here (GET /statsz/history)")
+		ftdcIntvl   = flag.Duration("ftdc-interval", time.Second, "telemetry sampling period")
+		quotaRPS    = flag.Float64("quota-rps", 0, "per-tenant admission quota in requests/sec (X-Tenant header; 0 = off)")
+		quotaBurst  = flag.Int("quota-burst", 0, "per-tenant quota bucket depth (0 = ceil of -quota-rps)")
 	)
 	core := harness.DefaultConfig()
 	core.BindFlags(flag.CommandLine)
@@ -96,8 +101,21 @@ func main() {
 		JobRetries:     *jobRetries,
 		JobLeaseTTL:    *jobLease,
 		JobTimeout:     *jobTimeout,
+		JobResultTTL:   *jobResTTL,
 		Forms:          formList,
+		FTDCDir:        *ftdcDir,
+		FTDCInterval:   *ftdcIntvl,
+		QuotaRPS:       *quotaRPS,
+		QuotaBurst:     *quotaBurst,
 	})
+
+	if *ftdcDir != "" {
+		if err := svc.StartTelemetry(); err != nil {
+			fmt.Fprintln(os.Stderr, "sppserve: telemetry:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sppserve: telemetry enabled dir=%s interval=%s\n", *ftdcDir, *ftdcIntvl)
+	}
 
 	if *jobsDir != "" {
 		replay, err := svc.StartJobs()
@@ -155,6 +173,9 @@ func main() {
 		if err := svc.StopJobs(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "sppserve: jobs shutdown:", err)
 		}
+	}
+	if *ftdcDir != "" {
+		svc.StopTelemetry()
 	}
 
 	if *statsPath != "" {

@@ -1,0 +1,363 @@
+// Package ftdc implements an FTDC-style ("full-time diagnostic data
+// capture") compact time-series log for service counters: fixed-name
+// int64 metric samples are delta-encoded against the previous sample,
+// varint-compressed, and appended to numbered segment files that rotate
+// at a sample count and are deleted oldest-first past a ring bound, so
+// an always-on capture costs a few bytes per metric per tick and a
+// bounded directory regardless of uptime.
+//
+// Durability is deliberately page-cache-grade: every sample is flushed
+// to the OS (surviving kill -9 of the process) but only fsynced on
+// segment rotation and Close, keeping the steady-state capture off the
+// disk's sync path. The reader tolerates the resulting crash shapes: a
+// final segment ending mid-record is decoded up to the damage and
+// reported as truncated, never as an error.
+//
+// Segment format: one JSON header line naming the schema and the metric
+// columns, then binary records of the form
+//
+//	uvarint(len(payload)) payload
+//	payload = zigzag(t - prevT) zigzag(v[0]-prev[0]) ... zigzag(v[k]-prev[k])
+//
+// with timestamps in Unix milliseconds. The first record of a segment
+// deltas against zero, so every segment is self-contained and the ring
+// can drop old segments freely.
+package ftdc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SchemaVersion names the segment header schema.
+const SchemaVersion = "spp-ftdc/v1"
+
+const segmentExt = ".ftdc"
+
+// maxPayload bounds one record's payload; a length prefix beyond it is
+// treated as tail damage, not an allocation request.
+const maxPayload = 1 << 20
+
+// Options tunes a Writer. Zero values get defaults from NewWriter.
+type Options struct {
+	// SegmentSamples is how many samples one segment holds before
+	// rotation. Default 512.
+	SegmentSamples int
+	// MaxSegments bounds the on-disk ring; the oldest segment is deleted
+	// when rotation would exceed it. Default 8.
+	MaxSegments int
+}
+
+// segmentHeader is the JSON first line of every segment.
+type segmentHeader struct {
+	Schema  string   `json:"schema"`
+	Metrics []string `json:"metrics"`
+}
+
+// Writer appends delta-encoded samples to a segment ring in one
+// directory. Safe for concurrent use; create with NewWriter.
+type Writer struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	segs   []string // live segment names, oldest first (current last)
+	next   int      // next segment number
+	names  []string
+	prev   []int64
+	prevT  int64
+	n      int // samples in the current segment
+	buf    []byte
+	closed bool
+}
+
+// NewWriter opens dir (created if absent) for appending. Existing
+// segments stay readable and count against MaxSegments; writing always
+// starts a fresh segment, so a crash-torn tail is never appended to.
+func NewWriter(dir string, opts Options) (*Writer, error) {
+	if opts.SegmentSamples <= 0 {
+		opts.SegmentSamples = 512
+	}
+	if opts.MaxSegments <= 0 {
+		opts.MaxSegments = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	if len(segs) > 0 {
+		next = segmentNum(segs[len(segs)-1]) + 1
+	}
+	return &Writer{dir: dir, opts: opts, segs: segs, next: next}, nil
+}
+
+// Append records one sample. names must be parallel to values; a
+// changed metric set (or a full segment) rotates to a new segment whose
+// header names the new columns. The sample is flushed to the OS before
+// Append returns, but not fsynced.
+func (w *Writer) Append(t time.Time, names []string, values []int64) error {
+	if len(names) != len(values) {
+		return fmt.Errorf("ftdc: %d names for %d values", len(names), len(values))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("ftdc: writer closed")
+	}
+	if w.f == nil || w.n >= w.opts.SegmentSamples || !sameNames(w.names, names) {
+		if err := w.rotateLocked(names); err != nil {
+			return err
+		}
+	}
+	ts := t.UnixMilli()
+	payload := w.buf[:0]
+	payload = appendZigzag(payload, ts-w.prevT)
+	for i, v := range values {
+		var base int64
+		if w.prev != nil {
+			base = w.prev[i]
+		}
+		payload = appendZigzag(payload, v-base)
+	}
+	w.buf = payload
+	var frame [binary.MaxVarintLen64]byte
+	fn := binary.PutUvarint(frame[:], uint64(len(payload)))
+	if _, err := w.w.Write(frame[:fn]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.prev == nil {
+		w.prev = make([]int64, len(values))
+	}
+	copy(w.prev, values)
+	w.prevT = ts
+	w.n++
+	return nil
+}
+
+// rotateLocked finishes the current segment (fsynced: complete segments
+// are durable) and starts the next, deleting the oldest past the ring
+// bound.
+func (w *Writer) rotateLocked(names []string) error {
+	if w.f != nil {
+		_ = w.w.Flush()
+		_ = w.f.Sync()
+		_ = w.f.Close()
+		w.f, w.w = nil, nil
+	}
+	name := fmt.Sprintf("%08d%s", w.next, segmentExt)
+	f, err := os.OpenFile(filepath.Join(w.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(segmentHeader{Schema: SchemaVersion, Metrics: names})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	bw.Write(hdr)
+	bw.WriteByte('\n')
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.w = f, bw
+	w.next++
+	w.segs = append(w.segs, name)
+	for len(w.segs) > w.opts.MaxSegments {
+		_ = os.Remove(filepath.Join(w.dir, w.segs[0]))
+		w.segs = w.segs[1:]
+	}
+	w.names = append(w.names[:0], names...)
+	w.prev, w.prevT, w.n = nil, 0, 0
+	return nil
+}
+
+// Close flushes and fsyncs the current segment.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.f == nil {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	_ = w.f.Sync()
+	return w.f.Close()
+}
+
+// Sample is one decoded capture tick.
+type Sample struct {
+	UnixMS int64
+	Values map[string]int64
+}
+
+// History is the decoded contents of a segment directory.
+type History struct {
+	// Samples in capture order across all segments.
+	Samples []Sample
+	// Truncated reports that at least one segment ended mid-record (the
+	// crash shape); everything before the damage is in Samples.
+	Truncated bool
+	// Segments is how many segment files were read.
+	Segments int
+}
+
+// ReadDir decodes every segment in dir, oldest first. Tail damage in a
+// segment truncates that segment's samples and sets Truncated; it is
+// never an error, so a capture killed mid-write always replays.
+func ReadDir(dir string) (*History, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	h := &History{Segments: len(segs)}
+	for _, name := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		samples, trunc := decodeSegment(data)
+		h.Samples = append(h.Samples, samples...)
+		if trunc {
+			h.Truncated = true
+		}
+	}
+	return h, nil
+}
+
+// decodeSegment decodes one segment's bytes, stopping (and reporting
+// truncation) at the first damaged record.
+func decodeSegment(data []byte) ([]Sample, bool) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, true
+	}
+	var hdr segmentHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil || len(hdr.Metrics) == 0 {
+		return nil, true
+	}
+	var samples []Sample
+	vals := make([]int64, len(hdr.Metrics))
+	var ts int64
+	off := nl + 1
+	for off < len(data) {
+		plen, n := binary.Uvarint(data[off:])
+		if n <= 0 || plen > maxPayload || off+n+int(plen) > len(data) {
+			return samples, true
+		}
+		payload := data[off+n : off+n+int(plen)]
+		dt, ok := readZigzag(&payload)
+		if !ok {
+			return samples, true
+		}
+		next := make([]int64, len(vals))
+		copy(next, vals)
+		damaged := false
+		for i := range next {
+			d, ok := readZigzag(&payload)
+			if !ok {
+				damaged = true
+				break
+			}
+			next[i] += d
+		}
+		if damaged {
+			return samples, true
+		}
+		ts += dt
+		copy(vals, next)
+		m := make(map[string]int64, len(hdr.Metrics))
+		for i, name := range hdr.Metrics {
+			m[name] = vals[i]
+		}
+		samples = append(samples, Sample{UnixMS: ts, Values: m})
+		off += n + int(plen)
+	}
+	return samples, false
+}
+
+// listSegments returns the segment file names in dir in numeric order.
+// Non-segment files are ignored: the directory may be shared with
+// editor droppings or future sidecar files.
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentExt) {
+			continue
+		}
+		if _, err := strconv.Atoi(strings.TrimSuffix(name, segmentExt)); err != nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return segmentNum(names[i]) < segmentNum(names[j]) })
+	return names, nil
+}
+
+func segmentNum(name string) int {
+	n, _ := strconv.Atoi(strings.TrimSuffix(name, segmentExt))
+	return n
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendZigzag appends v zigzag-mapped (so small magnitudes of either
+// sign stay short) as a uvarint.
+func appendZigzag(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64(v<<1)^uint64(v>>63))
+}
+
+// readZigzag consumes one zigzag uvarint from *b.
+func readZigzag(b *[]byte) (int64, bool) {
+	u, n := binary.Uvarint(*b)
+	if n <= 0 {
+		return 0, false
+	}
+	*b = (*b)[n:]
+	return int64(u>>1) ^ -int64(u&1), true
+}

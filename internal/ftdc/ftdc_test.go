@@ -1,0 +1,193 @@
+package ftdc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var metrics = []string{"cache.hits", "serve.served", "serve.wait_ms"}
+
+func at(ms int64) time.Time { return time.UnixMilli(ms) }
+
+func appendAll(t *testing.T, w *Writer, rows [][]int64) {
+	t.Helper()
+	for i, vals := range rows {
+		if err := w.Append(at(int64(1000+i*250)), metrics, vals); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, Options{SegmentSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]int64{
+		{0, 1, 0},
+		{3, 2, 120},
+		{3, 5, 80},
+		{10, 9, 0},
+		{11, 9, -5}, // negative values must survive the zigzag coding
+		{11, 12, 7},
+	}
+	appendAll(t, w, rows)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Truncated {
+		t.Error("clean close reported truncated")
+	}
+	if h.Segments != 2 { // 6 samples at 4 per segment
+		t.Errorf("segments = %d, want 2", h.Segments)
+	}
+	if len(h.Samples) != len(rows) {
+		t.Fatalf("samples = %d, want %d", len(h.Samples), len(rows))
+	}
+	for i, s := range h.Samples {
+		if want := int64(1000 + i*250); s.UnixMS != want {
+			t.Errorf("sample %d at %d, want %d", i, s.UnixMS, want)
+		}
+		for j, name := range metrics {
+			if s.Values[name] != rows[i][j] {
+				t.Errorf("sample %d %s = %d, want %d", i, name, s.Values[name], rows[i][j])
+			}
+		}
+	}
+}
+
+func TestRingDropsOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, Options{SegmentSamples: 2, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]int64
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []int64{int64(i), int64(i * 2), 0})
+	}
+	appendAll(t, w, rows)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Segments != 3 {
+		t.Errorf("segments = %d, want 3 (ring bound)", h.Segments)
+	}
+	if len(h.Samples) != 6 {
+		t.Fatalf("samples = %d, want 6", len(h.Samples))
+	}
+	// The survivors are the newest samples, values intact (each segment
+	// re-bases its deltas, so dropping predecessors loses nothing).
+	last := h.Samples[len(h.Samples)-1]
+	if last.Values["cache.hits"] != 19 || last.Values["serve.served"] != 38 {
+		t.Errorf("last sample = %v, want counters 19/38", last.Values)
+	}
+}
+
+func TestTruncatedTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, Options{SegmentSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]int64{{1, 1, 1}, {2, 2, 2}, {300, 4000, 50000}}
+	appendAll(t, w, rows)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v err %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the last record, mid-payload: the kill -9 shape.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Truncated {
+		t.Error("chopped tail not reported as truncated")
+	}
+	if len(h.Samples) != 2 {
+		t.Fatalf("samples = %d, want the 2 intact ones", len(h.Samples))
+	}
+	if h.Samples[1].Values["serve.served"] != 2 {
+		t.Errorf("intact sample damaged: %v", h.Samples[1].Values)
+	}
+}
+
+func TestMetricSetChangeRotates(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, Options{SegmentSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(at(1000), []string{"a"}, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(at(2000), []string{"a", "b"}, []int64{2, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Segments != 2 {
+		t.Errorf("segments = %d, want 2 (schema change rotates)", h.Segments)
+	}
+	if len(h.Samples) != 2 || h.Samples[1].Values["b"] != 7 {
+		t.Errorf("samples = %+v", h.Samples)
+	}
+}
+
+func TestReopenStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, Options{SegmentSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, [][]int64{{1, 1, 1}})
+	// No Close: simulate a killed process (the sample is flushed).
+	w2, err := NewWriter(dir, Options{SegmentSamples: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w2, [][]int64{{5, 5, 5}})
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Segments != 2 || len(h.Samples) != 2 {
+		t.Fatalf("segments=%d samples=%d, want 2/2", h.Segments, len(h.Samples))
+	}
+	if h.Samples[1].Values["cache.hits"] != 5 {
+		t.Errorf("post-reopen sample = %v", h.Samples[1].Values)
+	}
+}

@@ -18,9 +18,14 @@
 // a job can run more than once but terminates exactly once.
 //
 // Journal records are self-contained JSON lines. Replay tolerates a
-// truncated final record (the partial write of a crash); on open the
-// live state is compacted into a fresh journal file and the old files
-// are removed, bounding journal growth across restarts.
+// truncated final record (the partial write of a crash). The live state
+// is compacted into a fresh snapshot journal at Open and again online
+// whenever the active file outgrows Options.CompactEvery records or
+// Options.CompactBytes, so a long-lived server's journal stays bounded
+// without restarts. Snapshots are written to a temporary name and
+// promoted by an fsynced rename, with a leading marker record replay
+// keys on — a crash anywhere in a compaction leaves either the old
+// files or a complete snapshot, never a double-counted mix.
 package jobs
 
 import (
@@ -116,6 +121,19 @@ type Options struct {
 	// carried through compaction); older ones are dropped oldest-first.
 	// Default 4096.
 	KeepDone int
+	// ResultTTL keeps the outcome (result/error, not payload or warm
+	// blob) of a terminal job trimmed past KeepDone queryable for this
+	// long, so clients polling a recently finished job never see it
+	// vanish. In-memory only. 0 disables.
+	ResultTTL time.Duration
+	// CompactEvery triggers an online journal compaction once the live
+	// file holds this many records and a snapshot would at least halve
+	// it; Open always compacts regardless. Default 4096; negative
+	// disables online compaction.
+	CompactEvery int
+	// CompactBytes triggers the same compaction by live-file size.
+	// Default 4 MiB; negative disables the size trigger.
+	CompactBytes int64
 	// NoSync skips the per-record fsync. Crash recovery then only
 	// survives process death (the OS page cache persists), not machine
 	// death. Tests use it for speed.
@@ -134,8 +152,14 @@ type Stats struct {
 	Done     int64
 	Failed   int64
 	Retried  int64
+	// Compactions counts journal compactions since Open (the startup
+	// one included).
+	Compactions int64
 	// ByPriority counts accepted jobs per priority class.
 	ByPriority map[string]int64
+	// QueuedByPriority is the current backlog per priority class — the
+	// admission layer's per-class pressure signal.
+	QueuedByPriority map[string]int
 }
 
 // Replay summarizes what Open reconstructed from the journal.

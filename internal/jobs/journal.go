@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,6 +20,10 @@ import (
 //	retry — lease expired, job requeued (attempts updated)
 //	done  — terminal success (result + optional warm blob)
 //	fail  — terminal failure (error preserved)
+//	snap  — first record of a compacted journal: replay starts at the
+//	        newest file opening with one, so predecessor files left
+//	        behind by a crash between promote and cleanup are ignored
+//	        instead of double-counted
 type record struct {
 	Op       string          `json:"op"`
 	ID       string          `json:"id"`
@@ -30,16 +35,28 @@ type record struct {
 	Warm     json.RawMessage `json:"warm,omitempty"`
 }
 
+// opSnap marks a compacted journal's leading snapshot record.
+const opSnap = "snap"
+
 // journal is the append-only record log: one active file, numbered so
-// that compaction can write a successor and drop predecessors.
+// that compaction can write a successor and drop predecessors. records
+// and bytes count what this file holds, so the queue can decide when an
+// online compaction would pay for itself.
 type journal struct {
-	dir    string
-	f      *os.File
-	w      *bufio.Writer
-	noSync bool
+	dir     string
+	name    string // file name within dir (without the .tmp suffix)
+	tmp     bool   // still under the .tmp name, awaiting promote
+	f       *os.File
+	w       *bufio.Writer
+	noSync  bool
+	records int
+	bytes   int64
 }
 
-const journalExt = ".journal"
+const (
+	journalExt = ".journal"
+	tmpSuffix  = ".tmp"
+)
 
 // journalFiles lists the journal files in dir in replay (numeric)
 // order.
@@ -78,54 +95,88 @@ func journalNum(name string) int {
 	return n
 }
 
-// replayJournal reads every journal file in dir in order and returns
-// the records. A final record cut short by a crash — no trailing
-// newline, or bytes that do not decode — is tolerated and reported via
-// truncated; an undecodable record anywhere else is corruption and
-// errors out.
+// replayJournal reads every journal file in dir and returns the records
+// to rebuild state from. Files are read in numeric order, but replay
+// starts at the newest file that opens with a snapshot record: earlier
+// files are pre-compaction leftovers (a crash between promote and
+// cleanup), already folded into the snapshot. A final record cut short
+// by a crash — no trailing newline, or bytes that do not decode — is
+// tolerated and reported via truncated; an undecodable record anywhere
+// else is corruption and errors out.
 func replayJournal(dir string) (recs []record, truncated bool, err error) {
 	files, err := journalFiles(dir)
 	if err != nil {
 		return nil, false, err
 	}
+	perFile := make([][]record, len(files))
 	for fi, name := range files {
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		frecs, trunc, err := parseJournalFile(filepath.Join(dir, name), fi == len(files)-1)
 		if err != nil {
 			return nil, false, err
 		}
-		off := 0
-		for off < len(data) {
-			nl := bytes.IndexByte(data[off:], '\n')
-			partial := nl < 0
-			var line []byte
-			if partial {
-				line = data[off:]
-				off = len(data)
-			} else {
-				line = data[off : off+nl]
-				off += nl + 1
-			}
-			if len(bytes.TrimSpace(line)) == 0 {
+		perFile[fi] = frecs
+		if trunc {
+			truncated = true
+		}
+	}
+	start := 0
+	for i, frecs := range perFile {
+		if len(frecs) > 0 && frecs[0].Op == opSnap {
+			start = i
+		}
+	}
+	for _, frecs := range perFile[start:] {
+		for _, rec := range frecs {
+			if rec.Op == opSnap {
 				continue
-			}
-			var rec record
-			if derr := json.Unmarshal(line, &rec); derr != nil || rec.Op == "" || rec.ID == "" {
-				// Only the very last bytes of the very last file may be a
-				// crash-truncated partial write.
-				if fi == len(files)-1 && off == len(data) {
-					return recs, true, nil
-				}
-				return nil, false, fmt.Errorf("jobs: corrupt journal record in %s: %q", name, line)
-			}
-			if partial {
-				// Decoded, but the newline never made it: treat as a
-				// completed write (the record is whole) — this only
-				// happens at the tail.
-				recs = append(recs, rec)
-				return recs, true, nil
 			}
 			recs = append(recs, rec)
 		}
+	}
+	return recs, truncated, nil
+}
+
+// parseJournalFile decodes one journal file's records. Only the last
+// live file may end in a crash-truncated partial write.
+func parseJournalFile(path string, last bool) (recs []record, truncated bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		partial := nl < 0
+		var line []byte
+		if partial {
+			line = data[off:]
+			off = len(data)
+		} else {
+			line = data[off : off+nl]
+			off += nl + 1
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec record
+		if derr := json.Unmarshal(line, &rec); derr != nil || rec.Op == "" || rec.ID == "" {
+			// Only the very last bytes of the very last file may be a
+			// crash-truncated partial write.
+			if last && off == len(data) {
+				return recs, true, nil
+			}
+			return nil, false, fmt.Errorf("jobs: corrupt journal record in %s: %q", filepath.Base(path), line)
+		}
+		if partial {
+			// Decoded, but the newline never made it: a whole record at
+			// the crash tail.
+			if !last {
+				return nil, false, fmt.Errorf("jobs: unterminated record mid-journal in %s", filepath.Base(path))
+			}
+			recs = append(recs, rec)
+			return recs, true, nil
+		}
+		recs = append(recs, rec)
 	}
 	return recs, false, nil
 }
@@ -133,16 +184,88 @@ func replayJournal(dir string) (recs []record, truncated bool, err error) {
 // openJournal starts a fresh journal file numbered after the given
 // predecessors.
 func openJournal(dir string, after []string, noSync bool) (*journal, error) {
+	name := nextJournalName(after)
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{dir: dir, name: name, f: f, w: bufio.NewWriter(f), noSync: noSync}, nil
+}
+
+// openJournalTmp starts the next numbered journal under a .tmp name for
+// a compaction snapshot: records are buffered without per-record sync,
+// and promote makes the file live atomically. A crash before promote
+// leaves the predecessors untouched (journalFiles skips .tmp names;
+// Open sweeps the leftovers).
+func openJournalTmp(dir string, after []string) (*journal, error) {
+	name := nextJournalName(after)
+	f, err := os.OpenFile(filepath.Join(dir, name+tmpSuffix), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{dir: dir, name: name, tmp: true, f: f, w: bufio.NewWriter(f), noSync: true}, nil
+}
+
+func nextJournalName(after []string) string {
 	next := 0
 	if len(after) > 0 {
 		next = journalNum(after[len(after)-1]) + 1
 	}
-	name := filepath.Join(dir, fmt.Sprintf("%08d%s", next, journalExt))
-	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
+	return fmt.Sprintf("%08d%s", next, journalExt)
+}
+
+// promote flushes the snapshot, fsyncs it, renames it to its live name
+// and fsyncs the directory, so the snapshot becomes visible to replay
+// only as a complete file. The journal then appends normally with the
+// queue's sync policy.
+func (j *journal) promote(noSync bool) error {
+	if !j.tmp {
+		return errors.New("jobs: journal already promoted")
 	}
-	return &journal{dir: dir, f: f, w: bufio.NewWriter(f), noSync: noSync}, nil
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if !noSync {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(filepath.Join(j.dir, j.name+tmpSuffix), filepath.Join(j.dir, j.name)); err != nil {
+		return err
+	}
+	if !noSync {
+		if d, err := os.Open(j.dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+	j.tmp = false
+	j.noSync = noSync
+	return nil
+}
+
+// abort discards an unpromoted snapshot.
+func (j *journal) abort() {
+	j.f.Close()
+	_ = os.Remove(filepath.Join(j.dir, j.name+tmpSuffix))
+}
+
+// sweepTmp removes compaction snapshots that never got promoted.
+func sweepTmp(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, journalExt+tmpSuffix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // append writes one record durably (flushed, and fsynced unless
@@ -161,6 +284,8 @@ func (j *journal) append(rec record) error {
 	if err := j.w.Flush(); err != nil {
 		return err
 	}
+	j.records++
+	j.bytes += int64(len(data)) + 1
 	if !j.noSync {
 		return j.f.Sync()
 	}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 )
@@ -43,8 +44,22 @@ type Queue struct {
 
 	terminal []string // terminal job IDs, oldest first, for KeepDone trimming
 
+	// results holds TTL-retained terminal outcomes of jobs trimmed out
+	// of the KeepDone window, so a client polling a recently finished
+	// job still gets its result instead of a 404. Payload and warm blobs
+	// are dropped (replay no longer needs them); in-memory only — a
+	// restart retains nothing past KeepDone.
+	results map[string]retained
+
 	accepted, done, failed, retried int64
+	compactions                     int64
 	byPriority                      map[string]int64
+}
+
+// retained is a trimmed terminal job kept queryable until expiry.
+type retained struct {
+	job     Job
+	expires time.Time
 }
 
 func (q *Queue) now() time.Time {
@@ -73,7 +88,16 @@ func Open(opts Options) (*Queue, *Replay, error) {
 	if opts.KeepDone <= 0 {
 		opts.KeepDone = 4096
 	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 4096
+	}
+	if opts.CompactBytes == 0 {
+		opts.CompactBytes = 4 << 20
+	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if err := sweepTmp(opts.Dir); err != nil {
 		return nil, nil, err
 	}
 
@@ -85,6 +109,7 @@ func Open(opts Options) (*Queue, *Replay, error) {
 		opts:       opts,
 		jobs:       make(map[string]*job),
 		running:    make(map[string]*job),
+		results:    make(map[string]retained),
 		wake:       make(chan struct{}),
 		byPriority: make(map[string]int64),
 	}
@@ -160,39 +185,101 @@ func Open(opts Options) (*Queue, *Replay, error) {
 	}
 	q.trimTerminalLocked()
 
-	// Compact: the live state becomes a fresh journal file; the replayed
-	// files are removed only after the compacted one is durable.
+	// Compact: the live state becomes a fresh snapshot journal; the
+	// replayed files are removed only after the snapshot is promoted. An
+	// empty directory just opens the first journal — nothing to fold in.
 	old, err := journalFiles(opts.Dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	log, err := openJournal(opts.Dir, old, opts.NoSync)
-	if err != nil {
-		return nil, nil, err
-	}
-	q.log = log
-	for _, id := range order {
-		j, ok := q.jobs[id]
-		if !ok {
-			continue // trimmed terminal job: dropped from the compacted log too
-		}
-		if err := q.appendStateLocked(j); err != nil {
-			log.close()
+	if len(old) == 0 {
+		log, err := openJournal(opts.Dir, nil, opts.NoSync)
+		if err != nil {
 			return nil, nil, err
 		}
-	}
-	if err := removeFiles(opts.Dir, old); err != nil {
-		log.close()
+		q.log = log
+	} else if err := q.compactLocked(old); err != nil {
 		return nil, nil, err
 	}
 	return q, rep, nil
 }
 
-// appendStateLocked writes the records that reconstruct j from
-// scratch: an enqueue (with its attempt count) plus its terminal record
-// if it has one.
-func (q *Queue) appendStateLocked(j *job) error {
-	if err := q.log.append(record{
+// compactLocked rewrites the live state as a fresh snapshot journal and
+// removes the predecessors. The snapshot is written under a .tmp name
+// and promoted (fsync + rename) only once complete, so a crash at any
+// point leaves either the old files or a whole snapshot — replay never
+// sees half of each, and leftovers on either side of the promote are
+// ignored or swept at the next Open. Called by Open (with the replayed
+// files as predecessors) and online past the growth thresholds.
+func (q *Queue) compactLocked(old []string) error {
+	nj, err := openJournalTmp(q.opts.Dir, old)
+	if err != nil {
+		return err
+	}
+	if err := nj.append(record{Op: opSnap, ID: "snapshot"}); err != nil {
+		nj.abort()
+		return err
+	}
+	for _, j := range q.snapshotJobsLocked() {
+		if err := appendStateTo(nj, j); err != nil {
+			nj.abort()
+			return err
+		}
+	}
+	if err := nj.promote(q.opts.NoSync); err != nil {
+		nj.abort()
+		return err
+	}
+	if q.log != nil {
+		q.log.close()
+	}
+	q.log = nj
+	q.compactions++
+	// Leftover predecessors are harmless (replay starts at the
+	// snapshot), so removal failures do not fail the compaction.
+	return removeFiles(q.opts.Dir, old)
+}
+
+// snapshotJobsLocked returns every live job in enqueue-sequence order —
+// the order replay expects queued jobs back in. Running jobs snapshot
+// as plain enqueues (their lease is in-memory only): a crash re-runs
+// them, matching the journal's crash semantics.
+func (q *Queue) snapshotJobsLocked() []*job {
+	js := make([]*job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		js = append(js, j)
+	}
+	sort.Slice(js, func(i, k int) bool { return js[i].seq < js[k].seq })
+	return js
+}
+
+// maybeCompactLocked compacts the live journal online once it has grown
+// past the configured thresholds and the snapshot would at least halve
+// its record count. Failure is non-fatal: the current journal keeps
+// appending and a later append retries.
+func (q *Queue) maybeCompactLocked() {
+	if q.closed || q.log == nil || q.log.tmp {
+		return
+	}
+	overRecords := q.opts.CompactEvery > 0 && q.log.records >= q.opts.CompactEvery
+	overBytes := q.opts.CompactBytes > 0 && q.log.bytes >= q.opts.CompactBytes
+	if !overRecords && !overBytes {
+		return
+	}
+	// Worst-case snapshot size: marker + enq per live job + terminal
+	// record per finished one. Skip rewrites that wouldn't shrink.
+	est := 1 + len(q.jobs) + len(q.terminal)
+	if q.log.records < 2*est {
+		return
+	}
+	_ = q.compactLocked([]string{q.log.name})
+}
+
+// appendStateTo writes the records that reconstruct j from scratch: an
+// enqueue (with its attempt count) plus its terminal record if it has
+// one.
+func appendStateTo(log *journal, j *job) error {
+	if err := log.append(record{
 		Op: "enq", ID: j.ID, Priority: j.Priority,
 		Payload: j.Payload, Attempts: j.Attempts,
 	}); err != nil {
@@ -200,19 +287,35 @@ func (q *Queue) appendStateLocked(j *job) error {
 	}
 	switch j.State {
 	case StateDone:
-		return q.log.append(record{Op: "done", ID: j.ID, Result: j.Result, Warm: j.Warm})
+		return log.append(record{Op: "done", ID: j.ID, Result: j.Result, Warm: j.Warm})
 	case StateFailed:
-		return q.log.append(record{Op: "fail", ID: j.ID, Error: j.Error})
+		return log.append(record{Op: "fail", ID: j.ID, Error: j.Error})
 	}
 	return nil
 }
 
 // trimTerminalLocked drops terminal jobs beyond KeepDone, oldest
-// first.
+// first — stashing their outcome in the TTL retention map when one is
+// configured — and purges retained results past their TTL.
 func (q *Queue) trimTerminalLocked() {
 	for len(q.terminal) > q.opts.KeepDone {
-		delete(q.jobs, q.terminal[0])
+		id := q.terminal[0]
+		if j := q.jobs[id]; j != nil && q.opts.ResultTTL > 0 {
+			cp := j.Job
+			cp.Payload, cp.Warm = nil, nil
+			q.results[id] = retained{job: cp, expires: q.now().Add(q.opts.ResultTTL)}
+		}
+		delete(q.jobs, id)
 		q.terminal = q.terminal[1:]
+	}
+	if len(q.results) == 0 {
+		return
+	}
+	now := q.now()
+	for id, r := range q.results {
+		if !r.expires.After(now) {
+			delete(q.results, id)
+		}
 	}
 }
 
@@ -260,16 +363,24 @@ func (q *Queue) Enqueue(priority string, payload json.RawMessage) (Job, error) {
 	q.accepted++
 	q.byPriority[prio]++
 	q.broadcastLocked()
+	q.maybeCompactLocked()
 	return j.Job, nil
 }
 
 // Get returns a snapshot of the job and its 1-based queue position
-// (0 when not queued).
+// (0 when not queued). Jobs trimmed out of the KeepDone window but
+// still inside the result TTL are served from the retention map.
 func (q *Queue) Get(id string) (Job, int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	if !ok {
+		if r, ok := q.results[id]; ok {
+			if r.expires.After(q.now()) {
+				return r.job, 0, true
+			}
+			delete(q.results, id)
+		}
 		return Job{}, 0, false
 	}
 	return j.Job, q.positionLocked(j), true
@@ -299,10 +410,20 @@ func (q *Queue) Watch(id string) (<-chan struct{}, bool) {
 	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	if !ok {
+		if r, ok := q.results[id]; ok && r.expires.After(q.now()) {
+			return closedCh, true // retained results are terminal by construction
+		}
 		return nil, false
 	}
 	return j.final, true
 }
+
+// closedCh is the already-terminal Watch result.
+var closedCh = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
 
 // Stats snapshots the counters.
 func (q *Queue) Stats() Stats {
@@ -312,14 +433,20 @@ func (q *Queue) Stats() Stats {
 	for k, v := range q.byPriority {
 		by[k] = v
 	}
+	qby := make(map[string]int, len(priorityRank))
+	for _, j := range q.pq {
+		qby[j.Priority]++
+	}
 	return Stats{
-		Queued:     len(q.pq),
-		Running:    len(q.running),
-		Accepted:   q.accepted,
-		Done:       q.done,
-		Failed:     q.failed,
-		Retried:    q.retried,
-		ByPriority: by,
+		Queued:           len(q.pq),
+		Running:          len(q.running),
+		Accepted:         q.accepted,
+		Done:             q.done,
+		Failed:           q.failed,
+		Retried:          q.retried,
+		Compactions:      q.compactions,
+		ByPriority:       by,
+		QueuedByPriority: qby,
 	}
 }
 
@@ -435,6 +562,7 @@ func (q *Queue) reclaimLocked() error {
 		heap.Push(&q.pq, j)
 		q.broadcastLocked()
 	}
+	q.maybeCompactLocked()
 	return nil
 }
 
@@ -512,6 +640,7 @@ func (l *Lease) resolve(state State, result, warm json.RawMessage, errMsg string
 	l.q.terminal = append(l.q.terminal, l.id)
 	l.q.trimTerminalLocked()
 	close(j.final)
+	l.q.maybeCompactLocked()
 	return true
 }
 

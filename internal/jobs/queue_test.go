@@ -476,3 +476,148 @@ func assertSingleTerminalRecords(t *testing.T, dir string) {
 		}
 	}
 }
+
+func TestOnlineCompaction(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := openTest(t, dir, Options{KeepDone: 2, CompactEvery: 10, CompactBytes: -1})
+	var ids []string
+	for i := 0; i < 20; i++ {
+		j, err := q.Enqueue("", json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+		l, err := q.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !l.Done(json.RawMessage(`{"ok":true}`), nil) {
+			t.Fatal("Done")
+		}
+	}
+	st := q.Stats()
+	if st.Compactions < 1 {
+		t.Fatalf("no online compaction after 40 journal records (stats %+v)", st)
+	}
+	files, err := journalFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("journal files after compaction = %v, want exactly the live one", files)
+	}
+	if q.log.records >= 40 {
+		t.Fatalf("live journal still holds %d records; compaction never shrank it", q.log.records)
+	}
+	assertSingleTerminalRecords(t, dir)
+
+	// kill -9: the compacted journal must replay the retained window.
+	q2, rep, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen after online compaction: %v", err)
+	}
+	defer q2.Close()
+	if rep.Truncated {
+		t.Fatal("compacted journal reported truncated")
+	}
+	for _, id := range ids[len(ids)-2:] {
+		if got, _, ok := q2.Get(id); !ok || got.State != StateDone {
+			t.Fatalf("retained job %s after replay = %+v ok=%v", id, got, ok)
+		}
+	}
+}
+
+func TestCompactionMidstreamCrashArtifactsIgnored(t *testing.T) {
+	// The two crash shapes of an online compaction: an unpromoted .tmp
+	// (crash mid-snapshot) and a promoted snapshot whose predecessors
+	// were never removed (crash between promote and cleanup). Replay
+	// must start at the snapshot and Open must sweep the tmp.
+	dir := t.TempDir()
+	write := func(name string, lines ...string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("00000000.journal",
+		`{"op":"enq","id":"pre-snap","priority":"batch"}`)
+	write("00000001.journal",
+		`{"op":"snap","id":"snapshot"}`,
+		`{"op":"enq","id":"kept","priority":"batch"}`,
+		`{"op":"done","id":"kept","result":{"ok":true}}`)
+	write("00000002.journal.tmp",
+		`{"op":"snap","id":"snapshot"}`,
+		`{"op":"enq","id":"half-written`)
+
+	q, rep := openTest(t, dir, Options{})
+	if _, _, ok := q.Get("pre-snap"); ok {
+		t.Fatal("pre-snapshot job replayed: the snapshot should supersede its file")
+	}
+	if got, _, ok := q.Get("kept"); !ok || got.State != StateDone {
+		t.Fatalf("snapshot job = %+v ok=%v", got, ok)
+	}
+	if len(rep.Completed) != 1 || rep.Completed[0].ID != "kept" {
+		t.Fatalf("replay = %+v", rep)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("unpromoted snapshot %s survived Open", e.Name())
+		}
+	}
+}
+
+func TestResultTTLRetainsTrimmedOutcomes(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q, _ := openTest(t, t.TempDir(), Options{
+		KeepDone:  1,
+		ResultTTL: time.Minute,
+		Clock:     func() time.Time { return now },
+	})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, _ := q.Enqueue("", nil)
+		ids = append(ids, j.ID)
+		l, err := q.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Done(json.RawMessage(`{"literals":7}`), json.RawMessage(`{"warm":"blob"}`))
+	}
+
+	// The poll-after-trim regression: ids[0] and ids[1] are past the
+	// KeepDone window but inside the TTL — a poll must still see the
+	// terminal result, and a long-poll must return immediately.
+	for _, id := range ids[:2] {
+		got, pos, ok := q.Get(id)
+		if !ok || got.State != StateDone || pos != 0 {
+			t.Fatalf("trimmed job %s = %+v pos=%d ok=%v, want retained done", id, got, pos, ok)
+		}
+		if string(got.Result) != `{"literals":7}` {
+			t.Fatalf("retained result = %s", got.Result)
+		}
+		if got.Payload != nil || got.Warm != nil {
+			t.Fatalf("retention kept heavy fields: payload=%v warm=%v", got.Payload, got.Warm)
+		}
+		ch, ok := q.Watch(id)
+		if !ok {
+			t.Fatalf("Watch(%s) lost the retained job", id)
+		}
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("Watch(%s) channel open for a terminal retained job", id)
+		}
+	}
+
+	now = now.Add(2 * time.Minute)
+	if _, _, ok := q.Get(ids[0]); ok {
+		t.Fatal("retained result survived past its TTL")
+	}
+	if got, _, ok := q.Get(ids[2]); !ok || got.State != StateDone {
+		t.Fatalf("in-window job %s = %+v ok=%v", ids[2], got, ok)
+	}
+}

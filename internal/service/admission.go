@@ -1,0 +1,256 @@
+package service
+
+// Adaptive admission: the reaction layer between the telemetry ring and
+// the admission gate. Three mechanisms, all ahead of the queue:
+//
+//   - deadline-aware load shedding — when the gate is full, the queue
+//     wait a new compute would see is predicted from the recent p99 of
+//     observed waits (the same signal the ftdc capture records); a
+//     request whose remaining deadline budget cannot survive that wait
+//     is rejected immediately with 429 + Retry-After instead of
+//     queueing until it 504s, so doomed work never occupies the queue
+//     or — worse — a slot it can only waste;
+//   - priority classes — the sync path reads X-Priority (the job
+//     tier's classes: interactive > batch > bulk, default interactive)
+//     and sheds lower classes at a fraction of their budget, keeping
+//     headroom for interactive traffic under pressure;
+//   - per-tenant token-bucket quotas — X-Tenant identifies the tenant
+//     (default "default"); with -quota-rps set, each tenant draws from
+//     its own bucket (batch items and job submissions charge one token
+//     each) and exhaustion is a fast 429 + Retry-After before any
+//     decode-heavy work.
+//
+// Shedding only ever engages with live evidence of queueing: an empty
+// observation window predicts zero wait, so an idle or freshly started
+// server admits everything.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// shedError is a request rejected by the admission layer before it
+// queued: deadline-doomed under the predicted wait, or out of tenant
+// quota. statusFor maps it to 429; retryAfter feeds the Retry-After
+// header and the response's retry_after_ms.
+type shedError struct {
+	retryAfter time.Duration
+	reason     string
+}
+
+func (e *shedError) Error() string { return e.reason }
+
+// applyShed copies a shed error's retry hint onto a failure response,
+// so both single and batch-item 429s tell the client when to return.
+func applyShed(resp Response, err error) Response {
+	var se *shedError
+	if errors.As(err, &se) {
+		resp.Code = "shed"
+		resp.RetryAfterMS = max(se.retryAfter.Milliseconds(), 1)
+	}
+	return resp
+}
+
+// retryAfterSeconds renders a millisecond hint as the Retry-After
+// header value: whole seconds, rounded up, at least 1 — a 1500 ms hint
+// must say 2, not 1, or clients poll early.
+func retryAfterSeconds(ms int64) string {
+	if ms < 1 {
+		ms = 1
+	}
+	return fmt.Sprint((ms + 999) / 1000)
+}
+
+// prioKey carries the request's priority class to acquireSlot.
+type prioKey struct{}
+
+func withPriority(ctx context.Context, p string) context.Context {
+	return context.WithValue(ctx, prioKey{}, p)
+}
+
+// priorityFrom defaults to interactive: the sync path is interactive
+// traffic unless the client says otherwise.
+func priorityFrom(ctx context.Context) string {
+	if p, ok := ctx.Value(prioKey{}).(string); ok {
+		return p
+	}
+	return jobs.PriorityInteractive
+}
+
+// budgetFactor is the fraction of its deadline budget a class may
+// expect to spend queueing before it is shed. Interactive requests are
+// shed only when genuinely doomed; batch and bulk yield earlier, which
+// is what keeps the gate's headroom for the interactive class under
+// overload.
+func budgetFactor(priority string) float64 {
+	switch priority {
+	case jobs.PriorityBatch:
+		return 0.5
+	case jobs.PriorityBulk:
+		return 0.25
+	default:
+		return 1.0
+	}
+}
+
+// waitRing is a fixed ring of recent queue-wait observations — the
+// live half of the telemetry loop. acquireSlot records every queued
+// acquire (timeouts included, as a floor on the wait they were still
+// suffering); p99 reads the observations inside the window. Fast-path
+// acquires (free slot) are deliberately not recorded: when queueing
+// stops, the window drains and the predictor decays to zero on its
+// own.
+type waitRing struct {
+	mu     sync.Mutex
+	at     []time.Time
+	wait   []time.Duration
+	pos    int
+	n      int
+	window time.Duration
+}
+
+func newWaitRing(size int, window time.Duration) *waitRing {
+	return &waitRing{
+		at:     make([]time.Time, size),
+		wait:   make([]time.Duration, size),
+		window: window,
+	}
+}
+
+func (r *waitRing) observe(at time.Time, wait time.Duration) {
+	r.mu.Lock()
+	r.at[r.pos] = at
+	r.wait[r.pos] = wait
+	r.pos = (r.pos + 1) % len(r.at)
+	if r.n < len(r.at) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile wait among observations newer than
+// the window, or 0 when there are none.
+func (r *waitRing) p99(now time.Time) time.Duration {
+	cutoff := now.Add(-r.window)
+	r.mu.Lock()
+	live := make([]time.Duration, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		if r.at[i].After(cutoff) {
+			live = append(live, r.wait[i])
+		}
+	}
+	r.mu.Unlock()
+	if len(live) == 0 {
+		return 0
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	return live[(len(live)*99)/100]
+}
+
+// quotas is the per-tenant token-bucket registry. Buckets refill at
+// rps tokens per second up to burst; take is called with the token
+// count of the work (batch items each cost one).
+type quotas struct {
+	rps   float64
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rps float64, burst int) *quotas {
+	if burst <= 0 {
+		burst = int(math.Ceil(rps))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &quotas{rps: rps, burst: float64(burst), m: make(map[string]*bucket)}
+}
+
+// take spends n tokens from tenant's bucket. On exhaustion it reports
+// how long until the deficit refills — the Retry-After hint.
+func (qs *quotas) take(tenant string, n int, now time.Time) (time.Duration, bool) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	b := qs.m[tenant]
+	if b == nil {
+		qs.pruneLocked(now)
+		b = &bucket{tokens: qs.burst, last: now}
+		qs.m[tenant] = b
+	}
+	b.tokens = math.Min(qs.burst, b.tokens+now.Sub(b.last).Seconds()*qs.rps)
+	b.last = now
+	if b.tokens >= float64(n) {
+		b.tokens -= float64(n)
+		return 0, true
+	}
+	deficit := float64(n) - b.tokens
+	return time.Duration(deficit / qs.rps * float64(time.Second)), false
+}
+
+// pruneLocked bounds the registry against tenant-name cardinality
+// attacks: before admitting a new tenant past the cap, drop buckets
+// that have already refilled to full (forgetting them loses nothing —
+// a returning tenant starts with a full bucket anyway).
+func (qs *quotas) pruneLocked(now time.Time) {
+	if len(qs.m) < 4096 {
+		return
+	}
+	for id, b := range qs.m {
+		if math.Min(qs.burst, b.tokens+now.Sub(b.last).Seconds()*qs.rps) >= qs.burst {
+			delete(qs.m, id)
+		}
+	}
+}
+
+// tenantFrom names the requester's quota bucket.
+func tenantFrom(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// shedCheck decides, with the gate already full, whether queueing this
+// request could possibly serve it: the recent p99 queue wait is the
+// prediction, scaled against the request's remaining deadline budget by
+// its priority class. Requests without a deadline are never shed.
+func (s *Server) shedCheck(ctx context.Context) error {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	now := time.Now()
+	p99 := s.waits.p99(now)
+	if p99 <= 0 {
+		return nil // no queueing evidence; admit
+	}
+	prio := priorityFrom(ctx)
+	budget := deadline.Sub(now)
+	limit := time.Duration(float64(budget) * budgetFactor(prio))
+	if p99 <= limit {
+		return nil
+	}
+	s.statsMu.Lock()
+	s.ctr.shedDeadline++
+	s.statsMu.Unlock()
+	return &shedError{
+		retryAfter: p99,
+		reason: fmt.Sprintf("shed: predicted queue wait %v exceeds the %s-class budget (%v of %v remaining)",
+			p99.Round(time.Millisecond), prio, limit.Round(time.Millisecond), budget.Round(time.Millisecond)),
+	}
+}

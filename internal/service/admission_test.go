@@ -1,0 +1,424 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// postHdr is post with extra headers.
+func postHdr(t testing.TB, h http.Handler, body string, hdr map[string]string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/minimize", strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code, w.Body.String(), w.Result().Header
+}
+
+// holdAllSlots saturates the admission gate with distinct blocker
+// requests and returns a release func.
+func holdAllSlots(t *testing.T, s *Server, h http.Handler) func() {
+	t.Helper()
+	gate := make(chan struct{})
+	s.testHookAfterAcquire = func(ctx context.Context) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+	}
+	width := cap(s.slots)
+	var wg sync.WaitGroup
+	for i := 0; i < width; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct functions so the blockers don't coalesce.
+			post(t, h, fmt.Sprintf(`{"n":3,"on":[%d,7]}`, i))
+		}(i)
+	}
+	for i := 0; len(s.slots) < width && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if len(s.slots) < width {
+		t.Fatal("blockers never filled the gate")
+	}
+	return func() { close(gate); wg.Wait() }
+}
+
+// TestShed429WithRetryAfter: with the gate full and the wait ring
+// predicting long queues, a deadlined request is rejected 429 up front —
+// fast, with a Retry-After header and a machine-readable code — instead
+// of queueing into a 504.
+func TestShed429WithRetryAfter(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxConcurrent = 1
+	s := New(cfg)
+	h := s.Handler()
+	release := holdAllSlots(t, s, h)
+	defer release()
+
+	// Seed the predictor: recent acquires waited ~2s, far over the
+	// request's 200ms budget.
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		s.waits.observe(now, 2*time.Second)
+	}
+
+	start := time.Now()
+	code, out, hdr := postHdr(t, h,
+		fmt.Sprintf(`{"n":3,"on":%s,"timeout_ms":200}`, pointsJSON(oddParity(3))), nil)
+	shedLatency := time.Since(start)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", code, out)
+	}
+	res := decodeResp(t, out)
+	if res.Code != "shed" {
+		t.Errorf("code %q, want \"shed\": %s", res.Code, out)
+	}
+	if res.RetryAfterMS < 1 {
+		t.Errorf("retry_after_ms = %d, want >= 1", res.RetryAfterMS)
+	}
+	if ra := hdr.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After header = %q, want positive seconds", ra)
+	}
+	// Shed-before-queue: the rejection must not have waited out the
+	// 200ms deadline (the whole point is rejecting early).
+	if shedLatency > 150*time.Millisecond {
+		t.Errorf("shed took %v; must reject before the queue wait, not after", shedLatency)
+	}
+
+	// Counter surfaced on /statsz.
+	_, stz := get(t, h, "/statsz")
+	var st Statsz
+	if err := json.Unmarshal([]byte(stz), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ShedDeadline < 1 {
+		t.Errorf("shed_deadline = %d, want >= 1", st.ShedDeadline)
+	}
+	if st.QueueWaitP99MS < 1000 {
+		t.Errorf("queue_wait_p99_ms = %d, want the seeded ~2000", st.QueueWaitP99MS)
+	}
+}
+
+// TestShedSparesLongDeadlines: the same full gate and hot predictor
+// must still admit (queue) a request whose budget covers the predicted
+// wait — shedding is deadline-aware, not a blanket reject.
+func TestShedSparesLongDeadlines(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxConcurrent = 1
+	s := New(cfg)
+	h := s.Handler()
+	release := holdAllSlots(t, s, h)
+
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		s.waits.observe(now, 50*time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	var code int
+	var out string
+	go func() {
+		defer close(done)
+		// 10s budget vs 50ms predicted wait: must queue, then serve.
+		code, out = post(t, h, fmt.Sprintf(`{"n":3,"on":%s}`, pointsJSON(oddParity(3))))
+	}()
+	time.Sleep(50 * time.Millisecond)
+	release()
+	<-done
+	if code != http.StatusOK {
+		t.Fatalf("long-deadline request under mild pressure: status %d, want 200: %s", code, out)
+	}
+}
+
+// TestQuotaPerTenantIsolation: tenant A exhausting its bucket gets 429
+// + Retry-After while tenant B (and A again after refill) proceed —
+// buckets are per-tenant, not global.
+func TestQuotaPerTenantIsolation(t *testing.T) {
+	cfg := testConfig()
+	cfg.QuotaRPS = 0.5 // slow refill: 2s per token
+	cfg.QuotaBurst = 2
+	s := New(cfg)
+	h := s.Handler()
+	body := fmt.Sprintf(`{"n":3,"on":%s}`, pointsJSON(oddParity(3)))
+
+	hdrA := map[string]string{"X-Tenant": "alice"}
+	for i := 0; i < 2; i++ {
+		if code, out, _ := postHdr(t, h, body, hdrA); code != http.StatusOK {
+			t.Fatalf("alice %d within burst: status %d: %s", i, code, out)
+		}
+	}
+	code, out, hdr := postHdr(t, h, body, hdrA)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("alice over burst: status %d, want 429: %s", code, out)
+	}
+	res := decodeResp(t, out)
+	if res.Code != "quota_exhausted" || res.RetryAfterMS < 1 {
+		t.Errorf("over-quota response = %+v, want code quota_exhausted with retry hint", res)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("over-quota response missing Retry-After header")
+	}
+
+	// A different tenant is unaffected.
+	if code, out, _ := postHdr(t, h, body, map[string]string{"X-Tenant": "bob"}); code != http.StatusOK {
+		t.Fatalf("bob blocked by alice's quota: status %d: %s", code, out)
+	}
+	// So is the default tenant (no header).
+	if code, out, _ := postHdr(t, h, body, nil); code != http.StatusOK {
+		t.Fatalf("default tenant blocked: status %d: %s", code, out)
+	}
+
+	// Quota rejections surface on /statsz without touching the served
+	// invariant (served == hits+misses+waiters; the rejected request
+	// appears in neither).
+	_, stz := get(t, h, "/statsz")
+	var st Statsz
+	if err := json.Unmarshal([]byte(stz), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QuotaRejected != 1 {
+		t.Errorf("quota_rejected = %d, want 1", st.QuotaRejected)
+	}
+	if st.Served != st.CacheHits+st.CacheMisses+st.CoalesceWaiters {
+		t.Errorf("served invariant broken: %+v", st)
+	}
+}
+
+// TestQuotaChargesBatchPerItem: a batch charges one token per item, so
+// a burst-2 bucket refuses a 3-item batch outright.
+func TestQuotaChargesBatchPerItem(t *testing.T) {
+	cfg := testConfig()
+	cfg.QuotaRPS = 0.001
+	cfg.QuotaBurst = 2
+	s := New(cfg)
+	h := s.Handler()
+	item := fmt.Sprintf(`{"n":3,"on":%s}`, pointsJSON(oddParity(3)))
+	code, out, _ := postHdr(t, h, fmt.Sprintf(`{"requests":[%s,%s,%s]}`, item, item, item), nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("3-item batch on burst-2 bucket: status %d, want 429: %s", code, out)
+	}
+	var br batchResponse
+	if err := json.Unmarshal([]byte(out), &br); err != nil {
+		t.Fatalf("batch 429 lost the batch shape: %v\n%s", err, out)
+	}
+	if br.Error == "" || len(br.Results) != 0 {
+		t.Errorf("batch 429 envelope = %+v", br)
+	}
+}
+
+// TestPriorityHeader: a bogus X-Priority is a 400 before any work; a
+// valid one is accepted.
+func TestPriorityHeader(t *testing.T) {
+	s := New(testConfig())
+	h := s.Handler()
+	body := fmt.Sprintf(`{"n":3,"on":%s}`, pointsJSON(oddParity(3)))
+	if code, out, _ := postHdr(t, h, body, map[string]string{"X-Priority": "urgent"}); code != http.StatusBadRequest {
+		t.Errorf("unknown priority: status %d, want 400: %s", code, out)
+	}
+	if code, out, _ := postHdr(t, h, body, map[string]string{"X-Priority": "bulk"}); code != http.StatusOK {
+		t.Errorf("bulk priority: status %d: %s", code, out)
+	}
+}
+
+func TestBudgetFactorOrdering(t *testing.T) {
+	i, b, u := budgetFactor(jobs.PriorityInteractive), budgetFactor(jobs.PriorityBatch), budgetFactor(jobs.PriorityBulk)
+	if !(i > b && b > u) {
+		t.Errorf("budget factors not ordered: interactive=%v batch=%v bulk=%v", i, b, u)
+	}
+}
+
+func TestRetryAfterSecondsCeils(t *testing.T) {
+	cases := []struct {
+		ms   int64
+		want string
+	}{
+		{0, "1"}, {-5, "1"}, {1, "1"}, {999, "1"}, {1000, "1"}, {1001, "2"}, {1500, "2"}, {15000, "15"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.ms); got != c.want {
+			t.Errorf("retryAfterSeconds(%d) = %s, want %s", c.ms, got, c.want)
+		}
+	}
+}
+
+func TestParseWaitMSClamps(t *testing.T) {
+	mk := func(q string) *http.Request {
+		return httptest.NewRequest(http.MethodGet, "/v1/jobs/x?wait_ms="+q, nil)
+	}
+	cases := []struct {
+		q    string
+		want time.Duration
+	}{
+		{"250", 250 * time.Millisecond},
+		{"0", 0},
+		{"-100", 0},
+		{"garbage", 0},
+		{"99999999999999999999999999", maxWaitMS * time.Millisecond}, // overflow clamps, not drops
+		{"9223372036854775807", maxWaitMS * time.Millisecond},        // in-range but huge: clamped
+	}
+	for _, c := range cases {
+		if got := parseWaitMS(mk(c.q)); got != c.want {
+			t.Errorf("parseWaitMS(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestStatszHistoryRoundTrip: the sampler writes the ftdc ring and
+// /statsz/history replays it, columnar and monotone.
+func TestStatszHistoryRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.FTDCDir = t.TempDir()
+	cfg.FTDCInterval = 5 * time.Millisecond
+	s := New(cfg)
+	if err := s.StartTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if code, out := post(t, h, fmt.Sprintf(`{"n":3,"on":%s}`, pointsJSON(oddParity(3)))); code != http.StatusOK {
+		t.Fatalf("serve: %d %s", code, out)
+	}
+	// Let the sampler take a few samples, then stop (flushes the tail).
+	time.Sleep(60 * time.Millisecond)
+	s.StopTelemetry()
+
+	code, out := get(t, h, "/statsz/history")
+	if code != http.StatusOK {
+		t.Fatalf("history: status %d: %s", code, out)
+	}
+	var hist historyResponse
+	if err := json.Unmarshal([]byte(out), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Schema != "spp-ftdc-history/v1" {
+		t.Errorf("schema = %q", hist.Schema)
+	}
+	if len(hist.Samples) < 2 {
+		t.Fatalf("samples = %d, want a few", len(hist.Samples))
+	}
+	servedCol := -1
+	for i, m := range hist.Metrics {
+		if m == "serve.served" {
+			servedCol = i
+		}
+	}
+	if servedCol < 0 {
+		t.Fatalf("metrics %v missing serve.served", hist.Metrics)
+	}
+	last := hist.Samples[len(hist.Samples)-1]
+	if len(last.V) != len(hist.Metrics) {
+		t.Fatalf("columnar mismatch: %d values for %d metrics", len(last.V), len(hist.Metrics))
+	}
+	if last.V[servedCol] < 1 {
+		t.Errorf("final serve.served = %d, want >= 1", last.V[servedCol])
+	}
+	for i := 1; i < len(hist.Samples); i++ {
+		if hist.Samples[i].T < hist.Samples[i-1].T {
+			t.Fatalf("samples not time-ordered at %d", i)
+		}
+	}
+
+	// ?last trims from the old end.
+	code, out = get(t, h, "/statsz/history?last=1")
+	if code != http.StatusOK {
+		t.Fatal(out)
+	}
+	var one historyResponse
+	if err := json.Unmarshal([]byte(out), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Samples) != 1 || one.Samples[0].T != last.T {
+		t.Errorf("last=1 returned %d samples (want the newest)", len(one.Samples))
+	}
+}
+
+// TestStatszHistoryDisabled: without -ftdc-dir the endpoint says so
+// instead of 404ing.
+func TestStatszHistoryDisabled(t *testing.T) {
+	s := New(testConfig())
+	code, out := get(t, s.Handler(), "/statsz/history")
+	if code != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501: %s", code, out)
+	}
+	if !strings.Contains(out, "ftdc-dir") {
+		t.Errorf("501 body does not name the flag: %s", out)
+	}
+}
+
+// chopNewestSegment cuts the newest ftdc segment short mid-record —
+// the on-disk shape a kill -9 leaves.
+func chopNewestSegment(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".ftdc") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no ftdc segments written")
+	}
+	sort.Strings(segs)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 4 {
+		t.Fatalf("segment %s too small to chop", path)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatszHistorySurvivesTruncatedTail: a crash-cut segment tail
+// (kill -9 mid-append) drops only the partial sample and reports
+// truncated.
+func TestStatszHistorySurvivesTruncatedTail(t *testing.T) {
+	cfg := testConfig()
+	cfg.FTDCDir = t.TempDir()
+	cfg.FTDCInterval = 5 * time.Millisecond
+	s := New(cfg)
+	if err := s.StartTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	s.StopTelemetry()
+
+	chopNewestSegment(t, cfg.FTDCDir)
+
+	code, out := get(t, s.Handler(), "/statsz/history")
+	if code != http.StatusOK {
+		t.Fatalf("history after chop: status %d: %s", code, out)
+	}
+	var hist historyResponse
+	if err := json.Unmarshal([]byte(out), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if !hist.Truncated {
+		t.Error("chopped tail not reported truncated")
+	}
+	if len(hist.Samples) < 1 {
+		t.Error("no intact samples survived the chop")
+	}
+}

@@ -97,7 +97,7 @@ func (s *Server) processEngine(ctx context.Context, q Request, f *bfunc.Func, fo
 				status = statusFor(ce)
 			}
 		}
-		return fail(status, err, outcomeError)
+		return applyShed(fail(status, err, outcomeError), err)
 	}
 
 	baseKey, perm, canon, err := fcache.CanonicalizeCtx(ctx, f)

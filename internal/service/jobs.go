@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -104,6 +105,7 @@ func (s *Server) StartJobs() (*jobs.Replay, error) {
 		Dir:        s.cfg.JobsDir,
 		LeaseTTL:   s.cfg.JobLeaseTTL,
 		MaxRetries: s.cfg.JobRetries,
+		ResultTTL:  s.cfg.JobResultTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -224,7 +226,9 @@ func (s *Server) executeJob(hardCtx context.Context, lease *jobs.Lease) {
 		lease.Fail("undecodable job payload: " + err.Error())
 		return
 	}
-	jobCtx, cancel := context.WithTimeout(hardCtx, s.jobTimeout(req))
+	// The job's priority class rides into the admission gate, where a
+	// full gate sheds bulk work earlier than interactive work.
+	jobCtx, cancel := context.WithTimeout(withPriority(hardCtx, lease.Job.Priority), s.jobTimeout(req))
 	defer cancel()
 
 	// Heartbeat at a third of the TTL; losing the lease (reclaimed
@@ -326,6 +330,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if q == nil {
 		writeJSON(w, http.StatusNotImplemented, Response{Error: "jobs tier disabled (start sppserve with -jobs-dir)"})
 		return
+	}
+	// One token per submission, charged before the body is decoded —
+	// over-quota tenants cannot make the server parse anything.
+	if s.quotas != nil {
+		tenant := tenantFrom(r)
+		if wait, ok := s.quotas.take(tenant, 1, time.Now()); !ok {
+			s.statsMu.Lock()
+			s.ctr.shedQuota++
+			s.statsMu.Unlock()
+			ms := max(wait.Milliseconds(), 1)
+			w.Header().Set("Retry-After", retryAfterSeconds(ms))
+			writeJSON(w, http.StatusTooManyRequests, Response{
+				Error:        fmt.Sprintf("tenant %q over quota (%.3g req/s)", tenant, s.quotas.rps),
+				Code:         "quota_exhausted",
+				RetryAfterMS: ms,
+			})
+			return
+		}
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var env jobEnvelope
@@ -453,21 +475,37 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 
 	st := s.jobStatus(j, pos)
 	if st.RetryAfterMS > 0 {
-		w.Header().Set("Retry-After", fmt.Sprint(max(st.RetryAfterMS/1000, 1)))
+		// Rounded up, never down: a 1500ms hint truncated to 1s makes
+		// every client poll early.
+		w.Header().Set("Retry-After", retryAfterSeconds(st.RetryAfterMS))
 	}
 	writeJSON(w, http.StatusOK, st)
 }
+
+// maxWaitMS caps ?wait_ms= long-polls at a day — far above
+// Config.MaxTimeout (which still applies), but low enough that the
+// millisecond-to-Duration conversion can never overflow.
+const maxWaitMS = 24 * 60 * 60 * 1000
 
 func parseWaitMS(r *http.Request) time.Duration {
 	v := r.URL.Query().Get("wait_ms")
 	if v == "" {
 		return 0
 	}
-	var ms int64
-	if _, err := fmt.Sscanf(v, "%d", &ms); err != nil || ms <= 0 {
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		// An out-of-range positive number is an emphatic "wait long",
+		// not garbage: clamp instead of silently disabling the wait.
+		if errors.Is(err, strconv.ErrRange) && !strings.HasPrefix(strings.TrimSpace(v), "-") {
+			ms = maxWaitMS
+		} else {
+			return 0
+		}
+	}
+	if ms <= 0 {
 		return 0
 	}
-	return time.Duration(ms) * time.Millisecond
+	return time.Duration(min(ms, maxWaitMS)) * time.Millisecond
 }
 
 // jobStatus shapes one queue snapshot for the API, with a crude

@@ -54,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fcache"
+	"repro/internal/ftdc"
 	"repro/internal/harness"
 	"repro/internal/jobs"
 	"repro/internal/stats"
@@ -137,6 +138,32 @@ type Config struct {
 	// the measured baseline for cmd/sppload and for regression tests;
 	// production servers leave it off.
 	LegacySerial bool
+	// JobResultTTL keeps the outcome of a terminal job queryable for
+	// this long after KeepDone trims it, so pollers never see a freshly
+	// finished job 404. Default 15m; negative disables.
+	JobResultTTL time.Duration
+	// FTDCDir enables the always-on telemetry ring when non-empty:
+	// StartTelemetry samples the /statsz counter families there every
+	// FTDCInterval (internal/ftdc segments), and GET /statsz/history
+	// replays them. The capture is crash-tolerant — a kill -9 loses at
+	// most the partial tail record.
+	FTDCDir string
+	// FTDCInterval is the telemetry sampling period. Default 1s.
+	FTDCInterval time.Duration
+	// FTDCSegmentSamples and FTDCMaxSegments bound the on-disk ring
+	// (samples per segment file, segment files kept). Defaults from
+	// internal/ftdc (512 and 8 — with a 1s interval, about 68 minutes
+	// of history).
+	FTDCSegmentSamples int
+	FTDCMaxSegments    int
+	// QuotaRPS enables per-tenant admission quotas when positive:
+	// each tenant (X-Tenant header, "default" unset) gets a token
+	// bucket refilling at this rate. A minimize request charges one
+	// token per item; a job submission charges one. Exhaustion is a
+	// fast 429 + Retry-After. Off (0) by default.
+	QuotaRPS float64
+	// QuotaBurst is the bucket depth. Default ceil(QuotaRPS), min 1.
+	QuotaBurst int
 }
 
 // Request is one minimization job. Exactly one function source must be
@@ -245,9 +272,15 @@ type Response struct {
 	ElapsedNS int64         `json:"elapsed_ns"`
 	Stats     *stats.Report `json:"stats,omitempty"`
 	Error     string        `json:"error,omitempty"`
-	// Code is a machine-readable error discriminator (currently
-	// "cold_run_required" on 409).
+	// Code is a machine-readable error discriminator
+	// ("cold_run_required" on 409, "shed" and "quota_exhausted" on
+	// 429).
 	Code string `json:"code,omitempty"`
+	// RetryAfterMS accompanies 429 responses (shed or over-quota): how
+	// long the admission layer predicts the client should back off.
+	// Also sent as a Retry-After header (in whole seconds) on single
+	// responses; batch items carry it here only.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 
 	status  int     // HTTP status for single-request responses
 	outcome outcome // counter classification, see record
@@ -340,7 +373,28 @@ type Statsz struct {
 	JobsReplayed   int64            `json:"jobs_replayed"`
 	JobsRequeued   int64            `json:"jobs_requeued"`
 	JobsByPriority map[string]int64 `json:"jobs_by_priority,omitempty"`
-	Runs           *stats.RunReport `json:"runs"`
+	// JobsCompactions counts online journal compactions (the startup
+	// one included); JobsQueuedByPriority is the current backlog per
+	// priority class — the admission layer's per-class pressure signal.
+	JobsCompactions      int64          `json:"jobs_compactions"`
+	JobsQueuedByPriority map[string]int `json:"jobs_queued_by_priority,omitempty"`
+	// Admission-layer counters (docs/stats-schema.md): AdmissionAdmitted
+	// counts engine runs that took a gate slot, split by priority class
+	// in AdmissionByPriority; ShedDeadline counts requests rejected
+	// because the predicted queue wait exceeded their deadline budget;
+	// QuotaRejected counts per-tenant token-bucket rejections (both shed
+	// families answer 429 + Retry-After and are included in Errors only
+	// when a request was actually processed — quota rejections happen
+	// before processing and count in neither Served nor Errors).
+	// QueueWaitP99MS is the live shedding signal: the 99th-percentile
+	// admission queue wait over the recent window, 0 when nothing has
+	// queued lately.
+	AdmissionAdmitted   int64            `json:"admission_admitted"`
+	AdmissionByPriority map[string]int64 `json:"admission_by_priority,omitempty"`
+	ShedDeadline        int64            `json:"shed_deadline"`
+	QuotaRejected       int64            `json:"quota_rejected"`
+	QueueWaitP99MS      int64            `json:"queue_wait_p99_ms"`
+	Runs                *stats.RunReport `json:"runs"`
 }
 
 // cacheEntry is one result-cache value, living in one of three
@@ -418,6 +472,11 @@ type counters struct {
 
 	engineRaces, engineCancelled int64
 	winsByForm                   map[string]int64
+
+	admitted           int64
+	admittedByPriority map[string]int64
+	shedDeadline       int64
+	shedQuota          int64
 }
 
 // Server is the minimization service. Create with New; expose with
@@ -431,6 +490,17 @@ type Server struct {
 
 	statsMu sync.Mutex
 	ctr     counters
+
+	// Admission layer: recent queue-wait observations feed the shed
+	// predictor; quotas is nil unless Config.QuotaRPS is set.
+	waits  *waitRing
+	quotas *quotas
+
+	// Telemetry capture (nil until StartTelemetry).
+	ftdcMu   sync.Mutex
+	ftdcW    *ftdc.Writer
+	ftdcStop chan struct{}
+	ftdcWG   sync.WaitGroup
 
 	draining atomic.Bool
 
@@ -498,6 +568,15 @@ func New(cfg Config) *Server {
 	if cfg.JobTimeout <= 0 {
 		cfg.JobTimeout = 10 * time.Minute
 	}
+	switch {
+	case cfg.JobResultTTL == 0:
+		cfg.JobResultTTL = 15 * time.Minute
+	case cfg.JobResultTTL < 0:
+		cfg.JobResultTTL = 0
+	}
+	if cfg.FTDCInterval <= 0 {
+		cfg.FTDCInterval = time.Second
+	}
 	if cfg.Core.PerOutput == 0 && cfg.Core.MaxCandidates == 0 {
 		cfg.Core = harness.DefaultConfig()
 	}
@@ -509,12 +588,17 @@ func New(cfg Config) *Server {
 	if err != nil {
 		panic("service: " + err.Error())
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		registry: registry,
 		cache:    fcache.NewWeighted(cfg.CacheSize, cfg.CacheBytes, shards, entryWeight),
 		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		waits:    newWaitRing(512, 30*time.Second),
 	}
+	if cfg.QuotaRPS > 0 {
+		s.quotas = newQuotas(cfg.QuotaRPS, cfg.QuotaBurst)
+	}
+	return s
 }
 
 // Handler returns the HTTP routes.
@@ -525,6 +609,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.handleJobGet)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/statsz/history", s.handleStatszHistory)
 	return mux
 }
 
@@ -602,6 +687,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			wins[k] = v
 		}
 	}
+	var admittedBy map[string]int64
+	if len(ctr.admittedByPriority) > 0 {
+		admittedBy = make(map[string]int64, len(ctr.admittedByPriority))
+		for k, v := range ctr.admittedByPriority {
+			admittedBy[k] = v
+		}
+	}
 	s.statsMu.Unlock()
 	var jst jobs.Stats
 	s.jobMu.Lock()
@@ -610,37 +702,44 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobMu.Unlock()
 	writeJSON(w, http.StatusOK, Statsz{
-		Served:             ctr.served,
-		CacheHits:          ctr.hits,
-		CacheMisses:        ctr.misses,
-		Errors:             ctr.errors,
-		CoalesceWaiters:    ctr.waiters,
-		CoalesceDetached:   ctr.detached,
-		DeltaWarm:          ctr.deltaWarm,
-		DeltaCold:          ctr.deltaCold,
-		DeltaBaseMiss:      ctr.deltaBaseMiss,
-		DeltaTrivial:       ctr.deltaTrivial,
-		DeltaCoverReused:   ctr.deltaCoverReused,
-		DeltaCoverResolved: ctr.deltaCoverResolve,
-		EngineRaces:        ctr.engineRaces,
-		EngineWinsByForm:   wins,
-		EngineCancelled:    ctr.engineCancelled,
-		CacheEvictions:     int64(cst.Evictions),
-		CacheBytes:         cst.Bytes,
-		CacheRejected:      int64(cst.Rejected),
-		CacheShards:        cst.Shards,
-		CacheLen:           s.cache.Len(),
-		InFlight:           len(s.slots),
-		Draining:           s.draining.Load(),
-		JobsQueued:         int64(jst.Queued),
-		JobsRunning:        int64(jst.Running),
-		JobsDone:           jst.Done,
-		JobsFailed:         jst.Failed,
-		JobsRetried:        jst.Retried,
-		JobsReplayed:       s.jobsReplayed.Load(),
-		JobsRequeued:       s.jobsRequeued.Load(),
-		JobsByPriority:     jst.ByPriority,
-		Runs:               runs,
+		Served:               ctr.served,
+		CacheHits:            ctr.hits,
+		CacheMisses:          ctr.misses,
+		Errors:               ctr.errors,
+		CoalesceWaiters:      ctr.waiters,
+		CoalesceDetached:     ctr.detached,
+		DeltaWarm:            ctr.deltaWarm,
+		DeltaCold:            ctr.deltaCold,
+		DeltaBaseMiss:        ctr.deltaBaseMiss,
+		DeltaTrivial:         ctr.deltaTrivial,
+		DeltaCoverReused:     ctr.deltaCoverReused,
+		DeltaCoverResolved:   ctr.deltaCoverResolve,
+		EngineRaces:          ctr.engineRaces,
+		EngineWinsByForm:     wins,
+		EngineCancelled:      ctr.engineCancelled,
+		CacheEvictions:       int64(cst.Evictions),
+		CacheBytes:           cst.Bytes,
+		CacheRejected:        int64(cst.Rejected),
+		CacheShards:          cst.Shards,
+		CacheLen:             s.cache.Len(),
+		InFlight:             len(s.slots),
+		Draining:             s.draining.Load(),
+		JobsQueued:           int64(jst.Queued),
+		JobsRunning:          int64(jst.Running),
+		JobsDone:             jst.Done,
+		JobsFailed:           jst.Failed,
+		JobsRetried:          jst.Retried,
+		JobsReplayed:         s.jobsReplayed.Load(),
+		JobsRequeued:         s.jobsRequeued.Load(),
+		JobsByPriority:       jst.ByPriority,
+		JobsCompactions:      jst.Compactions,
+		JobsQueuedByPriority: jst.QueuedByPriority,
+		AdmissionAdmitted:    ctr.admitted,
+		AdmissionByPriority:  admittedBy,
+		ShedDeadline:         ctr.shedDeadline,
+		QuotaRejected:        ctr.shedQuota,
+		QueueWaitP99MS:       s.waits.p99(time.Now()).Milliseconds(),
+		Runs:                 runs,
 	})
 }
 
@@ -652,6 +751,16 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, Response{Error: "server draining"})
 		return
+	}
+	// The priority class rides a header, not the body, so admission can
+	// read it before any decoding. Sync requests default to interactive.
+	prio := jobs.PriorityInteractive
+	if p := r.Header.Get("X-Priority"); p != "" {
+		var err error
+		if prio, err = jobs.NormalizePriority(p); err != nil {
+			writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+			return
+		}
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var env envelope
@@ -688,6 +797,27 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), s.cfg.MaxBatch))
 		return
 	}
+	// Per-tenant quota: one token per item, charged before any compute.
+	// Rejections happen before processing, so they touch neither the
+	// Served/Errors invariant nor the cache — just the quota counter.
+	if s.quotas != nil {
+		tenant := tenantFrom(r)
+		if wait, ok := s.quotas.take(tenant, len(reqs), time.Now()); !ok {
+			s.statsMu.Lock()
+			s.ctr.shedQuota++
+			s.statsMu.Unlock()
+			ms := max(wait.Milliseconds(), 1)
+			w.Header().Set("Retry-After", retryAfterSeconds(ms))
+			msg := fmt.Sprintf("tenant %q over quota (%.3g req/s)", tenant, s.quotas.rps)
+			if batch {
+				writeJSON(w, http.StatusTooManyRequests, batchResponse{Results: []Response{}, Error: msg})
+			} else {
+				writeJSON(w, http.StatusTooManyRequests,
+					Response{Error: msg, Code: "quota_exhausted", RetryAfterMS: ms})
+			}
+			return
+		}
+	}
 
 	// The batch deadline is the max of its items' timeouts; each item
 	// additionally runs under its own (shorter or equal) deadline. Both
@@ -696,7 +826,7 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	for _, q := range reqs {
 		timeout = max(timeout, s.timeout(q))
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(withPriority(r.Context(), prio), timeout)
 	defer cancel()
 
 	results := make([]Response, len(reqs))
@@ -764,6 +894,9 @@ func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
 	if status == 0 {
 		status = http.StatusOK
 	}
+	if res.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(res.RetryAfterMS))
+	}
 	writeJSON(w, status, res)
 }
 
@@ -797,7 +930,7 @@ func (s *Server) process(ctx context.Context, q Request) Response {
 				status = statusFor(ce)
 			}
 		}
-		return fail(status, err, outcomeError)
+		return applyShed(fail(status, err, outcomeError), err)
 	}
 
 	if q.Base != "" {
@@ -1055,20 +1188,49 @@ func (s *Server) compute(ctx context.Context, q Request, alg algorithm, key fcac
 
 // acquireSlot takes one admission-gate slot, honoring the context while
 // queued; the returned release must be called when the compute ends.
+//
+// A free slot admits immediately and records nothing. A full gate first
+// runs the shed check — if the predicted queue wait (recent p99) would
+// eat the request's deadline budget, it is rejected now with a
+// shedError (429 + Retry-After) instead of queueing toward a certain
+// 504 — and then queues, feeding the observed wait (timeouts included,
+// as a floor) back into the predictor.
 func (s *Server) acquireSlot(ctx context.Context) (func(), error) {
+	release := func() { <-s.slots }
+	acquired := func() (func(), error) {
+		if s.testHookAfterAcquire != nil {
+			s.testHookAfterAcquire(ctx)
+		}
+		if err := ctx.Err(); err != nil {
+			release()
+			return nil, err
+		}
+		s.statsMu.Lock()
+		s.ctr.admitted++
+		if s.ctr.admittedByPriority == nil {
+			s.ctr.admittedByPriority = make(map[string]int64)
+		}
+		s.ctr.admittedByPriority[priorityFrom(ctx)]++
+		s.statsMu.Unlock()
+		return release, nil
+	}
 	select {
 	case s.slots <- struct{}{}:
-	case <-ctx.Done():
-		return nil, fmt.Errorf("queue wait: %w", ctx.Err())
+		return acquired()
+	default:
 	}
-	if s.testHookAfterAcquire != nil {
-		s.testHookAfterAcquire(ctx)
-	}
-	if err := ctx.Err(); err != nil {
-		<-s.slots
+	if err := s.shedCheck(ctx); err != nil {
 		return nil, err
 	}
-	return func() { <-s.slots }, nil
+	start := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+		s.waits.observe(time.Now(), time.Since(start))
+	case <-ctx.Done():
+		s.waits.observe(time.Now(), time.Since(start))
+		return nil, fmt.Errorf("queue wait: %w", ctx.Err())
+	}
+	return acquired()
 }
 
 // coreOptions assembles the engine options for one request.
@@ -1310,7 +1472,7 @@ func (s *Server) processDelta(ctx context.Context, q Request) Response {
 				status = statusFor(ce)
 			}
 		}
-		return fail(status, "", err, outcomeError)
+		return applyShed(fail(status, "", err, outcomeError), err)
 	}
 
 	if e, ok := s.cache.GetIf(wkey, validEdited); ok {
@@ -1535,7 +1697,10 @@ func permuteFunc(f *bfunc.Func, perm []int) *bfunc.Func {
 }
 
 func statusFor(err error) int {
+	var se *shedError
 	switch {
+	case errors.As(err, &se):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

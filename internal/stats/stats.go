@@ -18,6 +18,13 @@
 // parallel branch-and-bound node/prune counts) describe the execution
 // and may vary run to run. Report keeps the two classes in separate
 // JSON sections so regression gates can diff the deterministic one.
+//
+// This layer answers "what did one run cost"; the serving layer's
+// counter families (internal/service's /statsz) answer "what is the
+// service doing", and its telemetry sampler captures those families
+// over time into an internal/ftdc disk ring for /statsz/history. The
+// split is deliberate: per-run reports stay deterministic and
+// diffable, time-series capture stays lossy and bounded.
 package stats
 
 import (

@@ -2,16 +2,18 @@
 # jobs_crash_smoke.sh — the kill-and-replay gate for the async job
 # tier, run by the CI `jobs-crash-smoke` job and `make jobs-crash-smoke`:
 #
-#   1. build sppserve and start it with -jobs-dir;
+#   1. build sppserve and start it with -jobs-dir and -ftdc-dir;
 #   2. submit N jobs (distinct functions, mixed priority classes) via
 #      POST /v1/jobs, all accepted with 202 + id;
-#   3. wait until at least one job is done, then SIGKILL the server
-#      mid-drain — no graceful anything;
+#   3. wait until at least one job is done and the telemetry ring holds
+#      at least one sample, then SIGKILL the server mid-drain and
+#      mid-capture — no graceful anything;
 #   4. restart on the same journal dir and assert the replay invariant:
 #      every accepted job reaches a terminal state (here: done), the
-#      journal holds exactly one terminal record per job, and completed
+#      journal holds exactly one terminal record per job, completed
 #      work re-warmed the result cache (statsz jobs_replayed > 0)
-#      instead of recomputing;
+#      instead of recomputing, and /statsz/history still replays the
+#      first process's telemetry samples from the shared ring;
 #   5. SIGTERM the second server and confirm a clean exit.
 #
 # Stdlib tools only: the JSON assertions use grep/sed on Go's
@@ -62,6 +64,7 @@ mkbody() {
 
 start_server() { # start_server <logprefix>
 	"$workdir/sppserve" -addr 127.0.0.1:0 -jobs-dir "$workdir/jobs" -job-workers 2 \
+		-ftdc-dir "$workdir/ftdc" -ftdc-interval 100ms \
 		>"$workdir/$1.out" 2>"$workdir/$1.err" &
 	server_pid=$!
 	addr=""
@@ -103,7 +106,17 @@ for _ in $(seq 1 300); do
 	sleep 0.1
 done
 [ "${done_before:-0}" -ge 1 ] || fail "no job completed within 30s"
-echo "jobs-crash-smoke: $done_before done, killing server with SIGKILL"
+
+# The telemetry ring must hold flushed samples before the kill so the
+# restart has history to replay.
+hist_before=0
+for _ in $(seq 1 100); do
+	hist_before=$(curl -sS "http://$addr/statsz/history" | grep -o '"t":' | wc -l) || hist_before=0
+	[ "${hist_before:-0}" -ge 1 ] && break
+	sleep 0.1
+done
+[ "${hist_before:-0}" -ge 1 ] || fail "no telemetry sample captured within 10s"
+echo "jobs-crash-smoke: $done_before done, $hist_before telemetry samples, killing server with SIGKILL"
 
 kill -9 "$server_pid"
 wait "$server_pid" 2>/dev/null || true
@@ -134,6 +147,14 @@ jdone=$(jsonfield jobs_done <"$workdir/statsz.json")
 [ "${replayed:-0}" -ge 1 ] || fail "jobs_replayed = $replayed, want >= 1 (replay did not warm the cache)"
 [ "$jdone" = "$NJOBS" ] || fail "jobs_done = $jdone, want $NJOBS"
 
+# The history endpoint reads the segment files, not the live writer, so
+# the samples the first process flushed must still replay after its
+# kill -9 (a crash-cut tail record is dropped, not an error).
+hist_after=$(curl -sS "http://$addr/statsz/history" | grep -o '"t":' | wc -l) ||
+	fail "statsz/history after restart"
+[ "${hist_after:-0}" -ge "$hist_before" ] ||
+	fail "telemetry history lost samples across kill -9: $hist_after < $hist_before"
+
 # Exactly-once: across the whole journal no job may carry more than one
 # terminal record.
 dups=$(cat "$workdir"/jobs/*.journal |
@@ -151,4 +172,4 @@ kill -0 "$server_pid" 2>/dev/null && fail "server still running 10s after SIGTER
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
 
-echo "jobs-crash-smoke: PASS (replayed=$replayed, done=$jdone/$NJOBS, no duplicate terminals)"
+echo "jobs-crash-smoke: PASS (replayed=$replayed, done=$jdone/$NJOBS, history $hist_before -> $hist_after samples, no duplicate terminals)"
